@@ -1,0 +1,232 @@
+// A1 (ablation): CORBA-style ORB vs the raw framed socket protocol for the
+// same logical operation (paper §6.2: CORBA "reduces performance when
+// compared to a lower level socket based system").  Two measurements:
+//  * wire cost — bytes on the wire and virtual round-trip latency for one
+//    steering command relayed via orb::invoke vs a direct framed message
+//    exchange on a bandwidth-limited link;
+//  * CPU cost — marshalling throughput for the two encodings.
+#include "bench_common.h"
+
+#include "net/sim_network.h"
+#include "orb/orb.h"
+#include "proto/messages.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "A1: ORB invocation vs raw framed protocol (1 Mb/s link, 5ms "
+      "latency)",
+      {"transport", "bytes_per_op", "round_trip", "ops_measured"});
+  return s;
+}
+
+/// Echo servant: decodes a command, returns an ack — the CorbaProxy
+/// send_command shape without the server bookkeeping.
+class EchoCommandServant : public orb::Servant {
+ public:
+  [[nodiscard]] std::string interface_name() const override {
+    return "EchoCommand";
+  }
+  void dispatch(const std::string&, wire::Decoder& args, wire::Encoder& out,
+                orb::DispatchContext&) override {
+    (void)args.str();   // user
+    (void)args.u64();   // request id
+    (void)args.u8();    // kind
+    (void)args.str();   // param
+    (void)proto::decode_param_value(args);
+    out.boolean(true);
+    out.str("ok");
+  }
+};
+
+/// Raw framed peer: replies to AppCommand frames with AppResponse frames.
+class FramedEcho : public net::MessageHandler {
+ public:
+  explicit FramedEcho(net::Network& net) : net_(net) {}
+  void on_message(const net::Message& msg) override {
+    auto decoded = proto::decode_framed(msg.payload);
+    if (!decoded.ok()) return;
+    if (const auto* cmd = std::get_if<proto::AppCommand>(&decoded.value())) {
+      proto::AppResponse resp;
+      resp.app_id = cmd->app_id;
+      resp.request_id = cmd->request_id;
+      resp.ok = true;
+      resp.message = "ok";
+      net_.send(msg.dst, msg.src, net::Channel::response,
+                proto::encode_framed(proto::FramedMessage{resp}));
+    }
+  }
+  net::Network& net_;
+};
+
+class OrbCaller : public net::MessageHandler {
+ public:
+  explicit OrbCaller(net::Network& net) : net_(net) {}
+  void init(net::NodeId self) { orb = std::make_unique<orb::Orb>(net_, self); }
+  void on_message(const net::Message& msg) override { orb->handle(msg); }
+  net::Network& net_;
+  std::unique_ptr<orb::Orb> orb;
+};
+
+class FramedCaller : public net::MessageHandler {
+ public:
+  void on_message(const net::Message& msg) override {
+    auto decoded = proto::decode_framed(msg.payload);
+    if (decoded.ok() &&
+        std::holds_alternative<proto::AppResponse>(decoded.value())) {
+      ++replies;
+    }
+  }
+  int replies = 0;
+};
+
+struct WireCost {
+  std::uint64_t bytes_per_op = 0;
+  util::Duration round_trip = 0;
+  int ops = 0;
+};
+
+WireCost measure_orb() {
+  net::SimNetwork net;
+  net.set_lan_model({util::milliseconds(5), 125'000.0});  // 1 Mb/s
+  OrbCaller caller(net);
+  OrbCaller callee(net);
+  const net::NodeId nc = net.add_node("caller", &caller);
+  const net::NodeId ns = net.add_node("callee", &callee);
+  caller.init(nc);
+  callee.init(ns);
+  const orb::ObjectRef ref =
+      callee.orb->activate(std::make_shared<EchoCommandServant>());
+
+  constexpr int kOps = 50;
+  int done = 0;
+  const util::TimePoint t0 = net.now();
+  std::function<void()> issue = [&] {
+    wire::Encoder args;
+    args.str("alice");
+    args.u64(static_cast<std::uint64_t>(done));
+    args.u8(static_cast<std::uint8_t>(proto::CommandKind::set_param));
+    args.str("alpha");
+    proto::encode(args, proto::ParamValue{0.5});
+    caller.orb->invoke(ref, "send_command", std::move(args),
+                       [&](util::Result<util::Bytes>) {
+                         if (++done < kOps) issue();
+                       });
+  };
+  issue();
+  net.run_until_idle();
+  WireCost cost;
+  cost.ops = done;
+  cost.bytes_per_op = net.traffic().bytes / static_cast<std::uint64_t>(done);
+  cost.round_trip = (net.now() - t0) / done;
+  return cost;
+}
+
+WireCost measure_framed() {
+  net::SimNetwork net;
+  net.set_lan_model({util::milliseconds(5), 125'000.0});  // 1 Mb/s
+  FramedCaller caller;
+  FramedEcho callee(net);
+  const net::NodeId nc = net.add_node("caller", &caller);
+  const net::NodeId ns = net.add_node("callee", &callee);
+
+  constexpr int kOps = 50;
+  const util::TimePoint t0 = net.now();
+  // FIFO ordering lets us pipeline-free issue one at a time via timers.
+  std::function<void()> issue = [&] {
+    proto::AppCommand cmd;
+    cmd.app_id = {1, 1};
+    cmd.request_id = static_cast<std::uint64_t>(caller.replies);
+    cmd.user = "alice";
+    cmd.kind = proto::CommandKind::set_param;
+    cmd.param = "alpha";
+    cmd.value = proto::ParamValue{0.5};
+    net.send(nc, ns, net::Channel::command,
+             proto::encode_framed(proto::FramedMessage{cmd}));
+  };
+  issue();
+  // Re-issue on each reply until kOps complete.
+  int last_seen = 0;
+  while (net.run_until([&] { return caller.replies > last_seen; })) {
+    last_seen = caller.replies;
+    if (caller.replies >= kOps) break;
+    issue();
+  }
+  WireCost cost;
+  cost.ops = caller.replies;
+  cost.bytes_per_op =
+      net.traffic().bytes / static_cast<std::uint64_t>(caller.replies);
+  cost.round_trip = (net.now() - t0) / caller.replies;
+  return cost;
+}
+
+void BM_A1_OrbWire(benchmark::State& state) {
+  WireCost cost{};
+  for (auto _ : state) {
+    cost = measure_orb();
+  }
+  state.counters["bytes_per_op"] = static_cast<double>(cost.bytes_per_op);
+  summary().row({"ORB (GIOP over CDR)",
+                 workload::fmt_int(cost.bytes_per_op),
+                 util::format_duration(cost.round_trip),
+                 workload::fmt_int(static_cast<std::uint64_t>(cost.ops))});
+}
+BENCHMARK(BM_A1_OrbWire)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_A1_FramedWire(benchmark::State& state) {
+  WireCost cost{};
+  for (auto _ : state) {
+    cost = measure_framed();
+  }
+  state.counters["bytes_per_op"] = static_cast<double>(cost.bytes_per_op);
+  summary().row({"raw framed socket",
+                 workload::fmt_int(cost.bytes_per_op),
+                 util::format_duration(cost.round_trip),
+                 workload::fmt_int(static_cast<std::uint64_t>(cost.ops))});
+}
+BENCHMARK(BM_A1_FramedWire)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// CPU marshalling comparison: GIOP request frame vs framed AppCommand.
+void BM_A1_MarshalOrb(benchmark::State& state) {
+  for (auto _ : state) {
+    wire::Encoder frame;
+    frame.u32(0x47494F50);
+    frame.u8(0);
+    frame.u64(1);
+    frame.u64(2);
+    frame.str("send_command");
+    wire::Encoder args;
+    args.str("alice");
+    args.u64(7);
+    args.u8(1);
+    args.str("alpha");
+    proto::encode(args, proto::ParamValue{0.5});
+    frame.bytes(std::move(args).take());
+    benchmark::DoNotOptimize(frame.data());
+  }
+}
+BENCHMARK(BM_A1_MarshalOrb);
+
+void BM_A1_MarshalFramed(benchmark::State& state) {
+  proto::AppCommand cmd;
+  cmd.app_id = {1, 1};
+  cmd.request_id = 7;
+  cmd.user = "alice";
+  cmd.kind = proto::CommandKind::set_param;
+  cmd.param = "alpha";
+  cmd.value = proto::ParamValue{0.5};
+  for (auto _ : state) {
+    const util::Bytes frame =
+        proto::encode_framed(proto::FramedMessage{cmd});
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_A1_MarshalFramed);
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,120 @@
+// A2 (ablation): HTTP poll-and-pull vs server push (paper §6.2: HTTP
+// "necessitates a poll and pull mechanism ... makes it necessary to
+// maintain FIFO buffers at the server for each client to support slow
+// clients", with memory and performance overheads).  We compare the
+// paper's poll-and-pull portal against the server-push extension on the
+// same workload.  Expected shape: push delivers fresher updates (latency
+// independent of the poll period), needs no FIFO memory, and sends one
+// message per event instead of poll round trips.
+#include "bench_common.h"
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "A2: poll-and-pull vs server push (1 app @ ~33 upd/s, 4 clients)",
+      {"mode", "staleness_p50", "staleness_p95", "peak_fifo_backlog",
+       "http_msgs", "events_delivered"});
+  return s;
+}
+
+struct Result {
+  util::Duration p50 = 0;
+  util::Duration p95 = 0;
+  std::size_t peak_backlog = 0;
+  std::uint64_t http_msgs = 0;
+  std::uint64_t delivered = 0;
+};
+
+Result run_mode(bool push, util::Duration poll_period) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("srv", 1);
+  app::AppConfig cfg;
+  cfg.name = "feed";
+  cfg.acl = workload::make_acl({{"u0", security::Privilege::read_only},
+                                {"u1", security::Privilege::read_only},
+                                {"u2", security::Privilege::read_only},
+                                {"u3", security::Privilege::read_only}});
+  cfg.step_time = util::milliseconds(3);
+  cfg.update_every = 10;  // update every 30 ms
+  cfg.interact_every = 0;
+  auto& feed = scenario.add_app<app::SyntheticApp>(server, cfg,
+                                                   app::SyntheticSpec{});
+  scenario.run_until([&] { return feed.registered(); });
+  const proto::AppId app_id = feed.app_id();
+
+  std::vector<core::DiscoverClient*> clients;
+  for (int i = 0; i < 4; ++i) {
+    core::ClientConfig ccfg;
+    ccfg.poll_period = poll_period;
+    auto& c = scenario.add_client("u" + std::to_string(i), server, ccfg);
+    clients.push_back(&c);
+    (void)workload::sync_login(scenario.net(), c);
+    (void)workload::sync_select(scenario.net(), c, app_id);
+    if (push) {
+      (void)workload::sync_group_op(scenario.net(), c, app_id,
+                                    proto::GroupOp::enable_push, "");
+    } else {
+      scenario.net().post(c.node(), [&c, app_id] { c.start_polling(app_id); });
+    }
+  }
+
+  // Staleness = event's host timestamp -> client receipt (virtual time),
+  // captured by the event handler as each update lands.
+  util::LatencyHistogram staleness;
+  for (auto* c : clients) {
+    c->set_event_handler(
+        [&staleness, &scenario](const proto::ClientEvent& ev) {
+          if (ev.kind == proto::EventKind::update) {
+            staleness.record(scenario.net().now() - ev.at);
+          }
+        });
+  }
+
+  // Steady state for 5 simulated seconds; track the worst FIFO backlog.
+  scenario.net().reset_traffic();
+  Result out;
+  for (int i = 0; i < 50; ++i) {
+    scenario.run_for(util::milliseconds(100));
+    out.peak_backlog = std::max(out.peak_backlog,
+                                server.total_fifo_backlog());
+  }
+  out.http_msgs = scenario.net().traffic().messages;
+  for (auto* c : clients) out.delivered += c->events_received();
+  out.p50 = staleness.percentile(0.5);
+  out.p95 = staleness.percentile(0.95);
+  return out;
+}
+
+void BM_A2(benchmark::State& state) {
+  const bool push = state.range(0) != 0;
+  const auto poll_period = util::milliseconds(state.range(1));
+  Result r{};
+  for (auto _ : state) {
+    r = run_mode(push, poll_period);
+  }
+  state.counters["staleness_p50_ms"] = util::to_ms(r.p50);
+  state.counters["peak_backlog"] = static_cast<double>(r.peak_backlog);
+  const std::string mode =
+      push ? "push"
+           : "poll/" + util::format_duration(poll_period);
+  summary().row({mode, util::format_duration(r.p50),
+                 util::format_duration(r.p95),
+                 workload::fmt_int(r.peak_backlog),
+                 workload::fmt_int(r.http_msgs),
+                 workload::fmt_int(r.delivered)});
+}
+BENCHMARK(BM_A2)
+    ->Args({0, 25})->Args({0, 50})->Args({0, 100})->Args({0, 200})
+    ->Args({1, 100})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,116 @@
+// A3 (ablation): server-to-server remote update propagation — PUSH (host
+// forwards each event to subscribed servers) vs POLL (the subscriber's
+// CorbaProxy side "polls each other for updates and responses", §5.2.3,
+// the prototype's actual design).  Expected shape: polling trades delivery
+// latency (~poll period) and constant background WAN traffic for
+// insensitivity to event rate; push delivers at WAN latency and scales
+// WAN traffic with the event rate.
+#include "bench_common.h"
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "A3: server-to-server update propagation, push vs poll "
+      "(2 sites, WAN 20ms, 1 app @ 50 upd/s, 1 remote client)",
+      {"mode", "update_delivery_p50", "update_delivery_p95", "wan_msgs",
+       "wan_bytes", "updates_rx"});
+  return s;
+}
+
+struct Result {
+  util::Duration p50 = 0;
+  util::Duration p95 = 0;
+  std::uint64_t wan_msgs = 0;
+  std::uint64_t wan_bytes = 0;
+  std::uint64_t updates_rx = 0;
+};
+
+Result run_mode(core::RemoteUpdateMode mode, util::Duration poll_period) {
+  workload::ScenarioConfig cfg;
+  cfg.wan = {util::milliseconds(20), 12.5e6};
+  cfg.server_template.remote_update_mode = mode;
+  cfg.server_template.remote_poll_period = poll_period;
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  workload::Scenario scenario(cfg);
+  auto& host = scenario.add_server("host", 1);
+  auto& peer = scenario.add_server("peer", 2);
+
+  app::AppConfig app_cfg;
+  app_cfg.name = "feed";
+  app_cfg.acl = workload::make_acl({{"remote",
+                                     security::Privilege::read_only}});
+  app_cfg.step_time = util::milliseconds(4);
+  app_cfg.update_every = 5;  // 50 updates/s
+  app_cfg.interact_every = 0;
+  auto& feed = scenario.add_app<app::SyntheticApp>(host, app_cfg,
+                                                   app::SyntheticSpec{});
+  app::AppConfig id_cfg = app_cfg;
+  id_cfg.name = "identity";
+  id_cfg.update_every = 0;
+  scenario.add_app<app::SyntheticApp>(peer, id_cfg, app::SyntheticSpec{});
+  scenario.run_until([&] {
+    return feed.registered() && peer.peer_count() == 1;
+  });
+
+  core::ClientConfig ccfg;
+  ccfg.poll_period = util::milliseconds(20);  // client-side poll held fixed
+  auto& remote = scenario.add_client("remote", peer, ccfg);
+  (void)workload::sync_login(scenario.net(), remote);
+  (void)workload::sync_select(scenario.net(), remote, feed.app_id());
+
+  util::LatencyHistogram delivery;
+  remote.set_event_handler([&](const proto::ClientEvent& ev) {
+    if (ev.kind == proto::EventKind::update) {
+      delivery.record(scenario.net().now() - ev.at);
+    }
+  });
+  scenario.net().post(remote.node(),
+                      [&remote, id = feed.app_id()] {
+                        remote.start_polling(id);
+                      });
+
+  scenario.net().reset_traffic();
+  scenario.run_for(util::seconds(5));
+
+  Result out;
+  out.p50 = delivery.percentile(0.5);
+  out.p95 = delivery.percentile(0.95);
+  out.wan_msgs = scenario.net().traffic().wan_messages;
+  out.wan_bytes = scenario.net().traffic().wan_bytes;
+  out.updates_rx = remote.events_of_kind(proto::EventKind::update);
+  return out;
+}
+
+void BM_A3(benchmark::State& state) {
+  const bool push = state.range(0) != 0;
+  const auto poll_period = util::milliseconds(state.range(1));
+  Result r{};
+  for (auto _ : state) {
+    r = run_mode(push ? core::RemoteUpdateMode::push
+                      : core::RemoteUpdateMode::poll,
+                 poll_period);
+  }
+  state.counters["p50_ms"] = util::to_ms(r.p50);
+  state.counters["wan_msgs"] = static_cast<double>(r.wan_msgs);
+  const std::string mode =
+      push ? "push" : "poll/" + util::format_duration(poll_period);
+  summary().row({mode, util::format_duration(r.p50),
+                 util::format_duration(r.p95), workload::fmt_int(r.wan_msgs),
+                 util::format_bytes(r.wan_bytes),
+                 workload::fmt_int(r.updates_rx)});
+}
+BENCHMARK(BM_A3)
+    ->Args({0, 25})->Args({0, 50})->Args({0, 100})->Args({0, 200})
+    ->Args({1, 100})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,44 @@
+// Shared scaffolding for the experiment benches: every binary registers
+// google-benchmark cases for its sweep points AND accumulates rows for a
+// paper-style summary table printed after the run (see DESIGN.md §4 for
+// the experiment ids).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/report.h"
+
+namespace discover::bench {
+
+/// Collects summary rows during benchmark execution; printed from main().
+class Summary {
+ public:
+  Summary(std::string title, std::vector<std::string> columns)
+      : table_(std::move(title), std::move(columns)) {}
+
+  void row(std::vector<std::string> cells) {
+    table_.add_row(std::move(cells));
+  }
+  void print() const { table_.print(); }
+
+ private:
+  workload::Table table_;
+};
+
+}  // namespace discover::bench
+
+/// Standard main: run benchmarks, then print the summary table(s).
+#define DISCOVER_BENCH_MAIN(...)                                   \
+  int main(int argc, char** argv) {                                \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
+      return 1;                                                    \
+    }                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    __VA_ARGS__;                                                   \
+    return 0;                                                      \
+  }

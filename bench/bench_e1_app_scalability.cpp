@@ -1,0 +1,91 @@
+// E1: simultaneous applications per server (paper §6.1: "the current
+// middleware can support more than 40 simultaneous applications on a
+// single server").  Real threads, real time: N synthetic applications
+// stream periodic updates over the custom framed protocol to one server.
+// Expected shape: all N register, and the server sustains the offered
+// update rate with flat efficiency through N=40 and beyond (the custom
+// TCP-style app path is cheap — contrast with E2's HTTP client path).
+#include "bench_common.h"
+
+#include <chrono>
+#include <thread>
+
+#include "app/synthetic.h"
+#include "workload/thread_scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+constexpr util::Duration kMeasureWindow = util::milliseconds(1200);
+constexpr int kUpdatesPerSecPerApp = 50;  // step 10ms, update every 2 steps
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "E1: simultaneous applications on one server (ThreadNetwork, "
+      "real time; paper: >40 supported)",
+      {"apps", "registered", "offered_upd_per_s", "sustained_upd_per_s",
+       "efficiency"});
+  return s;
+}
+
+void BM_E1(benchmark::State& state) {
+  const int n_apps = static_cast<int>(state.range(0));
+  double offered = 0;
+  double sustained = 0;
+  std::uint64_t registered = 0;
+
+  for (auto _ : state) {
+    workload::ThreadScenario scenario;
+    auto& server = scenario.add_server("loaded");
+    std::vector<app::SyntheticApp*> apps;
+    for (int i = 0; i < n_apps; ++i) {
+      app::AppConfig cfg;
+      cfg.name = "app" + std::to_string(i);
+      cfg.acl = workload::make_acl({{"alice", security::Privilege::steer}});
+      cfg.step_time = util::milliseconds(10);
+      cfg.update_every = 2;  // 50 updates/s per app
+      cfg.interact_every = 0;
+      apps.push_back(&scenario.add_app<app::SyntheticApp>(
+          server, cfg, app::SyntheticSpec{4, 8, 50}));
+    }
+    scenario.start();
+    workload::wait_for(
+        scenario.net(),
+        [&] {
+          return server.live_apps_registered() ==
+                 static_cast<std::uint64_t>(n_apps);
+        },
+        util::seconds(20));
+    registered = server.live_apps_registered();
+
+    // Measure the sustained server-side update ingest rate.
+    const std::uint64_t before = server.live_updates_processed();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(kMeasureWindow));
+    const std::uint64_t after = server.live_updates_processed();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    sustained = static_cast<double>(after - before) / elapsed_s;
+    offered = static_cast<double>(n_apps * kUpdatesPerSecPerApp);
+    scenario.stop();
+  }
+
+  state.counters["offered"] = offered;
+  state.counters["sustained"] = sustained;
+  state.counters["efficiency"] = offered > 0 ? sustained / offered : 0;
+  summary().row({workload::fmt_int(static_cast<std::uint64_t>(n_apps)),
+                 workload::fmt_int(registered),
+                 workload::fmt_double(offered, 0),
+                 workload::fmt_double(sustained, 0),
+                 workload::fmt_double(offered > 0 ? sustained / offered : 0,
+                                      3)});
+}
+BENCHMARK(BM_E1)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Arg(60)->Arg(80)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

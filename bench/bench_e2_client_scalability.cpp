@@ -1,0 +1,117 @@
+// E2: simultaneous clients per server (paper §6.1: "the middleware was
+// able to support 20 simultaneous clients.  As we increased the number of
+// simultaneous clients beyond 20, we noticed degradation in performance").
+// Real threads, real time: K portal clients run the poll-and-pull loop and
+// issue periodic read commands against one application on one server over
+// HTTP.  Expected shape: request latency grows super-linearly once the
+// servlet path saturates, visibly past the ~20-client knee.
+#include "bench_common.h"
+
+#include <chrono>
+#include <thread>
+
+#include "app/synthetic.h"
+#include "workload/drivers.h"
+#include "workload/thread_scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "E2: simultaneous HTTP clients on one server (ThreadNetwork, real "
+      "time; paper: degradation past ~20)",
+      {"clients", "req_per_s", "rtt_p50", "rtt_p95", "rtt_max",
+       "cmd_acks_ok"});
+  return s;
+}
+
+void BM_E2(benchmark::State& state) {
+  const int n_clients = static_cast<int>(state.range(0));
+  util::LatencyHistogram rtt;
+  std::uint64_t acks_ok = 0;
+  double req_rate = 0;
+
+  for (auto _ : state) {
+    core::ServerConfig server_cfg;
+    // Emulate 2001-era servlet cost so the paper's ~20-client knee is
+    // reproducible on modern hardware (see ServerConfig::servlet_cpu_cost).
+    server_cfg.servlet_cpu_cost = util::microseconds(1500);
+    workload::ThreadScenario scenario(server_cfg);
+    auto& server = scenario.add_server("portal");
+
+    std::vector<security::AclEntry> acl;
+    for (int i = 0; i < n_clients; ++i) {
+      acl.push_back({"u" + std::to_string(i),
+                     security::Privilege::read_only, 0});
+    }
+    app::AppConfig cfg;
+    cfg.name = "target";
+    cfg.acl = acl;
+    cfg.step_time = util::milliseconds(10);
+    cfg.update_every = 5;  // 20 updates/s into every client FIFO
+    cfg.interact_every = 4;
+    cfg.interaction_window = util::milliseconds(2);
+    auto& target = scenario.add_app<app::SyntheticApp>(
+        server, cfg, app::SyntheticSpec{4, 8, 50});
+
+    std::vector<core::DiscoverClient*> clients;
+    for (int i = 0; i < n_clients; ++i) {
+      core::ClientConfig ccfg;
+      ccfg.poll_period = util::milliseconds(50);
+      clients.push_back(&scenario.add_client("u" + std::to_string(i), server,
+                                             ccfg));
+    }
+    scenario.start();
+    workload::wait_for(scenario.net(), [&] { return target.registered(); },
+                       util::seconds(10));
+    const proto::AppId app_id = target.app_id();
+
+    std::vector<std::unique_ptr<workload::ClientDriver>> drivers;
+    for (auto* c : clients) {
+      (void)workload::sync_login(scenario.net(), *c, util::seconds(20));
+      (void)workload::sync_select(scenario.net(), *c, app_id,
+                                  util::seconds(20));
+      workload::DriverConfig dcfg;
+      dcfg.command_period = util::milliseconds(100);
+      dcfg.kind = proto::CommandKind::get_param;
+      dcfg.param = "param_0";
+      drivers.push_back(std::make_unique<workload::ClientDriver>(
+          scenario.net(), *c, app_id, dcfg));
+    }
+    const std::uint64_t req_before = server.live_requests_served();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto& d : drivers) d->start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    for (auto& d : drivers) d->stop();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::uint64_t req_after = server.live_requests_served();
+    scenario.net().wait_idle(util::seconds(5));
+    scenario.stop();
+
+    // Workers are joined: safe to aggregate per-client histograms.
+    for (auto* c : clients) rtt.merge(c->http().round_trip_latency());
+    for (auto& d : drivers) acks_ok += d->acks_ok();
+    req_rate = static_cast<double>(req_after - req_before) / elapsed_s;
+  }
+
+  state.counters["rtt_p50_ms"] = util::to_ms(rtt.percentile(0.5));
+  state.counters["rtt_p95_ms"] = util::to_ms(rtt.percentile(0.95));
+  state.counters["req_per_s"] = req_rate;
+  summary().row({workload::fmt_int(static_cast<std::uint64_t>(n_clients)),
+                 workload::fmt_double(req_rate, 0),
+                 util::format_duration(rtt.percentile(0.5)),
+                 util::format_duration(rtt.percentile(0.95)),
+                 util::format_duration(rtt.max()),
+                 workload::fmt_int(acks_ok)});
+}
+BENCHMARK(BM_E2)->Arg(4)->Arg(8)->Arg(16)->Arg(20)->Arg(24)->Arg(32)->Arg(48)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,155 @@
+// E3: the apps-vs-clients asymmetry (paper §6.1: "the system is able to
+// support more simultaneous applications than simultaneous clients,
+// [which] illustrates the design trade off between high performance and
+// wide spread deployment when using commodity technologies").  Same
+// server, two faces: N producers over the custom framed protocol vs N
+// consumers over HTTP poll-and-pull, at matched per-peer message rates.
+// Expected shape: per-message server cost (and latency) is markedly lower
+// on the application path than on the HTTP servlet path.
+#include "bench_common.h"
+
+#include <chrono>
+#include <thread>
+
+#include "app/synthetic.h"
+#include "workload/drivers.h"
+#include "workload/thread_scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "E3: same server, app-facing vs client-facing load at matched "
+      "peer counts (~20 msg/s per peer)",
+      {"peers", "kind", "msgs_per_s_served", "p95_latency",
+       "per_msg_cost"});
+  return s;
+}
+
+/// N applications, each ~20 updates/s; returns (served rate, p95 n/a).
+double run_apps(int n, util::LatencyHistogram* /*unused*/) {
+  workload::ThreadScenario scenario;
+  auto& server = scenario.add_server("s");
+  for (int i = 0; i < n; ++i) {
+    app::AppConfig cfg;
+    cfg.name = "app" + std::to_string(i);
+    cfg.acl = workload::make_acl({{"alice", security::Privilege::steer}});
+    cfg.step_time = util::milliseconds(10);
+    cfg.update_every = 5;  // 20 updates/s
+    cfg.interact_every = 0;
+    scenario.add_app<app::SyntheticApp>(server, cfg,
+                                        app::SyntheticSpec{4, 8, 50});
+  }
+  scenario.start();
+  workload::wait_for(
+      scenario.net(),
+      [&] {
+        return server.live_apps_registered() == static_cast<std::uint64_t>(n);
+      },
+      util::seconds(20));
+  const std::uint64_t before = server.live_updates_processed();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  const std::uint64_t after = server.live_updates_processed();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  scenario.stop();
+  return static_cast<double>(after - before) / elapsed;
+}
+
+/// N clients, each ~20 HTTP requests/s (poll every 50 ms); returns served
+/// request rate and fills the RTT histogram.
+double run_clients(int n, util::LatencyHistogram* rtt) {
+  core::ServerConfig server_cfg;
+  // Same 2001-servlet calibration as E2 (the asymmetry the paper explains
+  // by the HTTP/servlet path being costlier than the custom TCP protocol).
+  server_cfg.servlet_cpu_cost = util::microseconds(1500);
+  workload::ThreadScenario scenario(server_cfg);
+  auto& server = scenario.add_server("s");
+  std::vector<security::AclEntry> acl;
+  for (int i = 0; i < n; ++i) {
+    acl.push_back({"u" + std::to_string(i),
+                   security::Privilege::read_only, 0});
+  }
+  app::AppConfig cfg;
+  cfg.name = "target";
+  cfg.acl = acl;
+  cfg.step_time = util::milliseconds(10);
+  cfg.update_every = 5;
+  cfg.interact_every = 0;
+  auto& target = scenario.add_app<app::SyntheticApp>(
+      server, cfg, app::SyntheticSpec{4, 8, 50});
+  std::vector<core::DiscoverClient*> clients;
+  for (int i = 0; i < n; ++i) {
+    core::ClientConfig ccfg;
+    ccfg.poll_period = util::milliseconds(50);  // 20 polls/s
+    clients.push_back(
+        &scenario.add_client("u" + std::to_string(i), server, ccfg));
+  }
+  scenario.start();
+  workload::wait_for(scenario.net(), [&] { return target.registered(); },
+                     util::seconds(10));
+  const proto::AppId app_id = target.app_id();
+  for (auto* c : clients) {
+    (void)workload::sync_login(scenario.net(), *c, util::seconds(20));
+    (void)workload::sync_select(scenario.net(), *c, app_id,
+                                util::seconds(20));
+  }
+  const std::uint64_t before = server.live_requests_served();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto* c : clients) {
+    scenario.net().post(c->node(), [c, app_id] { c->start_polling(app_id); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  const std::uint64_t after = server.live_requests_served();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  scenario.net().wait_idle(util::seconds(5));
+  scenario.stop();
+  for (auto* c : clients) rtt->merge(c->http().round_trip_latency());
+  return static_cast<double>(after - before) / elapsed;
+}
+
+void BM_E3_Apps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double rate = 0;
+  for (auto _ : state) {
+    rate = run_apps(n, nullptr);
+  }
+  state.counters["msgs_per_s"] = rate;
+  summary().row({workload::fmt_int(static_cast<std::uint64_t>(n)),
+                 "applications (framed)", workload::fmt_double(rate, 0),
+                 "-", rate > 0 ? util::format_duration(static_cast<
+                                     util::Duration>(1e9 / rate))
+                               : "-"});
+}
+BENCHMARK(BM_E3_Apps)->Arg(10)->Arg(40)->Arg(80)->Iterations(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_E3_Clients(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double rate = 0;
+  util::LatencyHistogram rtt;
+  for (auto _ : state) {
+    rate = run_clients(n, &rtt);
+  }
+  state.counters["msgs_per_s"] = rate;
+  state.counters["rtt_p95_ms"] = util::to_ms(rtt.percentile(0.95));
+  summary().row({workload::fmt_int(static_cast<std::uint64_t>(n)),
+                 "clients (HTTP poll)", workload::fmt_double(rate, 0),
+                 util::format_duration(rtt.percentile(0.95)),
+                 rate > 0 ? util::format_duration(
+                                static_cast<util::Duration>(1e9 / rate))
+                          : "-"});
+}
+BENCHMARK(BM_E3_Clients)->Arg(10)->Arg(40)->Arg(80)->Iterations(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

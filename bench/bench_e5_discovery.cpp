@@ -1,0 +1,102 @@
+// E5: application/service discovery overhead (announced in §7).  Measures
+// (a) how long a freshly started server takes to discover all peers via
+// the trader, (b) the cost of resolving a remote application through the
+// naming service at select time, and (c) the ORB invocations that
+// discovery generates.  Expected shape: linear in the number of servers
+// with small per-server constants (one trader query returns all offers;
+// one resolve + one get_interface per remote app touched).
+#include "bench_common.h"
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "E5: discovery overhead vs network size (SimNetwork, virtual time)",
+      {"servers", "apps_total", "peer_discovery", "remote_select",
+       "orb_calls", "giop_msgs"});
+  return s;
+}
+
+void BM_E5(benchmark::State& state) {
+  const int n_servers = static_cast<int>(state.range(0));
+  util::Duration discovery_time = 0;
+  util::Duration select_time = 0;
+  std::uint64_t orb_calls = 0;
+  std::uint64_t giop_msgs = 0;
+  int apps_total = 0;
+
+  for (auto _ : state) {
+    workload::ScenarioConfig cfg;
+    cfg.wan = {util::milliseconds(20), 12.5e6};
+    cfg.server_template.peer_refresh_period = util::milliseconds(50);
+    workload::Scenario scenario(cfg);
+
+    std::vector<core::DiscoverServer*> servers;
+    for (int i = 0; i < n_servers; ++i) {
+      servers.push_back(
+          &scenario.add_server("s" + std::to_string(i),
+                               static_cast<std::uint32_t>(i + 1)));
+    }
+    // Two applications per server; "alice" is on every ACL.
+    std::vector<app::SyntheticApp*> apps;
+    for (auto* server : servers) {
+      for (int k = 0; k < 2; ++k) {
+        app::AppConfig app_cfg;
+        app_cfg.name = "app";
+        app_cfg.acl = workload::make_acl({{"alice",
+                                           security::Privilege::steer}});
+        app_cfg.step_time = util::milliseconds(5);
+        app_cfg.update_every = 0;
+        app_cfg.interact_every = 0;
+        apps.push_back(&scenario.add_app<app::SyntheticApp>(
+            *server, app_cfg, app::SyntheticSpec{}));
+      }
+    }
+    apps_total = static_cast<int>(apps.size());
+
+    // (a) time for server 0 to see all peers through the trader.
+    const util::TimePoint t0 = scenario.net().now();
+    scenario.run_until([&] {
+      for (auto* s : servers) {
+        if (s->peer_count() != static_cast<std::size_t>(n_servers - 1)) {
+          return false;
+        }
+      }
+      return true;
+    });
+    discovery_time = scenario.net().now() - t0;
+
+    // (b) login + remote select cost at server 0 for an app on the last
+    // server (naming resolve + level-2 get_interface + subscribe).
+    auto& alice = scenario.add_client("alice", *servers[0]);
+    (void)workload::sync_login(scenario.net(), alice);
+    const proto::AppId remote_app = apps.back()->app_id();
+    const std::uint64_t calls_before = servers[0]->orb().invocations();
+    const util::TimePoint t1 = scenario.net().now();
+    (void)workload::sync_select(scenario.net(), alice, remote_app);
+    select_time = scenario.net().now() - t1;
+    orb_calls = servers[0]->orb().invocations() - calls_before;
+    giop_msgs = scenario.net().traffic().messages;
+  }
+
+  state.counters["discovery_ms"] = util::to_ms(discovery_time);
+  state.counters["select_ms"] = util::to_ms(select_time);
+  summary().row({workload::fmt_int(static_cast<std::uint64_t>(n_servers)),
+                 workload::fmt_int(static_cast<std::uint64_t>(apps_total)),
+                 util::format_duration(discovery_time),
+                 util::format_duration(select_time),
+                 workload::fmt_int(orb_calls),
+                 workload::fmt_int(giop_msgs)});
+}
+BENCHMARK(BM_E5)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

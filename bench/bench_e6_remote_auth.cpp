@@ -1,0 +1,100 @@
+// E6: remote-authentication overhead (announced in §7).  Login at the
+// client's home server fans out a DiscoverCorbaServer::authenticate call
+// to EVERY peer (§5.2.2) and aggregates the application lists.  Expected
+// shape: login latency is flat in the number of peers (the fan-out is
+// parallel, bounded by the slowest WAN round trip) while the message count
+// grows linearly; level-2 auth adds one round trip to the host.
+#include "bench_common.h"
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "E6: two-level authentication across servers (SimNetwork)",
+      {"peers", "login_latency", "apps_listed", "wan_msgs_login",
+       "level2_latency"});
+  return s;
+}
+
+void BM_E6(benchmark::State& state) {
+  const int n_peers = static_cast<int>(state.range(0));
+  util::Duration login_latency = 0;
+  util::Duration level2_latency = 0;
+  std::uint64_t wan_msgs = 0;
+  std::size_t apps_listed = 0;
+
+  for (auto _ : state) {
+    workload::ScenarioConfig cfg;
+    cfg.wan = {util::milliseconds(20), 12.5e6};
+    cfg.server_template.peer_refresh_period = util::milliseconds(50);
+    workload::Scenario scenario(cfg);
+
+    auto& home = scenario.add_server("home", 1);
+    std::vector<core::DiscoverServer*> peers;
+    for (int i = 0; i < n_peers; ++i) {
+      peers.push_back(&scenario.add_server(
+          "peer" + std::to_string(i), static_cast<std::uint32_t>(i + 2)));
+    }
+    const auto add_app = [&](core::DiscoverServer& server) {
+      app::AppConfig app_cfg;
+      app_cfg.name = "sim";
+      app_cfg.acl =
+          workload::make_acl({{"alice", security::Privilege::steer}});
+      app_cfg.step_time = util::milliseconds(5);
+      app_cfg.update_every = 0;
+      app_cfg.interact_every = 0;
+      return &scenario.add_app<app::SyntheticApp>(server, app_cfg,
+                                                  app::SyntheticSpec{});
+    };
+    app::SyntheticApp* home_app = add_app(home);
+    app::SyntheticApp* last_remote = nullptr;
+    for (auto* p : peers) last_remote = add_app(*p);
+
+    scenario.run_until([&] {
+      if (!home_app->registered()) return false;
+      if (last_remote != nullptr && !last_remote->registered()) return false;
+      return home.peer_count() == static_cast<std::size_t>(n_peers);
+    });
+
+    auto& alice = scenario.add_client("alice", home);
+    scenario.net().reset_traffic();
+    const util::TimePoint t0 = scenario.net().now();
+    auto login = workload::sync_login(scenario.net(), alice);
+    login_latency = scenario.net().now() - t0;
+    wan_msgs = scenario.net().traffic().wan_messages;
+    apps_listed = login.ok() ? login.value().applications.size() : 0;
+
+    if (last_remote != nullptr) {
+      const util::TimePoint t1 = scenario.net().now();
+      (void)workload::sync_select(scenario.net(), alice,
+                                  last_remote->app_id());
+      level2_latency = scenario.net().now() - t1;
+    } else {
+      // 0 peers: level-2 against the local app.
+      const util::TimePoint t1 = scenario.net().now();
+      (void)workload::sync_select(scenario.net(), alice,
+                                  proto::AppId{home.node().value(), 1});
+      level2_latency = scenario.net().now() - t1;
+    }
+  }
+
+  state.counters["login_ms"] = util::to_ms(login_latency);
+  state.counters["level2_ms"] = util::to_ms(level2_latency);
+  summary().row({workload::fmt_int(static_cast<std::uint64_t>(n_peers)),
+                 util::format_duration(login_latency),
+                 workload::fmt_int(apps_listed),
+                 workload::fmt_int(wan_msgs),
+                 util::format_duration(level2_latency)});
+}
+BENCHMARK(BM_E6)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,117 @@
+// M1 (micro): codec costs underlying every middleware path — CDR
+// encode/decode, framed protocol messages, HTTP parse/serialize, GIOP-style
+// request frames.  These constants set the floor for the E-series results.
+#include <benchmark/benchmark.h>
+
+#include "http/http_message.h"
+#include "proto/messages.h"
+#include "wire/cdr.h"
+
+namespace {
+
+using namespace discover;
+
+proto::ClientEvent sample_event(int metric_count) {
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::update;
+  ev.seq = 123456;
+  ev.app = {7, 3};
+  ev.at = 42'000'000;
+  ev.user = "alice";
+  ev.iteration = 991;
+  for (int i = 0; i < metric_count; ++i) {
+    ev.metrics["metric_" + std::to_string(i)] = 1.5 * i;
+  }
+  return ev;
+}
+
+void BM_CdrEncodeClientEvent(benchmark::State& state) {
+  const auto ev = sample_event(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    wire::Encoder e;
+    proto::encode(e, ev);
+    bytes = e.size();
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_CdrEncodeClientEvent)->Arg(0)->Arg(8)->Arg(32);
+
+void BM_CdrDecodeClientEvent(benchmark::State& state) {
+  const auto ev = sample_event(static_cast<int>(state.range(0)));
+  wire::Encoder e;
+  proto::encode(e, ev);
+  const util::Bytes data = e.data();
+  for (auto _ : state) {
+    wire::Decoder d(data);
+    auto decoded = proto::decode_client_event(d);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CdrDecodeClientEvent)->Arg(0)->Arg(8)->Arg(32);
+
+void BM_FramedAppUpdateRoundTrip(benchmark::State& state) {
+  proto::AppUpdate update;
+  update.app_id = {7, 3};
+  update.iteration = 12;
+  update.sim_time = 44.5;
+  for (int i = 0; i < 8; ++i) {
+    update.metrics["m" + std::to_string(i)] = 0.5 * i;
+  }
+  for (auto _ : state) {
+    const util::Bytes frame =
+        proto::encode_framed(proto::FramedMessage{update});
+    auto decoded = proto::decode_framed(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_FramedAppUpdateRoundTrip);
+
+void BM_HttpSerializeRequest(benchmark::State& state) {
+  http::HttpRequest req;
+  req.method = http::Method::post;
+  req.path = "/discover/command";
+  req.headers.set("X-Request-Id", "123456");
+  req.headers.set("Cookie", "DISCOVERID=42");
+  req.body = util::Bytes(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    const util::Bytes wire_bytes = http::serialize(req);
+    benchmark::DoNotOptimize(wire_bytes);
+  }
+}
+BENCHMARK(BM_HttpSerializeRequest)->Arg(64)->Arg(1024);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  http::HttpRequest req;
+  req.method = http::Method::post;
+  req.path = "/discover/command";
+  req.headers.set("X-Request-Id", "123456");
+  req.headers.set("Cookie", "DISCOVERID=42");
+  req.body = util::Bytes(static_cast<std::size_t>(state.range(0)), 0x5A);
+  const util::Bytes wire_bytes = http::serialize(req);
+  for (auto _ : state) {
+    auto parsed = http::parse_request(wire_bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(wire_bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_HttpParseRequest)->Arg(64)->Arg(1024);
+
+void BM_TokenIssueVerify(benchmark::State& state) {
+  security::TokenAuthority authority(3, 0xFEED);
+  for (auto _ : state) {
+    const auto token = authority.issue("alice", 1000, 1'000'000);
+    benchmark::DoNotOptimize(authority.verify(token, 2000));
+  }
+}
+BENCHMARK(BM_TokenIssueVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

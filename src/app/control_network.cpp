@@ -1,0 +1,161 @@
+#include "app/control_network.h"
+
+namespace discover::app {
+
+void ControlNetwork::add_sensor(std::string name, std::string units,
+                                std::function<proto::ParamValue()> read) {
+  Sensor s;
+  s.name = name;
+  s.units = std::move(units);
+  s.read = std::move(read);
+  if (sensors_.count(name) == 0 && actuators_.count(name) == 0) {
+    order_.push_back(name);
+  }
+  sensors_[std::move(name)] = std::move(s);
+}
+
+void ControlNetwork::add_steerable(
+    std::string name, std::string units, double min_value, double max_value,
+    std::function<proto::ParamValue()> read,
+    std::function<util::Status(const proto::ParamValue&)> write) {
+  add_sensor(name, std::move(units), std::move(read));
+  Actuator a;
+  a.name = name;
+  a.min_value = min_value;
+  a.max_value = max_value;
+  a.write = std::move(write);
+  actuators_[std::move(name)] = std::move(a);
+}
+
+void ControlNetwork::bind_double(std::string name, std::string units,
+                                 double min_value, double max_value,
+                                 double* variable) {
+  add_steerable(
+      std::move(name), std::move(units), min_value, max_value,
+      [variable] { return proto::ParamValue{*variable}; },
+      [variable](const proto::ParamValue& v) -> util::Status {
+        if (const auto* d = std::get_if<double>(&v)) {
+          *variable = *d;
+          return {};
+        }
+        if (const auto* i = std::get_if<std::int64_t>(&v)) {
+          *variable = static_cast<double>(*i);
+          return {};
+        }
+        return {util::Errc::invalid_argument, "expected numeric value"};
+      });
+}
+
+std::vector<proto::ParamSpec> ControlNetwork::param_specs() const {
+  std::vector<proto::ParamSpec> out;
+  out.reserve(order_.size());
+  for (const std::string& name : order_) {
+    proto::ParamSpec spec;
+    spec.name = name;
+    const auto s = sensors_.find(name);
+    if (s != sensors_.end()) {
+      spec.value = s->second.read();
+      spec.units = s->second.units;
+    }
+    const auto a = actuators_.find(name);
+    if (a != actuators_.end()) {
+      spec.steerable = true;
+      spec.min_value = a->second.min_value;
+      spec.max_value = a->second.max_value;
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::map<std::string, double> ControlNetwork::metrics() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, sensor] : sensors_) {
+    const proto::ParamValue v = sensor.read();
+    if (const auto* d = std::get_if<double>(&v)) {
+      out[name] = *d;
+    } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      out[name] = static_cast<double>(*i);
+    } else if (const auto* b = std::get_if<bool>(&v)) {
+      out[name] = *b ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+bool ControlNetwork::has_sensor(const std::string& name) const {
+  return sensors_.count(name) != 0;
+}
+
+bool ControlNetwork::has_actuator(const std::string& name) const {
+  return actuators_.count(name) != 0;
+}
+
+proto::AppResponse ControlNetwork::execute(
+    const proto::AppCommand& cmd) const {
+  proto::AppResponse resp;
+  resp.app_id = cmd.app_id;
+  resp.request_id = cmd.request_id;
+  resp.param = cmd.param;
+
+  switch (cmd.kind) {
+    case proto::CommandKind::get_param: {
+      const auto it = sensors_.find(cmd.param);
+      if (it == sensors_.end()) {
+        resp.ok = false;
+        resp.message = "no such parameter: " + cmd.param;
+        return resp;
+      }
+      resp.ok = true;
+      resp.value = it->second.read();
+      return resp;
+    }
+    case proto::CommandKind::set_param: {
+      const auto it = actuators_.find(cmd.param);
+      if (it == actuators_.end()) {
+        resp.ok = false;
+        resp.message = "parameter is not steerable: " + cmd.param;
+        return resp;
+      }
+      // Bounds check numeric writes before touching the actuator.
+      double numeric = 0;
+      bool is_numeric = false;
+      if (const auto* d = std::get_if<double>(&cmd.value)) {
+        numeric = *d;
+        is_numeric = true;
+      } else if (const auto* i = std::get_if<std::int64_t>(&cmd.value)) {
+        numeric = static_cast<double>(*i);
+        is_numeric = true;
+      }
+      const Actuator& act = it->second;
+      if (is_numeric && act.min_value < act.max_value &&
+          (numeric < act.min_value || numeric > act.max_value)) {
+        resp.ok = false;
+        resp.message = "value out of range [" +
+                       std::to_string(act.min_value) + ", " +
+                       std::to_string(act.max_value) + "]";
+        return resp;
+      }
+      const util::Status s = act.write(cmd.value);
+      resp.ok = s.ok();
+      if (!s.ok()) {
+        resp.message = s.error().message;
+      } else {
+        resp.value = cmd.value;
+      }
+      return resp;
+    }
+    case proto::CommandKind::query_status: {
+      resp.ok = true;
+      resp.params = param_specs();
+      return resp;
+    }
+    default:
+      resp.ok = false;
+      resp.message = std::string("command not handled by control network: ") +
+                     proto::command_name(cmd.kind);
+      return resp;
+  }
+}
+
+}  // namespace discover::app

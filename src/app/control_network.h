@@ -1,0 +1,75 @@
+// The application-side control network (paper §4, back end): "a control
+// network of sensors, actuators and interaction agents superimposed on the
+// application".
+//
+//  * Sensor           - reads one named quantity out of the running app.
+//  * Actuator         - writes one named steerable parameter, with bounds.
+//  * InteractionAgent - maps incoming middleware commands onto sensors and
+//                       actuators and produces responses.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "proto/messages.h"
+#include "util/result.h"
+
+namespace discover::app {
+
+struct Sensor {
+  std::string name;
+  std::string units;
+  std::function<proto::ParamValue()> read;
+};
+
+struct Actuator {
+  std::string name;
+  double min_value = 0;
+  double max_value = 0;
+  std::function<util::Status(const proto::ParamValue&)> write;
+};
+
+/// Registry of sensors/actuators plus the interaction agent that executes
+/// get_param/set_param/query_status commands against them.
+class ControlNetwork {
+ public:
+  /// Read-only quantity.
+  void add_sensor(std::string name, std::string units,
+                  std::function<proto::ParamValue()> read);
+
+  /// Steerable parameter: a sensor/actuator pair over the same name.
+  /// Numeric writes outside [min,max] are rejected by the agent before the
+  /// actuator runs.
+  void add_steerable(std::string name, std::string units, double min_value,
+                     double max_value,
+                     std::function<proto::ParamValue()> read,
+                     std::function<util::Status(const proto::ParamValue&)>
+                         write);
+
+  /// Convenience: bind a double variable directly as a steerable parameter.
+  void bind_double(std::string name, std::string units, double min_value,
+                   double max_value, double* variable);
+
+  /// Interface advertised at registration and on query_status.
+  [[nodiscard]] std::vector<proto::ParamSpec> param_specs() const;
+
+  /// Numeric sensor snapshot for periodic updates.
+  [[nodiscard]] std::map<std::string, double> metrics() const;
+
+  /// The interaction agent: executes one command, producing the response
+  /// fields (caller fills in app/request ids).  Only parameter commands are
+  /// handled here; lifecycle commands are the application's business.
+  [[nodiscard]] proto::AppResponse execute(const proto::AppCommand& cmd) const;
+
+  [[nodiscard]] bool has_sensor(const std::string& name) const;
+  [[nodiscard]] bool has_actuator(const std::string& name) const;
+
+ private:
+  std::map<std::string, Sensor> sensors_;
+  std::map<std::string, Actuator> actuators_;
+  std::vector<std::string> order_;  // registration order for stable specs
+};
+
+}  // namespace discover::app

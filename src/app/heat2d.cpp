@@ -1,0 +1,63 @@
+#include "app/heat2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace discover::app {
+
+Heat2DApp::Heat2DApp(net::Network& network, AppConfig config, int n)
+    : SteerableApp(network, std::move(config)),
+      n_(n),
+      temp_(static_cast<std::size_t>(n * n), 0.0) {}
+
+double Heat2DApp::max_temperature() const {
+  return *std::max_element(temp_.begin(), temp_.end());
+}
+
+double Heat2DApp::avg_temperature() const {
+  return std::accumulate(temp_.begin(), temp_.end(), 0.0) /
+         static_cast<double>(temp_.size());
+}
+
+void Heat2DApp::init_control(ControlNetwork& control) {
+  control.bind_double("alpha", "1", 0.01, 0.24, &alpha_);
+  control.bind_double("source_temp", "C", 0.0, 1000.0, &source_temp_);
+  control.add_sensor("max_temp", "C",
+                     [this] { return proto::ParamValue{max_temperature()}; });
+  control.add_sensor("avg_temp", "C",
+                     [this] { return proto::ParamValue{avg_temperature()}; });
+  control.add_sensor("residual", "C",
+                     [this] { return proto::ParamValue{residual_}; });
+}
+
+void Heat2DApp::compute_step(std::uint64_t /*step*/) {
+  // Clamp the source patch (centre quarter) to the steerable temperature.
+  const int lo = n_ / 2 - n_ / 8;
+  const int hi = n_ / 2 + n_ / 8;
+  for (int j = lo; j < hi; ++j) {
+    for (int i = lo; i < hi; ++i) {
+      temp_[static_cast<std::size_t>(idx(i, j))] = source_temp_;
+    }
+  }
+  std::vector<double> next = temp_;
+  double residual = 0.0;
+  for (int j = 1; j < n_ - 1; ++j) {
+    for (int i = 1; i < n_ - 1; ++i) {
+      const int c = idx(i, j);
+      const double lap = temp_[static_cast<std::size_t>(idx(i - 1, j))] +
+                         temp_[static_cast<std::size_t>(idx(i + 1, j))] +
+                         temp_[static_cast<std::size_t>(idx(i, j - 1))] +
+                         temp_[static_cast<std::size_t>(idx(i, j + 1))] -
+                         4.0 * temp_[static_cast<std::size_t>(c)];
+      const double d = alpha_ * lap;
+      next[static_cast<std::size_t>(c)] += d;
+      residual += std::abs(d);
+    }
+  }
+  temp_ = std::move(next);
+  residual_ = residual / static_cast<double>(n_ * n_);
+  t_ += 1.0;
+}
+
+}  // namespace discover::app

@@ -1,0 +1,38 @@
+// 2-D heat diffusion (FTCS), standing in for the paper's "computational
+// fluid dynamics" workload.  A hot source patch diffuses across a plate;
+// steerables: diffusivity and source temperature.
+#pragma once
+
+#include <vector>
+
+#include "app/steerable_app.h"
+
+namespace discover::app {
+
+class Heat2DApp final : public SteerableApp {
+ public:
+  Heat2DApp(net::Network& network, AppConfig config, int n = 32);
+
+  [[nodiscard]] double max_temperature() const;
+  [[nodiscard]] double avg_temperature() const;
+  [[nodiscard]] double residual() const { return residual_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  [[nodiscard]] double sim_time() const override { return t_; }
+
+ protected:
+  void init_control(ControlNetwork& control) override;
+  void compute_step(std::uint64_t step) override;
+
+ private:
+  [[nodiscard]] int idx(int i, int j) const { return j * n_ + i; }
+
+  int n_;
+  std::vector<double> temp_;
+  double alpha_ = 0.15;        // steerable diffusivity (stability: < 0.25)
+  double source_temp_ = 100.0; // steerable source temperature
+  double residual_ = 0.0;
+  double t_ = 0.0;
+};
+
+}  // namespace discover::app

@@ -1,0 +1,74 @@
+#include "app/inspiral.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace discover::app {
+
+InspiralApp::InspiralApp(net::Network& network, AppConfig config)
+    : SteerableApp(network, std::move(config)) {}
+
+double InspiralApp::orbital_frequency() const {
+  // Kepler in geometric units: omega = r^{-3/2} / M.
+  return 1.0 / (std::pow(separation_, 1.5) * total_mass_);
+}
+
+double InspiralApp::strain() const {
+  // Quadrupole-order amplitude scaling ~ eta * M / r.
+  return eta_ * total_mass_ / std::max(separation_, 1.0);
+}
+
+void InspiralApp::reset() {
+  separation_ = 60.0;
+  phase_ = 0.0;
+}
+
+void InspiralApp::init_control(ControlNetwork& control) {
+  control.add_steerable(
+      "total_mass", "Msun", 2.0, 200.0,
+      [this] { return proto::ParamValue{total_mass_}; },
+      [this](const proto::ParamValue& v) -> util::Status {
+        if (const auto* d = std::get_if<double>(&v)) {
+          total_mass_ = *d;
+          reset();  // a new configuration restarts the inspiral
+          return {};
+        }
+        return {util::Errc::invalid_argument, "expected double"};
+      });
+  control.add_steerable(
+      "eta", "1", 0.01, 0.25,
+      [this] { return proto::ParamValue{eta_}; },
+      [this](const proto::ParamValue& v) -> util::Status {
+        if (const auto* d = std::get_if<double>(&v)) {
+          eta_ = *d;
+          reset();
+          return {};
+        }
+        return {util::Errc::invalid_argument, "expected double"};
+      });
+  control.add_sensor("separation", "M",
+                     [this] { return proto::ParamValue{separation_}; });
+  control.add_sensor("orbital_freq", "1/M", [this] {
+    return proto::ParamValue{orbital_frequency()};
+  });
+  control.add_sensor("strain", "1",
+                     [this] { return proto::ParamValue{strain()}; });
+  control.add_sensor("merged", "bool",
+                     [this] { return proto::ParamValue{merged()}; });
+}
+
+void InspiralApp::compute_step(std::uint64_t /*step*/) {
+  if (merged()) return;  // ringdown: hold state
+  const double dt = 1.0;
+  // RK2 on dr/dt = -(64/5) eta / r^3 (geometric units, leading order).
+  const auto drdt = [this](double r) {
+    return -(64.0 / 5.0) * eta_ / std::max(r * r * r, 1e-9);
+  };
+  const double k1 = drdt(separation_);
+  const double k2 = drdt(separation_ + 0.5 * dt * k1);
+  separation_ = std::max(separation_ + dt * k2, 0.0);
+  phase_ += orbital_frequency() * dt;
+  t_ += dt;
+}
+
+}  // namespace discover::app

@@ -1,0 +1,35 @@
+// Compact-binary inspiral integrator, standing in for the paper's
+// "numerical relativity" workload: a leading-order post-Newtonian orbital
+// decay ODE.  Steerables: total mass and symmetric mass ratio.
+#pragma once
+
+#include "app/steerable_app.h"
+
+namespace discover::app {
+
+class InspiralApp final : public SteerableApp {
+ public:
+  InspiralApp(net::Network& network, AppConfig config);
+
+  [[nodiscard]] double separation() const { return separation_; }
+  [[nodiscard]] double orbital_frequency() const;
+  [[nodiscard]] double strain() const;
+  [[nodiscard]] bool merged() const { return separation_ <= 6.0; }
+
+  [[nodiscard]] double sim_time() const override { return t_; }
+
+ protected:
+  void init_control(ControlNetwork& control) override;
+  void compute_step(std::uint64_t step) override;
+
+ private:
+  void reset();
+
+  double total_mass_ = 20.0;  // solar masses (steerable)
+  double eta_ = 0.25;         // symmetric mass ratio (steerable)
+  double separation_ = 60.0;  // in units of total mass (geometric)
+  double phase_ = 0.0;
+  double t_ = 0.0;
+};
+
+}  // namespace discover::app

@@ -1,0 +1,113 @@
+#include "app/reservoir.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace discover::app {
+
+ReservoirApp::ReservoirApp(net::Network& network, AppConfig config, int nx,
+                           int ny)
+    : SteerableApp(network, std::move(config)),
+      nx_(nx),
+      ny_(ny),
+      pressure_(static_cast<std::size_t>(nx * ny), 3000.0),
+      saturation_(static_cast<std::size_t>(nx * ny), 0.2) {}
+
+double ReservoirApp::average_pressure() const {
+  return std::accumulate(pressure_.begin(), pressure_.end(), 0.0) /
+         static_cast<double>(pressure_.size());
+}
+
+void ReservoirApp::init_control(ControlNetwork& control) {
+  control.bind_double("injection_rate", "bbl/day", 0.0, 5000.0,
+                      &injection_rate_);
+  control.bind_double("producer_bhp", "psi", 100.0, 3000.0, &producer_bhp_);
+  control.add_sensor("avg_pressure", "psi",
+                     [this] { return proto::ParamValue{average_pressure()}; });
+  control.add_sensor("water_cut", "fraction",
+                     [this] { return proto::ParamValue{water_cut_}; });
+  control.add_sensor("oil_rate", "bbl/day",
+                     [this] { return proto::ParamValue{oil_rate_}; });
+  control.add_sensor("days", "day",
+                     [this] { return proto::ParamValue{days_}; });
+}
+
+void ReservoirApp::compute_step(std::uint64_t /*step*/) {
+  const double dt = 0.5;  // days per step
+  const int inj = idx(0, 0);
+  const int prod = idx(nx_ - 1, ny_ - 1);
+
+  // IMPES pressure stage: explicit diffusion with well source/sink terms.
+  std::vector<double> next = pressure_;
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const int c = idx(i, j);
+      double lap = 0.0;
+      int n = 0;
+      const auto acc = [&](int ii, int jj) {
+        if (ii < 0 || jj < 0 || ii >= nx_ || jj >= ny_) return;
+        lap += pressure_[static_cast<std::size_t>(idx(ii, jj))];
+        ++n;
+      };
+      acc(i - 1, j);
+      acc(i + 1, j);
+      acc(i, j - 1);
+      acc(i, j + 1);
+      lap -= n * pressure_[static_cast<std::size_t>(c)];
+      next[static_cast<std::size_t>(c)] += mobility_ * dt * lap;
+    }
+  }
+  // Injector raises pressure proportionally to rate; producer is held near
+  // its bottom-hole pressure.
+  next[static_cast<std::size_t>(inj)] += injection_rate_ * dt * 0.002;
+  next[static_cast<std::size_t>(prod)] +=
+      (producer_bhp_ - next[static_cast<std::size_t>(prod)]) * 0.5;
+  pressure_ = std::move(next);
+
+  // Saturation stage: upwind transport of water along the pressure
+  // gradient, plus injected water at the injector block.
+  std::vector<double> sat = saturation_;
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const int c = idx(i, j);
+      const double pc = pressure_[static_cast<std::size_t>(c)];
+      const auto flux_from = [&](int ii, int jj) {
+        if (ii < 0 || jj < 0 || ii >= nx_ || jj >= ny_) return 0.0;
+        const int u = idx(ii, jj);
+        const double dp = pressure_[static_cast<std::size_t>(u)] - pc;
+        if (dp <= 0) return 0.0;  // only inflow carries upstream water
+        const double sw = saturation_[static_cast<std::size_t>(u)];
+        // Quadratic relative permeability for the water phase; the small
+        // transport coefficient makes breakthrough take hundreds of days
+        // rather than being instantaneous.
+        return mobility_ * dt * dp * sw * sw * 2e-4;
+      };
+      double inflow = flux_from(i - 1, j) + flux_from(i + 1, j) +
+                      flux_from(i, j - 1) + flux_from(i, j + 1);
+      sat[static_cast<std::size_t>(c)] =
+          std::clamp(sat[static_cast<std::size_t>(c)] + inflow, 0.0, 1.0);
+    }
+  }
+  sat[static_cast<std::size_t>(inj)] =
+      std::clamp(sat[static_cast<std::size_t>(inj)] +
+                     injection_rate_ * dt * 1e-5,
+                 0.0, 1.0);
+  saturation_ = std::move(sat);
+
+  // Production diagnostics at the producer block.  Fractional flow uses
+  // quadratic relative permeabilities with residual saturations (connate
+  // water 0.1, residual oil 0.1), so the well never waters out completely.
+  const double sw_prod = std::clamp(
+      saturation_[static_cast<std::size_t>(prod)], 0.1, 0.9);
+  const double sw_e = (sw_prod - 0.1) / 0.8;
+  const double krw = sw_e * sw_e;
+  const double kro = (1 - sw_e) * (1 - sw_e) + 0.02;
+  const double drawdown = std::max(
+      pressure_[static_cast<std::size_t>(prod)] - producer_bhp_, 0.0);
+  const double total_rate = drawdown * mobility_ * 4.0;
+  water_cut_ = krw / (krw + kro);
+  oil_rate_ = total_rate * (1.0 - water_cut_);
+  days_ += dt;
+}
+
+}  // namespace discover::app

@@ -1,0 +1,47 @@
+// Waterflood oil-reservoir simulation (IMPES-flavoured, simplified).
+//
+// Stands in for the "oil reservoir simulations" DISCOVER steered (paper §4,
+// §7): a 2-D five-spot pattern — injector in one corner, producer in the
+// other — pressure diffusion plus Buckley-Leverett-style water-saturation
+// transport.  Steerables: water injection rate and producer bottom-hole
+// pressure; sensors: average pressure, water cut, oil production rate.
+#pragma once
+
+#include <vector>
+
+#include "app/steerable_app.h"
+
+namespace discover::app {
+
+class ReservoirApp final : public SteerableApp {
+ public:
+  ReservoirApp(net::Network& network, AppConfig config, int nx = 24,
+               int ny = 24);
+
+  [[nodiscard]] double average_pressure() const;
+  [[nodiscard]] double water_cut() const { return water_cut_; }
+  [[nodiscard]] double oil_rate() const { return oil_rate_; }
+  [[nodiscard]] double injection_rate() const { return injection_rate_; }
+
+  [[nodiscard]] double sim_time() const override { return days_; }
+
+ protected:
+  void init_control(ControlNetwork& control) override;
+  void compute_step(std::uint64_t step) override;
+
+ private:
+  [[nodiscard]] int idx(int i, int j) const { return j * nx_ + i; }
+
+  int nx_;
+  int ny_;
+  std::vector<double> pressure_;    // psi
+  std::vector<double> saturation_;  // water saturation [0,1]
+  double injection_rate_ = 500.0;   // bbl/day (steerable)
+  double producer_bhp_ = 1000.0;    // psi (steerable)
+  double mobility_ = 0.08;
+  double water_cut_ = 0.0;
+  double oil_rate_ = 0.0;
+  double days_ = 0.0;
+};
+
+}  // namespace discover::app

@@ -1,0 +1,200 @@
+#include "app/steerable_app.h"
+
+#include "util/log.h"
+
+namespace discover::app {
+
+SteerableApp::SteerableApp(net::Network& network, AppConfig config)
+    : network_(network), config_(std::move(config)) {}
+
+void SteerableApp::attach(net::NodeId self) {
+  self_ = self;
+  attached_ = true;
+}
+
+void SteerableApp::connect(net::NodeId server) {
+  server_ = server;
+  if (!control_initialized_) {
+    init_control(control_);
+    control_initialized_ = true;
+  }
+  proto::AppRegister reg;
+  reg.app_name = config_.name;
+  reg.description = config_.description;
+  reg.auth_key = config_.auth_key;
+  reg.params = control_.param_specs();
+  reg.acl = config_.acl;
+  reg.update_period = config_.step_time *
+                      static_cast<util::Duration>(config_.update_every);
+  send_main(reg);
+}
+
+void SteerableApp::send_main(const proto::FramedMessage& msg) {
+  network_.send(self_, server_, net::Channel::main_channel,
+                proto::encode_framed(msg));
+}
+
+void SteerableApp::on_message(const net::Message& msg) {
+  auto decoded = proto::decode_framed(msg.payload);
+  if (!decoded.ok()) {
+    DISCOVER_LOG(warn, "app") << config_.name << ": bad frame: "
+                              << decoded.error();
+    return;
+  }
+  const proto::FramedMessage& frame = decoded.value();
+  if (const auto* ack = std::get_if<proto::AppRegisterAck>(&frame)) {
+    if (!ack->accepted) {
+      DISCOVER_LOG(warn, "app")
+          << config_.name << ": registration rejected: " << ack->message;
+      finished_ = true;
+      return;
+    }
+    app_id_ = ack->app_id;
+    registered_ = true;
+    schedule_tick(config_.step_time);
+    return;
+  }
+  if (const auto* cmd = std::get_if<proto::AppCommand>(&frame)) {
+    handle_command(*cmd);
+    return;
+  }
+}
+
+void SteerableApp::schedule_tick(util::Duration delay) {
+  network_.schedule(self_, delay, [this] { tick(); });
+}
+
+void SteerableApp::tick() {
+  if (finished_ || paused_ || phase_ == proto::AppPhase::interacting) return;
+  compute_step(step_);
+  ++step_;
+  if (config_.update_every != 0 && step_ % config_.update_every == 0) {
+    send_update();
+  }
+  if (config_.max_steps != 0 && step_ >= config_.max_steps) {
+    finish("completed " + std::to_string(step_) + " steps");
+    return;
+  }
+  if (config_.interact_every != 0 && step_ % config_.interact_every == 0) {
+    enter_interaction();
+    return;
+  }
+  schedule_tick(config_.step_time);
+}
+
+void SteerableApp::enter_interaction() {
+  phase_ = proto::AppPhase::interacting;
+  send_phase(phase_);
+  network_.schedule(self_, config_.interaction_window,
+                    [this] { resume_compute(); });
+}
+
+void SteerableApp::resume_compute() {
+  if (finished_) return;
+  // A paused application parks in the interaction phase: it is not
+  // computing, so the server may keep forwarding commands (notably the
+  // eventual `resume`).  Leaving the phase as `computing` here would make
+  // the daemon servlet buffer the resume command forever.
+  if (paused_) return;
+  phase_ = proto::AppPhase::computing;
+  send_phase(phase_);
+  schedule_tick(config_.step_time);
+}
+
+void SteerableApp::abort(const std::string& reason) { finish(reason); }
+
+void SteerableApp::finish(const std::string& reason) {
+  if (finished_) return;
+  finished_ = true;
+  phase_ = proto::AppPhase::finished;
+  proto::AppDeregister msg;
+  msg.app_id = app_id_;
+  msg.reason = reason;
+  send_main(msg);
+}
+
+void SteerableApp::send_update() {
+  proto::AppUpdate update;
+  update.app_id = app_id_;
+  update.iteration = step_;
+  update.sim_time = sim_time();
+  update.phase = phase_;
+  update.metrics = control_.metrics();
+  send_main(update);
+  ++updates_sent_;
+}
+
+void SteerableApp::send_keepalive() {
+  if (!paused_ || finished_) return;
+  send_phase(phase_);
+  // Keep-alives arrive at the cadence the registration advertised, so the
+  // server's liveness budget (a multiple of that period) is always met.
+  const util::Duration period = std::max<util::Duration>(
+      config_.step_time * static_cast<util::Duration>(
+                              std::max<std::uint32_t>(config_.update_every, 1)),
+      util::kMillisecond);
+  network_.schedule(self_, period, [this] { send_keepalive(); });
+}
+
+void SteerableApp::send_phase(proto::AppPhase phase) {
+  proto::AppPhaseNotice notice;
+  notice.app_id = app_id_;
+  notice.phase = phase;
+  send_main(notice);
+}
+
+void SteerableApp::handle_command(const proto::AppCommand& cmd) {
+  ++commands_executed_;
+  proto::AppResponse resp;
+  resp.app_id = app_id_;
+  resp.request_id = cmd.request_id;
+
+  switch (cmd.kind) {
+    case proto::CommandKind::pause_app:
+      if (!paused_) {
+        paused_ = true;
+        // Park in the interaction phase so buffered/new commands (and in
+        // particular the future `resume`) keep flowing from the server.
+        if (phase_ == proto::AppPhase::computing) {
+          phase_ = proto::AppPhase::interacting;
+          send_phase(phase_);
+        }
+        // A paused app emits no updates, so keep-alives carry its liveness
+        // (the server deregisters silent applications).
+        send_keepalive();
+      }
+      resp.ok = true;
+      resp.message = "paused";
+      break;
+    case proto::CommandKind::resume_app:
+      if (paused_) {
+        paused_ = false;
+        phase_ = proto::AppPhase::computing;
+        send_phase(phase_);
+        schedule_tick(config_.step_time);
+      }
+      resp.ok = true;
+      resp.message = "running";
+      break;
+    case proto::CommandKind::stop_app:
+      resp.ok = true;
+      resp.message = "stopping";
+      network_.send(self_, server_, net::Channel::response,
+                    proto::encode_framed(resp));
+      finish("stopped by " + cmd.user);
+      return;
+    case proto::CommandKind::checkpoint:
+      ++checkpoints_;
+      resp.ok = true;
+      resp.message = "checkpoint " + std::to_string(checkpoints_) +
+                     " at step " + std::to_string(step_);
+      break;
+    default:
+      resp = control_.execute(cmd);
+      break;
+  }
+  network_.send(self_, server_, net::Channel::response,
+                proto::encode_framed(resp));
+}
+
+}  // namespace discover::app

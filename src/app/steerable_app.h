@@ -1,0 +1,133 @@
+// Base class for interactive applications connected to a DISCOVER server.
+//
+// Reproduces the back-end behaviour the middleware depends on (paper §4):
+// the application alternates compute and interaction phases, emits periodic
+// state updates on the MainChannel, receives commands on the CommandChannel
+// only while interacting (the server buffers them otherwise), and answers
+// on the ResponseChannel.  Subclasses provide the numerics and register
+// their parameters with the control network.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/control_network.h"
+#include "net/network.h"
+#include "proto/messages.h"
+
+namespace discover::app {
+
+struct AppConfig {
+  std::string name = "app";
+  std::string description;
+  /// Pre-assigned identifier used to authenticate the application with the
+  /// server (paper §4.1).  The server must know the same key.
+  std::uint64_t auth_key = 0;
+  /// User ACL shipped to the server at registration (paper §5.2.2).
+  std::vector<security::AclEntry> acl;
+
+  /// Virtual/real time one compute step takes.
+  util::Duration step_time = util::milliseconds(1);
+  /// Send an AppUpdate every N steps.
+  std::uint32_t update_every = 5;
+  /// Enter the interaction phase every N steps...
+  std::uint32_t interact_every = 20;
+  /// ...and stay in it this long before resuming computation.
+  util::Duration interaction_window = util::milliseconds(2);
+  /// Stop after this many steps (0 = run until stopped).
+  std::uint64_t max_steps = 0;
+};
+
+class SteerableApp : public net::MessageHandler {
+ public:
+  SteerableApp(net::Network& network, AppConfig config);
+  ~SteerableApp() override = default;
+
+  /// Must be called with the NodeId returned by Network::add_node(this).
+  void attach(net::NodeId self);
+  /// Starts the registration handshake with `server`; the compute loop
+  /// begins when the AppRegisterAck arrives.
+  void connect(net::NodeId server);
+
+  /// Terminates the run from outside the steering path (e.g. a grid
+  /// resource manager cancelling the job).  Must be invoked in this app's
+  /// execution context (Network::post to node()).
+  void abort(const std::string& reason);
+
+  void on_message(const net::Message& msg) override;
+
+  // State accessors are safe to poll from outside the app's execution
+  // context (benchmark/test observers on other threads); hence atomics.
+  [[nodiscard]] net::NodeId node() const { return self_; }
+  [[nodiscard]] bool registered() const {
+    return registered_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool finished() const {
+    return finished_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool paused() const {
+    return paused_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] proto::AppId app_id() const { return app_id_; }
+  [[nodiscard]] std::uint64_t steps() const {
+    return step_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] proto::AppPhase phase() const { return phase_; }
+  [[nodiscard]] std::uint64_t commands_executed() const {
+    return commands_executed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t updates_sent() const {
+    return updates_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const ControlNetwork& control() const { return control_; }
+  [[nodiscard]] const AppConfig& config() const { return config_; }
+  /// Application-defined simulated time for updates.
+  [[nodiscard]] virtual double sim_time() const {
+    return static_cast<double>(step_);
+  }
+
+ protected:
+  /// Register sensors/steerables; called once before registration.
+  virtual void init_control(ControlNetwork& control) = 0;
+  /// One iteration of the numerics.
+  virtual void compute_step(std::uint64_t step) = 0;
+
+  ControlNetwork control_;
+
+ private:
+  void tick();
+  void schedule_tick(util::Duration delay);
+  void enter_interaction();
+  void resume_compute();
+  void finish(const std::string& reason);
+  void handle_command(const proto::AppCommand& cmd);
+  void send_main(const proto::FramedMessage& msg);
+  void send_update();
+  void send_phase(proto::AppPhase phase);
+  /// While paused: periodic phase re-announcements that keep the server's
+  /// liveness clock for this application fresh.
+  void send_keepalive();
+
+  net::Network& network_;
+  AppConfig config_;
+  net::NodeId self_{0};
+  net::NodeId server_{0};
+  proto::AppId app_id_;
+  proto::AppPhase phase_ = proto::AppPhase::computing;
+  bool attached_ = false;
+  std::atomic<bool> registered_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> finished_{false};
+  bool control_initialized_ = false;
+  std::atomic<std::uint64_t> step_{0};
+  std::atomic<std::uint64_t> commands_executed_{0};
+  std::atomic<std::uint64_t> updates_sent_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+};
+
+}  // namespace discover::app

@@ -1,0 +1,35 @@
+#include "app/synthetic.h"
+
+#include <cmath>
+
+namespace discover::app {
+
+SyntheticApp::SyntheticApp(net::Network& network, AppConfig config,
+                           SyntheticSpec spec)
+    : SteerableApp(network, std::move(config)),
+      spec_(spec),
+      params_(static_cast<std::size_t>(spec.param_count), 1.0) {}
+
+void SyntheticApp::init_control(ControlNetwork& control) {
+  for (int i = 0; i < spec_.param_count; ++i) {
+    control.bind_double("param_" + std::to_string(i), "1", -1e9, 1e9,
+                        &params_[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < spec_.metric_count; ++i) {
+    control.add_sensor("metric_" + std::to_string(i), "1", [this, i] {
+      return proto::ParamValue{accumulator_ + static_cast<double>(i)};
+    });
+  }
+}
+
+void SyntheticApp::compute_step(std::uint64_t step) {
+  // A small, optimizer-resistant floating-point loop.
+  double acc = accumulator_ + static_cast<double>(step % 7);
+  for (int i = 0; i < spec_.cpu_burn_iters; ++i) {
+    acc = acc * 1.000000119 + 1e-9;
+    if (acc > 1e12) acc = 1.0;
+  }
+  accumulator_ = acc;
+}
+
+}  // namespace discover::app

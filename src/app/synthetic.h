@@ -1,0 +1,35 @@
+// Configurable synthetic application for load experiments: N parameters,
+// tunable per-step CPU burn, no real numerics.  Used by the scalability
+// benches (E1/E3) where the workload's *shape* (update rate, payload size)
+// matters and its physics does not.
+#pragma once
+
+#include <vector>
+
+#include "app/steerable_app.h"
+
+namespace discover::app {
+
+struct SyntheticSpec {
+  int param_count = 4;       // steerable parameters exposed
+  int metric_count = 8;      // extra sensors in every update
+  int cpu_burn_iters = 100;  // floating-point ops per step (approximate)
+};
+
+class SyntheticApp final : public SteerableApp {
+ public:
+  SyntheticApp(net::Network& network, AppConfig config, SyntheticSpec spec);
+
+  [[nodiscard]] double accumulator() const { return accumulator_; }
+
+ protected:
+  void init_control(ControlNetwork& control) override;
+  void compute_step(std::uint64_t step) override;
+
+ private:
+  SyntheticSpec spec_;
+  std::vector<double> params_;
+  double accumulator_ = 1.0;
+};
+
+}  // namespace discover::app

@@ -1,0 +1,56 @@
+#include "app/wave1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace discover::app {
+
+Wave1DApp::Wave1DApp(net::Network& network, AppConfig config, int n)
+    : SteerableApp(network, std::move(config)),
+      n_(n),
+      u_prev_(static_cast<std::size_t>(n), 0.0),
+      u_(static_cast<std::size_t>(n), 0.0) {}
+
+double Wave1DApp::energy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < u_.size(); ++i) {
+    const double v = u_[i] - u_prev_[i];
+    e += v * v + u_[i] * u_[i];
+  }
+  return e;
+}
+
+double Wave1DApp::peak_amplitude() const {
+  double peak = 0.0;
+  for (const double v : u_) peak = std::max(peak, std::abs(v));
+  return peak;
+}
+
+void Wave1DApp::init_control(ControlNetwork& control) {
+  control.bind_double("source_freq", "Hz", 0.5, 50.0, &source_freq_);
+  control.bind_double("velocity", "1", 0.05, 0.95, &velocity_);
+  control.add_sensor("energy", "1",
+                     [this] { return proto::ParamValue{energy()}; });
+  control.add_sensor("peak_amplitude", "1",
+                     [this] { return proto::ParamValue{peak_amplitude()}; });
+}
+
+void Wave1DApp::compute_step(std::uint64_t step) {
+  const double dt = 0.01;
+  const double c2 = velocity_ * velocity_;
+  std::vector<double> next(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 1; i < n_ - 1; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    next[s] = 2.0 * u_[s] - u_prev_[s] +
+              c2 * (u_[s - 1] - 2.0 * u_[s] + u_[s + 1]);
+  }
+  // Ricker wavelet source near the left boundary, re-firing continuously.
+  const double tau = std::fmod(static_cast<double>(step) * dt, 2.0) - 0.5;
+  const double arg = M_PI * source_freq_ * tau;
+  next[2] += (1.0 - 2.0 * arg * arg) * std::exp(-arg * arg);
+  u_prev_ = std::move(u_);
+  u_ = std::move(next);
+  t_ += dt;
+}
+
+}  // namespace discover::app

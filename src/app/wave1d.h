@@ -1,0 +1,34 @@
+// 1-D acoustic wave propagation (leapfrog), standing in for the paper's
+// "seismic modeling" workload.  A Ricker-style source injects energy at one
+// end; steerables: source frequency and medium velocity.
+#pragma once
+
+#include <vector>
+
+#include "app/steerable_app.h"
+
+namespace discover::app {
+
+class Wave1DApp final : public SteerableApp {
+ public:
+  Wave1DApp(net::Network& network, AppConfig config, int n = 256);
+
+  [[nodiscard]] double energy() const;
+  [[nodiscard]] double peak_amplitude() const;
+
+  [[nodiscard]] double sim_time() const override { return t_; }
+
+ protected:
+  void init_control(ControlNetwork& control) override;
+  void compute_step(std::uint64_t step) override;
+
+ private:
+  int n_;
+  std::vector<double> u_prev_;
+  std::vector<double> u_;
+  double source_freq_ = 5.0;  // Hz (steerable)
+  double velocity_ = 0.4;     // grid Courant number (steerable, < 1)
+  double t_ = 0.0;
+};
+
+}  // namespace discover::app

@@ -1,0 +1,267 @@
+#include "core/client.h"
+
+#include "core/server.h"  // servlet path constants
+
+namespace discover::core {
+
+namespace {
+
+/// Maps an HTTP-level failure or non-200 status to an Error; otherwise
+/// yields the body for decoding.
+util::Result<util::Bytes> body_of(util::Result<http::HttpResponse> r) {
+  if (!r.ok()) return r.error();
+  http::HttpResponse& resp = r.value();
+  if (resp.status != 200 && resp.status != 401 && resp.status != 403 &&
+      resp.status != 404 && resp.status != 400 && resp.status != 503) {
+    return util::Error{util::Errc::internal,
+                       "http status " + std::to_string(resp.status)};
+  }
+  // Application-level failures still carry a decodable body; let the typed
+  // decoder surface the ok/message fields.
+  return std::move(resp.body);
+}
+
+template <typename Reply, typename DecodeFn>
+auto wrap(DecodeFn decode, std::function<void(util::Result<Reply>)> cb) {
+  return [decode, cb = std::move(cb)](util::Result<http::HttpResponse> r) {
+    auto body = body_of(std::move(r));
+    if (!body.ok()) {
+      cb(body.error());
+      return;
+    }
+    try {
+      cb(decode(body.value()));
+    } catch (const wire::DecodeError& err) {
+      cb(util::Error{util::Errc::protocol_error, err.what()});
+    }
+  };
+}
+
+}  // namespace
+
+DiscoverClient::DiscoverClient(net::Network& network, ClientConfig config)
+    : network_(network),
+      config_(std::move(config)),
+      http_(network, net::NodeId{0}) {}
+
+void DiscoverClient::attach(net::NodeId self) {
+  self_ = self;
+  http_.set_self(self);
+}
+
+void DiscoverClient::set_server(net::NodeId server) { server_ = server; }
+
+void DiscoverClient::on_message(const net::Message& msg) {
+  if (msg.channel != net::Channel::http) return;
+  // Server-push extension: unsolicited responses flagged X-Push carry
+  // events directly; everything else is a reply the HttpClient correlates.
+  auto parsed = http::parse_response(msg.payload);
+  if (parsed.ok() && parsed.value().headers.get("X-Push")) {
+    try {
+      const proto::PollReply reply =
+          proto::decode_poll_reply(parsed.value().body);
+      for (const auto& ev : reply.events) {
+        received_.push_back(ev);
+        pushed_events_++;
+        if (event_handler_) event_handler_(ev);
+      }
+    } catch (const wire::DecodeError&) {
+      // Malformed push payloads are dropped.
+    }
+    return;
+  }
+  http_.handle(msg);
+}
+
+void DiscoverClient::post(
+    const std::string& path, util::Bytes body,
+    std::function<void(util::Result<http::HttpResponse>)> cb) {
+  http::HttpRequest req;
+  req.method = http::Method::post;
+  req.path = path;
+  req.headers.set("Content-Type", "application/x-discover");
+  req.body = std::move(body);
+  http_.request(server_, std::move(req), std::move(cb),
+                config_.request_timeout);
+}
+
+void DiscoverClient::login(
+    std::function<void(util::Result<proto::LoginReply>)> cb) {
+  proto::LoginRequest req;
+  req.user = config_.user;
+  req.password_digest = config_.password.empty()
+                            ? 0
+                            : security::digest64(config_.password);
+  post(kPathLogin, proto::encode_body(req),
+       wrap<proto::LoginReply>(
+           [](const util::Bytes& b) { return proto::decode_login_reply(b); },
+           [this, cb = std::move(cb)](util::Result<proto::LoginReply> r) {
+             if (r.ok() && r.value().ok) {
+               logged_in_ = true;
+               token_ = r.value().token;
+               known_apps_ = r.value().applications;
+             }
+             cb(std::move(r));
+           }));
+}
+
+void DiscoverClient::select_app(
+    const proto::AppId& app,
+    std::function<void(util::Result<proto::SelectAppReply>)> cb) {
+  proto::SelectAppRequest req;
+  req.token = token_;
+  req.app_id = app;
+  post(kPathSelect, proto::encode_body(req),
+       wrap<proto::SelectAppReply>([](const util::Bytes& b) {
+         return proto::decode_select_app_reply(b);
+       }, std::move(cb)));
+}
+
+void DiscoverClient::send_command(
+    const proto::AppId& app, proto::CommandKind kind, const std::string& param,
+    const proto::ParamValue& value,
+    std::function<void(util::Result<proto::CommandAck>)> cb) {
+  proto::CommandRequest req;
+  req.token = token_;
+  req.app_id = app;
+  req.request_id = next_rid_++;
+  req.kind = kind;
+  req.param = param;
+  req.value = value;
+  post(kPathCommand, proto::encode_body(req),
+       wrap<proto::CommandAck>([](const util::Bytes& b) {
+         return proto::decode_command_ack(b);
+       }, std::move(cb)));
+}
+
+void DiscoverClient::poll(
+    const proto::AppId& app,
+    std::function<void(util::Result<proto::PollReply>)> cb) {
+  proto::PollRequest req;
+  req.token = token_;
+  req.app_id = app;
+  req.max_events = config_.poll_max_events;
+  post(kPathPoll, proto::encode_body(req),
+       wrap<proto::PollReply>(
+           [](const util::Bytes& b) { return proto::decode_poll_reply(b); },
+           [this, cb = std::move(cb)](util::Result<proto::PollReply> r) {
+             if (r.ok() && r.value().ok) {
+               max_backlog_ = std::max(max_backlog_, r.value().backlog);
+               for (const auto& ev : r.value().events) {
+                 received_.push_back(ev);
+                 if (event_handler_) event_handler_(ev);
+               }
+             }
+             cb(std::move(r));
+           }));
+}
+
+void DiscoverClient::post_collab(
+    const proto::AppId& app, proto::EventKind kind, const std::string& text,
+    std::function<void(util::Result<proto::CollabAck>)> cb) {
+  proto::CollabPost req;
+  req.token = token_;
+  req.app_id = app;
+  req.kind = kind;
+  req.text = text;
+  post(kPathCollabPost, proto::encode_body(req),
+       wrap<proto::CollabAck>([](const util::Bytes& b) {
+         return proto::decode_collab_ack(b);
+       }, std::move(cb)));
+}
+
+void DiscoverClient::group_op(
+    const proto::AppId& app, proto::GroupOp op, const std::string& subgroup,
+    std::function<void(util::Result<proto::CollabAck>)> cb) {
+  proto::GroupRequest req;
+  req.token = token_;
+  req.app_id = app;
+  req.op = op;
+  req.subgroup = subgroup;
+  post(kPathGroup, proto::encode_body(req),
+       wrap<proto::CollabAck>([](const util::Bytes& b) {
+         return proto::decode_collab_ack(b);
+       }, std::move(cb)));
+}
+
+void DiscoverClient::fetch_history(
+    const proto::AppId& app, std::uint64_t from_seq, std::uint32_t max,
+    std::function<void(util::Result<proto::HistoryReply>)> cb) {
+  proto::HistoryRequest req;
+  req.token = token_;
+  req.app_id = app;
+  req.from_seq = from_seq;
+  req.max_events = max;
+  post(kPathArchive, proto::encode_body(req),
+       wrap<proto::HistoryReply>([](const util::Bytes& b) {
+         return proto::decode_history_reply(b);
+       }, std::move(cb)));
+}
+
+void DiscoverClient::logout(
+    std::function<void(util::Result<proto::CollabAck>)> cb) {
+  proto::LogoutRequest req;
+  req.token = token_;
+  post(kPathLogout, proto::encode_body(req),
+       wrap<proto::CollabAck>(
+           [](const util::Bytes& b) { return proto::decode_collab_ack(b); },
+           [this, cb = std::move(cb)](util::Result<proto::CollabAck> r) {
+             if (r.ok() && r.value().ok) logged_in_ = false;
+             cb(std::move(r));
+           }));
+}
+
+void DiscoverClient::resolve_home(
+    const proto::AppId& app,
+    std::function<void(util::Result<net::NodeId>)> cb) {
+  proto::SelectAppRequest req;
+  req.token = token_;
+  req.app_id = app;
+  post(kPathRedirect, proto::encode_body(req),
+       [cb = std::move(cb)](util::Result<http::HttpResponse> r) {
+         if (!r.ok()) {
+           cb(r.error());
+           return;
+         }
+         const http::HttpResponse& resp = r.value();
+         const auto host = resp.headers.get(kHostHeader);
+         if ((resp.status != 200 && resp.status != 307) || !host) {
+           cb(util::Error{util::Errc::unavailable,
+                          "redirect failed: status " +
+                              std::to_string(resp.status)});
+           return;
+         }
+         cb(net::NodeId{static_cast<std::uint32_t>(
+             std::strtoul(host->c_str(), nullptr, 10))});
+       });
+}
+
+void DiscoverClient::start_polling(const proto::AppId& app) {
+  if (polling_.count(app) != 0) return;
+  polling_.insert(app);
+  poll_once(app);
+}
+
+void DiscoverClient::stop_polling(const proto::AppId& app) {
+  polling_.erase(app);
+}
+
+void DiscoverClient::poll_once(const proto::AppId& app) {
+  if (polling_.count(app) == 0) return;
+  poll(app, [this, app](util::Result<proto::PollReply>) {
+    // Next poll one period after the previous reply, so a slow server is
+    // never hit by overlapping polls from the same client.
+    network_.schedule(self_, config_.poll_period,
+                      [this, app] { poll_once(app); });
+  });
+}
+
+std::uint64_t DiscoverClient::events_of_kind(proto::EventKind k) const {
+  std::uint64_t n = 0;
+  for (const auto& ev : received_) {
+    if (ev.kind == k) ++n;
+  }
+  return n;
+}
+
+}  // namespace discover::core

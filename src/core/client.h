@@ -1,0 +1,143 @@
+// DiscoverClient: the thin web-portal client (paper §4, front end).
+//
+// Speaks plain HTTP GET/POST to its local server, keeps the session token,
+// and implements the poll-and-pull loop (paper §6.2) that fetches queued
+// events from its server-side FIFO.  Fully asynchronous: every operation
+// takes a completion callback that fires in the client node's context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "http/http_client.h"
+#include "net/network.h"
+#include "proto/messages.h"
+#include "security/token.h"
+
+namespace discover::core {
+
+struct ClientConfig {
+  std::string user = "guest";
+  std::string password;
+  util::Duration poll_period = util::milliseconds(100);
+  std::uint32_t poll_max_events = 64;
+  util::Duration request_timeout = util::seconds(10);
+};
+
+class DiscoverClient final : public net::MessageHandler {
+ public:
+  using EventHandler = std::function<void(const proto::ClientEvent&)>;
+
+  DiscoverClient(net::Network& network, ClientConfig config);
+
+  /// Must be called with the NodeId returned by Network::add_node(this).
+  void attach(net::NodeId self);
+  /// The portal talks to its "closest" server; all remote access is the
+  /// middleware's job (paper §4.2).
+  void set_server(net::NodeId server);
+
+  void on_message(const net::Message& msg) override;
+
+  // -- portal operations ------------------------------------------------------
+  void login(std::function<void(util::Result<proto::LoginReply>)> cb);
+  void select_app(const proto::AppId& app,
+                  std::function<void(util::Result<proto::SelectAppReply>)> cb);
+  void send_command(const proto::AppId& app, proto::CommandKind kind,
+                    const std::string& param, const proto::ParamValue& value,
+                    std::function<void(util::Result<proto::CommandAck>)> cb);
+  void poll(const proto::AppId& app,
+            std::function<void(util::Result<proto::PollReply>)> cb);
+  void post_collab(const proto::AppId& app, proto::EventKind kind,
+                   const std::string& text,
+                   std::function<void(util::Result<proto::CollabAck>)> cb);
+  void group_op(const proto::AppId& app, proto::GroupOp op,
+                const std::string& subgroup,
+                std::function<void(util::Result<proto::CollabAck>)> cb);
+  void fetch_history(
+      const proto::AppId& app, std::uint64_t from_seq, std::uint32_t max,
+      std::function<void(util::Result<proto::HistoryReply>)> cb);
+  void logout(std::function<void(util::Result<proto::CollabAck>)> cb);
+  /// Asks the current server which node hosts `app` (the request-redirection
+  /// auxiliary service).  The portal can then set_server() to the host and
+  /// log in there for direct access.
+  void resolve_home(const proto::AppId& app,
+                    std::function<void(util::Result<net::NodeId>)> cb);
+
+  // Convenience verbs.
+  void set_param(const proto::AppId& app, const std::string& param,
+                 double value,
+                 std::function<void(util::Result<proto::CommandAck>)> cb) {
+    send_command(app, proto::CommandKind::set_param, param,
+                 proto::ParamValue{value}, std::move(cb));
+  }
+  void acquire_lock(const proto::AppId& app,
+                    std::function<void(util::Result<proto::CommandAck>)> cb) {
+    send_command(app, proto::CommandKind::acquire_lock, "", {},
+                 std::move(cb));
+  }
+  void release_lock(const proto::AppId& app,
+                    std::function<void(util::Result<proto::CommandAck>)> cb) {
+    send_command(app, proto::CommandKind::release_lock, "", {},
+                 std::move(cb));
+  }
+
+  /// Starts the periodic poll-and-pull loop for one application; received
+  /// events go to the event handler and the in-memory record.
+  void start_polling(const proto::AppId& app);
+  void stop_polling(const proto::AppId& app);
+
+  void set_event_handler(EventHandler handler) {
+    event_handler_ = std::move(handler);
+  }
+
+  // -- state ------------------------------------------------------------------
+  [[nodiscard]] bool logged_in() const { return logged_in_; }
+  [[nodiscard]] const security::SessionToken& token() const { return token_; }
+  [[nodiscard]] const std::vector<proto::AppInfo>& known_apps() const {
+    return known_apps_;
+  }
+  [[nodiscard]] const std::vector<proto::ClientEvent>& received_events()
+      const {
+    return received_;
+  }
+  [[nodiscard]] std::uint64_t events_received() const {
+    return received_.size();
+  }
+  [[nodiscard]] std::uint64_t events_of_kind(proto::EventKind k) const;
+  [[nodiscard]] const http::HttpClient& http() const { return http_; }
+  [[nodiscard]] const std::string& user() const { return config_.user; }
+  [[nodiscard]] net::NodeId node() const { return self_; }
+  [[nodiscard]] std::uint64_t next_request_id() { return next_rid_++; }
+  /// Highest backlog the server reported in any poll reply (A2 metric).
+  [[nodiscard]] std::uint32_t max_backlog_seen() const {
+    return max_backlog_;
+  }
+  /// Events received via the server-push extension (A2 metric).
+  [[nodiscard]] std::uint64_t pushed_events() const { return pushed_events_; }
+
+ private:
+  void post(const std::string& path, util::Bytes body,
+            std::function<void(util::Result<http::HttpResponse>)> cb);
+  void poll_once(const proto::AppId& app);
+
+  net::Network& network_;
+  ClientConfig config_;
+  net::NodeId self_{0};
+  net::NodeId server_{0};
+  http::HttpClient http_;
+  security::SessionToken token_;
+  bool logged_in_ = false;
+  std::vector<proto::AppInfo> known_apps_;
+  std::vector<proto::ClientEvent> received_;
+  std::set<proto::AppId> polling_;
+  EventHandler event_handler_;
+  std::uint64_t next_rid_ = 1;
+  std::uint32_t max_backlog_ = 0;
+  std::uint64_t pushed_events_ = 0;
+};
+
+}  // namespace discover::core

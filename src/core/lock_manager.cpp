@@ -1,0 +1,94 @@
+#include "core/lock_manager.h"
+
+#include <algorithm>
+
+namespace discover::core {
+
+bool LockManager::request(const proto::AppId& app, const LockIdentity& who,
+                          GrantCallback on_grant) {
+  LockState& state = locks_[app];
+  if (!state.holder) {
+    state.holder = who;
+    ++state.generation;
+    ++grants_;
+    on_grant(true);
+    return true;
+  }
+  if (*state.holder == who) {
+    // Idempotent re-acquire by the current holder.
+    on_grant(true);
+    return true;
+  }
+  state.queue.push_back(Waiter{who, std::move(on_grant)});
+  return false;
+}
+
+util::Status LockManager::release(const proto::AppId& app,
+                                  const LockIdentity& who) {
+  const auto it = locks_.find(app);
+  if (it == locks_.end() || !it->second.holder) {
+    return {util::Errc::failed_precondition, "lock not held"};
+  }
+  if (!(*it->second.holder == who)) {
+    return {util::Errc::permission_denied,
+            who.user + " does not hold the lock"};
+  }
+  it->second.holder.reset();
+  ++releases_;
+  grant_next(it->second);
+  return {};
+}
+
+void LockManager::grant_next(LockState& state) {
+  if (state.holder || state.queue.empty()) return;
+  Waiter next = std::move(state.queue.front());
+  state.queue.pop_front();
+  state.holder = next.who;
+  ++state.generation;
+  ++grants_;
+  next.on_grant(true);
+}
+
+void LockManager::forget(const proto::AppId& app, const LockIdentity& who) {
+  const auto it = locks_.find(app);
+  if (it == locks_.end()) return;
+  LockState& state = it->second;
+  for (auto w = state.queue.begin(); w != state.queue.end();) {
+    if (w->who == who) {
+      w->on_grant(false);
+      w = state.queue.erase(w);
+    } else {
+      ++w;
+    }
+  }
+  if (state.holder && *state.holder == who) {
+    state.holder.reset();
+    ++releases_;
+    grant_next(state);
+  }
+}
+
+void LockManager::drop_app(const proto::AppId& app) {
+  const auto it = locks_.find(app);
+  if (it == locks_.end()) return;
+  for (Waiter& w : it->second.queue) w.on_grant(false);
+  locks_.erase(it);
+}
+
+std::optional<LockIdentity> LockManager::holder(
+    const proto::AppId& app) const {
+  const auto it = locks_.find(app);
+  return it != locks_.end() ? it->second.holder : std::nullopt;
+}
+
+std::size_t LockManager::queue_length(const proto::AppId& app) const {
+  const auto it = locks_.find(app);
+  return it != locks_.end() ? it->second.queue.size() : 0;
+}
+
+std::uint64_t LockManager::generation(const proto::AppId& app) const {
+  const auto it = locks_.find(app);
+  return it != locks_.end() ? it->second.generation : 0;
+}
+
+}  // namespace discover::core

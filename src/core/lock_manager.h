@@ -1,0 +1,87 @@
+// Steering-lock management (paper §5.2.4).
+//
+// "A simple locking mechanism is used to ensure that the application remains
+// in a consistent state during collaborative interactions ... only one
+// client `drives' the application at any time.  In a distributed server
+// framework, locking information is only maintained at the application's
+// host server; servers providing remote access only relay lock requests."
+//
+// This class is that host-side authority.  Identity of a lock owner is
+// (user, origin server) so the same user portal at two different servers is
+// two distinct requesters.  Grants are FIFO; the grant callback fires
+// exactly once — immediately for an uncontended lock, later when a release
+// promotes the head waiter (for remote requesters the callback completes a
+// deferred ORB reply, which is exactly the "relay" the paper describes).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "proto/types.h"
+#include "util/result.h"
+
+namespace discover::core {
+
+struct LockIdentity {
+  std::string user;
+  std::uint32_t server = 0;  // origin server NodeId value
+
+  friend bool operator==(const LockIdentity&, const LockIdentity&) = default;
+};
+
+class LockManager {
+ public:
+  using GrantCallback = std::function<void(bool granted)>;
+
+  /// Requests the steering lock for `app`.  Returns true if granted
+  /// immediately (callback already invoked), false if queued.
+  /// Re-acquisition by the current holder is granted immediately.
+  bool request(const proto::AppId& app, const LockIdentity& who,
+               GrantCallback on_grant);
+
+  /// Releases the lock if `who` holds it, then grants the next waiter.
+  /// Fails with failed_precondition otherwise.
+  util::Status release(const proto::AppId& app, const LockIdentity& who);
+
+  /// Removes `who` from the wait queue (client disconnect); their callback
+  /// fires with granted=false.  If `who` holds the lock, releases it.
+  void forget(const proto::AppId& app, const LockIdentity& who);
+
+  /// Drops all lock state for an application that went away; every waiter's
+  /// callback fires with granted=false.
+  void drop_app(const proto::AppId& app);
+
+  [[nodiscard]] std::optional<LockIdentity> holder(
+      const proto::AppId& app) const;
+  [[nodiscard]] std::size_t queue_length(const proto::AppId& app) const;
+  /// Monotone per-app counter bumped on every grant; lets lease timers
+  /// detect "same holder, same grant" without storing the identity.
+  [[nodiscard]] std::uint64_t generation(const proto::AppId& app) const;
+
+  [[nodiscard]] std::uint64_t grants() const { return grants_; }
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+
+ private:
+  struct Waiter {
+    LockIdentity who;
+    GrantCallback on_grant;
+  };
+
+  struct LockState {
+    std::optional<LockIdentity> holder;
+    std::deque<Waiter> queue;
+    std::uint64_t generation = 0;
+  };
+
+  void grant_next(LockState& state);
+
+  std::map<proto::AppId, LockState> locks_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace discover::core

@@ -1,0 +1,675 @@
+// DiscoverServer: lifecycle, channel demux, the daemon-servlet side
+// (application registration/updates/responses), event distribution and
+// command admission.  Servlets live in server_servlets.cpp; the ORB
+// servants and peer logic live in server_remote.cpp.
+#include "core/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "util/log.h"
+
+namespace discover::core {
+
+DiscoverServer::DiscoverServer(net::Network& network, ServerConfig config)
+    : network_(network),
+      config_(std::move(config)),
+      tokens_(0, config_.token_secret),
+      archive_(config_.archive_cap_per_app,
+               config_.mirror_archive_to_db ? &db_ : nullptr) {}
+
+DiscoverServer::~DiscoverServer() = default;
+
+void DiscoverServer::attach(net::NodeId self) {
+  self_ = self;
+  tokens_ = security::TokenAuthority(self.value(), config_.token_secret);
+  container_ = std::make_unique<http::ServletContainer>(network_, self_);
+  orb_ = std::make_unique<orb::Orb>(network_, self_);
+  mount_servlets();
+  activate_servants();
+}
+
+std::string DiscoverServer::describe() const {
+  return config_.name + "@" + std::to_string(self_.value());
+}
+
+void DiscoverServer::on_message(const net::Message& msg) {
+  switch (msg.channel) {
+    case net::Channel::http:
+      if (config_.servlet_cpu_cost > 0) {
+        // Calibrated servlet-processing burn (see ServerConfig).
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::nanoseconds(config_.servlet_cpu_cost);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+      }
+      container_->handle(msg);
+      live_requests_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case net::Channel::giop:
+      orb_->handle(msg);
+      return;
+    case net::Channel::main_channel:
+    case net::Channel::response:
+      handle_app_channel(msg);
+      return;
+    case net::Channel::control:
+      handle_control_channel(msg);
+      return;
+    case net::Channel::command:
+      // Servers send commands; they do not receive them.
+      DISCOVER_LOG(warn, "server") << describe()
+                                   << ": unexpected command-channel message";
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon servlet: the application gateway (paper §4.1)
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::handle_app_channel(const net::Message& msg) {
+  auto decoded = proto::decode_framed(msg.payload);
+  if (!decoded.ok()) {
+    DISCOVER_LOG(warn, "server")
+        << describe() << ": bad app frame: " << decoded.error();
+    return;
+  }
+  const proto::FramedMessage& frame = decoded.value();
+  // Any traffic from the application's node refreshes its liveness clock.
+  if (const auto by_node = apps_by_node_.find(msg.src.value());
+      by_node != apps_by_node_.end()) {
+    if (AppEntry* entry = find_app(by_node->second)) {
+      entry->last_seen = network_.now();
+    }
+  }
+  if (const auto* reg = std::get_if<proto::AppRegister>(&frame)) {
+    handle_app_register(msg.src, *reg);
+  } else if (const auto* update = std::get_if<proto::AppUpdate>(&frame)) {
+    handle_app_update(*update);
+  } else if (const auto* phase = std::get_if<proto::AppPhaseNotice>(&frame)) {
+    handle_app_phase(*phase);
+  } else if (const auto* dereg = std::get_if<proto::AppDeregister>(&frame)) {
+    handle_app_deregister(*dereg);
+  } else if (const auto* resp = std::get_if<proto::AppResponse>(&frame)) {
+    handle_app_response(*resp);
+  } else if (const auto* err = std::get_if<proto::AppError>(&frame)) {
+    handle_app_error(*err);
+  }
+}
+
+void DiscoverServer::handle_app_register(net::NodeId src,
+                                         const proto::AppRegister& reg) {
+  proto::AppRegisterAck ack;
+  if (!config_.accept_any_app &&
+      config_.accepted_app_keys.count(reg.auth_key) == 0) {
+    ack.accepted = false;
+    ack.message = "application key not accepted";
+    network_.send(self_, src, net::Channel::main_channel,
+                  proto::encode_framed(proto::FramedMessage{ack}));
+    return;
+  }
+
+  // Globally unique id: host server "address" + local counter (§5.2.1).
+  proto::AppId id;
+  id.host = self_.value();
+  id.local = ++app_counter_;
+
+  AppEntry entry;
+  entry.id = id;
+  entry.name = reg.app_name;
+  entry.description = reg.description;
+  entry.local = true;
+  entry.app_node = src;
+  entry.acl = security::AccessControlList(reg.acl);
+  entry.params = reg.params;
+  entry.phase = proto::AppPhase::computing;
+  entry.last_seen = network_.now();
+  entry.advertised_period = reg.update_period;
+  // Record ownership (§6.3): the application's owner is its most privileged
+  // registered user.
+  security::Privilege best = security::Privilege::none;
+  for (const auto& e : reg.acl) {
+    if (static_cast<int>(e.privilege) > static_cast<int>(best)) {
+      best = e.privilege;
+      entry.owner = e.user;
+    }
+  }
+  if (entry.owner.empty()) entry.owner = reg.app_name;
+
+  auto [it, inserted] = apps_.emplace(id, std::move(entry));
+  assert(inserted);
+  apps_by_node_[src.value()] = id;
+  ++stats_.apps_registered;
+  live_registrations_.fetch_add(1, std::memory_order_relaxed);
+
+  // Export the level-2 interface: activate a CorbaProxy servant and bind it
+  // in the naming service under the application id (§5.1.2).
+  AppEntry& stored = it->second;
+  stored.corba_proxy = activate_corba_proxy(stored);
+  if (naming_.configured()) {
+    naming_.rebind(id.to_string(), stored.corba_proxy, [this](util::Status s) {
+      if (!s.ok()) {
+        DISCOVER_LOG(warn, "server")
+            << describe() << ": naming bind failed: " << s.error();
+      }
+    });
+  }
+
+  ack.accepted = true;
+  ack.app_id = id;
+  ack.message = "registered with " + config_.name;
+  network_.send(self_, src, net::Channel::main_channel,
+                proto::encode_framed(proto::FramedMessage{ack}));
+
+  broadcast_system_event(proto::SystemEventKind::app_registered, id,
+                         reg.app_name);
+
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::system;
+  ev.app = id;
+  ev.text = "application " + reg.app_name + " registered";
+  publish_event(stored, std::move(ev));
+
+  DISCOVER_LOG(info, "server")
+      << describe() << ": registered " << reg.app_name << " as "
+      << id.to_string();
+}
+
+void DiscoverServer::handle_app_update(const proto::AppUpdate& update) {
+  AppEntry* entry = find_app(update.app_id);
+  if (entry == nullptr || !entry->local) return;
+  entry->latest_metrics = update.metrics;
+  entry->latest_iteration = update.iteration;
+  entry->latest_sim_time = update.sim_time;
+  entry->phase = update.phase;
+  ++stats_.updates_processed;
+  live_updates_.fetch_add(1, std::memory_order_relaxed);
+
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::update;
+  ev.app = update.app_id;
+  ev.metrics = update.metrics;
+  ev.iteration = update.iteration;
+  publish_event(*entry, std::move(ev));
+}
+
+void DiscoverServer::handle_app_phase(const proto::AppPhaseNotice& notice) {
+  AppEntry* entry = find_app(notice.app_id);
+  if (entry == nullptr || !entry->local) return;
+  entry->phase = notice.phase;
+  if (notice.phase == proto::AppPhase::interacting) {
+    flush_buffered_commands(*entry);
+  }
+}
+
+void DiscoverServer::flush_buffered_commands(AppEntry& entry) {
+  while (!entry.buffered.empty()) {
+    proto::AppCommand cmd = std::move(entry.buffered.front());
+    entry.buffered.pop_front();
+    network_.send(self_, entry.app_node, net::Channel::command,
+                  proto::encode_framed(proto::FramedMessage{cmd}));
+  }
+}
+
+void DiscoverServer::handle_app_deregister(const proto::AppDeregister& msg) {
+  AppEntry* entry = find_app(msg.app_id);
+  if (entry == nullptr || !entry->local) return;
+  ++stats_.apps_departed;
+
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::system;
+  ev.app = msg.app_id;
+  ev.text = "application departed: " + msg.reason;
+  publish_event(*entry, std::move(ev));
+
+  broadcast_system_event(proto::SystemEventKind::app_departed, msg.app_id,
+                         msg.reason);
+  if (naming_.configured()) {
+    naming_.unbind(msg.app_id.to_string(), [](util::Status) {});
+  }
+  locks_.drop_app(msg.app_id);
+  if (entry->servant_key != 0) orb_->deactivate(entry->servant_key);
+  apps_by_node_.erase(entry->app_node.value());
+  apps_.erase(msg.app_id);
+  // Client subs keep their FIFOs so the departure event can still be polled.
+}
+
+void DiscoverServer::handle_app_response(const proto::AppResponse& resp) {
+  AppEntry* entry = find_app(resp.app_id);
+  if (entry == nullptr || !entry->local) return;
+  ++stats_.responses_processed;
+
+  const auto pending = pending_cmds_.find(resp.request_id);
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::response;
+  ev.app = resp.app_id;
+  ev.param = resp.param;
+  ev.value = resp.value;
+  ev.text = resp.ok ? resp.message : "error: " + resp.message;
+  if (!resp.ok) ev.kind = proto::EventKind::error;
+  if (pending != pending_cmds_.end()) {
+    ev.user = pending->second.user;
+    ev.request_id = pending->second.client_rid;
+    ev.shared = pending->second.shared;
+    ev.subgroup = pending->second.subgroup;
+    pending_cmds_.erase(pending);
+  }
+  // Cache parameter changes on the proxy so later interface queries and
+  // archive replay agree with the application.
+  if (resp.ok && !resp.param.empty()) {
+    for (auto& spec : entry->params) {
+      if (spec.name == resp.param) spec.value = resp.value;
+    }
+  }
+  if (!resp.params.empty()) entry->params = resp.params;
+  publish_event(*entry, std::move(ev));
+}
+
+void DiscoverServer::handle_app_error(const proto::AppError& err) {
+  AppEntry* entry = find_app(err.app_id);
+  if (entry == nullptr || !entry->local) return;
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::error;
+  ev.app = err.app_id;
+  ev.request_id = err.request_id;
+  ev.text = err.message;
+  publish_event(*entry, std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Event distribution (collaboration handler, paper §4.1/§5.2.3)
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::publish_event(AppEntry& entry, proto::ClientEvent event) {
+  assert(entry.local);
+  event.seq = ++entry.event_seq;
+  event.at = network_.now();
+  archive_.log_app_event(event, entry.owner);
+  deliver_local(entry.id, event);
+  if (config_.remote_update_mode == RemoteUpdateMode::push) {
+    push_to_subscribers(entry, event);
+  }
+}
+
+bool DiscoverServer::should_deliver(const ClientSession& session,
+                                    const ClientSub& sub,
+                                    const proto::ClientEvent& ev) const {
+  switch (ev.kind) {
+    case proto::EventKind::update:
+    case proto::EventKind::lock_notice:
+    case proto::EventKind::system:
+      return true;  // global broadcasts reach the whole group
+    case proto::EventKind::chat:
+    case proto::EventKind::whiteboard:
+      // Sub-group scoped; a client that disabled collaboration neither
+      // sends nor receives the shared stream (own messages still echo).
+      if (session.user == ev.user) return true;
+      return sub.collab_enabled && sub.subgroup == ev.subgroup && ev.shared;
+    case proto::EventKind::response:
+    case proto::EventKind::error:
+      if (session.user == ev.user) return true;  // requester always sees it
+      return config_.broadcast_responses && ev.shared && sub.collab_enabled &&
+             sub.subgroup == ev.subgroup;
+  }
+  return false;
+}
+
+void DiscoverServer::deliver_local(const proto::AppId& app,
+                                   const proto::ClientEvent& ev) {
+  for (auto& [key, session] : sessions_) {
+    const auto it = session.apps.find(app);
+    if (it == session.apps.end()) continue;
+    ClientSub& sub = it->second;
+    if (!should_deliver(session, sub, ev)) continue;
+    if (sub.push) {
+      // Server-push extension: deliver immediately, no FIFO memory cost.
+      proto::PollReply push_body;
+      push_body.ok = true;
+      push_body.events.push_back(ev);
+      http::HttpResponse push_msg;
+      push_msg.status = 200;
+      push_msg.headers.set("X-Push", "1");
+      push_msg.body = proto::encode_body(push_body);
+      network_.send(self_, session.client_node, net::Channel::http,
+                    http::serialize(push_msg));
+    } else {
+      sub.fifo.push_back(ev);
+      if (config_.client_fifo_cap != 0 &&
+          sub.fifo.size() > config_.client_fifo_cap) {
+        sub.fifo.pop_front();
+        ++sub.dropped;
+        ++stats_.events_dropped;
+      }
+    }
+    ++stats_.events_delivered;
+    // Interaction log (§5.2.5): the client's own command results, kept at
+    // the server the client is connected to.
+    if ((ev.kind == proto::EventKind::response ||
+         ev.kind == proto::EventKind::error) &&
+        session.user == ev.user) {
+      archive_.log_interaction(session.user, ev);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Command handler (paper §4.1): admission, locks, buffering
+// ---------------------------------------------------------------------------
+
+proto::CommandAck DiscoverServer::admit_command(
+    AppEntry& entry, const std::string& user, std::uint32_t origin_server,
+    std::uint64_t client_rid, proto::CommandKind kind,
+    const std::string& param, const proto::ParamValue& value, bool shared,
+    const std::string& subgroup) {
+  assert(entry.local);
+  proto::CommandAck ack;
+  ack.request_id = client_rid;
+
+  // Authoritative privilege check at the host (§5.2.2).
+  const security::Privilege have = entry.acl.privilege_of(user);
+  if (!security::allows(have, proto::required_privilege(kind))) {
+    ack.accepted = false;
+    ack.message = std::string("privilege ") + security::privilege_name(have) +
+                  " does not allow " + proto::command_name(kind);
+    ++stats_.commands_rejected;
+    return ack;
+  }
+
+  if (kind == proto::CommandKind::acquire_lock ||
+      kind == proto::CommandKind::release_lock) {
+    handle_lock_command(entry, user, origin_server, client_rid,
+                        kind == proto::CommandKind::acquire_lock, shared,
+                        subgroup);
+    ack.accepted = true;
+    ack.message = "lock request processed";
+    ++stats_.commands_accepted;
+    return ack;
+  }
+
+  // Mutating commands require the steering lock (§5.2.4: one driver).
+  if (proto::required_privilege(kind) != security::Privilege::read_only) {
+    const auto holder = locks_.holder(entry.id);
+    const LockIdentity me{user, origin_server};
+    if (!holder || !(*holder == me)) {
+      ack.accepted = false;
+      ack.message = holder ? "steering lock held by " + holder->user
+                           : "steering lock not held; acquire it first";
+      ++stats_.commands_rejected;
+      return ack;
+    }
+  }
+
+  proto::AppCommand cmd;
+  cmd.app_id = entry.id;
+  cmd.request_id = next_host_rid_++;
+  cmd.user = user;
+  cmd.kind = kind;
+  cmd.param = param;
+  cmd.value = value;
+  pending_cmds_[cmd.request_id] =
+      PendingCmd{user, client_rid, shared, subgroup, origin_server};
+
+  // Interaction log entry for the command itself (§5.2.5).
+  proto::ClientEvent cmd_ev;
+  cmd_ev.kind = proto::EventKind::system;
+  cmd_ev.app = entry.id;
+  cmd_ev.user = user;
+  cmd_ev.request_id = client_rid;
+  cmd_ev.param = param;
+  cmd_ev.value = value;
+  cmd_ev.text = std::string("command ") + proto::command_name(kind);
+  cmd_ev.at = network_.now();
+  archive_.log_interaction(user, cmd_ev);
+
+  forward_to_app(entry, cmd);
+  ack.accepted = true;
+  ack.message = entry.phase == proto::AppPhase::interacting
+                    ? "forwarded to application"
+                    : "buffered until interaction phase";
+  ++stats_.commands_accepted;
+  return ack;
+}
+
+void DiscoverServer::forward_to_app(AppEntry& entry,
+                                    const proto::AppCommand& cmd) {
+  // The daemon servlet "buffers all client requests and sends them to the
+  // application when the application is in the interaction phase" (§4.1).
+  if (entry.phase == proto::AppPhase::interacting) {
+    network_.send(self_, entry.app_node, net::Channel::command,
+                  proto::encode_framed(proto::FramedMessage{cmd}));
+  } else {
+    entry.buffered.push_back(cmd);
+    ++stats_.commands_buffered;
+  }
+}
+
+void DiscoverServer::handle_lock_command(AppEntry& entry,
+                                         const std::string& user,
+                                         std::uint32_t origin_server,
+                                         std::uint64_t client_rid,
+                                         bool acquire, bool shared,
+                                         const std::string& subgroup) {
+  (void)shared;
+  (void)subgroup;
+  const LockIdentity who{user, origin_server};
+  const proto::AppId app = entry.id;
+  if (acquire) {
+    locks_.request(app, who, [this, app, who, user, client_rid](bool granted) {
+      publish_lock_notice(app, user, client_rid,
+                          granted ? "granted" : "denied");
+      if (granted) arm_lock_lease(app, who);
+    });
+    // Queued requests produce no immediate notice; the grant arrives later.
+  } else {
+    const util::Status s = locks_.release(app, who);
+    publish_lock_notice(app, user, client_rid,
+                        s.ok() ? "released" : "release failed: " +
+                                                  s.error().message);
+  }
+}
+
+void DiscoverServer::publish_lock_notice(const proto::AppId& app,
+                                         const std::string& user,
+                                         std::uint64_t client_rid,
+                                         const std::string& what) {
+  AppEntry* entry = find_app(app);
+  if (entry == nullptr || !entry->local) return;
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::lock_notice;
+  ev.app = app;
+  ev.user = user;
+  ev.request_id = client_rid;
+  ev.text = what;
+  publish_event(*entry, std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Housekeeping: liveness, leases, idle sessions
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::arm_lock_lease(const proto::AppId& app,
+                                    const LockIdentity& who) {
+  if (config_.lock_lease <= 0) return;
+  const std::uint64_t generation = locks_.generation(app);
+  network_.schedule(self_, config_.lock_lease, [this, app, who, generation] {
+    const auto holder = locks_.holder(app);
+    if (!holder || !(*holder == who) ||
+        locks_.generation(app) != generation) {
+      return;  // released (or re-granted) in the meantime
+    }
+    locks_.forget(app, who);  // releases + promotes the next waiter
+    publish_lock_notice(app, who.user, 0, "lease expired");
+  });
+}
+
+void DiscoverServer::sweep_app_liveness() {
+  if (!started_) return;
+  if (config_.app_liveness_factor > 0) {
+    const util::TimePoint now = network_.now();
+    std::vector<proto::AppId> dead;
+    for (const auto& [id, entry] : apps_) {
+      if (!entry.local || entry.advertised_period <= 0) continue;
+      const util::Duration budget =
+          entry.advertised_period *
+          static_cast<util::Duration>(config_.app_liveness_factor);
+      if (now - entry.last_seen > budget) dead.push_back(id);
+    }
+    for (const proto::AppId& id : dead) {
+      DISCOVER_LOG(warn, "server")
+          << describe() << ": application " << id.to_string()
+          << " missed its liveness budget; deregistering";
+      proto::AppDeregister msg;
+      msg.app_id = id;
+      msg.reason = "liveness timeout";
+      handle_app_deregister(msg);
+    }
+  }
+  liveness_timer_ = network_.schedule(self_, config_.app_liveness_sweep,
+                                      [this] { sweep_app_liveness(); });
+}
+
+void DiscoverServer::sweep_idle_sessions() {
+  if (!started_) return;
+  if (config_.session_max_idle > 0) {
+    container_->expire_sessions(config_.session_max_idle);
+    std::vector<std::uint64_t> gone;
+    for (const auto& [key, _] : sessions_) {
+      if (!container_->has_session(key)) gone.push_back(key);
+    }
+    for (const std::uint64_t key : gone) drop_session(key);
+  }
+  session_timer_ = network_.schedule(
+      self_, std::max<util::Duration>(config_.session_max_idle / 4,
+                                      util::seconds(1)),
+      [this] { sweep_idle_sessions(); });
+}
+
+// ---------------------------------------------------------------------------
+// Security handler (paper §4.1/§5.2.2)
+// ---------------------------------------------------------------------------
+
+util::Status DiscoverServer::verify_token(
+    const security::SessionToken& token) const {
+  return tokens_.verify(token, network_.now());
+}
+
+bool DiscoverServer::authenticate_local(const std::string& user,
+                                        std::uint64_t password_digest) const {
+  // Level 1: the user must appear on at least one local application's ACL
+  // (§5.2.2 / §6.3: identities belong to applications, not servers).
+  for (const auto& [_, entry] : apps_) {
+    if (entry.local && entry.acl.knows(user) &&
+        entry.acl.check_password(user, password_digest)) {
+      return true;
+    }
+  }
+  // §6.3's suggested alternative: a global GIS-style identity directory,
+  // pulled into a local cache, so users without a local application can
+  // still reach their remote ones through this server.
+  const auto it = identity_cache_.find(user);
+  return it != identity_cache_.end() &&
+         (it->second == 0 || it->second == password_digest);
+}
+
+std::vector<proto::AppInfo> DiscoverServer::visible_apps(
+    const std::string& user) const {
+  std::vector<proto::AppInfo> out;
+  for (const auto& [id, entry] : apps_) {
+    if (!entry.local) continue;
+    const security::Privilege p = entry.acl.privilege_of(user);
+    if (p == security::Privilege::none) continue;
+    proto::AppInfo info;
+    info.id = id;
+    info.name = entry.name;
+    info.description = entry.description;
+    info.privilege = p;
+    info.phase = entry.phase;
+    info.update_seq = entry.event_seq;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+DiscoverServer::ClientSession* DiscoverServer::session_of(std::uint64_t key) {
+  const auto it = sessions_.find(key);
+  return it != sessions_.end() ? &it->second : nullptr;
+}
+
+DiscoverServer::ClientSession* DiscoverServer::session_by_token(
+    const security::SessionToken& token, std::uint64_t http_session) {
+  ClientSession* session = session_of(http_session);
+  if (session == nullptr || session->user != token.user) return nullptr;
+  return session;
+}
+
+void DiscoverServer::drop_session(std::uint64_t key) {
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  ClientSession& session = it->second;
+  // Release/forget any lock interest, locally or at the remote host (§5.2.4).
+  for (auto& [app_id, sub] : session.apps) {
+    AppEntry* entry = find_app(app_id);
+    if (entry == nullptr) continue;
+    if (entry->local) {
+      locks_.forget(app_id, LockIdentity{session.user, self_.value()});
+    } else {
+      wire::Encoder args;
+      args.str(session.user);
+      args.u32(self_.value());
+      orb_->invoke(entry->corba_proxy, "forget_locks", std::move(args),
+                   [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+    }
+  }
+  sessions_.erase(it);
+  // Unsubscribe remote apps nobody watches any more.
+  std::vector<proto::AppId> to_check;
+  for (auto& [id, entry] : apps_) {
+    if (!entry.local) to_check.push_back(id);
+  }
+  for (const proto::AppId& id : to_check) {
+    bool watched = false;
+    for (const auto& [_, s] : sessions_) {
+      if (s.apps.count(id) != 0) {
+        watched = true;
+        break;
+      }
+    }
+    AppEntry* entry = find_app(id);
+    if (!watched && entry != nullptr) unsubscribe_remote(*entry);
+  }
+}
+
+DiscoverServer::AppEntry* DiscoverServer::find_app(const proto::AppId& id) {
+  const auto it = apps_.find(id);
+  return it != apps_.end() ? &it->second : nullptr;
+}
+
+const DiscoverServer::AppEntry* DiscoverServer::find_app(
+    const proto::AppId& id) const {
+  const auto it = apps_.find(id);
+  return it != apps_.end() ? &it->second : nullptr;
+}
+
+std::size_t DiscoverServer::local_app_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, entry] : apps_) {
+    if (entry.local) ++n;
+  }
+  return n;
+}
+
+std::size_t DiscoverServer::total_fifo_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [_, session] : sessions_) {
+    for (const auto& [__, sub] : session.apps) n += sub.fifo.size();
+  }
+  return n;
+}
+
+}  // namespace discover::core

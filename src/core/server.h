@@ -1,0 +1,440 @@
+// The DISCOVER interaction and collaboration server (paper §4.1, §5).
+//
+// One DiscoverServer is one middle-tier node: a servlet-extended web server
+// facing thin HTTP clients, a daemon endpoint facing applications over the
+// Main/Command/Response channels, and an ORB endpoint facing peer servers
+// (DiscoverCorbaServer level-1 interface + one CorbaProxy level-2 interface
+// per local application), discovered through the trader service.
+//
+// Core service handlers (paper §4.1) and where they live here:
+//  * Master handler        -> MasterServlet   (login/select/logout, sessions)
+//  * Command handler       -> CommandServlet  (steering requests -> proxy)
+//  * Collaboration handler -> CollabServlet   (poll, chat/whiteboard, groups)
+//  * Security handler      -> Authenticator logic inside the server (2-level
+//                             auth, ACLs from app registration, tokens)
+//  * Daemon servlet        -> the Main/Command/Response channel demux
+//                             (application registration, buffering)
+//  * Session archival      -> ArchiveServlet + SessionArchive
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/lock_manager.h"
+#include "core/session_archive.h"
+#include "db/record_store.h"
+#include "http/http_client.h"
+#include "http/servlet_container.h"
+#include "net/network.h"
+#include "orb/naming.h"
+#include "orb/orb.h"
+#include "orb/trader.h"
+#include "proto/messages.h"
+#include "security/rate_limit.h"
+#include "security/token.h"
+
+namespace discover::core {
+
+// Servlet mount points (the portal URL namespace).
+inline constexpr const char* kPathLogin = "/discover/master/login";
+inline constexpr const char* kPathSelect = "/discover/master/select";
+inline constexpr const char* kPathLogout = "/discover/master/logout";
+inline constexpr const char* kPathCommand = "/discover/command";
+inline constexpr const char* kPathPoll = "/discover/collab/poll";
+inline constexpr const char* kPathCollabPost = "/discover/collab/post";
+inline constexpr const char* kPathGroup = "/discover/collab/group";
+inline constexpr const char* kPathArchive = "/discover/archive";
+inline constexpr const char* kPathRedirect = "/discover/redirect";
+inline constexpr const char* kPathViz = "/discover/viz";
+/// Response header carrying the application's host-server node id on
+/// /discover/redirect replies (the "request redirection" auxiliary
+/// service of paper §4.1).
+inline constexpr const char* kHostHeader = "X-Discover-Host";
+
+/// How a server that is NOT an application's host learns about new events:
+/// push (host forwards each event to subscribed servers — one message per
+/// remote server, §5.2.3) or poll (the subscriber's CorbaProxy-side polls
+/// periodically, as the prototype did).
+enum class RemoteUpdateMode { push, poll };
+
+struct ServerConfig {
+  std::string name = "discover";
+  /// Application authentication (paper §4.1: "pre-assigned unique
+  /// identifier").  When accept_any_app is false, only keys in
+  /// accepted_app_keys may register.
+  bool accept_any_app = true;
+  std::set<std::uint64_t> accepted_app_keys;
+
+  std::uint64_t token_secret = 0x5eed;
+  util::Duration token_ttl = util::seconds(3600);
+
+  /// Per-client per-app FIFO buffer capacity ("FIFO buffers at the server
+  /// for each client to support slow clients", §6.2).  Oldest events drop.
+  std::size_t client_fifo_cap = 256;
+
+  util::Duration peer_refresh_period = util::seconds(2);
+  util::Duration orb_call_timeout = util::seconds(10);
+  /// Login aggregation waits at most this long for slow peers.
+  util::Duration login_fanout_timeout = util::seconds(3);
+
+  RemoteUpdateMode remote_update_mode = RemoteUpdateMode::push;
+  util::Duration remote_poll_period = util::milliseconds(100);
+
+  std::size_t archive_cap_per_app = 4096;
+  /// Mirror archived events into the record store (exercises §6.3
+  /// ownership); costs memory in long benches, so optional.
+  bool mirror_archive_to_db = false;
+
+  /// Resource-usage policy applied to each peer server (§6.3); zero limits
+  /// disable enforcement.
+  security::AccessPolicy peer_policy{};
+
+  /// Share command responses with the requester's collaboration (sub)group.
+  bool broadcast_responses = true;
+
+  /// Application liveness: a local application is force-deregistered when
+  /// no Main/Response-channel traffic arrives for `app_liveness_factor`
+  /// times its advertised update period.  Paused applications stay alive
+  /// by sending keep-alive phase notices.  Factor 0 disables the check;
+  /// applications that advertise no period are exempt.
+  std::uint32_t app_liveness_factor = 8;
+  util::Duration app_liveness_sweep = util::seconds(1);
+
+  /// Steering-lock lease: the host force-releases a lock held longer than
+  /// this, un-wedging the group when a driver walks away (0 = no lease —
+  /// the paper's behaviour).
+  util::Duration lock_lease = 0;
+
+  /// Client sessions idle at the HTTP layer longer than this are dropped
+  /// (their lock interest is released, remote subscriptions ref-counted
+  /// down).
+  util::Duration session_max_idle = util::seconds(600);
+
+  /// Report server statistics to a MONITORING service from the pool of
+  /// services (§3), discovered at runtime via the trader.  Off by default.
+  bool report_to_monitoring = false;
+  util::Duration monitoring_period = util::seconds(1);
+
+  /// Refresh cadence for the optional global identity directory (§6.3's
+  /// "centralized directory service like the GIS that maintains user-IDs");
+  /// active once set_identity_directory() provides a reference.
+  util::Duration identity_refresh_period = util::seconds(1);
+
+  /// CALIBRATION (ThreadNetwork experiments only): CPU burned per HTTP
+  /// request before servicing it, emulating the cost of the original Java
+  /// servlet stack on 2001 hardware.  The paper's ~20-client knee (§6.1)
+  /// exists because each servlet request was expensive; a 2026 core makes
+  /// the same request sub-microsecond, which would shift the knee far
+  /// right.  Zero disables the burn (default).  Has no effect on virtual
+  /// time under SimNetwork.
+  util::Duration servlet_cpu_cost = 0;
+};
+
+struct ServerStats {
+  std::uint64_t logins_ok = 0;
+  std::uint64_t logins_failed = 0;
+  std::uint64_t selects_ok = 0;
+  std::uint64_t selects_failed = 0;
+  std::uint64_t commands_accepted = 0;
+  std::uint64_t commands_rejected = 0;
+  std::uint64_t commands_buffered = 0;
+  std::uint64_t updates_processed = 0;
+  std::uint64_t responses_processed = 0;
+  std::uint64_t events_delivered = 0;
+  std::uint64_t events_dropped = 0;
+  std::uint64_t polls_served = 0;
+  std::uint64_t collab_posts = 0;
+  std::uint64_t remote_commands_in = 0;
+  std::uint64_t remote_commands_out = 0;
+  std::uint64_t peer_events_in = 0;
+  std::uint64_t peer_events_out = 0;
+  std::uint64_t peer_rate_limited = 0;
+  std::uint64_t system_events = 0;
+  std::uint64_t apps_registered = 0;
+  std::uint64_t apps_departed = 0;
+};
+
+class DiscoverServer final : public net::MessageHandler {
+ public:
+  DiscoverServer(net::Network& network, ServerConfig config);
+  ~DiscoverServer() override;
+
+  DiscoverServer(const DiscoverServer&) = delete;
+  DiscoverServer& operator=(const DiscoverServer&) = delete;
+
+  /// Must be called with the NodeId returned by Network::add_node(this).
+  void attach(net::NodeId self);
+  /// Initial references to the shared naming/trader services (the CORBA
+  /// "resolve_initial_references" analogue).  Optional: a server without a
+  /// registry runs standalone.
+  void set_registry(orb::ObjectRef naming, orb::ObjectRef trader);
+  /// Optional global identity directory (a GIS-style servant answering
+  /// "list_identities"); §6.3: lets users log in at servers where no local
+  /// application lists them, using globally consistent user-IDs.
+  void set_identity_directory(orb::ObjectRef directory);
+  /// Exports the DISCOVER trader offer and starts the peer-refresh loop.
+  void start();
+  /// Broadcasts server_down to peers and stops refreshing.
+  void shutdown();
+
+  void on_message(const net::Message& msg) override;
+
+  // -- introspection ---------------------------------------------------------
+  [[nodiscard]] net::NodeId node() const { return self_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  /// Snapshot of internal counters.  Only safe once the server's execution
+  /// context is quiescent (SimNetwork, or after ThreadNetwork::stop()).
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  /// Live counters safe to poll from other threads while the server runs.
+  [[nodiscard]] std::uint64_t live_updates_processed() const {
+    return live_updates_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t live_requests_served() const {
+    return live_requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t live_apps_registered() const {
+    return live_registrations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const SessionArchive& archive() const { return archive_; }
+  [[nodiscard]] const LockManager& locks() const { return locks_; }
+  [[nodiscard]] const orb::Orb& orb() const { return *orb_; }
+  [[nodiscard]] const http::ServletContainer& container() const {
+    return *container_;
+  }
+  [[nodiscard]] db::RecordStore& record_store() { return db_; }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  [[nodiscard]] std::size_t local_app_count() const;
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  /// Applications (local only) visible to `user` per the ACLs.
+  [[nodiscard]] std::vector<proto::AppInfo> visible_apps(
+      const std::string& user) const;
+  [[nodiscard]] std::optional<LockIdentity> lock_holder(
+      const proto::AppId& app) const {
+    return locks_.holder(app);
+  }
+  /// Total backlog across all client FIFOs (server memory pressure, A2).
+  [[nodiscard]] std::size_t total_fifo_backlog() const;
+
+ private:
+  // -- internal data ---------------------------------------------------------
+  struct ClientSub {
+    std::deque<proto::ClientEvent> fifo;
+    std::uint64_t dropped = 0;
+    bool collab_enabled = true;
+    /// Server-push extension: events go straight to the client instead of
+    /// the poll FIFO.
+    bool push = false;
+    std::string subgroup;
+    security::Privilege privilege = security::Privilege::none;
+  };
+
+  struct ClientSession {
+    std::uint64_t key = 0;  // http session id
+    std::string user;
+    net::NodeId client_node{0};
+    std::map<proto::AppId, ClientSub> apps;
+  };
+
+  /// ApplicationProxy (paper §4.1/§5.1.2): full context for one application,
+  /// local (we are its host) or remote (we relay to its host's CorbaProxy).
+  struct AppEntry {
+    proto::AppId id;
+    std::string name;
+    std::string description;
+    std::string owner;  // highest-privilege ACL user (record ownership §6.3)
+    bool local = true;
+    net::NodeId app_node{0};        // local only
+    orb::ObjectRef corba_proxy;     // local: our servant; remote: resolved
+    std::uint64_t servant_key = 0;  // local only
+    security::AccessControlList acl;  // authoritative at host only
+    std::vector<proto::ParamSpec> params;
+    proto::AppPhase phase = proto::AppPhase::computing;
+    std::uint64_t event_seq = 0;  // host-side event numbering
+    std::map<std::string, double> latest_metrics;
+    std::uint64_t latest_iteration = 0;
+    double latest_sim_time = 0;
+    std::deque<proto::AppCommand> buffered;  // host: while app computes
+    util::TimePoint last_seen = 0;           // host: liveness tracking
+    util::Duration advertised_period = 0;    // from AppRegister
+    /// Host: subscribed remote servers -> their DiscoverCorbaServer ref.
+    std::map<std::uint32_t, orb::ObjectRef> subscribers;
+    /// Remote-side: last event seq received from the host.
+    std::uint64_t remote_known_seq = 0;
+    net::TimerId poll_timer{0};  // remote-side, poll mode
+    bool remote_subscribed = false;
+    bool departed = false;
+  };
+
+  struct PendingCmd {
+    std::string user;
+    std::uint64_t client_rid = 0;
+    bool shared = true;
+    std::string subgroup;
+    std::uint32_t origin_server = 0;
+  };
+
+  struct Peer {
+    std::uint32_t node = 0;
+    std::string name;
+    orb::ObjectRef server_ref;  // their DiscoverCorbaServer
+    std::unique_ptr<security::RateLimiter> limiter;
+  };
+
+  class MasterServlet;
+  class CommandServlet;
+  class CollabServlet;
+  class ArchiveServlet;
+  class RedirectServlet;
+  class VisualizationServlet;
+  class DiscoverCorbaServerServant;
+  class CorbaProxyServant;
+  friend class MasterServlet;
+  friend class CommandServlet;
+  friend class CollabServlet;
+  friend class ArchiveServlet;
+  friend class RedirectServlet;
+  friend class VisualizationServlet;
+  friend class DiscoverCorbaServerServant;
+  friend class CorbaProxyServant;
+
+  // -- daemon-servlet side (application channels) ----------------------------
+  void handle_app_channel(const net::Message& msg);
+  void handle_app_register(net::NodeId src, const proto::AppRegister& reg);
+  void handle_app_update(const proto::AppUpdate& update);
+  void handle_app_phase(const proto::AppPhaseNotice& notice);
+  void handle_app_deregister(const proto::AppDeregister& msg);
+  void handle_app_response(const proto::AppResponse& resp);
+  void handle_app_error(const proto::AppError& err);
+  void flush_buffered_commands(AppEntry& entry);
+
+  // -- event distribution ------------------------------------------------------
+  /// Host side: stamps seq + time, archives, delivers locally, pushes to
+  /// subscribers (push mode).
+  void publish_event(AppEntry& entry, proto::ClientEvent event);
+  /// Delivers one event to local client FIFOs per the collaboration rules.
+  void deliver_local(const proto::AppId& app, const proto::ClientEvent& ev);
+  bool should_deliver(const ClientSession& session, const ClientSub& sub,
+                      const proto::ClientEvent& ev) const;
+  void push_to_subscribers(AppEntry& entry, const proto::ClientEvent& ev);
+  /// Remote-side ingestion of host-published events (push or poll).
+  void ingest_remote_events(AppEntry& entry,
+                            const std::vector<proto::ClientEvent>& events);
+
+  // -- command path -----------------------------------------------------------
+  /// Host-side command admission: privilege, locks, buffering.  Returns the
+  /// ack (accepted/rejected) to give the requester.
+  proto::CommandAck admit_command(AppEntry& entry, const std::string& user,
+                                  std::uint32_t origin_server,
+                                  std::uint64_t client_rid,
+                                  proto::CommandKind kind,
+                                  const std::string& param,
+                                  const proto::ParamValue& value, bool shared,
+                                  const std::string& subgroup);
+  void forward_to_app(AppEntry& entry, const proto::AppCommand& cmd);
+  void handle_lock_command(AppEntry& entry, const std::string& user,
+                           std::uint32_t origin_server,
+                           std::uint64_t client_rid, bool acquire,
+                           bool shared, const std::string& subgroup);
+  void publish_lock_notice(const proto::AppId& app, const std::string& user,
+                           std::uint64_t client_rid, const std::string& what);
+
+  // -- security ---------------------------------------------------------------
+  [[nodiscard]] util::Status verify_token(
+      const security::SessionToken& token) const;
+  /// Level-1: is `user` on any local application's ACL (with password)?
+  [[nodiscard]] bool authenticate_local(const std::string& user,
+                                        std::uint64_t password_digest) const;
+
+  // -- peers / discovery --------------------------------------------------------
+  void refresh_peers();
+  void schedule_refresh();
+  void handle_control_channel(const net::Message& msg);
+  void broadcast_system_event(proto::SystemEventKind kind,
+                              const proto::AppId& app,
+                              const std::string& text);
+  Peer* peer_by_node(std::uint32_t node);
+  /// Applies the per-peer resource policy (§6.3); true = admitted.
+  bool admit_peer(std::uint32_t node, std::size_t bytes);
+  /// Ensures a remote AppEntry exists with a resolved CorbaProxy ref; then
+  /// runs `ready` (with nullptr on failure).
+  void with_remote_app(const proto::AppId& app,
+                       std::function<void(AppEntry*)> ready);
+  void subscribe_remote(AppEntry& entry);
+  void unsubscribe_remote(AppEntry& entry);
+  void start_remote_poll(AppEntry& entry);
+  void remove_remote_app(const proto::AppId& app, const std::string& reason);
+
+  // -- housekeeping -----------------------------------------------------------
+  void sweep_app_liveness();
+  void sweep_idle_sessions();
+  void arm_lock_lease(const proto::AppId& app, const LockIdentity& who);
+  /// Pool-of-services integration (§3): find a MONITORING service through
+  /// the trader and push a statistics report; re-discovers on failure.
+  void report_monitoring();
+  /// Pulls the global identity directory into the local cache (§6.3).
+  void refresh_identities();
+
+  // -- sessions ---------------------------------------------------------------
+  ClientSession* session_of(std::uint64_t key);
+  ClientSession* session_by_token(const security::SessionToken& token,
+                                  std::uint64_t http_session);
+  void drop_session(std::uint64_t key);
+
+  void mount_servlets();
+  void activate_servants();
+  /// Exports the level-2 CorbaProxy servant for a newly registered local
+  /// application; returns its reference.
+  orb::ObjectRef activate_corba_proxy(AppEntry& entry);
+
+  [[nodiscard]] AppEntry* find_app(const proto::AppId& id);
+  [[nodiscard]] const AppEntry* find_app(const proto::AppId& id) const;
+  [[nodiscard]] std::string describe() const;
+
+  net::Network& network_;
+  ServerConfig config_;
+  net::NodeId self_{0};
+  bool started_ = false;
+
+  std::unique_ptr<http::ServletContainer> container_;
+  std::unique_ptr<orb::Orb> orb_;
+  security::TokenAuthority tokens_;
+  orb::NamingClient naming_;
+  orb::TraderClient trader_;
+  orb::ObjectRef own_server_ref_;  // our DiscoverCorbaServer
+  std::uint64_t trader_offer_id_ = 0;
+
+  std::map<proto::AppId, AppEntry> apps_;
+  std::map<std::uint32_t, proto::AppId> apps_by_node_;  // local app node -> id
+  std::uint32_t app_counter_ = 0;
+
+  std::map<std::uint64_t, ClientSession> sessions_;  // by http session id
+  std::map<std::uint64_t, PendingCmd> pending_cmds_;
+  std::uint64_t next_host_rid_ = 1;
+
+  std::map<std::uint32_t, Peer> peers_;
+  net::TimerId refresh_timer_{0};
+  net::TimerId liveness_timer_{0};
+  net::TimerId session_timer_{0};
+  net::TimerId monitor_timer_{0};
+  orb::ObjectRef monitoring_ref_;
+  net::TimerId identity_timer_{0};
+  orb::ObjectRef identity_directory_;
+  std::map<std::string, std::uint64_t> identity_cache_;  // user -> pw digest
+
+  LockManager locks_;
+  db::RecordStore db_;
+  SessionArchive archive_;
+  ServerStats stats_;
+  std::atomic<std::uint64_t> live_updates_{0};
+  std::atomic<std::uint64_t> live_requests_{0};
+  std::atomic<std::uint64_t> live_registrations_{0};
+};
+
+}  // namespace discover::core

@@ -1,0 +1,564 @@
+// Peer-to-peer side of DiscoverServer: the DiscoverCorbaServer (level-1)
+// and CorbaProxy (level-2) servants, trader-based peer discovery, remote
+// application access, event push/poll and the control channel.
+#include "core/server.h"
+#include "util/log.h"
+
+namespace discover::core {
+
+namespace {
+
+void encode_app_info_seq(wire::Encoder& e,
+                         const std::vector<proto::AppInfo>& apps) {
+  e.u32(static_cast<std::uint32_t>(apps.size()));
+  for (const auto& a : apps) proto::encode(e, a);
+}
+
+void encode_event_seq(wire::Encoder& e,
+                      const std::vector<proto::ClientEvent>& events) {
+  e.u32(static_cast<std::uint32_t>(events.size()));
+  for (const auto& ev : events) proto::encode(e, ev);
+}
+
+std::vector<proto::ClientEvent> decode_event_seq(wire::Decoder& d) {
+  const std::uint32_t n = d.u32();
+  std::vector<proto::ClientEvent> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(proto::decode_client_event(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Level-1 interface: DiscoverCorbaServer (paper §5.1.1)
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::DiscoverCorbaServerServant final : public orb::Servant {
+ public:
+  explicit DiscoverCorbaServerServant(DiscoverServer& server)
+      : server_(server) {}
+
+  [[nodiscard]] std::string interface_name() const override {
+    return "DiscoverCorbaServer";
+  }
+
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, orb::DispatchContext& ctx) override {
+    DiscoverServer& s = server_;
+    if (method == "authenticate") {
+      // Cross-server level-1 authentication: checks the user against local
+      // application ACLs and returns the applications they may access
+      // (paper §5.2.2).
+      const std::string user = args.str();
+      const std::uint64_t pw = args.u64();
+      const bool ok = s.authenticate_local(user, pw);
+      out.boolean(ok);
+      encode_app_info_seq(out, ok ? s.visible_apps(user)
+                                  : std::vector<proto::AppInfo>{});
+    } else if (method == "list_users") {
+      std::vector<std::string> users;
+      for (const auto& [_, session] : s.sessions_) {
+        users.push_back(session.user);
+      }
+      out.u32(static_cast<std::uint32_t>(users.size()));
+      for (const auto& u : users) out.str(u);
+    } else if (method == "list_services") {
+      std::vector<proto::AppInfo> apps;
+      for (const auto& [id, entry] : s.apps_) {
+        if (!entry.local) continue;
+        proto::AppInfo info;
+        info.id = id;
+        info.name = entry.name;
+        info.description = entry.description;
+        info.phase = entry.phase;
+        info.update_seq = entry.event_seq;
+        apps.push_back(std::move(info));
+      }
+      encode_app_info_seq(out, apps);
+    } else if (method == "forward_event") {
+      // Push-mode delivery from an application's host server.
+      const proto::AppId app = proto::decode_app_id(args);
+      const auto events = decode_event_seq(args);
+      AppEntry* entry = s.find_app(app);
+      if (entry != nullptr && !entry->local) {
+        s.ingest_remote_events(*entry, events);
+      }
+    } else if (method == "ping") {
+      out.str(s.config_.name);
+    } else {
+      throw orb::OrbException{util::Errc::invalid_argument,
+                              "DiscoverCorbaServer has no method " + method};
+    }
+    (void)ctx;
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Level-2 interface: CorbaProxy, one per local application (paper §5.1.2)
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::CorbaProxyServant final : public orb::Servant {
+ public:
+  CorbaProxyServant(DiscoverServer& server, proto::AppId app)
+      : server_(server), app_(app) {}
+
+  [[nodiscard]] std::string interface_name() const override {
+    return "CorbaProxy";
+  }
+
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, orb::DispatchContext& ctx) override {
+    DiscoverServer& s = server_;
+    AppEntry* entry = s.find_app(app_);
+    if (entry == nullptr || !entry->local) {
+      throw orb::OrbException{util::Errc::not_found,
+                              "application " + app_.to_string() + " is gone"};
+    }
+    // Resource-usage policy per peer server (§6.3).
+    if (ctx.requester != s.self_ &&
+        !s.admit_peer(ctx.requester.value(), args.remaining())) {
+      throw orb::OrbException{util::Errc::resource_exhausted,
+                              "peer rate limit exceeded"};
+    }
+
+    if (method == "get_interface") {
+      // Level-2 authentication: customized steering interface based on the
+      // client's privileges (§5.2.2).
+      const std::string user = args.str();
+      const security::Privilege p = entry->acl.privilege_of(user);
+      if (p == security::Privilege::none) {
+        throw orb::OrbException{util::Errc::permission_denied,
+                                user + " has no access to " + entry->name};
+      }
+      out.u8(static_cast<std::uint8_t>(p));
+      out.u32(static_cast<std::uint32_t>(entry->params.size()));
+      for (const auto& spec : entry->params) proto::encode(out, spec);
+      out.u64(entry->event_seq);
+    } else if (method == "send_command") {
+      const std::string user = args.str();
+      const std::uint64_t client_rid = args.u64();
+      const auto kind = static_cast<proto::CommandKind>(args.u8());
+      const std::string param = args.str();
+      const proto::ParamValue value = proto::decode_param_value(args);
+      const bool shared = args.boolean();
+      const std::string subgroup = args.str();
+      ++s.stats_.remote_commands_in;
+      const proto::CommandAck ack =
+          s.admit_command(*entry, user, ctx.requester.value(), client_rid,
+                          kind, param, value, shared, subgroup);
+      out.boolean(ack.accepted);
+      out.str(ack.message);
+      out.u64(ack.request_id);
+    } else if (method == "poll_events") {
+      const std::uint64_t since = args.u64();
+      const std::uint32_t max = args.u32();
+      encode_event_seq(out, s.archive_.app_history(app_, since, max));
+    } else if (method == "subscribe") {
+      const std::uint32_t node = args.u32();
+      const orb::ObjectRef ref = orb::decode_object_ref(args);
+      entry->subscribers[node] = ref;
+      out.u64(entry->event_seq);
+    } else if (method == "unsubscribe") {
+      entry->subscribers.erase(args.u32());
+    } else if (method == "forward_collab") {
+      // Collaboration event relayed from a peer whose local client posted
+      // it; the host stamps, archives and redistributes (§5.2.3).
+      proto::ClientEvent ev = proto::decode_client_event(args);
+      ev.app = app_;
+      s.publish_event(*entry, ev);
+      out.u64(entry->event_seq);
+    } else if (method == "get_status") {
+      proto::AppInfo info;
+      info.id = app_;
+      info.name = entry->name;
+      info.description = entry->description;
+      info.phase = entry->phase;
+      info.update_seq = entry->event_seq;
+      encode(out, info);
+    } else if (method == "forget_locks") {
+      const std::string user = args.str();
+      const std::uint32_t origin = args.u32();
+      s.locks_.forget(app_, LockIdentity{user, origin});
+    } else {
+      throw orb::OrbException{util::Errc::invalid_argument,
+                              "CorbaProxy has no method " + method};
+    }
+  }
+
+ private:
+  DiscoverServer& server_;
+  proto::AppId app_;
+};
+
+void DiscoverServer::activate_servants() {
+  own_server_ref_ =
+      orb_->activate(std::make_shared<DiscoverCorbaServerServant>(*this));
+}
+
+orb::ObjectRef DiscoverServer::activate_corba_proxy(AppEntry& entry) {
+  auto servant = std::make_shared<CorbaProxyServant>(*this, entry.id);
+  const orb::ObjectRef ref = orb_->activate(std::move(servant));
+  entry.servant_key = ref.key;
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Registry / peer discovery (paper §5.2.1)
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::set_registry(orb::ObjectRef naming,
+                                  orb::ObjectRef trader) {
+  naming_ = orb::NamingClient(*orb_, std::move(naming));
+  trader_ = orb::TraderClient(*orb_, std::move(trader));
+}
+
+void DiscoverServer::start() {
+  if (started_) return;
+  started_ = true;
+  sweep_app_liveness();
+  sweep_idle_sessions();
+  if (identity_directory_.valid()) refresh_identities();
+  if (config_.report_to_monitoring && trader_.configured()) {
+    monitor_timer_ = network_.schedule(self_, config_.monitoring_period,
+                                       [this] { report_monitoring(); });
+  }
+  if (trader_.configured()) {
+    std::map<std::string, std::string> props;
+    props["name"] = config_.name;
+    props["domain"] =
+        std::to_string(network_.node_domain(self_).value());
+    trader_.export_offer("DISCOVER", own_server_ref_, props,
+                         [this](util::Result<std::uint64_t> r) {
+                           if (r.ok()) trader_offer_id_ = r.value();
+                         });
+    refresh_peers();
+  }
+}
+
+void DiscoverServer::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  if (refresh_timer_.value() != 0) network_.cancel(refresh_timer_);
+  if (liveness_timer_.value() != 0) network_.cancel(liveness_timer_);
+  if (session_timer_.value() != 0) network_.cancel(session_timer_);
+  if (monitor_timer_.value() != 0) network_.cancel(monitor_timer_);
+  if (identity_timer_.value() != 0) network_.cancel(identity_timer_);
+  broadcast_system_event(proto::SystemEventKind::server_down, proto::AppId{},
+                         config_.name + " shutting down");
+  if (trader_.configured() && trader_offer_id_ != 0) {
+    trader_.withdraw(trader_offer_id_, [](util::Status) {});
+  }
+}
+
+void DiscoverServer::schedule_refresh() {
+  if (!started_) return;
+  refresh_timer_ = network_.schedule(self_, config_.peer_refresh_period,
+                                     [this] { refresh_peers(); });
+}
+
+void DiscoverServer::refresh_peers() {
+  if (!trader_.configured()) {
+    schedule_refresh();
+    return;
+  }
+  trader_.query(
+      "DISCOVER", "",
+      [this](util::Result<std::vector<orb::ServiceOffer>> r) {
+        if (r.ok()) {
+          for (const auto& offer : r.value()) {
+            if (offer.ref.node == self_.value()) continue;
+            if (peers_.count(offer.ref.node) != 0) continue;
+            Peer peer;
+            peer.node = offer.ref.node;
+            const auto name = offer.properties.find("name");
+            peer.name = name != offer.properties.end() ? name->second
+                                                       : "server";
+            peer.server_ref = offer.ref;
+            peer.limiter = std::make_unique<security::RateLimiter>(
+                config_.peer_policy);
+            DISCOVER_LOG(info, "server")
+                << describe() << ": discovered peer " << peer.name << "@"
+                << peer.node;
+            peers_.emplace(offer.ref.node, std::move(peer));
+          }
+        }
+        schedule_refresh();
+      });
+}
+
+void DiscoverServer::set_identity_directory(orb::ObjectRef directory) {
+  identity_directory_ = std::move(directory);
+  if (started_) refresh_identities();
+}
+
+void DiscoverServer::refresh_identities() {
+  if (!started_ || !identity_directory_.valid()) return;
+  orb_->invoke(
+      identity_directory_, "list_identities", wire::Encoder{},
+      [this](util::Result<util::Bytes> r) {
+        if (r.ok()) {
+          try {
+            wire::Decoder d(r.value());
+            identity_cache_ = d.map<std::string, std::uint64_t>(
+                [](wire::Decoder& dd) { return dd.str(); },
+                [](wire::Decoder& dd) { return dd.u64(); });
+          } catch (const wire::DecodeError&) {
+            // Keep the stale cache on malformed replies.
+          }
+        }
+        identity_timer_ = network_.schedule(
+            self_, config_.identity_refresh_period,
+            [this] { refresh_identities(); });
+      },
+      config_.orb_call_timeout);
+}
+
+void DiscoverServer::report_monitoring() {
+  if (!started_) return;
+  const auto reschedule = [this] {
+    monitor_timer_ = network_.schedule(self_, config_.monitoring_period,
+                                       [this] { report_monitoring(); });
+  };
+  if (!monitoring_ref_.valid()) {
+    // Availability "must be determined at runtime" (§3): discover (or
+    // re-discover) the monitoring service through the trader.
+    trader_.query(
+        "MONITORING", "",
+        [this, reschedule](util::Result<std::vector<orb::ServiceOffer>> r) {
+          if (r.ok() && !r.value().empty()) {
+            monitoring_ref_ = r.value().front().ref;
+          }
+          reschedule();
+        });
+    return;
+  }
+  wire::Encoder args;
+  args.str(config_.name);
+  std::map<std::string, std::int64_t> metrics;
+  metrics["apps"] = static_cast<std::int64_t>(local_app_count());
+  metrics["sessions"] = static_cast<std::int64_t>(sessions_.size());
+  metrics["updates"] = static_cast<std::int64_t>(stats_.updates_processed);
+  metrics["commands"] = static_cast<std::int64_t>(stats_.commands_accepted);
+  metrics["events_delivered"] =
+      static_cast<std::int64_t>(stats_.events_delivered);
+  args.map(metrics, [](wire::Encoder& e, const std::string& k) { e.str(k); },
+           [](wire::Encoder& e, std::int64_t v) { e.i64(v); });
+  orb_->invoke(monitoring_ref_, "report", std::move(args),
+               [this, reschedule](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   // The service went away; forget it and re-discover.
+                   monitoring_ref_ = orb::ObjectRef{};
+                 }
+                 reschedule();
+               },
+               config_.orb_call_timeout);
+}
+
+DiscoverServer::Peer* DiscoverServer::peer_by_node(std::uint32_t node) {
+  const auto it = peers_.find(node);
+  return it != peers_.end() ? &it->second : nullptr;
+}
+
+bool DiscoverServer::admit_peer(std::uint32_t node, std::size_t bytes) {
+  Peer* peer = peer_by_node(node);
+  if (peer == nullptr || !peer->limiter) return true;
+  const bool ok = peer->limiter->admit(network_.now(),
+                                       static_cast<std::uint64_t>(bytes));
+  if (!ok) ++stats_.peer_rate_limited;
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Control channel (paper §5.1): error messages and system events
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::broadcast_system_event(proto::SystemEventKind kind,
+                                            const proto::AppId& app,
+                                            const std::string& text) {
+  proto::SystemEvent ev;
+  ev.kind = kind;
+  ev.origin_server = self_.value();
+  ev.app = app;
+  ev.text = text;
+  const util::Bytes payload =
+      proto::encode_framed(proto::FramedMessage{ev});
+  for (const auto& [node, _] : peers_) {
+    network_.send(self_, net::NodeId{node}, net::Channel::control,
+                  util::Bytes(payload));
+  }
+  ++stats_.system_events;
+}
+
+void DiscoverServer::handle_control_channel(const net::Message& msg) {
+  auto decoded = proto::decode_framed(msg.payload);
+  if (!decoded.ok()) return;
+  const auto* ev = std::get_if<proto::SystemEvent>(&decoded.value());
+  if (ev == nullptr) return;
+  ++stats_.system_events;
+  switch (ev->kind) {
+    case proto::SystemEventKind::app_departed:
+      remove_remote_app(ev->app, ev->text);
+      break;
+    case proto::SystemEventKind::server_down: {
+      peers_.erase(ev->origin_server);
+      // Every remote application hosted there is now unreachable.
+      std::vector<proto::AppId> gone;
+      for (const auto& [id, entry] : apps_) {
+        if (!entry.local && id.host == ev->origin_server) gone.push_back(id);
+      }
+      for (const auto& id : gone) {
+        remove_remote_app(id, "host server down");
+      }
+      break;
+    }
+    case proto::SystemEventKind::server_up:
+      refresh_peers();
+      break;
+    case proto::SystemEventKind::app_registered:
+    case proto::SystemEventKind::error:
+      break;  // informational
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remote applications (paper §5.1.2): resolve, subscribe, ingest
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::with_remote_app(const proto::AppId& app,
+                                     std::function<void(AppEntry*)> ready) {
+  if (AppEntry* existing = find_app(app)) {
+    ready(existing);
+    return;
+  }
+  if (app.host == self_.value() || !naming_.configured()) {
+    ready(nullptr);  // a local id we don't know, or no registry to resolve
+    return;
+  }
+  naming_.resolve(
+      app.to_string(),
+      [this, app, ready = std::move(ready)](util::Result<orb::ObjectRef> r) {
+        if (!r.ok()) {
+          ready(nullptr);
+          return;
+        }
+        if (AppEntry* raced = find_app(app)) {
+          ready(raced);
+          return;
+        }
+        AppEntry entry;
+        entry.id = app;
+        entry.local = false;
+        entry.corba_proxy = r.value();
+        auto [it, _] = apps_.emplace(app, std::move(entry));
+        ready(&it->second);
+      });
+}
+
+void DiscoverServer::subscribe_remote(AppEntry& entry) {
+  if (entry.local || entry.remote_subscribed) return;
+  entry.remote_subscribed = true;
+  wire::Encoder args;
+  args.u32(self_.value());
+  encode(args, own_server_ref_);
+  const proto::AppId id = entry.id;
+  orb_->invoke(entry.corba_proxy, "subscribe", std::move(args),
+               [this, id](util::Result<util::Bytes> r) {
+                 AppEntry* e = find_app(id);
+                 if (e == nullptr) return;
+                 if (!r.ok()) {
+                   e->remote_subscribed = false;
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 e->remote_known_seq = std::max(e->remote_known_seq, d.u64());
+                 if (config_.remote_update_mode == RemoteUpdateMode::poll) {
+                   start_remote_poll(*e);
+                 }
+               },
+               config_.orb_call_timeout);
+}
+
+void DiscoverServer::unsubscribe_remote(AppEntry& entry) {
+  if (entry.local || !entry.remote_subscribed) return;
+  entry.remote_subscribed = false;
+  if (entry.poll_timer.value() != 0) {
+    network_.cancel(entry.poll_timer);
+    entry.poll_timer = net::TimerId{0};
+  }
+  wire::Encoder args;
+  args.u32(self_.value());
+  orb_->invoke(entry.corba_proxy, "unsubscribe", std::move(args),
+               [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+}
+
+void DiscoverServer::start_remote_poll(AppEntry& entry) {
+  const proto::AppId id = entry.id;
+  entry.poll_timer =
+      network_.schedule(self_, config_.remote_poll_period, [this, id] {
+        AppEntry* e = find_app(id);
+        if (e == nullptr || !e->remote_subscribed) return;
+        wire::Encoder args;
+        args.u64(e->remote_known_seq);
+        args.u32(256);
+        orb_->invoke(e->corba_proxy, "poll_events", std::move(args),
+                     [this, id](util::Result<util::Bytes> r) {
+                       AppEntry* e2 = find_app(id);
+                       if (e2 == nullptr || !e2->remote_subscribed) return;
+                       if (r.ok()) {
+                         wire::Decoder d(r.value());
+                         ingest_remote_events(*e2, decode_event_seq(d));
+                       }
+                       start_remote_poll(*e2);  // next round after the reply
+                     },
+                     config_.orb_call_timeout);
+      });
+}
+
+void DiscoverServer::ingest_remote_events(
+    AppEntry& entry, const std::vector<proto::ClientEvent>& events) {
+  for (const auto& ev : events) {
+    if (ev.seq <= entry.remote_known_seq) continue;  // de-dup push+poll
+    entry.remote_known_seq = ev.seq;
+    ++stats_.peer_events_in;
+    deliver_local(entry.id, ev);
+  }
+}
+
+void DiscoverServer::push_to_subscribers(AppEntry& entry,
+                                         const proto::ClientEvent& ev) {
+  if (entry.subscribers.empty()) return;
+  for (const auto& [node, ref] : entry.subscribers) {
+    // One message per remote server, not per remote client (§5.2.3).
+    wire::Encoder args;
+    proto::encode(args, entry.id);
+    encode_event_seq(args, {ev});
+    orb_->invoke(ref, "forward_event", std::move(args),
+                 [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+    ++stats_.peer_events_out;
+  }
+}
+
+void DiscoverServer::remove_remote_app(const proto::AppId& app,
+                                       const std::string& reason) {
+  AppEntry* entry = find_app(app);
+  if (entry == nullptr || entry->local) return;
+  if (entry->poll_timer.value() != 0) network_.cancel(entry->poll_timer);
+
+  // Tell local watchers the application is gone.
+  proto::ClientEvent ev;
+  ev.kind = proto::EventKind::system;
+  ev.app = app;
+  ev.seq = entry->remote_known_seq + 1;
+  ev.at = network_.now();
+  ev.text = "application departed: " + reason;
+  deliver_local(app, ev);
+  apps_.erase(app);
+}
+
+}  // namespace discover::core

@@ -1,0 +1,760 @@
+// HTTP-facing side of DiscoverServer: the master, command, collaboration
+// and archive servlets (paper §4.1's core service handlers).
+#include <memory>
+
+#include "core/server.h"
+#include "util/log.h"
+
+namespace discover::core {
+
+namespace {
+
+http::HttpResponse body_response(int status, util::Bytes body) {
+  http::HttpResponse resp;
+  resp.status = status;
+  resp.headers.set("Content-Type", "application/x-discover");
+  resp.body = std::move(body);
+  return resp;
+}
+
+void set_body(http::HttpResponse& resp, util::Bytes body) {
+  resp.headers.set("Content-Type", "application/x-discover");
+  resp.body = std::move(body);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Master servlet: "the client's gateway to the server" (paper §4.1)
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::MasterServlet final : public http::Servlet {
+ public:
+  explicit MasterServlet(DiscoverServer& server) : server_(server) {}
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext& ctx) override {
+    const std::string path = request.path_without_query();
+    try {
+      if (path == kPathLogin) {
+        login(request, response, ctx);
+      } else if (path == kPathSelect) {
+        select(request, response, ctx);
+      } else if (path == kPathLogout) {
+        logout(request, response, ctx);
+      } else {
+        response.status = 404;
+      }
+    } catch (const wire::DecodeError& err) {
+      response = body_response(400, util::to_bytes(err.what()));
+    }
+  }
+
+ private:
+  void login(const http::HttpRequest& request, http::HttpResponse& response,
+             http::ServletContext& ctx) {
+    DiscoverServer& s = server_;
+    const proto::LoginRequest req = proto::decode_login_request(request.body);
+
+    proto::LoginReply reply;
+    // Level-1 authentication against local application ACLs (§5.2.2).
+    if (!s.authenticate_local(req.user, req.password_digest)) {
+      reply.ok = false;
+      reply.message = "unknown user or bad password at " + s.config_.name;
+      ++s.stats_.logins_failed;
+      set_body(response, proto::encode_body(reply));
+      response.status = 401;
+      return;
+    }
+    reply.ok = true;
+    reply.message = "welcome to " + s.config_.name;
+    reply.token = s.tokens_.issue(req.user, s.network_.now(),
+                                  s.config_.token_ttl);
+    reply.applications = s.visible_apps(req.user);
+    ++s.stats_.logins_ok;
+
+    // Bind (or refresh) the server-side client session.
+    ClientSession& session = s.sessions_[ctx.session->id()];
+    session.key = ctx.session->id();
+    session.user = req.user;
+    session.client_node = ctx.client;
+
+    if (s.peers_.empty()) {
+      set_body(response, proto::encode_body(reply));
+      return;
+    }
+
+    // Cross-server authentication fan-out: ask every known peer's
+    // DiscoverCorbaServer for this user's applications (§5.2.2).
+    auto deferred = ctx.defer();
+    struct FanOut {
+      proto::LoginReply reply;
+      std::size_t remaining;
+      std::shared_ptr<http::DeferredHttpReply> out;
+    };
+    auto state = std::make_shared<FanOut>();
+    state->reply = std::move(reply);
+    state->remaining = s.peers_.size();
+    state->out = deferred;
+    for (auto& [node, peer] : s.peers_) {
+      wire::Encoder args;
+      args.str(req.user);
+      args.u64(req.password_digest);
+      s.orb_->invoke(
+          peer.server_ref, "authenticate", std::move(args),
+          [state](util::Result<util::Bytes> r) {
+            if (r.ok()) {
+              wire::Decoder d(r.value());
+              if (d.boolean()) {
+                const std::uint32_t n = d.u32();
+                for (std::uint32_t i = 0; i < n; ++i) {
+                  state->reply.applications.push_back(
+                      proto::decode_app_info(d));
+                }
+              }
+            }
+            if (--state->remaining == 0) {
+              state->out->complete(
+                  body_response(200, proto::encode_body(state->reply)));
+            }
+          },
+          s.config_.login_fanout_timeout);
+    }
+  }
+
+  void select(const http::HttpRequest& request, http::HttpResponse& response,
+              http::ServletContext& ctx) {
+    DiscoverServer& s = server_;
+    const proto::SelectAppRequest req =
+        proto::decode_select_app_request(request.body);
+
+    proto::SelectAppReply reply;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      reply.message = v.error().message;
+      ++s.stats_.selects_failed;
+      set_body(response, proto::encode_body(reply));
+      response.status = 401;
+      return;
+    }
+    ClientSession* session = s.session_by_token(req.token, ctx.session->id());
+    if (session == nullptr) {
+      reply.message = "no active login session";
+      ++s.stats_.selects_failed;
+      set_body(response, proto::encode_body(reply));
+      response.status = 401;
+      return;
+    }
+
+    const std::string user = req.token.user;
+    const std::uint64_t session_key = session->key;
+    const proto::AppId app_id = req.app_id;
+    auto deferred = ctx.defer();
+
+    s.with_remote_app(app_id, [&s, deferred, user, session_key,
+                               app_id](AppEntry* entry) {
+      proto::SelectAppReply out;
+      ClientSession* sess = s.session_of(session_key);
+      if (entry == nullptr || sess == nullptr) {
+        out.message = "application not found: " + app_id.to_string();
+        ++s.stats_.selects_failed;
+        deferred->complete(body_response(404, proto::encode_body(out)));
+        return;
+      }
+      if (entry->local) {
+        // Level-2 authentication against the application ACL (§5.2.2).
+        const security::Privilege p = entry->acl.privilege_of(user);
+        if (p == security::Privilege::none) {
+          out.message = user + " has no access to " + entry->name;
+          ++s.stats_.selects_failed;
+          deferred->complete(body_response(403, proto::encode_body(out)));
+          return;
+        }
+        ClientSub& sub = sess->apps[app_id];
+        sub.privilege = p;
+        out.ok = true;
+        out.privilege = p;
+        out.interface_spec = entry->params;
+        out.history_seq = entry->event_seq;
+        ++s.stats_.selects_ok;
+        deferred->complete(body_response(200, proto::encode_body(out)));
+        return;
+      }
+      // Remote application: level-2 authentication at the host through its
+      // CorbaProxy, then subscribe this server to its event stream.
+      wire::Encoder args;
+      args.str(user);
+      s.orb_->invoke(
+          entry->corba_proxy, "get_interface", std::move(args),
+          [&s, deferred, user, session_key, app_id](
+              util::Result<util::Bytes> r) {
+            proto::SelectAppReply out2;
+            ClientSession* sess2 = s.session_of(session_key);
+            AppEntry* entry2 = s.find_app(app_id);
+            if (!r.ok() || sess2 == nullptr || entry2 == nullptr) {
+              out2.message = !r.ok() ? r.error().message : "session gone";
+              ++s.stats_.selects_failed;
+              deferred->complete(body_response(403,
+                                               proto::encode_body(out2)));
+              return;
+            }
+            wire::Decoder d(r.value());
+            const auto p = static_cast<security::Privilege>(d.u8());
+            const std::uint32_t n = d.u32();
+            std::vector<proto::ParamSpec> params;
+            params.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+              params.push_back(proto::decode_param_spec(d));
+            }
+            const std::uint64_t history_seq = d.u64();
+            entry2->params = params;
+            ClientSub& sub = sess2->apps[app_id];
+            sub.privilege = p;
+            s.subscribe_remote(*entry2);
+            out2.ok = true;
+            out2.privilege = p;
+            out2.interface_spec = std::move(params);
+            out2.history_seq = history_seq;
+            ++s.stats_.selects_ok;
+            deferred->complete(body_response(200, proto::encode_body(out2)));
+          },
+          s.config_.orb_call_timeout);
+    });
+  }
+
+  void logout(const http::HttpRequest& request, http::HttpResponse& response,
+              http::ServletContext& ctx) {
+    DiscoverServer& s = server_;
+    const proto::LogoutRequest req =
+        proto::decode_logout_request(request.body);
+    proto::CollabAck ack;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      ack.message = v.error().message;
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    s.drop_session(ctx.session->id());
+    ack.ok = true;
+    ack.message = "logged out";
+    set_body(response, proto::encode_body(ack));
+  }
+
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Command servlet: "manages all client view/command requests" (paper §4.1)
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::CommandServlet final : public http::Servlet {
+ public:
+  explicit CommandServlet(DiscoverServer& server) : server_(server) {}
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext& ctx) override {
+    DiscoverServer& s = server_;
+    proto::CommandRequest req;
+    try {
+      req = proto::decode_command_request(request.body);
+    } catch (const wire::DecodeError& err) {
+      response = body_response(400, util::to_bytes(err.what()));
+      return;
+    }
+
+    proto::CommandAck ack;
+    ack.request_id = req.request_id;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      ack.message = v.error().message;
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    ClientSession* session = s.session_by_token(req.token, ctx.session->id());
+    if (session == nullptr) {
+      ack.message = "no active login session";
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    const auto sub_it = session->apps.find(req.app_id);
+    if (sub_it == session->apps.end()) {
+      ack.message = "application not selected";
+      set_body(response, proto::encode_body(ack));
+      response.status = 400;
+      return;
+    }
+    ClientSub& sub = sub_it->second;
+    // Fast-fail on the cached privilege; the host re-checks authoritatively.
+    if (!security::allows(sub.privilege,
+                          proto::required_privilege(req.kind))) {
+      ack.message = "insufficient privilege";
+      ++s.stats_.commands_rejected;
+      set_body(response, proto::encode_body(ack));
+      response.status = 403;
+      return;
+    }
+
+    AppEntry* entry = s.find_app(req.app_id);
+    if (entry == nullptr) {
+      ack.message = "application not found";
+      set_body(response, proto::encode_body(ack));
+      response.status = 404;
+      return;
+    }
+
+    if (entry->local) {
+      ack = s.admit_command(*entry, session->user, s.self_.value(),
+                            req.request_id, req.kind, req.param, req.value,
+                            sub.collab_enabled, sub.subgroup);
+      set_body(response, proto::encode_body(ack));
+      return;
+    }
+
+    // Remote application: relay through the host's CorbaProxy (§5.1.2) and
+    // defer the HTTP ack until the host's admission verdict returns.
+    ++s.stats_.remote_commands_out;
+    auto deferred = ctx.defer();
+    wire::Encoder args;
+    args.str(session->user);
+    args.u64(req.request_id);
+    args.u8(static_cast<std::uint8_t>(req.kind));
+    args.str(req.param);
+    proto::encode(args, req.value);
+    args.boolean(sub.collab_enabled);
+    args.str(sub.subgroup);
+    const std::uint64_t rid = req.request_id;
+    s.orb_->invoke(
+        entry->corba_proxy, "send_command", std::move(args),
+        [deferred, rid](util::Result<util::Bytes> r) {
+          proto::CommandAck out;
+          out.request_id = rid;
+          if (!r.ok()) {
+            out.message = r.error().message;
+            deferred->complete(
+                body_response(503, proto::encode_body(out)));
+            return;
+          }
+          wire::Decoder d(r.value());
+          out.accepted = d.boolean();
+          out.message = d.str();
+          deferred->complete(body_response(200, proto::encode_body(out)));
+        },
+        s.config_.orb_call_timeout);
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Collaboration servlet: poll, chat/whiteboard, sub-groups (paper §4.1)
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::CollabServlet final : public http::Servlet {
+ public:
+  explicit CollabServlet(DiscoverServer& server) : server_(server) {}
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext& ctx) override {
+    const std::string path = request.path_without_query();
+    try {
+      if (path == kPathPoll) {
+        poll(request, response, ctx);
+      } else if (path == kPathCollabPost) {
+        post(request, response, ctx);
+      } else if (path == kPathGroup) {
+        group(request, response, ctx);
+      } else {
+        response.status = 404;
+      }
+    } catch (const wire::DecodeError& err) {
+      response = body_response(400, util::to_bytes(err.what()));
+    }
+  }
+
+ private:
+  void poll(const http::HttpRequest& request, http::HttpResponse& response,
+            http::ServletContext& ctx) {
+    DiscoverServer& s = server_;
+    const proto::PollRequest req = proto::decode_poll_request(request.body);
+    proto::PollReply reply;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      reply.message = v.error().message;
+      set_body(response, proto::encode_body(reply));
+      response.status = 401;
+      return;
+    }
+    ClientSession* session = s.session_by_token(req.token, ctx.session->id());
+    if (session == nullptr) {
+      reply.message = "no active login session";
+      set_body(response, proto::encode_body(reply));
+      response.status = 401;
+      return;
+    }
+    const auto sub_it = session->apps.find(req.app_id);
+    if (sub_it == session->apps.end()) {
+      reply.message = "application not selected";
+      set_body(response, proto::encode_body(reply));
+      response.status = 400;
+      return;
+    }
+    // Poll-and-pull (paper §6.2): drain the per-client FIFO buffer.
+    ClientSub& sub = sub_it->second;
+    const std::uint32_t max = req.max_events == 0 ? 64 : req.max_events;
+    while (!sub.fifo.empty() && reply.events.size() < max) {
+      reply.events.push_back(std::move(sub.fifo.front()));
+      sub.fifo.pop_front();
+    }
+    reply.backlog = static_cast<std::uint32_t>(sub.fifo.size());
+    reply.ok = true;
+    ++s.stats_.polls_served;
+    set_body(response, proto::encode_body(reply));
+  }
+
+  void post(const http::HttpRequest& request, http::HttpResponse& response,
+            http::ServletContext& ctx) {
+    DiscoverServer& s = server_;
+    const proto::CollabPost req = proto::decode_collab_post(request.body);
+    proto::CollabAck ack;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      ack.message = v.error().message;
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    ClientSession* session = s.session_by_token(req.token, ctx.session->id());
+    if (session == nullptr) {
+      ack.message = "no active login session";
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    const auto sub_it = session->apps.find(req.app_id);
+    if (sub_it == session->apps.end()) {
+      ack.message = "application not selected";
+      set_body(response, proto::encode_body(ack));
+      response.status = 400;
+      return;
+    }
+    if (req.kind != proto::EventKind::chat &&
+        req.kind != proto::EventKind::whiteboard) {
+      ack.message = "only chat and whiteboard posts are allowed";
+      set_body(response, proto::encode_body(ack));
+      response.status = 400;
+      return;
+    }
+
+    ClientSub& sub = sub_it->second;
+    proto::ClientEvent ev;
+    ev.kind = req.kind;
+    ev.app = req.app_id;
+    ev.user = session->user;
+    ev.text = req.text;
+    ev.value = req.payload;
+    ev.subgroup = sub.subgroup;
+    ev.shared = sub.collab_enabled;
+    ++s.stats_.collab_posts;
+
+    AppEntry* entry = s.find_app(req.app_id);
+    if (entry == nullptr) {
+      ack.message = "application not found";
+      set_body(response, proto::encode_body(ack));
+      response.status = 404;
+      return;
+    }
+    if (entry->local) {
+      s.publish_event(*entry, std::move(ev));
+    } else {
+      // Relay to the host, which stamps/archives/redistributes (§5.2.3).
+      wire::Encoder args;
+      proto::encode(args, ev);
+      s.orb_->invoke(entry->corba_proxy, "forward_collab", std::move(args),
+                     [](util::Result<util::Bytes>) {},
+                     s.config_.orb_call_timeout);
+    }
+    ack.ok = true;
+    ack.message = "posted";
+    set_body(response, proto::encode_body(ack));
+  }
+
+  void group(const http::HttpRequest& request, http::HttpResponse& response,
+             http::ServletContext& ctx) {
+    DiscoverServer& s = server_;
+    const proto::GroupRequest req = proto::decode_group_request(request.body);
+    proto::CollabAck ack;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      ack.message = v.error().message;
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    ClientSession* session = s.session_by_token(req.token, ctx.session->id());
+    if (session == nullptr) {
+      ack.message = "no active login session";
+      set_body(response, proto::encode_body(ack));
+      response.status = 401;
+      return;
+    }
+    const auto sub_it = session->apps.find(req.app_id);
+    if (sub_it == session->apps.end()) {
+      ack.message = "application not selected";
+      set_body(response, proto::encode_body(ack));
+      response.status = 400;
+      return;
+    }
+    ClientSub& sub = sub_it->second;
+    switch (req.op) {
+      case proto::GroupOp::join_subgroup:
+        sub.subgroup = req.subgroup;
+        break;
+      case proto::GroupOp::leave_subgroup:
+        sub.subgroup.clear();
+        break;
+      case proto::GroupOp::enable_collab:
+        sub.collab_enabled = true;
+        break;
+      case proto::GroupOp::disable_collab:
+        sub.collab_enabled = false;
+        break;
+      case proto::GroupOp::enable_push:
+        sub.push = true;
+        break;
+      case proto::GroupOp::disable_push:
+        sub.push = false;
+        break;
+    }
+    ack.ok = true;
+    ack.message = "group state updated";
+    set_body(response, proto::encode_body(ack));
+  }
+
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Archive servlet: session replay and latecomer catch-up (paper §5.2.5)
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::ArchiveServlet final : public http::Servlet {
+ public:
+  explicit ArchiveServlet(DiscoverServer& server) : server_(server) {}
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext& ctx) override {
+    DiscoverServer& s = server_;
+    proto::HistoryRequest req;
+    try {
+      req = proto::decode_history_request(request.body);
+    } catch (const wire::DecodeError& err) {
+      response = body_response(400, util::to_bytes(err.what()));
+      return;
+    }
+    proto::HistoryReply reply;
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      reply.message = v.error().message;
+      set_body(response, proto::encode_body(reply));
+      response.status = 401;
+      return;
+    }
+    ClientSession* session = s.session_by_token(req.token, ctx.session->id());
+    if (session == nullptr || session->apps.count(req.app_id) == 0) {
+      reply.message = "application not selected";
+      set_body(response, proto::encode_body(reply));
+      response.status = 400;
+      return;
+    }
+    AppEntry* entry = s.find_app(req.app_id);
+    if (entry == nullptr) {
+      reply.message = "application not found";
+      set_body(response, proto::encode_body(reply));
+      response.status = 404;
+      return;
+    }
+    if (entry->local) {
+      // The application log lives here, at the host (§5.2.5).
+      reply.ok = true;
+      reply.events =
+          s.archive_.app_history(req.app_id, req.from_seq, req.max_events);
+      set_body(response, proto::encode_body(reply));
+      return;
+    }
+    // Remote history: fetch from the host's application log.
+    auto deferred = ctx.defer();
+    wire::Encoder args;
+    args.u64(req.from_seq);
+    args.u32(req.max_events);
+    s.orb_->invoke(
+        entry->corba_proxy, "poll_events", std::move(args),
+        [deferred](util::Result<util::Bytes> r) {
+          proto::HistoryReply out;
+          if (!r.ok()) {
+            out.message = r.error().message;
+            deferred->complete(body_response(503, proto::encode_body(out)));
+            return;
+          }
+          wire::Decoder d(r.value());
+          const std::uint32_t n = d.u32();
+          out.events.reserve(n);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            out.events.push_back(proto::decode_client_event(d));
+          }
+          out.ok = true;
+          deferred->complete(body_response(200, proto::encode_body(out)));
+        },
+        s.config_.orb_call_timeout);
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Redirect servlet: the "request redirection" auxiliary service (paper
+// §4.1).  Tells a client which server hosts an application so the portal
+// can connect to it directly — the host is extractable from the
+// application identifier itself (§5.2.1).
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::RedirectServlet final : public http::Servlet {
+ public:
+  explicit RedirectServlet(DiscoverServer& server) : server_(server) {}
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext& ctx) override {
+    (void)ctx;
+    DiscoverServer& s = server_;
+    proto::SelectAppRequest req;
+    try {
+      req = proto::decode_select_app_request(request.body);
+    } catch (const wire::DecodeError& err) {
+      response = body_response(400, util::to_bytes(err.what()));
+      return;
+    }
+    if (const auto v = s.verify_token(req.token); !v.ok()) {
+      response.status = 401;
+      response.body = util::to_bytes(v.error().message);
+      return;
+    }
+    response.headers.set(kHostHeader, std::to_string(req.app_id.host));
+    if (req.app_id.host == s.self_.value()) {
+      response.status = 200;  // already at the host
+    } else {
+      response.status = 307;  // temporary redirect to the host server
+    }
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Visualization servlet: another §4.1 auxiliary service.  Renders a
+// metric's recent history (from the application log) as a browser-friendly
+// text report with an ASCII sparkline:
+//   GET /discover/viz?app=<host:local>&metric=<name>&n=<width>
+// Authorization comes from the HTTP session: the client must have selected
+// the application (level-2) through this server first.
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::VisualizationServlet final : public http::Servlet {
+ public:
+  explicit VisualizationServlet(DiscoverServer& server) : server_(server) {}
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext& ctx) override {
+    DiscoverServer& s = server_;
+    const auto app_param = request.query_param("app");
+    const auto metric = request.query_param("metric");
+    if (!app_param || !metric) {
+      response.status = 400;
+      response.body = util::to_bytes("usage: ?app=<host:local>&metric=<name>"
+                                     "[&n=<width>]");
+      return;
+    }
+    const proto::AppId app = proto::AppId::parse(*app_param);
+    ClientSession* session = s.session_of(ctx.session->id());
+    if (session == nullptr || session->apps.count(app) == 0) {
+      response.status = 403;
+      response.body = util::to_bytes("select the application first");
+      return;
+    }
+    const AppEntry* entry = s.find_app(app);
+    if (entry == nullptr) {
+      response.status = 404;
+      response.body = util::to_bytes("application not found");
+      return;
+    }
+    if (!entry->local) {
+      // The application log lives at the host (§5.2.5); point the browser
+      // there rather than proxying bulk history.
+      response.status = 307;
+      response.headers.set(kHostHeader, std::to_string(app.host));
+      response.body = util::to_bytes("visualization served by host server " +
+                                     std::to_string(app.host));
+      return;
+    }
+
+    std::size_t width = 60;
+    if (const auto n = request.query_param("n")) {
+      width = std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::strtoul(n->c_str(), nullptr, 10)), 5,
+          400);
+    }
+    // Newest `width` samples of the metric from the application log.
+    std::vector<double> series;
+    for (const auto& ev :
+         s.archive_.app_history(app, 0, 0)) {
+      if (ev.kind != proto::EventKind::update) continue;
+      const auto it = ev.metrics.find(*metric);
+      if (it != ev.metrics.end()) series.push_back(it->second);
+    }
+    if (series.size() > width) {
+      series.erase(series.begin(),
+                   series.end() - static_cast<std::ptrdiff_t>(width));
+    }
+    if (series.empty()) {
+      response.status = 404;
+      response.body = util::to_bytes("no samples for metric " + *metric);
+      return;
+    }
+
+    double lo = series.front();
+    double hi = series.front();
+    double sum = 0;
+    for (const double v : series) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    static constexpr const char* kBars[] = {"_", ".", ":", "-", "=", "+",
+                                            "*", "#"};
+    std::string spark;
+    for (const double v : series) {
+      const double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+      spark += kBars[static_cast<int>(t * 7.0 + 0.5)];
+    }
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "%s @ %s\nsamples=%zu min=%g max=%g avg=%g\n",
+                  metric->c_str(), entry->name.c_str(), series.size(), lo,
+                  hi, sum / static_cast<double>(series.size()));
+    response.headers.set("Content-Type", "text/plain");
+    response.body = util::to_bytes(std::string(head) + spark + "\n");
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
+void DiscoverServer::mount_servlets() {
+  container_->mount("/discover/master", std::make_shared<MasterServlet>(*this));
+  container_->mount(kPathCommand, std::make_shared<CommandServlet>(*this));
+  container_->mount("/discover/collab", std::make_shared<CollabServlet>(*this));
+  container_->mount(kPathArchive, std::make_shared<ArchiveServlet>(*this));
+  container_->mount(kPathRedirect,
+                    std::make_shared<RedirectServlet>(*this));
+  container_->mount(kPathViz,
+                    std::make_shared<VisualizationServlet>(*this));
+}
+
+}  // namespace discover::core

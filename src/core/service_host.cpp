@@ -1,0 +1,76 @@
+#include "core/service_host.h"
+
+#include "util/log.h"
+
+namespace discover::core {
+
+ServiceHost::ServiceHost(net::Network& network) : network_(network) {}
+
+void ServiceHost::attach(net::NodeId self) {
+  self_ = self;
+  orb_ = std::make_unique<orb::Orb>(network_, self);
+}
+
+void ServiceHost::set_registry(orb::ObjectRef trader) {
+  trader_ = orb::TraderClient(*orb_, std::move(trader));
+}
+
+orb::ObjectRef ServiceHost::publish(
+    const std::string& service_type, std::shared_ptr<orb::Servant> servant,
+    std::map<std::string, std::string> properties) {
+  const orb::ObjectRef ref = orb_->activate(std::move(servant));
+  if (trader_.configured()) {
+    trader_.export_offer(service_type, ref, properties,
+                         [this](util::Result<std::uint64_t> r) {
+                           if (r.ok()) {
+                             offers_.push_back(r.value());
+                           } else {
+                             DISCOVER_LOG(warn, "service")
+                                 << "offer export failed: " << r.error();
+                           }
+                         });
+  }
+  return ref;
+}
+
+void ServiceHost::withdraw_all() {
+  if (!trader_.configured()) return;
+  for (const std::uint64_t offer : offers_) {
+    trader_.withdraw(offer, [](util::Status) {});
+  }
+  offers_.clear();
+}
+
+void ServiceHost::on_message(const net::Message& msg) {
+  if (msg.channel == net::Channel::giop) orb_->handle(msg);
+}
+
+void MonitoringService::dispatch(const std::string& method,
+                                 wire::Decoder& args, wire::Encoder& out,
+                                 orb::DispatchContext& ctx) {
+  (void)ctx;
+  if (method == "report") {
+    const std::string reporter = args.str();
+    Report report;
+    report.metrics = args.map<std::string, std::int64_t>(
+        [](wire::Decoder& d) { return d.str(); },
+        [](wire::Decoder& d) { return d.i64(); });
+    report.at = clock_.now();
+    reports_[reporter] = std::move(report);
+    ++received_;
+  } else if (method == "snapshot") {
+    out.u32(static_cast<std::uint32_t>(reports_.size()));
+    for (const auto& [reporter, report] : reports_) {
+      out.str(reporter);
+      out.map(report.metrics,
+              [](wire::Encoder& e, const std::string& k) { e.str(k); },
+              [](wire::Encoder& e, std::int64_t v) { e.i64(v); });
+      out.i64(report.at);
+    }
+  } else {
+    throw orb::OrbException{util::Errc::invalid_argument,
+                            "MonitoringService has no method " + method};
+  }
+}
+
+}  // namespace discover::core

@@ -1,0 +1,89 @@
+// The "pool of services" model (paper §3): besides DISCOVER servers, the
+// middleware can expose arbitrary backend services — "a monitoring
+// service, an archival service or grid services" — that are published in
+// the trader under their own service type and accessed purely through
+// level-2 interfaces.  "The availability of these servers is not
+// guaranteed and must be determined at runtime."
+//
+// ServiceHost is a minimal node that hosts such servants; the
+// MonitoringService is a concrete instance that DISCOVER servers can
+// (optionally) report their statistics to.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "orb/orb.h"
+#include "orb/trader.h"
+#include "util/clock.h"
+
+namespace discover::core {
+
+inline constexpr const char* kMonitoringServiceType = "MONITORING";
+
+class ServiceHost : public net::MessageHandler {
+ public:
+  explicit ServiceHost(net::Network& network);
+
+  void attach(net::NodeId self);
+  void set_registry(orb::ObjectRef trader);
+
+  /// Activates the servant and exports a trader offer of `service_type`
+  /// with `properties`; returns the servant's reference immediately (the
+  /// export completes asynchronously).
+  orb::ObjectRef publish(const std::string& service_type,
+                         std::shared_ptr<orb::Servant> servant,
+                         std::map<std::string, std::string> properties);
+
+  /// Withdraws every exported offer (simulates the service going away —
+  /// peers must cope, per §3's availability caveat).
+  void withdraw_all();
+
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] orb::Orb& orb() { return *orb_; }
+  [[nodiscard]] net::NodeId node() const { return self_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId self_{0};
+  std::unique_ptr<orb::Orb> orb_;
+  orb::TraderClient trader_;
+  std::vector<std::uint64_t> offers_;
+};
+
+/// A monitoring service in the pool: servers push statistics snapshots;
+/// operators (or tests) read the aggregate back.
+///
+/// Methods:
+///   report(reporter: str, metrics: map<str, i64>) -> ()
+///   snapshot() -> seq<(reporter, map<str, i64>, last_report_time)>
+class MonitoringService final : public orb::Servant {
+ public:
+  explicit MonitoringService(const util::Clock& clock) : clock_(clock) {}
+
+  [[nodiscard]] std::string interface_name() const override {
+    return "MonitoringService";
+  }
+
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, orb::DispatchContext& ctx) override;
+
+  [[nodiscard]] std::size_t reporter_count() const { return reports_.size(); }
+  [[nodiscard]] std::uint64_t reports_received() const { return received_; }
+
+ private:
+  struct Report {
+    std::map<std::string, std::int64_t> metrics;
+    util::TimePoint at = 0;
+  };
+
+  const util::Clock& clock_;
+  std::map<std::string, Report> reports_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace discover::core

@@ -1,0 +1,82 @@
+#include "core/session_archive.h"
+
+#include <algorithm>
+
+namespace discover::core {
+
+SessionArchive::SessionArchive(std::size_t max_events_per_app,
+                               db::RecordStore* mirror)
+    : cap_(max_events_per_app), mirror_(mirror) {}
+
+void SessionArchive::log_app_event(const proto::ClientEvent& event,
+                                   const std::string& app_owner) {
+  auto& log = app_logs_[event.app];
+  log.push_back(event);
+  if (cap_ != 0 && log.size() > cap_) log.pop_front();
+  ++app_events_logged_;
+
+  if (mirror_ != nullptr) {
+    // §6.3: periodic application data is owned by the application's owner;
+    // responses to a client's request are owned by that user.
+    const std::string owner =
+        event.kind == proto::EventKind::response && !event.user.empty()
+            ? event.user
+            : app_owner;
+    db::Table& table = mirror_->table("app_log_" + event.app.to_string());
+    table.insert(owner, event.at,
+                 {{"seq", static_cast<std::int64_t>(event.seq)},
+                  {"kind", std::string(proto::event_kind_name(event.kind))},
+                  {"user", event.user},
+                  {"text", event.text}});
+  }
+}
+
+std::vector<proto::ClientEvent> SessionArchive::app_history(
+    const proto::AppId& app, std::uint64_t from_seq,
+    std::uint32_t max_events) const {
+  std::vector<proto::ClientEvent> out;
+  const auto it = app_logs_.find(app);
+  if (it == app_logs_.end()) return out;
+  for (const auto& ev : it->second) {
+    if (ev.seq <= from_seq) continue;
+    out.push_back(ev);
+    if (max_events != 0 && out.size() >= max_events) break;
+  }
+  return out;
+}
+
+std::uint64_t SessionArchive::latest_seq(const proto::AppId& app) const {
+  const auto it = app_logs_.find(app);
+  if (it == app_logs_.end() || it->second.empty()) return 0;
+  return it->second.back().seq;
+}
+
+void SessionArchive::drop_app(const proto::AppId& app) {
+  app_logs_.erase(app);
+}
+
+void SessionArchive::log_interaction(const std::string& user,
+                                     const proto::ClientEvent& event) {
+  interaction_logs_[{user, event.app}].push_back(event);
+  ++interactions_logged_;
+}
+
+std::vector<proto::ClientEvent> SessionArchive::interactions(
+    const std::string& user, const proto::AppId& app) const {
+  const auto it = interaction_logs_.find({user, app});
+  return it != interaction_logs_.end() ? it->second
+                                       : std::vector<proto::ClientEvent>{};
+}
+
+std::map<std::string, proto::ParamValue> SessionArchive::replay_params(
+    const std::vector<proto::ClientEvent>& events) {
+  std::map<std::string, proto::ParamValue> params;
+  for (const auto& ev : events) {
+    if (ev.kind == proto::EventKind::response && !ev.param.empty()) {
+      params[ev.param] = ev.value;
+    }
+  }
+  return params;
+}
+
+}  // namespace discover::core

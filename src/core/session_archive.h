@@ -1,0 +1,75 @@
+// Distributed logging (paper §5.2.5).
+//
+// Two logs per the paper:
+//  * the interaction log — "all interactions between a client(s) and an
+//    application", kept at the server the client is connected to; enables
+//    replaying one's own session;
+//  * the application log — "all requests, responses, and status messages for
+//    each application", kept at the application's host server; gives any
+//    authorized client the full history and lets latecomers to a
+//    collaboration group "get up to speed".
+//
+// Events are optionally mirrored into a db::RecordStore table so the
+// ownership rules of §6.3 are exercised (owner = originating user for
+// interaction records, application owner for periodic records).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/record_store.h"
+#include "proto/types.h"
+
+namespace discover::core {
+
+class SessionArchive {
+ public:
+  /// `max_events_per_app` bounds each application log (ring semantics:
+  /// oldest entries fall off).  0 means unbounded.
+  explicit SessionArchive(std::size_t max_events_per_app = 4096,
+                          db::RecordStore* mirror = nullptr);
+
+  // -- application log (host server) ---------------------------------------
+  void log_app_event(const proto::ClientEvent& event,
+                     const std::string& app_owner);
+  /// Events with seq > from_seq, oldest first, at most max_events.
+  [[nodiscard]] std::vector<proto::ClientEvent> app_history(
+      const proto::AppId& app, std::uint64_t from_seq,
+      std::uint32_t max_events) const;
+  [[nodiscard]] std::uint64_t latest_seq(const proto::AppId& app) const;
+  void drop_app(const proto::AppId& app);
+
+  // -- interaction log (client's local server) ------------------------------
+  void log_interaction(const std::string& user,
+                       const proto::ClientEvent& event);
+  [[nodiscard]] std::vector<proto::ClientEvent> interactions(
+      const std::string& user, const proto::AppId& app) const;
+
+  /// Replays set_param responses in an event stream, producing the final
+  /// parameter assignment — the invariant checked by the archive property
+  /// tests (replay == live state).
+  static std::map<std::string, proto::ParamValue> replay_params(
+      const std::vector<proto::ClientEvent>& events);
+
+  [[nodiscard]] std::uint64_t app_events_logged() const {
+    return app_events_logged_;
+  }
+  [[nodiscard]] std::uint64_t interactions_logged() const {
+    return interactions_logged_;
+  }
+
+ private:
+  std::size_t cap_;
+  db::RecordStore* mirror_;
+  std::map<proto::AppId, std::deque<proto::ClientEvent>> app_logs_;
+  std::map<std::pair<std::string, proto::AppId>,
+           std::vector<proto::ClientEvent>>
+      interaction_logs_;
+  std::uint64_t app_events_logged_ = 0;
+  std::uint64_t interactions_logged_ = 0;
+};
+
+}  // namespace discover::core

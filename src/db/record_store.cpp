@@ -1,0 +1,186 @@
+#include "db/record_store.h"
+
+#include <cstdio>
+
+namespace discover::db {
+
+std::string value_to_string(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::int64_t>) {
+          return std::to_string(x);
+        } else if constexpr (std::is_same_v<T, double>) {
+          char buf[48];
+          std::snprintf(buf, sizeof(buf), "%g", x);
+          return buf;
+        } else {
+          return x;
+        }
+      },
+      v);
+}
+
+namespace {
+/// Compares two Values; mixed int/double compare numerically, any other
+/// cross-type comparison is false for eq and true for ne, false otherwise.
+int compare(const Value& a, const Value& b, bool& comparable) {
+  comparable = true;
+  if (a.index() == b.index()) {
+    if (a < b) return -1;
+    if (b < a) return 1;
+    return 0;
+  }
+  const auto as_double = [](const Value& v, bool& ok) -> double {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      ok = true;
+      return static_cast<double>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&v)) {
+      ok = true;
+      return *d;
+    }
+    ok = false;
+    return 0;
+  };
+  bool ok_a = false;
+  bool ok_b = false;
+  const double da = as_double(a, ok_a);
+  const double db = as_double(b, ok_b);
+  if (ok_a && ok_b) {
+    if (da < db) return -1;
+    if (db < da) return 1;
+    return 0;
+  }
+  comparable = false;
+  return 0;
+}
+}  // namespace
+
+bool Predicate::matches(const Record& r) const {
+  const auto it = r.fields.find(field);
+  if (it == r.fields.end()) return op == Op::ne;
+  bool comparable = false;
+  const int c = compare(it->second, literal, comparable);
+  if (!comparable) return op == Op::ne;
+  switch (op) {
+    case Op::eq: return c == 0;
+    case Op::ne: return c != 0;
+    case Op::lt: return c < 0;
+    case Op::le: return c <= 0;
+    case Op::gt: return c > 0;
+    case Op::ge: return c >= 0;
+  }
+  return false;
+}
+
+RecordId Table::insert(const std::string& owner, util::TimePoint now,
+                       std::map<std::string, Value> fields) {
+  const RecordId id{next_id_++};
+  Row row;
+  row.record.id = id;
+  row.record.owner = owner;
+  row.record.created_at = now;
+  row.record.fields = std::move(fields);
+  records_.emplace(id, std::move(row));
+  return id;
+}
+
+util::Status Table::update(RecordId id, const std::string& user,
+                           std::map<std::string, Value> fields) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return {util::Errc::not_found, "no record " + std::to_string(id.value())};
+  }
+  if (it->second.record.owner != user) {
+    // Read-only grants never allow writes (paper §6.3).
+    return {util::Errc::permission_denied,
+            user + " does not own record " + std::to_string(id.value())};
+  }
+  for (auto& [k, v] : fields) it->second.record.fields[k] = std::move(v);
+  return {};
+}
+
+util::Status Table::remove(RecordId id, const std::string& user) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return {util::Errc::not_found, "no record " + std::to_string(id.value())};
+  }
+  if (it->second.record.owner != user) {
+    return {util::Errc::permission_denied,
+            user + " does not own record " + std::to_string(id.value())};
+  }
+  records_.erase(it);
+  return {};
+}
+
+util::Status Table::grant_read(RecordId id, const std::string& user) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return {util::Errc::not_found, "no record " + std::to_string(id.value())};
+  }
+  it->second.readers.insert(user);
+  return {};
+}
+
+bool Table::can_read(const Row& row, const std::string& user) const {
+  return row.record.owner == user || row.readers.count(user) != 0;
+}
+
+util::Result<Record> Table::read(RecordId id, const std::string& user) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return util::Error{util::Errc::not_found,
+                       "no record " + std::to_string(id.value())};
+  }
+  if (!can_read(it->second, user)) {
+    return util::Error{util::Errc::permission_denied,
+                       user + " may not read record " +
+                           std::to_string(id.value())};
+  }
+  return it->second.record;
+}
+
+std::vector<Record> Table::query(
+    const std::string& user, const std::vector<Predicate>& predicates) const {
+  std::vector<Record> out;
+  for (const auto& [_, row] : records_) {
+    if (!can_read(row, user)) continue;
+    bool all = true;
+    for (const auto& p : predicates) {
+      if (!p.matches(row.record)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(row.record);
+  }
+  return out;
+}
+
+std::vector<Record> Table::scan_all() const {
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (const auto& [_, row] : records_) out.push_back(row.record);
+  return out;
+}
+
+Table& RecordStore::table(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it != tables_.end()) return it->second;
+  return tables_.emplace(name, Table(name)).first->second;
+}
+
+const Table* RecordStore::find_table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it != tables_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> RecordStore::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace discover::db

@@ -1,0 +1,104 @@
+// In-memory relational-style record store.
+//
+// Paper §6.3 ("Data Management and ownership across servers"): DISCOVER
+// stores all generated data "in the form of records" in relational
+// databases; client-requested output is owned by the requesting user at the
+// client's local server, application-periodic data is owned by the
+// application owner at the host server, and other authorized clients get
+// read-only access.  This module reproduces those ownership/grant semantics;
+// the session-archive and bench harness use it as their storage substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace discover::db {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+std::string value_to_string(const Value& v);
+
+struct RecordIdTag {};
+using RecordId = util::StrongId<RecordIdTag, std::uint64_t>;
+
+struct Record {
+  RecordId id;
+  std::string owner;
+  util::TimePoint created_at = 0;
+  std::map<std::string, Value> fields;
+};
+
+/// Field predicate for queries: field op literal.
+struct Predicate {
+  enum class Op { eq, ne, lt, le, gt, ge };
+  std::string field;
+  Op op = Op::eq;
+  Value literal;
+
+  [[nodiscard]] bool matches(const Record& r) const;
+};
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  RecordId insert(const std::string& owner, util::TimePoint now,
+                  std::map<std::string, Value> fields);
+
+  /// Owner-only mutation.
+  util::Status update(RecordId id, const std::string& user,
+                      std::map<std::string, Value> fields);
+  util::Status remove(RecordId id, const std::string& user);
+
+  /// Grants `user` read-only access to `id` (owner-initiated or
+  /// server-initiated for collaboration members).
+  util::Status grant_read(RecordId id, const std::string& user);
+
+  /// Read with access check: owner or read-granted.
+  [[nodiscard]] util::Result<Record> read(RecordId id,
+                                          const std::string& user) const;
+
+  /// All records visible to `user` matching every predicate.
+  [[nodiscard]] std::vector<Record> query(
+      const std::string& user, const std::vector<Predicate>& predicates) const;
+
+  /// Unchecked scan for administrative/bench use.
+  [[nodiscard]] std::vector<Record> scan_all() const;
+
+ private:
+  struct Row {
+    Record record;
+    std::set<std::string> readers;  // read-only grants
+  };
+
+  [[nodiscard]] bool can_read(const Row& row, const std::string& user) const;
+
+  std::string name_;
+  std::map<RecordId, Row> records_;
+  std::uint64_t next_id_ = 1;
+};
+
+class RecordStore {
+ public:
+  /// Creates or returns the named table.
+  Table& table(const std::string& name);
+  [[nodiscard]] const Table* find_table(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace discover::db

@@ -1,0 +1,106 @@
+#include "grid/cog.h"
+
+#include <algorithm>
+
+namespace discover::grid {
+
+void CorbaCoG::discover_resources(const std::string& constraint,
+                                  ResourcesCallback cb) {
+  wire::Encoder args;
+  args.str(constraint);
+  orb_->invoke(gis_, "query_resources", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 const std::uint32_t n = d.u32();
+                 std::vector<ResourceInfo> out;
+                 out.reserve(n);
+                 for (std::uint32_t i = 0; i < n; ++i) {
+                   out.push_back(decode_resource_info(d));
+                 }
+                 cb(std::move(out));
+               });
+}
+
+void CorbaCoG::submit(const orb::ObjectRef& gram, const JobDescription& job,
+                      SubmitCallback cb) {
+  wire::Encoder args;
+  encode(args, job);
+  orb_->invoke(gram, "submit", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 cb(d.u64());
+               });
+}
+
+void CorbaCoG::status(const orb::ObjectRef& gram, JobId id,
+                      StatusCallback cb) {
+  wire::Encoder args;
+  args.u64(id);
+  orb_->invoke(gram, "status", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 cb(decode_job_status(d));
+               });
+}
+
+void CorbaCoG::cancel(const orb::ObjectRef& gram, JobId id, DoneCallback cb) {
+  wire::Encoder args;
+  args.u64(id);
+  orb_->invoke(gram, "cancel", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 cb(r.ok() ? util::Status() : util::Status(r.error()));
+               });
+}
+
+void CorbaCoG::allocate_and_submit(
+    const std::string& constraint, const JobDescription& job,
+    std::function<void(util::Result<JobStatus>)> cb) {
+  discover_resources(
+      constraint,
+      [this, job, cb = std::move(cb)](
+          util::Result<std::vector<ResourceInfo>> r) {
+        if (!r.ok()) {
+          cb(r.error());
+          return;
+        }
+        const auto& resources = r.value();
+        if (resources.empty()) {
+          cb(util::Error{util::Errc::unavailable,
+                         "no resource matches the constraint"});
+          return;
+        }
+        // Most free slots wins (simple load-levelling allocator).
+        const ResourceInfo* best = &resources.front();
+        for (const ResourceInfo& info : resources) {
+          const std::int64_t free =
+              static_cast<std::int64_t>(info.total_cpus) - info.running_jobs;
+          const std::int64_t best_free =
+              static_cast<std::int64_t>(best->total_cpus) -
+              best->running_jobs;
+          if (free > best_free) best = &info;
+        }
+        const orb::ObjectRef gram = best->gram;
+        submit(gram, job,
+               [this, gram, cb](util::Result<JobId> submitted) {
+                 if (!submitted.ok()) {
+                   cb(submitted.error());
+                   return;
+                 }
+                 status(gram, submitted.value(), cb);
+               });
+      });
+}
+
+}  // namespace discover::grid

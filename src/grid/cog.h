@@ -1,0 +1,54 @@
+// The CORBA CoG kit (paper §7): typed client stubs giving application
+// developers access to Grid services through the ORB — discover resources
+// via the GIS, submit/monitor/cancel jobs via a resource's GRAM servant.
+// Combined with DiscoverClient this completes the paper's closing
+// scenario: "discover, allocate and stage a scientific simulation, and
+// then use the DISCOVER web-portal to collaboratively monitor, interact
+// with, and steer the application".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "grid/gis.h"
+#include "grid/job.h"
+#include "orb/orb.h"
+
+namespace discover::grid {
+
+class CorbaCoG {
+ public:
+  CorbaCoG(orb::Orb& orb, orb::ObjectRef gis)
+      : orb_(&orb), gis_(std::move(gis)) {}
+  CorbaCoG() = default;
+
+  using ResourcesCallback =
+      std::function<void(util::Result<std::vector<ResourceInfo>>)>;
+  using SubmitCallback = std::function<void(util::Result<JobId>)>;
+  using StatusCallback = std::function<void(util::Result<JobStatus>)>;
+  using DoneCallback = std::function<void(util::Status)>;
+
+  /// GIS resource discovery with the trader constraint language, e.g.
+  /// "site == texas" or "" for everything.
+  void discover_resources(const std::string& constraint,
+                          ResourcesCallback cb);
+
+  void submit(const orb::ObjectRef& gram, const JobDescription& job,
+              SubmitCallback cb);
+  void status(const orb::ObjectRef& gram, JobId id, StatusCallback cb);
+  void cancel(const orb::ObjectRef& gram, JobId id, DoneCallback cb);
+
+  /// Convenience allocator: picks the matching resource with the most free
+  /// CPU slots and submits there.  Fails if nothing matches.
+  void allocate_and_submit(const std::string& constraint,
+                           const JobDescription& job,
+                           std::function<void(util::Result<JobStatus>)> cb);
+
+  [[nodiscard]] bool configured() const { return gis_.valid(); }
+
+ private:
+  orb::Orb* orb_ = nullptr;
+  orb::ObjectRef gis_;
+};
+
+}  // namespace discover::grid

@@ -1,0 +1,74 @@
+#include "grid/gis.h"
+
+namespace discover::grid {
+
+void encode(wire::Encoder& e, const ResourceInfo& r) {
+  e.str(r.name);
+  encode(e, r.gram);
+  e.map(r.attributes,
+        [](wire::Encoder& enc, const std::string& k) { enc.str(k); },
+        [](wire::Encoder& enc, const std::string& v) { enc.str(v); });
+  e.u32(r.running_jobs);
+  e.u32(r.total_cpus);
+}
+
+ResourceInfo decode_resource_info(wire::Decoder& d) {
+  ResourceInfo r;
+  r.name = d.str();
+  r.gram = orb::decode_object_ref(d);
+  r.attributes = d.map<std::string, std::string>(
+      [](wire::Decoder& dd) { return dd.str(); },
+      [](wire::Decoder& dd) { return dd.str(); });
+  r.running_jobs = d.u32();
+  r.total_cpus = d.u32();
+  return r;
+}
+
+void GridInformationService::dispatch(const std::string& method,
+                                      wire::Decoder& args, wire::Encoder& out,
+                                      orb::DispatchContext& ctx) {
+  (void)ctx;
+  if (method == "register_resource") {
+    ResourceInfo info;
+    info.name = args.str();
+    info.gram = orb::decode_object_ref(args);
+    info.attributes = args.map<std::string, std::string>(
+        [](wire::Decoder& d) { return d.str(); },
+        [](wire::Decoder& d) { return d.str(); });
+    info.total_cpus = args.u32();
+    resources_[info.name] = std::move(info);
+  } else if (method == "update_load") {
+    const std::string name = args.str();
+    const std::uint32_t running = args.u32();
+    const auto it = resources_.find(name);
+    if (it == resources_.end()) {
+      throw orb::OrbException{util::Errc::not_found,
+                              "unknown resource " + name};
+    }
+    it->second.running_jobs = running;
+  } else if (method == "unregister_resource") {
+    resources_.erase(args.str());
+  } else if (method == "query_resources") {
+    const std::string constraint = args.str();
+    std::vector<const ResourceInfo*> matches;
+    for (const auto& [_, info] : resources_) {
+      auto m = orb::match_constraint(constraint, info.attributes);
+      if (!m.ok()) throw orb::OrbException{m.error().code, m.error().message};
+      if (m.value()) matches.push_back(&info);
+    }
+    out.u32(static_cast<std::uint32_t>(matches.size()));
+    for (const ResourceInfo* info : matches) encode(out, *info);
+  } else if (method == "add_identity") {
+    const std::string user = args.str();
+    identities_[user] = args.u64();
+  } else if (method == "list_identities") {
+    out.map(identities_,
+            [](wire::Encoder& e, const std::string& k) { e.str(k); },
+            [](wire::Encoder& e, std::uint64_t v) { e.u64(v); });
+  } else {
+    throw orb::OrbException{util::Errc::invalid_argument,
+                            "GIS has no method " + method};
+  }
+}
+
+}  // namespace discover::grid

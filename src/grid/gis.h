@@ -1,0 +1,69 @@
+// Grid Information Service (GIS/MDS analogue; referenced by paper §6.3 as
+// the "centralized directory service like the GIS" that could hold global
+// user identities, and by §7 as part of the Grid services the CORBA CoG
+// kit exposes).
+//
+// Two directories behind one servant:
+//  * resources — compute resources register their GRAM reference plus
+//    attributes; clients query with the trader constraint language;
+//  * identities — global user-id/password-digest pairs that DISCOVER
+//    servers may pull to supplement application ACLs (§6.3's suggestion).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orb/orb.h"
+#include "orb/trader.h"
+
+namespace discover::grid {
+
+inline constexpr const char* kGisServiceType = "GIS";
+inline constexpr const char* kGramServiceType = "GRAM";
+
+struct ResourceInfo {
+  std::string name;
+  orb::ObjectRef gram;  // the resource's job-manager servant
+  std::map<std::string, std::string> attributes;  // cpus, mflops, site...
+  std::uint32_t running_jobs = 0;
+  std::uint32_t total_cpus = 0;
+};
+
+class GridInformationService final : public orb::Servant {
+ public:
+  [[nodiscard]] std::string interface_name() const override {
+    return "GridInformationService";
+  }
+
+  // Methods:
+  //   register_resource(name, gram_ref, attrs, cpus) -> ()
+  //   update_load(name, running_jobs) -> ()
+  //   unregister_resource(name) -> ()
+  //   query_resources(constraint) -> seq<ResourceInfo>
+  //   add_identity(user, pw_digest) -> ()
+  //   list_identities() -> map<user, pw_digest>
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, orb::DispatchContext& ctx) override;
+
+  [[nodiscard]] std::size_t resource_count() const {
+    return resources_.size();
+  }
+  [[nodiscard]] std::size_t identity_count() const {
+    return identities_.size();
+  }
+  /// Local (in-process) identity seeding for deployment bootstrap.
+  void add_identity(const std::string& user, std::uint64_t pw_digest) {
+    identities_[user] = pw_digest;
+  }
+
+ private:
+  std::map<std::string, ResourceInfo> resources_;
+  std::map<std::string, std::uint64_t> identities_;
+};
+
+void encode(wire::Encoder& e, const ResourceInfo& r);
+ResourceInfo decode_resource_info(wire::Decoder& d);
+
+}  // namespace discover::grid

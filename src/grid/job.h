@@ -1,0 +1,66 @@
+// Grid job model shared by the GRAM-like resource manager and the CoG kit.
+//
+// Context (paper §7): the authors' follow-on work is "a CORBA CoG kit to
+// provide application developers with access to Grid services using
+// CORBA ... a client can use Globus services provided by the CORBA CoG Kit
+// to discover, allocate and stage a scientific simulation, and then use
+// the DISCOVER web-portal to collaboratively monitor, interact with, and
+// steer the application".  This module is that substrate, rebuilt on our
+// ORB: an information service (GIS/MDS analogue), per-resource job
+// managers (GRAM analogue), and a client kit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/acl.h"
+#include "util/clock.h"
+#include "wire/cdr.h"
+
+namespace discover::grid {
+
+using JobId = std::uint64_t;
+
+enum class JobState : std::uint8_t {
+  pending = 0,   // queued, waiting for a CPU slot
+  staging = 1,   // executable/data transfer in progress
+  running = 2,   // application alive and registered with DISCOVER
+  finished = 3,  // ran to completion (or was stopped via steering)
+  cancelled = 4, // killed through the resource manager
+  failed = 5,    // could not be launched
+};
+const char* job_state_name(JobState s);
+
+/// What the CoG kit submits: which solver to run, how it should behave,
+/// and which DISCOVER server it must register with for steering.
+struct JobDescription {
+  std::string kind = "synthetic";  // reservoir | heat2d | wave1d |
+                                   // inspiral | synthetic
+  std::string name = "job";
+  std::vector<security::AclEntry> acl;
+  std::uint32_t discover_server = 0;  // NodeId value of the steering server
+  util::Duration step_time = util::milliseconds(1);
+  std::uint32_t update_every = 5;
+  std::uint32_t interact_every = 10;
+  std::uint64_t max_steps = 0;
+  /// Bytes of "executable + input data" to stage before launch; the
+  /// resource turns this into a staging delay from its stage bandwidth.
+  std::uint64_t stage_bytes = 0;
+};
+
+struct JobStatus {
+  JobId id = 0;
+  JobState state = JobState::pending;
+  std::string name;
+  std::string detail;          // error text / progress note
+  std::string discover_app_id; // AppId string once running
+  std::uint64_t steps = 0;
+};
+
+void encode(wire::Encoder& e, const JobDescription& d);
+JobDescription decode_job_description(wire::Decoder& d);
+void encode(wire::Encoder& e, const JobStatus& s);
+JobStatus decode_job_status(wire::Decoder& d);
+
+}  // namespace discover::grid

@@ -1,0 +1,352 @@
+#include "grid/resource.h"
+
+#include <algorithm>
+
+#include "app/heat2d.h"
+#include "proto/types.h"
+#include "app/inspiral.h"
+#include "app/reservoir.h"
+#include "app/synthetic.h"
+#include "app/wave1d.h"
+#include "util/log.h"
+
+namespace discover::grid {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::pending: return "pending";
+    case JobState::staging: return "staging";
+    case JobState::running: return "running";
+    case JobState::finished: return "finished";
+    case JobState::cancelled: return "cancelled";
+    case JobState::failed: return "failed";
+  }
+  return "?";
+}
+
+void encode(wire::Encoder& e, const JobDescription& d) {
+  e.str(d.kind);
+  e.str(d.name);
+  e.sequence(d.acl, [](wire::Encoder& enc, const security::AclEntry& a) {
+    proto::encode(enc, a);
+  });
+  e.u32(d.discover_server);
+  e.i64(d.step_time);
+  e.u32(d.update_every);
+  e.u32(d.interact_every);
+  e.u64(d.max_steps);
+  e.u64(d.stage_bytes);
+}
+
+JobDescription decode_job_description(wire::Decoder& d) {
+  JobDescription out;
+  out.kind = d.str();
+  out.name = d.str();
+  out.acl = d.sequence<security::AclEntry>(
+      [](wire::Decoder& dd) { return proto::decode_acl_entry(dd); });
+  out.discover_server = d.u32();
+  out.step_time = d.i64();
+  out.update_every = d.u32();
+  out.interact_every = d.u32();
+  out.max_steps = d.u64();
+  out.stage_bytes = d.u64();
+  return out;
+}
+
+void encode(wire::Encoder& e, const JobStatus& s) {
+  e.u64(s.id);
+  e.u8(static_cast<std::uint8_t>(s.state));
+  e.str(s.name);
+  e.str(s.detail);
+  e.str(s.discover_app_id);
+  e.u64(s.steps);
+}
+
+JobStatus decode_job_status(wire::Decoder& d) {
+  JobStatus out;
+  out.id = d.u64();
+  out.state = static_cast<JobState>(d.u8());
+  out.name = d.str();
+  out.detail = d.str();
+  out.discover_app_id = d.str();
+  out.steps = d.u64();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GRAM servant
+// ---------------------------------------------------------------------------
+
+class GridResource::GramServant final : public orb::Servant {
+ public:
+  explicit GramServant(GridResource& resource) : resource_(resource) {}
+
+  [[nodiscard]] std::string interface_name() const override {
+    return "GramJobManager";
+  }
+
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, orb::DispatchContext& ctx) override {
+    (void)ctx;
+    GridResource& r = resource_;
+    if (method == "submit") {
+      const JobDescription description = decode_job_description(args);
+      out.u64(r.submit(description));
+    } else if (method == "status") {
+      const JobId id = args.u64();
+      const JobStatus status = r.status_of(id);
+      if (status.id == 0) {
+        throw orb::OrbException{util::Errc::not_found,
+                                "no job " + std::to_string(id)};
+      }
+      encode(out, status);
+    } else if (method == "cancel") {
+      const JobId id = args.u64();
+      const util::Status s = r.cancel(id);
+      if (!s.ok()) throw orb::OrbException{s.error().code, s.error().message};
+    } else if (method == "list_jobs") {
+      out.u32(static_cast<std::uint32_t>(r.jobs_.size()));
+      for (const auto& [id, _] : r.jobs_) encode(out, r.status_of(id));
+    } else {
+      throw orb::OrbException{util::Errc::invalid_argument,
+                              "GramJobManager has no method " + method};
+    }
+  }
+
+ private:
+  GridResource& resource_;
+};
+
+// ---------------------------------------------------------------------------
+// GridResource
+// ---------------------------------------------------------------------------
+
+GridResource::GridResource(net::Network& network, ResourceConfig config)
+    : network_(network), config_(std::move(config)) {}
+
+GridResource::~GridResource() = default;
+
+void GridResource::attach(net::NodeId self) {
+  self_ = self;
+  orb_ = std::make_unique<orb::Orb>(network_, self);
+  gram_ref_ = orb_->activate(std::make_shared<GramServant>(*this));
+}
+
+void GridResource::set_gis(orb::ObjectRef gis) { gis_ = std::move(gis); }
+
+void GridResource::start() {
+  if (started_) return;
+  started_ = true;
+  if (gis_.valid()) {
+    wire::Encoder args;
+    args.str(config_.name);
+    encode(args, gram_ref_);
+    args.map(config_.attributes,
+             [](wire::Encoder& e, const std::string& k) { e.str(k); },
+             [](wire::Encoder& e, const std::string& v) { e.str(v); });
+    args.u32(config_.cpus);
+    orb_->invoke(gis_, "register_resource", std::move(args),
+                 [](util::Result<util::Bytes>) {});
+    gis_timer_ = network_.schedule(self_, config_.gis_update_period,
+                                   [this] { push_gis_load(); });
+  }
+  reap_timer_ = network_.schedule(self_, config_.reap_period,
+                                  [this] { reap(); });
+}
+
+void GridResource::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  if (reap_timer_.value() != 0) network_.cancel(reap_timer_);
+  if (gis_timer_.value() != 0) network_.cancel(gis_timer_);
+  if (gis_.valid()) {
+    wire::Encoder args;
+    args.str(config_.name);
+    orb_->invoke(gis_, "unregister_resource", std::move(args),
+                 [](util::Result<util::Bytes>) {});
+  }
+}
+
+void GridResource::on_message(const net::Message& msg) {
+  if (msg.channel == net::Channel::giop) orb_->handle(msg);
+}
+
+std::uint32_t GridResource::running_jobs() const { return active_; }
+
+JobStatus GridResource::status_of(JobId id) const {
+  JobStatus status;
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return status;
+  const Job& job = it->second;
+  status.id = job.id;
+  status.state = job.state;
+  status.name = job.description.name;
+  status.detail = job.detail;
+  if (job.app) {
+    status.steps = job.app->steps();
+    if (job.app->registered()) {
+      status.discover_app_id = job.app->app_id().to_string();
+    }
+    // Reflect completion promptly even between reap sweeps.
+    if (job.state == JobState::running && job.app->finished()) {
+      status.state = JobState::finished;
+    }
+  }
+  return status;
+}
+
+JobId GridResource::submit(JobDescription description) {
+  const JobId id = next_job_++;
+  Job job;
+  job.id = id;
+  job.description = std::move(description);
+  job.state = JobState::pending;
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  try_start_next();
+  return id;
+}
+
+void GridResource::try_start_next() {
+  while (active_ < config_.cpus && !queue_.empty()) {
+    const JobId id = queue_.front();
+    queue_.pop_front();
+    Job* job = nullptr;
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::pending) continue;
+    job = &it->second;
+    ++active_;
+    job->state = JobState::staging;
+    stage_then_launch(id);
+  }
+}
+
+void GridResource::stage_then_launch(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  const double bytes =
+      static_cast<double>(it->second.description.stage_bytes);
+  const util::Duration stage_time = std::max(
+      config_.min_stage_time,
+      static_cast<util::Duration>(bytes / config_.stage_bytes_per_sec * 1e9));
+  it->second.detail = "staging " +
+                      util::format_bytes(it->second.description.stage_bytes);
+  network_.schedule(self_, stage_time, [this, id] {
+    const auto jt = jobs_.find(id);
+    if (jt == jobs_.end() || jt->second.state != JobState::staging) return;
+    launch(jt->second);
+  });
+}
+
+std::unique_ptr<app::SteerableApp> GridResource::instantiate(
+    const JobDescription& d) {
+  app::AppConfig cfg;
+  cfg.name = d.name;
+  cfg.description = "grid job on " + config_.name;
+  cfg.acl = d.acl;
+  cfg.step_time = d.step_time;
+  cfg.update_every = d.update_every;
+  cfg.interact_every = d.interact_every;
+  cfg.interaction_window = util::milliseconds(1);
+  cfg.max_steps = d.max_steps;
+  if (d.kind == "reservoir") {
+    return std::make_unique<app::ReservoirApp>(network_, std::move(cfg));
+  }
+  if (d.kind == "heat2d") {
+    return std::make_unique<app::Heat2DApp>(network_, std::move(cfg));
+  }
+  if (d.kind == "wave1d") {
+    return std::make_unique<app::Wave1DApp>(network_, std::move(cfg));
+  }
+  if (d.kind == "inspiral") {
+    return std::make_unique<app::InspiralApp>(network_, std::move(cfg));
+  }
+  if (d.kind == "synthetic") {
+    return std::make_unique<app::SyntheticApp>(network_, std::move(cfg),
+                                               app::SyntheticSpec{});
+  }
+  return nullptr;
+}
+
+void GridResource::launch(Job& job) {
+  job.app = instantiate(job.description);
+  if (!job.app) {
+    job.state = JobState::failed;
+    job.detail = "unknown application kind: " + job.description.kind;
+    --active_;
+    try_start_next();
+    return;
+  }
+  job.app_node = network_.add_node(
+      "gridjob:" + job.description.name, job.app.get(),
+      network_.node_domain(self_));
+  job.app->attach(job.app_node);
+  job.app->connect(net::NodeId{job.description.discover_server});
+  job.state = JobState::running;
+  job.detail = "running on " + config_.name;
+  DISCOVER_LOG(info, "grid") << config_.name << ": launched job "
+                             << job.description.name;
+}
+
+util::Status GridResource::cancel(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return {util::Errc::not_found, "no job " + std::to_string(id)};
+  }
+  Job& job = it->second;
+  switch (job.state) {
+    case JobState::pending:
+      job.state = JobState::cancelled;
+      job.detail = "cancelled while queued";
+      return {};
+    case JobState::staging:
+      job.state = JobState::cancelled;
+      job.detail = "cancelled while staging";
+      --active_;
+      try_start_next();
+      return {};
+    case JobState::running: {
+      job.state = JobState::cancelled;
+      job.detail = "cancelled by resource manager";
+      app::SteerableApp* app = job.app.get();
+      network_.post(job.app_node,
+                    [app] { app->abort("cancelled by resource manager"); });
+      --active_;
+      try_start_next();
+      return {};
+    }
+    default:
+      return {util::Errc::failed_precondition,
+              std::string("job already ") + job_state_name(job.state)};
+  }
+}
+
+void GridResource::reap() {
+  for (auto& [id, job] : jobs_) {
+    if (job.state == JobState::running && job.app && job.app->finished()) {
+      job.state = JobState::finished;
+      job.detail = "completed after " + std::to_string(job.app->steps()) +
+                   " steps";
+      ++jobs_completed_;
+      --active_;
+    }
+  }
+  try_start_next();
+  if (started_) {
+    reap_timer_ = network_.schedule(self_, config_.reap_period,
+                                    [this] { reap(); });
+  }
+}
+
+void GridResource::push_gis_load() {
+  if (!started_ || !gis_.valid()) return;
+  wire::Encoder args;
+  args.str(config_.name);
+  args.u32(active_);
+  orb_->invoke(gis_, "update_load", std::move(args),
+               [](util::Result<util::Bytes>) {});
+  gis_timer_ = network_.schedule(self_, config_.gis_update_period,
+                                 [this] { push_gis_load(); });
+}
+
+}  // namespace discover::grid

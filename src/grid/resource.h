@@ -1,0 +1,101 @@
+// A grid compute resource with a GRAM-like job manager (paper §7).
+//
+// The resource exposes one "GramJobManager" servant: jobs are submitted
+// with a JobDescription, staged (simulated transfer delay), launched as
+// real SteerableApp instances on freshly created network nodes, and
+// steered through DISCOVER like any other application.  CPU slots bound
+// concurrency; excess jobs queue FIFO.  The resource registers itself
+// with the GIS and keeps its load attribute fresh.
+//
+// SimNetwork only: launching a job adds a node at runtime, which the
+// threaded backend does not allow after start().
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "app/steerable_app.h"
+#include "grid/gis.h"
+#include "grid/job.h"
+#include "net/network.h"
+#include "orb/orb.h"
+
+namespace discover::grid {
+
+struct ResourceConfig {
+  std::string name = "resource";
+  std::uint32_t cpus = 4;
+  std::map<std::string, std::string> attributes;  // site, arch, mflops...
+  /// Simulated staging bandwidth for JobDescription::stage_bytes.
+  double stage_bytes_per_sec = 10e6;
+  util::Duration min_stage_time = util::milliseconds(10);
+  /// How often finished jobs are reaped and queued jobs promoted.
+  util::Duration reap_period = util::milliseconds(50);
+  util::Duration gis_update_period = util::milliseconds(500);
+};
+
+class GridResource final : public net::MessageHandler {
+ public:
+  GridResource(net::Network& network, ResourceConfig config);
+  ~GridResource() override;
+
+  void attach(net::NodeId self);
+  /// GIS to register with (required) — the resource publishes its GRAM
+  /// reference there instead of the trader, like MDS registration.
+  void set_gis(orb::ObjectRef gis);
+  void start();
+  void shutdown();
+
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] net::NodeId node() const { return self_; }
+  [[nodiscard]] orb::ObjectRef gram_ref() const { return gram_ref_; }
+  [[nodiscard]] std::uint32_t running_jobs() const;
+  [[nodiscard]] std::size_t queued_jobs() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_;
+  }
+  [[nodiscard]] JobStatus status_of(JobId id) const;
+
+ private:
+  class GramServant;
+  friend class GramServant;
+
+  struct Job {
+    JobId id = 0;
+    JobDescription description;
+    JobState state = JobState::pending;
+    std::string detail;
+    std::unique_ptr<app::SteerableApp> app;  // once launched
+    net::NodeId app_node{0};
+  };
+
+  JobId submit(JobDescription description);
+  util::Status cancel(JobId id);
+  void try_start_next();
+  void stage_then_launch(JobId id);
+  void launch(Job& job);
+  void reap();
+  void push_gis_load();
+  [[nodiscard]] std::unique_ptr<app::SteerableApp> instantiate(
+      const JobDescription& d);
+
+  net::Network& network_;
+  ResourceConfig config_;
+  net::NodeId self_{0};
+  std::unique_ptr<orb::Orb> orb_;
+  orb::ObjectRef gis_;
+  orb::ObjectRef gram_ref_;
+  std::map<JobId, Job> jobs_;
+  std::deque<JobId> queue_;
+  JobId next_job_ = 1;
+  std::uint32_t active_ = 0;  // staging + running
+  std::uint64_t jobs_completed_ = 0;
+  bool started_ = false;
+  net::TimerId reap_timer_{0};
+  net::TimerId gis_timer_{0};
+};
+
+}  // namespace discover::grid

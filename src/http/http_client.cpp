@@ -1,0 +1,58 @@
+#include "http/http_client.h"
+
+namespace discover::http {
+
+HttpClient::HttpClient(net::Network& network, net::NodeId self)
+    : network_(network), self_(self) {}
+
+void HttpClient::request(net::NodeId server, HttpRequest req, Callback cb,
+                         util::Duration timeout) {
+  const std::uint64_t id = next_id_++;
+  req.headers.set("X-Request-Id", std::to_string(id));
+  if (const auto it = cookies_.find(server.value()); it != cookies_.end()) {
+    req.headers.set("Cookie", it->second);
+  }
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending.sent_at = network_.now();
+  if (timeout > 0) {
+    pending.timeout_timer = network_.schedule(self_, timeout, [this, id] {
+      const auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      Callback cb2 = std::move(it->second.cb);
+      pending_.erase(it);
+      ++timeouts_;
+      cb2(util::Error{util::Errc::timeout, "http request timed out"});
+    });
+  }
+  pending_.emplace(id, std::move(pending));
+  network_.send(self_, server, net::Channel::http, serialize(req));
+}
+
+void HttpClient::handle(const net::Message& msg) {
+  auto parsed = parse_response(msg.payload);
+  if (!parsed.ok()) return;  // drop unparseable responses
+  const HttpResponse& resp = parsed.value();
+  if (const auto cookie = resp.headers.get("Set-Cookie")) {
+    cookies_[msg.src.value()] = *cookie;
+  }
+  const auto rid = resp.headers.get("X-Request-Id");
+  if (!rid) return;
+  const std::uint64_t id = std::strtoull(rid->c_str(), nullptr, 10);
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // already timed out
+  rtt_.record(network_.now() - it->second.sent_at);
+  if (it->second.timeout_timer.value() != 0) {
+    network_.cancel(it->second.timeout_timer);
+  }
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(std::move(parsed).take());
+}
+
+std::string HttpClient::cookie_for(net::NodeId server) const {
+  const auto it = cookies_.find(server.value());
+  return it != cookies_.end() ? it->second : std::string();
+}
+
+}  // namespace discover::http

@@ -1,0 +1,65 @@
+// Asynchronous HTTP client used by portal clients.
+//
+// Actor-model friendly: request() never blocks; the owning node feeds
+// response messages back through handle(), which fires the stored
+// callback.  Requests carry an X-Request-Id header the container echoes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "http/http_message.h"
+#include "net/network.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace discover::http {
+
+class HttpClient {
+ public:
+  using Callback = std::function<void(util::Result<HttpResponse>)>;
+
+  HttpClient(net::Network& network, net::NodeId self);
+
+  /// Rebinds the owning node id (used when the owner learns its NodeId
+  /// after construction).
+  void set_self(net::NodeId self) { self_ = self; }
+
+  /// Sends `req` to `server`; `cb` fires in the owner's context with the
+  /// response, or with an error on timeout (0 disables the timeout).
+  void request(net::NodeId server, HttpRequest req, Callback cb,
+               util::Duration timeout = 0);
+
+  /// Feeds one Channel::http message from the owner's demux.
+  void handle(const net::Message& msg);
+
+  /// Remembers Set-Cookie values per server and replays them — the portal's
+  /// session continuity.
+  [[nodiscard]] std::string cookie_for(net::NodeId server) const;
+
+  [[nodiscard]] const util::LatencyHistogram& round_trip_latency() const {
+    return rtt_;
+  }
+  [[nodiscard]] std::uint64_t requests_sent() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Callback cb;
+    util::TimePoint sent_at;
+    net::TimerId timeout_timer{0};
+  };
+
+  net::Network& network_;
+  net::NodeId self_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint32_t, std::string> cookies_;  // by server node
+  std::uint64_t next_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+  util::LatencyHistogram rtt_;
+};
+
+}  // namespace discover::http

@@ -1,0 +1,230 @@
+#include "http/http_message.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace discover::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits `text` into lines at CRLF up to the blank line; returns the byte
+/// offset of the body, or npos on malformed input.
+std::size_t split_head(std::string_view text, std::vector<std::string>& lines) {
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string_view::npos) return std::string_view::npos;
+    if (eol == pos) return eol + 2;  // blank line: body starts after it
+    lines.emplace_back(text.substr(pos, eol - pos));
+    pos = eol + 2;
+  }
+}
+
+util::Status parse_headers(const std::vector<std::string>& lines,
+                           std::size_t first, HeaderMap& out) {
+  for (std::size_t i = first; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return {util::Errc::protocol_error, "malformed header: " + line};
+    }
+    std::string name = line.substr(0, colon);
+    std::size_t vstart = colon + 1;
+    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+    out.add(std::move(name), line.substr(vstart));
+  }
+  return {};
+}
+
+util::Status check_body(const HeaderMap& headers, std::size_t actual) {
+  const auto cl = headers.get("Content-Length");
+  const std::size_t declared =
+      cl ? static_cast<std::size_t>(std::strtoull(cl->c_str(), nullptr, 10))
+         : 0;
+  if (declared != actual) {
+    return {util::Errc::protocol_error, "Content-Length mismatch"};
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* method_name(Method m) { return m == Method::get ? "GET" : "POST"; }
+
+void HeaderMap::set(std::string name, std::string value) {
+  for (auto& [n, v] : headers_) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::add(std::string name, std::string value) {
+  headers_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const auto& [n, v] : headers_) {
+    if (iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::string HttpRequest::path_without_query() const {
+  const std::size_t q = path.find('?');
+  return q == std::string::npos ? path : path.substr(0, q);
+}
+
+std::optional<std::string> HttpRequest::query_param(
+    std::string_view key) const {
+  const std::size_t q = path.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::string_view qs = std::string_view(path).substr(q + 1);
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? qs : qs.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    qs = qs.substr(amp + 1);
+  }
+  return std::nullopt;
+}
+
+util::Bytes serialize(const HttpRequest& req) {
+  std::string head;
+  head.reserve(256 + req.body.size());
+  head += method_name(req.method);
+  head += ' ';
+  head += req.path;
+  head += " HTTP/1.0\r\n";
+  for (const auto& [n, v] : req.headers.all()) {
+    head += n;
+    head += ": ";
+    head += v;
+    head += "\r\n";
+  }
+  head += "Content-Length: " + std::to_string(req.body.size()) + "\r\n\r\n";
+  util::Bytes out = util::to_bytes(head);
+  out.insert(out.end(), req.body.begin(), req.body.end());
+  return out;
+}
+
+util::Bytes serialize(const HttpResponse& resp) {
+  std::string head;
+  head.reserve(256 + resp.body.size());
+  head += "HTTP/1.0 " + std::to_string(resp.status) + " " + resp.reason +
+          "\r\n";
+  for (const auto& [n, v] : resp.headers.all()) {
+    head += n;
+    head += ": ";
+    head += v;
+    head += "\r\n";
+  }
+  head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n\r\n";
+  util::Bytes out = util::to_bytes(head);
+  out.insert(out.end(), resp.body.begin(), resp.body.end());
+  return out;
+}
+
+util::Result<HttpRequest> parse_request(const util::Bytes& data) {
+  const std::string_view text(reinterpret_cast<const char*>(data.data()),
+                              data.size());
+  std::vector<std::string> lines;
+  const std::size_t body_at = split_head(text, lines);
+  if (body_at == std::string_view::npos || lines.empty()) {
+    return util::Error{util::Errc::protocol_error, "truncated HTTP request"};
+  }
+  HttpRequest req;
+  // Request line: METHOD SP path SP HTTP/1.x
+  const std::string& rl = lines[0];
+  const std::size_t sp1 = rl.find(' ');
+  const std::size_t sp2 = rl.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return util::Error{util::Errc::protocol_error, "bad request line"};
+  }
+  const std::string method = rl.substr(0, sp1);
+  if (method == "GET") {
+    req.method = Method::get;
+  } else if (method == "POST") {
+    req.method = Method::post;
+  } else {
+    return util::Error{util::Errc::protocol_error,
+                       "unsupported method " + method};
+  }
+  req.path = rl.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (auto s = parse_headers(lines, 1, req.headers); !s.ok()) {
+    return s.error();
+  }
+  req.body.assign(data.begin() + static_cast<std::ptrdiff_t>(body_at),
+                  data.end());
+  if (auto s = check_body(req.headers, req.body.size()); !s.ok()) {
+    return s.error();
+  }
+  return req;
+}
+
+util::Result<HttpResponse> parse_response(const util::Bytes& data) {
+  const std::string_view text(reinterpret_cast<const char*>(data.data()),
+                              data.size());
+  std::vector<std::string> lines;
+  const std::size_t body_at = split_head(text, lines);
+  if (body_at == std::string_view::npos || lines.empty()) {
+    return util::Error{util::Errc::protocol_error, "truncated HTTP response"};
+  }
+  HttpResponse resp;
+  const std::string& sl = lines[0];
+  if (sl.rfind("HTTP/1.", 0) != 0) {
+    return util::Error{util::Errc::protocol_error, "bad status line"};
+  }
+  const std::size_t sp1 = sl.find(' ');
+  if (sp1 == std::string::npos) {
+    return util::Error{util::Errc::protocol_error, "bad status line"};
+  }
+  const std::size_t sp2 = sl.find(' ', sp1 + 1);
+  resp.status = std::atoi(sl.c_str() + sp1 + 1);
+  resp.reason = sp2 == std::string::npos ? "" : sl.substr(sp2 + 1);
+  if (auto s = parse_headers(lines, 1, resp.headers); !s.ok()) {
+    return s.error();
+  }
+  resp.body.assign(data.begin() + static_cast<std::ptrdiff_t>(body_at),
+                   data.end());
+  if (auto s = check_body(resp.headers, resp.body.size()); !s.ok()) {
+    return s.error();
+  }
+  return resp;
+}
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace discover::http

@@ -1,0 +1,68 @@
+// HTTP/1.0-subset request/response model and text codec.
+//
+// Portal clients speak "standard HTTP communication using a series of HTTP
+// GET and POST requests" (paper §4.1).  Each transport message carries
+// exactly one complete HTTP message (the analogue of one request or reply on
+// a keep-alive connection); the codec produces and parses real HTTP/1.0
+// text, including Content-Length framing, so its parse cost is honest in
+// the client-scalability experiments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace discover::http {
+
+enum class Method { get, post };
+const char* method_name(Method m);
+
+/// Header names are matched case-insensitively, as HTTP requires.
+class HeaderMap {
+ public:
+  void set(std::string name, std::string value);
+  void add(std::string name, std::string value);
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& all()
+      const {
+    return headers_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> headers_;
+};
+
+struct HttpRequest {
+  Method method = Method::get;
+  std::string path;  // may include ?query
+  HeaderMap headers;
+  util::Bytes body;
+
+  [[nodiscard]] std::string path_without_query() const;
+  [[nodiscard]] std::optional<std::string> query_param(
+      std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  util::Bytes body;
+};
+
+/// Serializes to HTTP/1.0 wire text (adds Content-Length).
+util::Bytes serialize(const HttpRequest& req);
+util::Bytes serialize(const HttpResponse& resp);
+
+/// Parses one complete HTTP message; Content-Length must match the body.
+util::Result<HttpRequest> parse_request(const util::Bytes& data);
+util::Result<HttpResponse> parse_response(const util::Bytes& data);
+
+const char* reason_for(int status);
+
+}  // namespace discover::http

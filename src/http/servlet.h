@@ -1,0 +1,67 @@
+// Servlet interface and HTTP sessions.
+//
+// The DISCOVER server "builds on a commodity web server, and extends its
+// functionality using Java servlets" (paper §4.1).  A Servlet here is the
+// same idea: a handler mounted at a path prefix inside a ServletContainer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "http/http_message.h"
+#include "net/address.h"
+#include "util/clock.h"
+
+namespace discover::http {
+
+/// Per-client-connection state, created by the container on first contact
+/// and identified by a DISCOVERID cookie.
+class HttpSession {
+ public:
+  HttpSession(std::uint64_t id, util::TimePoint created)
+      : id_(id), created_(created), last_active_(created) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] util::TimePoint created() const { return created_; }
+  [[nodiscard]] util::TimePoint last_active() const { return last_active_; }
+  void touch(util::TimePoint now) { last_active_ = now; }
+
+  void set_attribute(const std::string& key, std::string value) {
+    attributes_[key] = std::move(value);
+  }
+  [[nodiscard]] std::string attribute(const std::string& key) const {
+    const auto it = attributes_.find(key);
+    return it != attributes_.end() ? it->second : std::string();
+  }
+
+ private:
+  std::uint64_t id_;
+  util::TimePoint created_;
+  util::TimePoint last_active_;
+  std::map<std::string, std::string> attributes_;
+};
+
+class DeferredHttpReply;
+
+/// What the container hands a servlet alongside the request.
+struct ServletContext {
+  net::NodeId client;        // requesting node
+  HttpSession* session;      // never null
+  util::TimePoint now;
+  /// Takes ownership of the response: after calling this, the inline
+  /// `response` is ignored and the servlet must complete the returned
+  /// handle (possibly after further network hops).
+  std::function<std::shared_ptr<DeferredHttpReply>()> defer;
+};
+
+class Servlet {
+ public:
+  virtual ~Servlet() = default;
+  virtual void service(const HttpRequest& request, HttpResponse& response,
+                       ServletContext& ctx) = 0;
+};
+
+}  // namespace discover::http

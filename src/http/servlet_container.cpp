@@ -1,0 +1,127 @@
+#include "http/servlet_container.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace discover::http {
+
+namespace {
+constexpr const char* kSessionCookie = "DISCOVERID=";
+
+std::uint64_t cookie_session_id(const HttpRequest& req) {
+  const auto cookie = req.headers.get("Cookie");
+  if (!cookie) return 0;
+  const std::size_t at = cookie->find(kSessionCookie);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(cookie->c_str() + at + std::strlen(kSessionCookie),
+                       nullptr, 10);
+}
+}  // namespace
+
+ServletContainer::ServletContainer(net::Network& network, net::NodeId self)
+    : network_(network), self_(self) {}
+
+void ServletContainer::mount(std::string path_prefix,
+                             std::shared_ptr<Servlet> servlet) {
+  mounts_.emplace_back(std::move(path_prefix), std::move(servlet));
+  // Longest prefix first so route() can take the first match.
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+}
+
+Servlet* ServletContainer::route(const std::string& path) const {
+  for (const auto& [prefix, servlet] : mounts_) {
+    if (path.rfind(prefix, 0) == 0) return servlet.get();
+  }
+  return nullptr;
+}
+
+HttpSession& ServletContainer::session_for(const HttpRequest& req,
+                                           HttpResponse& resp) {
+  const util::TimePoint now = network_.now();
+  const std::uint64_t id = cookie_session_id(req);
+  if (id != 0) {
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      it->second->touch(now);
+      return *it->second;
+    }
+  }
+  const std::uint64_t fresh = next_session_++;
+  auto session = std::make_unique<HttpSession>(fresh, now);
+  HttpSession& ref = *session;
+  sessions_.emplace(fresh, std::move(session));
+  resp.headers.set("Set-Cookie",
+                   std::string(kSessionCookie) + std::to_string(fresh));
+  return ref;
+}
+
+void DeferredHttpReply::complete(HttpResponse resp) {
+  if (done_) return;
+  done_ = true;
+  // Carry over correlation and session headers set before deferral.
+  for (const auto& [n, v] : seed_.headers.all()) {
+    if (!resp.headers.get(n)) resp.headers.set(n, v);
+  }
+  resp.reason = reason_for(resp.status);
+  network_.send(self_, client_, net::Channel::http, serialize(resp));
+}
+
+void ServletContainer::handle(const net::Message& msg) {
+  const util::TimePoint start = network_.now();
+  auto parsed = parse_request(msg.payload);
+  HttpResponse resp;
+  bool deferred = false;
+  if (!parsed.ok()) {
+    resp.status = 400;
+    resp.reason = reason_for(400);
+    resp.body = util::to_bytes(parsed.error().message);
+  } else {
+    const HttpRequest& req = parsed.value();
+    HttpSession& session = session_for(req, resp);
+    // Correlate the reply with the request for the async client.
+    if (const auto rid = req.headers.get("X-Request-Id")) {
+      resp.headers.set("X-Request-Id", *rid);
+    }
+    Servlet* servlet = route(req.path_without_query());
+    if (servlet == nullptr) {
+      resp.status = 404;
+      resp.reason = reason_for(404);
+      resp.body = util::to_bytes("no servlet mounted at " + req.path);
+    } else {
+      ServletContext ctx;
+      ctx.client = msg.src;
+      ctx.session = &session;
+      ctx.now = start;
+      ctx.defer = [this, &deferred, &resp, &msg] {
+        deferred = true;
+        return std::make_shared<DeferredHttpReply>(network_, self_, msg.src,
+                                                   resp);
+      };
+      servlet->service(req, resp, ctx);
+      resp.reason = reason_for(resp.status);
+    }
+  }
+  ++requests_served_;
+  service_latency_.record(network_.now() - start);
+  if (!deferred) {
+    network_.send(self_, msg.src, net::Channel::http, serialize(resp));
+  }
+}
+
+void ServletContainer::expire_sessions(util::Duration max_idle) {
+  const util::TimePoint now = network_.now();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second->last_active() > max_idle) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace discover::http

@@ -1,0 +1,76 @@
+// Routes incoming HTTP messages to mounted servlets and sends responses.
+//
+// Not a MessageHandler itself: the owning server node demultiplexes its
+// channels and calls handle() for Channel::http traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "http/servlet.h"
+#include "net/network.h"
+#include "util/stats.h"
+
+namespace discover::http {
+
+/// Handle for completing an HTTP response after the servlet returned.
+class DeferredHttpReply {
+ public:
+  DeferredHttpReply(net::Network& network, net::NodeId self,
+                    net::NodeId client, HttpResponse seed)
+      : network_(network), self_(self), client_(client),
+        seed_(std::move(seed)) {}
+
+  /// Sends `resp`, preserving correlation/cookie headers the container
+  /// already put on the seed response.
+  void complete(HttpResponse resp);
+
+ private:
+  net::Network& network_;
+  net::NodeId self_;
+  net::NodeId client_;
+  HttpResponse seed_;
+  bool done_ = false;
+};
+
+class ServletContainer {
+ public:
+  ServletContainer(net::Network& network, net::NodeId self);
+
+  /// Mounts a servlet at a path prefix; longest prefix wins.
+  void mount(std::string path_prefix, std::shared_ptr<Servlet> servlet);
+
+  /// Processes one HTTP request message and replies on Channel::http.
+  void handle(const net::Message& msg);
+
+  /// Server-side request-service latency (parse -> response serialized).
+  [[nodiscard]] const util::LatencyHistogram& service_latency() const {
+    return service_latency_;
+  }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_;
+  }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] bool has_session(std::uint64_t id) const {
+    return sessions_.count(id) != 0;
+  }
+
+  /// Drops sessions idle longer than `max_idle`.
+  void expire_sessions(util::Duration max_idle);
+
+ private:
+  HttpSession& session_for(const HttpRequest& req, HttpResponse& resp);
+  Servlet* route(const std::string& path) const;
+
+  net::Network& network_;
+  net::NodeId self_;
+  std::vector<std::pair<std::string, std::shared_ptr<Servlet>>> mounts_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<HttpSession>> sessions_;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t requests_served_ = 0;
+  util::LatencyHistogram service_latency_;
+};
+
+}  // namespace discover::http

@@ -1,0 +1,39 @@
+// Node addressing and logical channels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.h"
+
+namespace discover::net {
+
+struct NodeIdTag {};
+/// Identifies one host on the (simulated) network.  Plays the role the
+/// server's IP address plays in the paper — e.g. application identifiers
+/// embed the host server's NodeId so any server can tell local from remote.
+using NodeId = util::StrongId<NodeIdTag, std::uint32_t>;
+
+struct DomainIdTag {};
+/// An administrative domain / site (e.g. "Rutgers", "UT Austin").  Traffic
+/// between different domains is WAN traffic for accounting purposes.
+using DomainId = util::StrongId<DomainIdTag, std::uint32_t>;
+
+struct TimerIdTag {};
+using TimerId = util::StrongId<TimerIdTag, std::uint64_t>;
+
+/// Logical communication channels (paper §4.1 and §5.1): three channels
+/// between a server and an application, a fourth between servers, plus the
+/// client-facing HTTP stream and the ORB's GIOP stream.
+enum class Channel : std::uint8_t {
+  main_channel = 0,  // application registration + periodic updates
+  command = 1,       // client interaction requests toward the application
+  response = 2,      // application responses to interaction requests
+  control = 3,       // server-to-server errors and system events
+  http = 4,          // client <-> server portal traffic
+  giop = 5,          // server <-> server ORB requests/replies
+};
+
+const char* channel_name(Channel c);
+
+}  // namespace discover::net

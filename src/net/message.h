@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace discover::net {
+
+/// One datagram-with-reliable-FIFO-semantics between two nodes.  The
+/// transports guarantee per-(src,dst,channel) FIFO delivery, mirroring the
+/// TCP connections of the original system.
+struct Message {
+  NodeId src;
+  NodeId dst;
+  Channel channel = Channel::main_channel;
+  util::Bytes payload;
+
+  // Filled in by the transport.
+  util::TimePoint sent_at = 0;
+  std::uint64_t seq = 0;
+};
+
+}  // namespace discover::net

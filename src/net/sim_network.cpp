@@ -1,0 +1,154 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace discover::net {
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::main_channel: return "main";
+    case Channel::command: return "command";
+    case Channel::response: return "response";
+    case Channel::control: return "control";
+    case Channel::http: return "http";
+    case Channel::giop: return "giop";
+  }
+  return "?";
+}
+
+SimNetwork::SimNetwork() = default;
+
+NodeId SimNetwork::add_node(std::string name, MessageHandler* handler,
+                            DomainId domain) {
+  nodes_.push_back(NodeInfo{std::move(name), handler, domain});
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+void SimNetwork::set_domain_link(DomainId a, DomainId b, LinkModel m) {
+  domain_links_[{std::min(a.value(), b.value()),
+                 std::max(a.value(), b.value())}] = m;
+}
+
+const LinkModel& SimNetwork::link_between(NodeId a, NodeId b) const {
+  const DomainId da = nodes_[a.value()].domain;
+  const DomainId db = nodes_[b.value()].domain;
+  if (da == db) return lan_;
+  const auto it = domain_links_.find({std::min(da.value(), db.value()),
+                                      std::max(da.value(), db.value())});
+  return it != domain_links_.end() ? it->second : wan_;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, Channel channel,
+                      util::Bytes payload) {
+  assert(from.value() < nodes_.size() && to.value() < nodes_.size());
+  const LinkModel& link = link_between(from, to);
+  const std::size_t size = payload.size();
+
+  // FIFO per directed pair: the message can start serializing only once the
+  // previous one finished; arrival = departure + transfer + propagation.
+  const std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+  util::TimePoint& busy_until = link_busy_until_[pair_key];
+  const util::TimePoint depart = std::max(now(), busy_until);
+  busy_until = depart + link.transfer_time(size);
+  const util::TimePoint arrive = busy_until + link.latency;
+
+  Event ev;
+  ev.at = arrive;
+  ev.seq = next_seq_++;
+  ev.node = to;
+  ev.msg.src = from;
+  ev.msg.dst = to;
+  ev.msg.channel = channel;
+  ev.msg.payload = std::move(payload);
+  ev.msg.sent_at = now();
+  ev.msg.seq = ev.seq;
+  queue_.push(std::move(ev));
+
+  traffic_.messages++;
+  traffic_.bytes += size;
+  if (nodes_[from.value()].domain != nodes_[to.value()].domain) {
+    traffic_.wan_messages++;
+    traffic_.wan_bytes += size;
+  }
+}
+
+TimerId SimNetwork::schedule(NodeId node, util::Duration delay,
+                             std::function<void()> fn) {
+  assert(node.value() < nodes_.size());
+  Event ev;
+  ev.at = now() + std::max<util::Duration>(delay, 0);
+  ev.seq = next_seq_++;
+  ev.node = node;
+  ev.timer_fn = std::move(fn);
+  ev.timer_id = next_timer_++;
+  const TimerId id{ev.timer_id};
+  queue_.push(std::move(ev));
+  return id;
+}
+
+void SimNetwork::cancel(TimerId id) {
+  if (id.value() != 0) cancelled_timers_.insert(id.value());
+}
+
+const std::string& SimNetwork::node_name(NodeId id) const {
+  return nodes_.at(id.value()).name;
+}
+
+DomainId SimNetwork::node_domain(NodeId id) const {
+  return nodes_.at(id.value()).domain;
+}
+
+void SimNetwork::dispatch(Event& ev) {
+  clock_.advance_to(ev.at);
+  if (ev.timer_id != 0) {
+    const auto it = cancelled_timers_.find(ev.timer_id);
+    if (it != cancelled_timers_.end()) {
+      cancelled_timers_.erase(it);
+      return;
+    }
+    ev.timer_fn();
+  } else {
+    MessageHandler* handler = nodes_[ev.node.value()].handler;
+    if (handler != nullptr) handler->on_message(ev.msg);
+  }
+}
+
+bool SimNetwork::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is moved out via const_cast,
+  // which is safe because pop() immediately removes the moved-from shell.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  dispatch(ev);
+  return true;
+}
+
+std::size_t SimNetwork::run_until_idle() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t SimNetwork::run_for(util::Duration window) {
+  const util::TimePoint deadline = now() + window;
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  clock_.advance_to(deadline);
+  return n;
+}
+
+bool SimNetwork::run_until(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (step()) {
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace discover::net

@@ -1,0 +1,118 @@
+// Deterministic discrete-event network backend.
+//
+// Virtual time, explicit link models (propagation latency + serialization
+// bandwidth), per-directed-pair FIFO, seeded determinism: two runs with the
+// same inputs produce byte-identical event orders.  This backend drives the
+// topology/latency/traffic experiments (E4, E5, E6, E7, E8) and all
+// integration tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "util/clock.h"
+
+namespace discover::net {
+
+/// One directed link's cost model.  Transfer of an n-byte message occupies
+/// the link for n/bytes_per_sec, then propagates for `latency`.
+struct LinkModel {
+  util::Duration latency = 0;
+  double bytes_per_sec = 1e9;  // effectively infinite by default
+
+  [[nodiscard]] util::Duration transfer_time(std::size_t bytes) const {
+    if (bytes_per_sec <= 0) return 0;
+    return static_cast<util::Duration>(
+        static_cast<double>(bytes) / bytes_per_sec * 1e9);
+  }
+};
+
+class SimNetwork final : public Network {
+ public:
+  SimNetwork();
+
+  // -- topology ------------------------------------------------------------
+  NodeId add_node(std::string name, MessageHandler* handler,
+                  DomainId domain = DomainId{0}) override;
+  /// Link model used between nodes of the same domain.
+  void set_lan_model(LinkModel m) { lan_ = m; }
+  /// Default link model between nodes of different domains.
+  void set_wan_model(LinkModel m) { wan_ = m; }
+  /// Overrides the model for one ordered domain pair (applied both ways).
+  void set_domain_link(DomainId a, DomainId b, LinkModel m);
+
+  // -- Network interface ---------------------------------------------------
+  void send(NodeId from, NodeId to, Channel channel,
+            util::Bytes payload) override;
+  TimerId schedule(NodeId node, util::Duration delay,
+                   std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+  [[nodiscard]] util::TimePoint now() const override { return clock_.now(); }
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] TrafficStats traffic() const override { return traffic_; }
+  void reset_traffic() override { traffic_ = {}; }
+  [[nodiscard]] const std::string& node_name(NodeId id) const override;
+  [[nodiscard]] DomainId node_domain(NodeId id) const override;
+
+  // -- event loop ----------------------------------------------------------
+  /// Processes events until the queue is empty.  Returns events processed.
+  /// Only terminates if the protocol quiesces (no self-rescheduling timers).
+  std::size_t run_until_idle();
+  /// Processes events with timestamp <= now+window; virtual time advances to
+  /// now+window even if the queue empties early.  Returns events processed.
+  std::size_t run_for(util::Duration window);
+  /// Processes a single event.  Returns false if the queue is empty.
+  bool step();
+  /// Processes events until `pred()` is true (checked after each event) or
+  /// the queue empties.  Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& pred);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::TimePoint at;
+    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
+    // Exactly one of the two is active.
+    Message msg;
+    std::function<void()> timer_fn;
+    std::uint64_t timer_id = 0;  // nonzero for timers
+    NodeId node;                 // destination / timer owner
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  struct NodeInfo {
+    std::string name;
+    MessageHandler* handler;
+    DomainId domain;
+  };
+
+  [[nodiscard]] const LinkModel& link_between(NodeId a, NodeId b) const;
+  void dispatch(Event& ev);
+
+  util::ManualClock clock_;
+  std::vector<NodeInfo> nodes_;
+  LinkModel lan_{};
+  LinkModel wan_{};
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkModel> domain_links_;
+  // Directed (src,dst) -> time the link is busy until (serialization).
+  std::unordered_map<std::uint64_t, util::TimePoint> link_busy_until_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_timers_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_timer_ = 1;
+  TrafficStats traffic_;
+};
+
+}  // namespace discover::net

@@ -1,0 +1,113 @@
+// Real-time threaded network backend.
+//
+// One worker thread per node (actor model: a node's handler and timers run
+// only on its own worker), a shared timer thread, and mutex+condvar
+// inboxes.  No link model: message delivery cost is whatever the machine
+// does, which is exactly what the saturation experiments (E1, E2, E3) need
+// to measure.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "util/clock.h"
+
+namespace discover::net {
+
+class ThreadNetwork final : public Network {
+ public:
+  ThreadNetwork();
+  ~ThreadNetwork() override;
+
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  /// All nodes must be added before start().
+  NodeId add_node(std::string name, MessageHandler* handler,
+                  DomainId domain = DomainId{0}) override;
+
+  /// Spawns one worker per node plus the timer thread.
+  void start();
+  /// Stops dispatching, drops queued work, joins all threads.  Idempotent.
+  void stop();
+
+  void send(NodeId from, NodeId to, Channel channel,
+            util::Bytes payload) override;
+  TimerId schedule(NodeId node, util::Duration delay,
+                   std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+  [[nodiscard]] util::TimePoint now() const override { return clock_.now(); }
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] TrafficStats traffic() const override;
+  void reset_traffic() override;
+  [[nodiscard]] const std::string& node_name(NodeId id) const override;
+  [[nodiscard]] DomainId node_domain(NodeId id) const override;
+
+  /// Blocks until no task is queued or executing anywhere (future-dated
+  /// timers do not count), or until `timeout` elapses.  Returns true when
+  /// idle was reached.
+  bool wait_idle(util::Duration timeout);
+
+ private:
+  struct Task {
+    Message msg;
+    std::function<void()> fn;  // non-null => timer task
+  };
+
+  struct NodeState {
+    std::string name;
+    MessageHandler* handler = nullptr;
+    DomainId domain{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> inbox;
+    std::thread worker;
+  };
+
+  struct PendingTimer {
+    util::TimePoint at;
+    std::uint64_t id;
+    std::uint32_t node;
+    std::function<void()> fn;
+    bool operator>(const PendingTimer& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  void worker_loop(NodeState& node);
+  void timer_loop();
+  void enqueue(std::uint32_t node_index, Task task);
+
+  util::SystemClock clock_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>, std::greater<>>
+      timers_;
+  std::unordered_set<std::uint64_t> cancelled_timers_;
+  std::uint64_t next_timer_ = 1;
+  std::thread timer_thread_;
+
+  std::atomic<std::uint64_t> inflight_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  mutable std::mutex traffic_mutex_;
+  TrafficStats traffic_;
+};
+
+}  // namespace discover::net

@@ -1,0 +1,28 @@
+// Interoperable-object-reference analogue: enough location information for
+// any node to invoke a servant anywhere in the network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.h"
+#include "wire/cdr.h"
+
+namespace discover::orb {
+
+struct ObjectRef {
+  std::uint32_t node = 0;   // NodeId value hosting the servant
+  std::uint64_t key = 0;    // servant key within that node's Orb
+  std::string interface;    // e.g. "DiscoverCorbaServer", "CorbaProxy"
+
+  [[nodiscard]] bool valid() const { return key != 0; }
+  [[nodiscard]] net::NodeId host() const { return net::NodeId{node}; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ObjectRef&, const ObjectRef&) = default;
+};
+
+void encode(wire::Encoder& e, const ObjectRef& ref);
+ObjectRef decode_object_ref(wire::Decoder& d);
+
+}  // namespace discover::orb

@@ -1,0 +1,116 @@
+#include "orb/naming.h"
+
+namespace discover::orb {
+
+void NamingService::dispatch(const std::string& method, wire::Decoder& args,
+                             wire::Encoder& out, DispatchContext& ctx) {
+  (void)ctx;
+  if (method == "bind" || method == "rebind") {
+    const std::string name = args.str();
+    const ObjectRef ref = decode_object_ref(args);
+    if (method == "bind" && bindings_.count(name) != 0) {
+      throw OrbException{util::Errc::already_exists,
+                         "name already bound: " + name};
+    }
+    bindings_[name] = ref;
+  } else if (method == "unbind") {
+    const std::string name = args.str();
+    if (bindings_.erase(name) == 0) {
+      throw OrbException{util::Errc::not_found, "name not bound: " + name};
+    }
+  } else if (method == "resolve") {
+    const std::string name = args.str();
+    const auto it = bindings_.find(name);
+    if (it == bindings_.end()) {
+      throw OrbException{util::Errc::not_found, "name not bound: " + name};
+    }
+    encode(out, it->second);
+  } else if (method == "list") {
+    out.u32(static_cast<std::uint32_t>(bindings_.size()));
+    for (const auto& [name, ref] : bindings_) {
+      out.str(name);
+      encode(out, ref);
+    }
+  } else {
+    throw OrbException{util::Errc::invalid_argument,
+                       "NamingService has no method " + method};
+  }
+}
+
+namespace {
+void expect_ok(util::Result<util::Bytes> r,
+               const NamingClient::StatusCallback& cb) {
+  if (!r.ok()) {
+    cb(r.error());
+  } else {
+    cb(util::Status());
+  }
+}
+}  // namespace
+
+void NamingClient::bind(const std::string& name, const ObjectRef& ref,
+                        StatusCallback cb) {
+  wire::Encoder args;
+  args.str(name);
+  encode(args, ref);
+  orb_->invoke(service_, "bind", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 expect_ok(std::move(r), cb);
+               });
+}
+
+void NamingClient::rebind(const std::string& name, const ObjectRef& ref,
+                          StatusCallback cb) {
+  wire::Encoder args;
+  args.str(name);
+  encode(args, ref);
+  orb_->invoke(service_, "rebind", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 expect_ok(std::move(r), cb);
+               });
+}
+
+void NamingClient::unbind(const std::string& name, StatusCallback cb) {
+  wire::Encoder args;
+  args.str(name);
+  orb_->invoke(service_, "unbind", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 expect_ok(std::move(r), cb);
+               });
+}
+
+void NamingClient::resolve(const std::string& name, RefCallback cb) {
+  wire::Encoder args;
+  args.str(name);
+  orb_->invoke(service_, "resolve", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 cb(decode_object_ref(d));
+               });
+}
+
+void NamingClient::list(ListCallback cb) {
+  orb_->invoke(service_, "list", wire::Encoder{},
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 std::vector<std::pair<std::string, ObjectRef>> out;
+                 const std::uint32_t n = d.u32();
+                 out.reserve(n);
+                 for (std::uint32_t i = 0; i < n; ++i) {
+                   std::string name = d.str();
+                   ObjectRef ref = decode_object_ref(d);
+                   out.emplace_back(std::move(name), ref);
+                 }
+                 cb(std::move(out));
+               });
+}
+
+}  // namespace discover::orb

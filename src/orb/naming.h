@@ -1,0 +1,58 @@
+// CORBA-naming-service analogue: a flat name -> ObjectRef directory exposed
+// as a servant.  The DISCOVER CorbaProxy "binds itself to the CORBA naming
+// service using the application's unique identifier as the name" (paper
+// §5.1.2), so an application is remotely reachable from any server.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orb/orb.h"
+
+namespace discover::orb {
+
+class NamingService final : public Servant {
+ public:
+  [[nodiscard]] std::string interface_name() const override {
+    return "NamingService";
+  }
+
+  // Methods: bind(name, ref), rebind(name, ref), unbind(name),
+  // resolve(name) -> ref, list() -> vector<(name, ref)>.
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, DispatchContext& ctx) override;
+
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, ObjectRef> bindings_;
+};
+
+/// Typed client stubs for NamingService.
+class NamingClient {
+ public:
+  NamingClient(Orb& orb, ObjectRef service) : orb_(&orb),
+                                              service_(std::move(service)) {}
+  NamingClient() = default;
+
+  using RefCallback = std::function<void(util::Result<ObjectRef>)>;
+  using StatusCallback = std::function<void(util::Status)>;
+  using ListCallback = std::function<void(
+      util::Result<std::vector<std::pair<std::string, ObjectRef>>>)>;
+
+  void bind(const std::string& name, const ObjectRef& ref, StatusCallback cb);
+  void rebind(const std::string& name, const ObjectRef& ref,
+              StatusCallback cb);
+  void unbind(const std::string& name, StatusCallback cb);
+  void resolve(const std::string& name, RefCallback cb);
+  void list(ListCallback cb);
+
+  [[nodiscard]] bool configured() const { return service_.valid(); }
+
+ private:
+  Orb* orb_ = nullptr;
+  ObjectRef service_;
+};
+
+}  // namespace discover::orb

@@ -1,0 +1,223 @@
+#include "orb/orb.h"
+
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace discover::orb {
+
+namespace {
+constexpr std::uint32_t kGiopMagic = 0x47494F50;  // "GIOP"
+constexpr std::uint8_t kRequest = 0;
+constexpr std::uint8_t kReply = 1;
+}  // namespace
+
+std::string ObjectRef::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "IOR:%s@%u/%llu", interface.c_str(), node,
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+void encode(wire::Encoder& e, const ObjectRef& ref) {
+  e.u32(ref.node);
+  e.u64(ref.key);
+  e.str(ref.interface);
+}
+
+ObjectRef decode_object_ref(wire::Decoder& d) {
+  ObjectRef ref;
+  ref.node = d.u32();
+  ref.key = d.u64();
+  ref.interface = d.str();
+  return ref;
+}
+
+void DeferredReply::reply(wire::Encoder result) {
+  if (done_) return;
+  done_ = true;
+  orb_->send_reply(requester_, request_id_, true, std::move(result).take(),
+                   util::Errc::ok, "");
+}
+
+void DeferredReply::raise(const OrbException& ex) {
+  if (done_) return;
+  done_ = true;
+  orb_->send_reply(requester_, request_id_, false, {}, ex.code, ex.message);
+}
+
+Orb::Orb(net::Network& network, net::NodeId self)
+    : network_(network), self_(self) {}
+
+ObjectRef Orb::activate(std::shared_ptr<Servant> servant) {
+  const std::uint64_t key = next_key_++;
+  ObjectRef ref;
+  ref.node = self_.value();
+  ref.key = key;
+  ref.interface = servant->interface_name();
+  servants_.emplace(key, std::move(servant));
+  return ref;
+}
+
+void Orb::deactivate(std::uint64_t key) { servants_.erase(key); }
+
+Servant* Orb::servant_of(std::uint64_t key) const {
+  const auto it = servants_.find(key);
+  return it != servants_.end() ? it->second.get() : nullptr;
+}
+
+void Orb::invoke(const ObjectRef& ref, const std::string& method,
+                 wire::Encoder args, ResultCallback cb,
+                 util::Duration timeout) {
+  const std::uint64_t request_id = next_request_++;
+  ++invocations_;
+
+  wire::Encoder frame;
+  frame.u32(kGiopMagic);
+  frame.u8(kRequest);
+  frame.u64(request_id);
+  frame.u64(ref.key);
+  frame.str(method);
+  frame.bytes(std::move(args).take());
+  util::Bytes payload = std::move(frame).take();
+  bytes_marshalled_ += payload.size();
+
+  PendingCall pending;
+  pending.cb = std::move(cb);
+  pending.sent_at = network_.now();
+  if (timeout > 0) {
+    pending.timeout_timer =
+        network_.schedule(self_, timeout, [this, request_id] {
+          complete(request_id,
+                   util::Error{util::Errc::timeout, "orb call timed out"});
+        });
+  }
+  pending_.emplace(request_id, std::move(pending));
+
+  if (ref.node == self_.value()) {
+    // Collocated call: skip the network (and its traffic counters) but keep
+    // marshalling and asynchrony so semantics match the remote path.
+    network_.post(self_, [this, payload = std::move(payload)] {
+      net::Message msg;
+      msg.src = self_;
+      msg.dst = self_;
+      msg.channel = net::Channel::giop;
+      msg.payload = payload;
+      handle(msg);
+    });
+  } else {
+    network_.send(self_, ref.host(), net::Channel::giop, std::move(payload));
+  }
+}
+
+void Orb::handle(const net::Message& msg) {
+  try {
+    wire::Decoder d(msg.payload);
+    if (d.u32() != kGiopMagic) return;
+    const std::uint8_t kind = d.u8();
+    if (kind == kRequest) {
+      dispatch_request(msg, d);
+    } else if (kind == kReply) {
+      dispatch_reply(d);
+    }
+  } catch (const wire::DecodeError& err) {
+    DISCOVER_LOG(warn, "orb") << "malformed giop frame: " << err.what();
+  }
+}
+
+void Orb::dispatch_request(const net::Message& msg, wire::Decoder& d) {
+  const std::uint64_t request_id = d.u64();
+  const std::uint64_t key = d.u64();
+  const std::string method = d.str();
+  const util::Bytes args = d.bytes();
+
+  Servant* servant = servant_of(key);
+  if (servant == nullptr) {
+    send_reply(msg.src, request_id, false, {}, util::Errc::not_found,
+               "no servant with key " + std::to_string(key));
+    return;
+  }
+
+  bool deferred = false;
+  wire::Encoder out;
+  DispatchContext ctx;
+  ctx.requester = msg.src;
+  ctx.now = network_.now();
+  ctx.defer = [this, &deferred, &msg, request_id] {
+    deferred = true;
+    return std::make_shared<DeferredReply>(this, msg.src, request_id);
+  };
+
+  try {
+    wire::Decoder arg_decoder(args);
+    servant->dispatch(method, arg_decoder, out, ctx);
+  } catch (const OrbException& ex) {
+    send_reply(msg.src, request_id, false, {}, ex.code, ex.message);
+    return;
+  } catch (const wire::DecodeError& err) {
+    send_reply(msg.src, request_id, false, {}, util::Errc::protocol_error,
+               err.what());
+    return;
+  }
+  if (!deferred) {
+    send_reply(msg.src, request_id, true, std::move(out).take(),
+               util::Errc::ok, "");
+  }
+}
+
+void Orb::send_reply(net::NodeId to, std::uint64_t request_id, bool ok,
+                     const util::Bytes& body, util::Errc code,
+                     const std::string& error_message) {
+  wire::Encoder frame;
+  frame.u32(kGiopMagic);
+  frame.u8(kReply);
+  frame.u64(request_id);
+  frame.boolean(ok);
+  if (ok) {
+    frame.bytes(body);
+  } else {
+    frame.u8(static_cast<std::uint8_t>(code));
+    frame.str(error_message);
+  }
+  util::Bytes payload = std::move(frame).take();
+  bytes_marshalled_ += payload.size();
+
+  if (to == self_) {
+    network_.post(self_, [this, payload = std::move(payload)] {
+      net::Message msg;
+      msg.src = self_;
+      msg.dst = self_;
+      msg.channel = net::Channel::giop;
+      msg.payload = payload;
+      handle(msg);
+    });
+  } else {
+    network_.send(self_, to, net::Channel::giop, std::move(payload));
+  }
+}
+
+void Orb::dispatch_reply(wire::Decoder& d) {
+  const std::uint64_t request_id = d.u64();
+  const bool ok = d.boolean();
+  if (ok) {
+    complete(request_id, d.bytes());
+  } else {
+    const auto code = static_cast<util::Errc>(d.u8());
+    complete(request_id, util::Error{code, d.str()});
+  }
+}
+
+void Orb::complete(std::uint64_t request_id,
+                   util::Result<util::Bytes> result) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // timed out earlier
+  call_latency_.record(network_.now() - it->second.sent_at);
+  if (it->second.timeout_timer.value() != 0) {
+    network_.cancel(it->second.timeout_timer);
+  }
+  ResultCallback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(std::move(result));
+}
+
+}  // namespace discover::orb

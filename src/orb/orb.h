@@ -1,0 +1,135 @@
+// A small object request broker.
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): stands in for the commercial CORBA ORB
+// + IIOP of the original system.  It reproduces the invocation model the
+// middleware depends on — location-transparent request/reply on named
+// methods of remote servants, CDR marshalling, GIOP-style framed messages
+// on their own channel — and adds per-call accounting so the ORB-overhead
+// ablation (bench A1) can compare it against the raw framed protocol.
+//
+// Asynchronous by construction: invoke() returns immediately and the reply
+// callback fires in the caller node's context.  Servants may answer inline
+// or defer (needed when serving a request requires another network hop,
+// e.g. CorbaProxy::send_command forwarding to the application).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.h"
+#include "orb/ior.h"
+#include "util/result.h"
+#include "util/stats.h"
+#include "wire/cdr.h"
+
+namespace discover::orb {
+
+class Orb;
+
+/// Remote-exception payload: an Errc + message marshalled in the reply.
+struct OrbException {
+  util::Errc code = util::Errc::internal;
+  std::string message;
+};
+
+/// Handle for completing a deferred dispatch later.
+class DeferredReply {
+ public:
+  DeferredReply(Orb* orb, net::NodeId requester, std::uint64_t request_id)
+      : orb_(orb), requester_(requester), request_id_(request_id) {}
+
+  void reply(wire::Encoder result);
+  void raise(const OrbException& ex);
+
+ private:
+  Orb* orb_;
+  net::NodeId requester_;
+  std::uint64_t request_id_;
+  bool done_ = false;
+};
+
+struct DispatchContext {
+  net::NodeId requester;
+  util::TimePoint now;
+  /// Call to take ownership of the reply; after this the inline `out`
+  /// encoder is ignored and the servant must complete the handle.
+  std::function<std::shared_ptr<DeferredReply>()> defer;
+};
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+  [[nodiscard]] virtual std::string interface_name() const = 0;
+  /// Decode `args`, execute, encode the result into `out`.  Throw
+  /// OrbException for application-level errors; wire::DecodeError is mapped
+  /// to a protocol error automatically.
+  virtual void dispatch(const std::string& method, wire::Decoder& args,
+                        wire::Encoder& out, DispatchContext& ctx) = 0;
+};
+
+class Orb {
+ public:
+  using ResultCallback =
+      std::function<void(util::Result<util::Bytes>)>;  // reply body bytes
+
+  Orb(net::Network& network, net::NodeId self);
+
+  /// Activates a servant; the returned ref is valid network-wide.
+  ObjectRef activate(std::shared_ptr<Servant> servant);
+  void deactivate(std::uint64_t key);
+  [[nodiscard]] Servant* servant_of(std::uint64_t key) const;
+
+  /// Invokes `method` on the servant behind `ref`.  Local refs short-circuit
+  /// through the same dispatch path (still paying marshalling, as a real ORB
+  /// collocated call would without POA shortcuts).
+  void invoke(const ObjectRef& ref, const std::string& method,
+              wire::Encoder args, ResultCallback cb,
+              util::Duration timeout = 0);
+
+  /// Feeds one Channel::giop message from the owner's demux.
+  void handle(const net::Message& msg);
+
+  // Accounting for bench A1 / E5.
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+  [[nodiscard]] std::uint64_t bytes_marshalled() const {
+    return bytes_marshalled_;
+  }
+  [[nodiscard]] const util::LatencyHistogram& call_latency() const {
+    return call_latency_;
+  }
+  [[nodiscard]] std::size_t active_servants() const {
+    return servants_.size();
+  }
+  [[nodiscard]] net::NodeId self() const { return self_; }
+
+ private:
+  friend class DeferredReply;
+
+  struct PendingCall {
+    ResultCallback cb;
+    util::TimePoint sent_at;
+    net::TimerId timeout_timer{0};
+  };
+
+  void dispatch_request(const net::Message& msg, wire::Decoder& d);
+  void dispatch_reply(wire::Decoder& d);
+  void send_reply(net::NodeId to, std::uint64_t request_id, bool ok,
+                  const util::Bytes& body, util::Errc code,
+                  const std::string& error_message);
+  void complete(std::uint64_t request_id, util::Result<util::Bytes> result);
+
+  net::Network& network_;
+  net::NodeId self_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Servant>> servants_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_key_ = 1;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t bytes_marshalled_ = 0;
+  util::LatencyHistogram call_latency_;
+};
+
+}  // namespace discover::orb

@@ -1,0 +1,173 @@
+#include "orb/trader.h"
+
+#include <sstream>
+
+namespace discover::orb {
+
+void encode(wire::Encoder& e, const ServiceOffer& offer) {
+  e.u64(offer.offer_id);
+  e.str(offer.service_type);
+  encode(e, offer.ref);
+  e.map(offer.properties,
+        [](wire::Encoder& enc, const std::string& k) { enc.str(k); },
+        [](wire::Encoder& enc, const std::string& v) { enc.str(v); });
+}
+
+ServiceOffer decode_service_offer(wire::Decoder& d) {
+  ServiceOffer o;
+  o.offer_id = d.u64();
+  o.service_type = d.str();
+  o.ref = decode_object_ref(d);
+  o.properties = d.map<std::string, std::string>(
+      [](wire::Decoder& dec) { return dec.str(); },
+      [](wire::Decoder& dec) { return dec.str(); });
+  return o;
+}
+
+util::Result<bool> match_constraint(
+    const std::string& constraint,
+    const std::map<std::string, std::string>& properties) {
+  std::istringstream in(constraint);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  if (tokens.empty()) return true;
+
+  std::size_t i = 0;
+  bool result = true;
+  while (i < tokens.size()) {
+    bool clause;
+    if (tokens[i] == "exist") {
+      if (i + 1 >= tokens.size()) {
+        return util::Error{util::Errc::invalid_argument,
+                           "constraint: 'exist' needs a property name"};
+      }
+      clause = properties.count(tokens[i + 1]) != 0;
+      i += 2;
+    } else {
+      if (i + 2 >= tokens.size()) {
+        return util::Error{util::Errc::invalid_argument,
+                           "constraint: expected 'name op value'"};
+      }
+      const std::string& name = tokens[i];
+      const std::string& op = tokens[i + 1];
+      const std::string& value = tokens[i + 2];
+      const auto it = properties.find(name);
+      if (op == "==") {
+        clause = it != properties.end() && it->second == value;
+      } else if (op == "!=") {
+        clause = it == properties.end() || it->second != value;
+      } else {
+        return util::Error{util::Errc::invalid_argument,
+                           "constraint: unknown operator " + op};
+      }
+      i += 3;
+    }
+    result = result && clause;
+    if (i < tokens.size()) {
+      if (tokens[i] != "and") {
+        return util::Error{util::Errc::invalid_argument,
+                           "constraint: expected 'and', got " + tokens[i]};
+      }
+      ++i;
+      if (i == tokens.size()) {
+        return util::Error{util::Errc::invalid_argument,
+                           "constraint: trailing 'and'"};
+      }
+    }
+  }
+  return result;
+}
+
+void TraderService::dispatch(const std::string& method, wire::Decoder& args,
+                             wire::Encoder& out, DispatchContext& ctx) {
+  (void)ctx;
+  if (method == "export_offer") {
+    ServiceOffer offer;
+    offer.service_type = args.str();
+    offer.ref = decode_object_ref(args);
+    offer.properties = args.map<std::string, std::string>(
+        [](wire::Decoder& d) { return d.str(); },
+        [](wire::Decoder& d) { return d.str(); });
+    offer.offer_id = next_offer_++;
+    const std::uint64_t id = offer.offer_id;
+    offers_.emplace(id, std::move(offer));
+    out.u64(id);
+  } else if (method == "withdraw") {
+    const std::uint64_t id = args.u64();
+    if (offers_.erase(id) == 0) {
+      throw OrbException{util::Errc::not_found,
+                         "no offer " + std::to_string(id)};
+    }
+  } else if (method == "query") {
+    const std::string type = args.str();
+    const std::string constraint = args.str();
+    std::vector<const ServiceOffer*> matches;
+    for (const auto& [_, offer] : offers_) {
+      if (offer.service_type != type) continue;
+      auto m = match_constraint(constraint, offer.properties);
+      if (!m.ok()) {
+        throw OrbException{m.error().code, m.error().message};
+      }
+      if (m.value()) matches.push_back(&offer);
+    }
+    out.u32(static_cast<std::uint32_t>(matches.size()));
+    for (const ServiceOffer* offer : matches) encode(out, *offer);
+  } else {
+    throw OrbException{util::Errc::invalid_argument,
+                       "TraderService has no method " + method};
+  }
+}
+
+void TraderClient::export_offer(
+    const std::string& service_type, const ObjectRef& ref,
+    const std::map<std::string, std::string>& properties, ExportCallback cb) {
+  wire::Encoder args;
+  args.str(service_type);
+  encode(args, ref);
+  args.map(properties,
+           [](wire::Encoder& e, const std::string& k) { e.str(k); },
+           [](wire::Encoder& e, const std::string& v) { e.str(v); });
+  orb_->invoke(service_, "export_offer", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 cb(d.u64());
+               });
+}
+
+void TraderClient::withdraw(std::uint64_t offer_id, StatusCallback cb) {
+  wire::Encoder args;
+  args.u64(offer_id);
+  orb_->invoke(service_, "withdraw", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 cb(r.ok() ? util::Status() : util::Status(r.error()));
+               });
+}
+
+void TraderClient::query(const std::string& service_type,
+                         const std::string& constraint, QueryCallback cb) {
+  wire::Encoder args;
+  args.str(service_type);
+  args.str(constraint);
+  orb_->invoke(service_, "query", std::move(args),
+               [cb = std::move(cb)](util::Result<util::Bytes> r) {
+                 if (!r.ok()) {
+                   cb(r.error());
+                   return;
+                 }
+                 wire::Decoder d(r.value());
+                 const std::uint32_t n = d.u32();
+                 std::vector<ServiceOffer> offers;
+                 offers.reserve(n);
+                 for (std::uint32_t i = 0; i < n; ++i) {
+                   offers.push_back(decode_service_offer(d));
+                 }
+                 cb(std::move(offers));
+               });
+}
+
+}  // namespace discover::orb

@@ -1,0 +1,86 @@
+// CORBA-trader-service analogue (paper §5.2.1): service offers are
+// (service-type, object reference, property list) triples; clients query by
+// service type plus a property constraint.  DISCOVER servers publish
+// themselves under service type "DISCOVER" and discover peers at runtime.
+//
+// The constraint language is the subset the middleware needs:
+//   ""                      matches everything
+//   "name == value"         property equality
+//   "name != value"         property inequality
+//   "exist name"            property presence
+// joined with "and".  (The full OMG constraint language has arithmetic and
+// preferences; nothing in the paper's usage requires them.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orb/orb.h"
+
+namespace discover::orb {
+
+struct ServiceOffer {
+  std::uint64_t offer_id = 0;
+  std::string service_type;
+  ObjectRef ref;
+  std::map<std::string, std::string> properties;
+
+  friend bool operator==(const ServiceOffer&, const ServiceOffer&) = default;
+};
+
+void encode(wire::Encoder& e, const ServiceOffer& offer);
+ServiceOffer decode_service_offer(wire::Decoder& d);
+
+/// Evaluates the constraint subset against a property list.  Returns an
+/// error for syntactically invalid constraints.
+util::Result<bool> match_constraint(
+    const std::string& constraint,
+    const std::map<std::string, std::string>& properties);
+
+class TraderService final : public Servant {
+ public:
+  [[nodiscard]] std::string interface_name() const override {
+    return "TraderService";
+  }
+
+  // Methods: export_offer(type, ref, props) -> offer_id,
+  // withdraw(offer_id), query(type, constraint) -> vector<ServiceOffer>.
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, DispatchContext& ctx) override;
+
+  [[nodiscard]] std::size_t offer_count() const { return offers_.size(); }
+
+ private:
+  std::map<std::uint64_t, ServiceOffer> offers_;
+  std::uint64_t next_offer_ = 1;
+};
+
+/// Typed client stubs for TraderService.
+class TraderClient {
+ public:
+  TraderClient(Orb& orb, ObjectRef service) : orb_(&orb),
+                                              service_(std::move(service)) {}
+  TraderClient() = default;
+
+  using ExportCallback = std::function<void(util::Result<std::uint64_t>)>;
+  using QueryCallback =
+      std::function<void(util::Result<std::vector<ServiceOffer>>)>;
+  using StatusCallback = std::function<void(util::Status)>;
+
+  void export_offer(const std::string& service_type, const ObjectRef& ref,
+                    const std::map<std::string, std::string>& properties,
+                    ExportCallback cb);
+  void withdraw(std::uint64_t offer_id, StatusCallback cb);
+  void query(const std::string& service_type, const std::string& constraint,
+             QueryCallback cb);
+
+  [[nodiscard]] bool configured() const { return service_.valid(); }
+
+ private:
+  Orb* orb_ = nullptr;
+  ObjectRef service_;
+};
+
+}  // namespace discover::orb

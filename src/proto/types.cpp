@@ -1,0 +1,258 @@
+#include "proto/types.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace discover::proto {
+
+std::string AppId::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u:%u", host, local);
+  return buf;
+}
+
+AppId AppId::parse(const std::string& s) {
+  AppId id;
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) return id;
+  id.host = static_cast<std::uint32_t>(
+      std::strtoul(s.substr(0, colon).c_str(), nullptr, 10));
+  id.local = static_cast<std::uint32_t>(
+      std::strtoul(s.substr(colon + 1).c_str(), nullptr, 10));
+  return id;
+}
+
+const char* phase_name(AppPhase p) {
+  switch (p) {
+    case AppPhase::computing: return "computing";
+    case AppPhase::interacting: return "interacting";
+    case AppPhase::finished: return "finished";
+  }
+  return "?";
+}
+
+std::string param_value_to_string(const ParamValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          return x ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return std::to_string(x);
+        } else if constexpr (std::is_same_v<T, double>) {
+          char buf[48];
+          std::snprintf(buf, sizeof(buf), "%g", x);
+          return buf;
+        } else {
+          return x;
+        }
+      },
+      v);
+}
+
+const char* command_name(CommandKind k) {
+  switch (k) {
+    case CommandKind::get_param: return "get_param";
+    case CommandKind::set_param: return "set_param";
+    case CommandKind::pause_app: return "pause";
+    case CommandKind::resume_app: return "resume";
+    case CommandKind::stop_app: return "stop";
+    case CommandKind::checkpoint: return "checkpoint";
+    case CommandKind::query_status: return "query_status";
+    case CommandKind::acquire_lock: return "acquire_lock";
+    case CommandKind::release_lock: return "release_lock";
+  }
+  return "?";
+}
+
+security::Privilege required_privilege(CommandKind k) {
+  switch (k) {
+    case CommandKind::get_param:
+    case CommandKind::query_status:
+      return security::Privilege::read_only;
+    case CommandKind::set_param:
+    case CommandKind::acquire_lock:
+    case CommandKind::release_lock:
+      return security::Privilege::read_write;
+    case CommandKind::pause_app:
+    case CommandKind::resume_app:
+    case CommandKind::stop_app:
+    case CommandKind::checkpoint:
+      return security::Privilege::steer;
+  }
+  return security::Privilege::steer;
+}
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::update: return "update";
+    case EventKind::response: return "response";
+    case EventKind::error: return "error";
+    case EventKind::chat: return "chat";
+    case EventKind::whiteboard: return "whiteboard";
+    case EventKind::lock_notice: return "lock_notice";
+    case EventKind::system: return "system";
+  }
+  return "?";
+}
+
+// --- wire helpers ----------------------------------------------------------
+
+void encode(wire::Encoder& e, const AppId& v) {
+  e.u32(v.host);
+  e.u32(v.local);
+}
+
+AppId decode_app_id(wire::Decoder& d) {
+  AppId id;
+  id.host = d.u32();
+  id.local = d.u32();
+  return id;
+}
+
+void encode(wire::Encoder& e, const ParamValue& v) {
+  e.u8(static_cast<std::uint8_t>(v.index()));
+  std::visit(
+      [&e](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          e.boolean(x);
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          e.i64(x);
+        } else if constexpr (std::is_same_v<T, double>) {
+          e.f64(x);
+        } else {
+          e.str(x);
+        }
+      },
+      v);
+}
+
+ParamValue decode_param_value(wire::Decoder& d) {
+  switch (d.u8()) {
+    case 0: return ParamValue{d.boolean()};
+    case 1: return ParamValue{d.i64()};
+    case 2: return ParamValue{d.f64()};
+    case 3: return ParamValue{d.str()};
+    default: throw wire::DecodeError("bad ParamValue tag");
+  }
+}
+
+void encode(wire::Encoder& e, const ParamSpec& v) {
+  e.str(v.name);
+  encode(e, v.value);
+  e.f64(v.min_value);
+  e.f64(v.max_value);
+  e.boolean(v.steerable);
+  e.str(v.units);
+}
+
+ParamSpec decode_param_spec(wire::Decoder& d) {
+  ParamSpec p;
+  p.name = d.str();
+  p.value = decode_param_value(d);
+  p.min_value = d.f64();
+  p.max_value = d.f64();
+  p.steerable = d.boolean();
+  p.units = d.str();
+  return p;
+}
+
+void encode(wire::Encoder& e, const AppInfo& v) {
+  encode(e, v.id);
+  e.str(v.name);
+  e.str(v.description);
+  e.u8(static_cast<std::uint8_t>(v.privilege));
+  e.u8(static_cast<std::uint8_t>(v.phase));
+  e.u64(v.update_seq);
+}
+
+AppInfo decode_app_info(wire::Decoder& d) {
+  AppInfo a;
+  a.id = decode_app_id(d);
+  a.name = d.str();
+  a.description = d.str();
+  a.privilege = static_cast<security::Privilege>(d.u8());
+  a.phase = static_cast<AppPhase>(d.u8());
+  a.update_seq = d.u64();
+  return a;
+}
+
+void encode_metrics(wire::Encoder& e, const std::map<std::string, double>& m) {
+  e.map(m, [](wire::Encoder& enc, const std::string& k) { enc.str(k); },
+        [](wire::Encoder& enc, double v) { enc.f64(v); });
+}
+
+std::map<std::string, double> decode_metrics(wire::Decoder& d) {
+  return d.map<std::string, double>(
+      [](wire::Decoder& dec) { return dec.str(); },
+      [](wire::Decoder& dec) { return dec.f64(); });
+}
+
+void encode(wire::Encoder& e, const ClientEvent& v) {
+  e.u8(static_cast<std::uint8_t>(v.kind));
+  e.u64(v.seq);
+  encode(e, v.app);
+  e.i64(v.at);
+  e.str(v.user);
+  e.str(v.text);
+  e.u64(v.request_id);
+  e.str(v.param);
+  encode(e, v.value);
+  encode_metrics(e, v.metrics);
+  e.u64(v.iteration);
+  e.str(v.subgroup);
+  e.boolean(v.shared);
+}
+
+ClientEvent decode_client_event(wire::Decoder& d) {
+  ClientEvent ev;
+  ev.kind = static_cast<EventKind>(d.u8());
+  ev.seq = d.u64();
+  ev.app = decode_app_id(d);
+  ev.at = d.i64();
+  ev.user = d.str();
+  ev.text = d.str();
+  ev.request_id = d.u64();
+  ev.param = d.str();
+  ev.value = decode_param_value(d);
+  ev.metrics = decode_metrics(d);
+  ev.iteration = d.u64();
+  ev.subgroup = d.str();
+  ev.shared = d.boolean();
+  return ev;
+}
+
+void encode(wire::Encoder& e, const security::AclEntry& v) {
+  e.str(v.user);
+  e.u8(static_cast<std::uint8_t>(v.privilege));
+  e.u64(v.password_digest);
+}
+
+security::AclEntry decode_acl_entry(wire::Decoder& d) {
+  security::AclEntry a;
+  a.user = d.str();
+  a.privilege = static_cast<security::Privilege>(d.u8());
+  a.password_digest = d.u64();
+  return a;
+}
+
+void encode(wire::Encoder& e, const security::SessionToken& v) {
+  e.str(v.user);
+  e.u32(v.issuer);
+  e.i64(v.issued_at);
+  e.i64(v.expires_at);
+  e.u64(v.mac);
+}
+
+security::SessionToken decode_token(wire::Decoder& d) {
+  security::SessionToken t;
+  t.user = d.str();
+  t.issuer = d.u32();
+  t.issued_at = d.i64();
+  t.expires_at = d.i64();
+  t.mac = d.u64();
+  return t;
+}
+
+}  // namespace discover::proto

@@ -1,0 +1,151 @@
+// Shared middleware data types crossing the wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/address.h"
+#include "security/acl.h"
+#include "security/token.h"
+#include "util/clock.h"
+#include "wire/cdr.h"
+
+namespace discover::proto {
+
+/// Globally unique application identifier (paper §5.2.1): "a combination of
+/// the server's IP address and a local count of the applications on each
+/// server" — so any server can extract the host server from the id and tell
+/// local from remote applications.
+struct AppId {
+  std::uint32_t host = 0;   // NodeId value of the host server
+  std::uint32_t local = 0;  // per-server registration counter
+
+  [[nodiscard]] net::NodeId host_server() const { return net::NodeId{host}; }
+  [[nodiscard]] bool valid() const { return host != 0 || local != 0; }
+  [[nodiscard]] std::string to_string() const;
+  static AppId parse(const std::string& s);
+
+  friend bool operator==(AppId, AppId) = default;
+  friend bool operator<(AppId a, AppId b) {
+    return a.host != b.host ? a.host < b.host : a.local < b.local;
+  }
+};
+
+/// Application execution phase (paper §4.1: the daemon servlet "buffers all
+/// client requests and sends them to the application when the application is
+/// in the `interaction' phase").
+enum class AppPhase : std::uint8_t { computing = 0, interacting = 1,
+                                     finished = 2 };
+const char* phase_name(AppPhase p);
+
+using ParamValue = std::variant<bool, std::int64_t, double, std::string>;
+std::string param_value_to_string(const ParamValue& v);
+
+/// One steerable/observable parameter exposed by an application's control
+/// network (sensor/actuator pair).
+struct ParamSpec {
+  std::string name;
+  ParamValue value;
+  double min_value = 0;
+  double max_value = 0;
+  bool steerable = false;
+  std::string units;
+
+  friend bool operator==(const ParamSpec&, const ParamSpec&) = default;
+};
+
+/// Directory entry describing an active application, as returned by
+/// level-1 queries (local or via DiscoverCorbaServer on peers).
+struct AppInfo {
+  AppId id;
+  std::string name;
+  std::string description;
+  security::Privilege privilege = security::Privilege::none;  // of the asker
+  AppPhase phase = AppPhase::computing;
+  std::uint64_t update_seq = 0;
+
+  friend bool operator==(const AppInfo&, const AppInfo&) = default;
+};
+
+/// Steering/interaction command verbs.
+enum class CommandKind : std::uint8_t {
+  get_param = 0,
+  set_param = 1,
+  pause_app = 2,
+  resume_app = 3,
+  stop_app = 4,
+  checkpoint = 5,
+  query_status = 6,
+  acquire_lock = 7,
+  release_lock = 8,
+};
+const char* command_name(CommandKind k);
+/// Minimum privilege required to issue the command.
+security::Privilege required_privilege(CommandKind k);
+
+/// Everything a portal client can receive from its server, both in poll
+/// replies and in archived session logs.  The original clients dispatched on
+/// the Java class name of the received object (paper §4.1); `kind` is the
+/// C++ analogue of that type tag.
+enum class EventKind : std::uint8_t {
+  update = 0,      // periodic application state broadcast
+  response = 1,    // reply to a specific client command
+  error = 2,       // failed command / system problem
+  chat = 3,        // collaboration chat line
+  whiteboard = 4,  // collaboration whiteboard operation
+  lock_notice = 5, // lock granted/denied/released notifications
+  system = 6,      // membership changes, server events
+};
+const char* event_kind_name(EventKind k);
+
+struct ClientEvent {
+  EventKind kind = EventKind::system;
+  std::uint64_t seq = 0;  // per-application event sequence (host-assigned)
+  AppId app;
+  util::TimePoint at = 0;
+  std::string user;          // originator, if any
+  std::string text;          // chat text / error / system description
+  std::uint64_t request_id = 0;  // response correlation, 0 if n/a
+  std::string param;             // parameter touched by a response
+  ParamValue value;              // response value / whiteboard payload
+  std::map<std::string, double> metrics;  // update payload
+  std::uint64_t iteration = 0;            // update payload
+  std::string subgroup;  // collaboration sub-group scope ("" = whole group)
+  /// False when the originator disabled collaboration: the event is then
+  /// delivered only to sessions of the originating user (paper §4.1:
+  /// requests/responses not broadcast to the group).
+  bool shared = true;
+
+  friend bool operator==(const ClientEvent&, const ClientEvent&) = default;
+};
+
+// --- wire helpers ----------------------------------------------------------
+
+void encode(wire::Encoder& e, const AppId& v);
+AppId decode_app_id(wire::Decoder& d);
+
+void encode(wire::Encoder& e, const ParamValue& v);
+ParamValue decode_param_value(wire::Decoder& d);
+
+void encode(wire::Encoder& e, const ParamSpec& v);
+ParamSpec decode_param_spec(wire::Decoder& d);
+
+void encode(wire::Encoder& e, const AppInfo& v);
+AppInfo decode_app_info(wire::Decoder& d);
+
+void encode(wire::Encoder& e, const ClientEvent& v);
+ClientEvent decode_client_event(wire::Decoder& d);
+
+void encode(wire::Encoder& e, const security::AclEntry& v);
+security::AclEntry decode_acl_entry(wire::Decoder& d);
+
+void encode(wire::Encoder& e, const security::SessionToken& v);
+security::SessionToken decode_token(wire::Decoder& d);
+
+void encode_metrics(wire::Encoder& e, const std::map<std::string, double>& m);
+std::map<std::string, double> decode_metrics(wire::Decoder& d);
+
+}  // namespace discover::proto

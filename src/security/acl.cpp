@@ -1,0 +1,52 @@
+#include "security/acl.h"
+
+namespace discover::security {
+
+const char* privilege_name(Privilege p) {
+  switch (p) {
+    case Privilege::none: return "none";
+    case Privilege::read_only: return "read_only";
+    case Privilege::read_write: return "read_write";
+    case Privilege::steer: return "steer";
+  }
+  return "?";
+}
+
+AccessControlList::AccessControlList(std::vector<AclEntry> entries) {
+  for (auto& e : entries) entries_.emplace(e.user, std::move(e));
+}
+
+void AccessControlList::grant(const std::string& user, Privilege p,
+                              std::uint64_t password_digest) {
+  entries_[user] = AclEntry{user, p, password_digest};
+}
+
+void AccessControlList::revoke(const std::string& user) {
+  entries_.erase(user);
+}
+
+Privilege AccessControlList::privilege_of(const std::string& user) const {
+  const auto it = entries_.find(user);
+  return it != entries_.end() ? it->second.privilege : Privilege::none;
+}
+
+bool AccessControlList::knows(const std::string& user) const {
+  return entries_.count(user) != 0;
+}
+
+bool AccessControlList::check_password(const std::string& user,
+                                       std::uint64_t digest) const {
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return false;
+  return it->second.password_digest == 0 ||
+         it->second.password_digest == digest;
+}
+
+std::vector<AclEntry> AccessControlList::entries() const {
+  std::vector<AclEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(e);
+  return out;
+}
+
+}  // namespace discover::security

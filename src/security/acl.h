@@ -1,0 +1,51 @@
+// Per-application access control lists.
+//
+// Paper §6.3: "when an application or a service registers with a server, it
+// supplies the server with this information in the form of a list of
+// authorized user-IDs and their privileges".  User identities therefore
+// belong to applications, not servers, and a user is known to a server iff
+// some application registered there lists them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "security/privilege.h"
+
+namespace discover::security {
+
+struct AclEntry {
+  std::string user;
+  Privilege privilege = Privilege::none;
+  /// Digest of the user's password as supplied by the application.  Empty
+  /// means "any password" (matching the prototype's pre-shared-key style).
+  std::uint64_t password_digest = 0;
+
+  friend bool operator==(const AclEntry&, const AclEntry&) = default;
+};
+
+class AccessControlList {
+ public:
+  AccessControlList() = default;
+  explicit AccessControlList(std::vector<AclEntry> entries);
+
+  void grant(const std::string& user, Privilege p,
+             std::uint64_t password_digest = 0);
+  void revoke(const std::string& user);
+
+  [[nodiscard]] Privilege privilege_of(const std::string& user) const;
+  [[nodiscard]] bool knows(const std::string& user) const;
+  /// Checks a password digest against the entry; entries with digest 0
+  /// accept anything.
+  [[nodiscard]] bool check_password(const std::string& user,
+                                    std::uint64_t digest) const;
+
+  [[nodiscard]] std::vector<AclEntry> entries() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, AclEntry> entries_;
+};
+
+}  // namespace discover::security

@@ -1,0 +1,24 @@
+// Access privileges (paper §5.2.2: "read-only, read-write" plus the steering
+// capability implied by lock acquisition).  Ordered: each level includes all
+// weaker ones.
+#pragma once
+
+#include <cstdint>
+
+namespace discover::security {
+
+enum class Privilege : std::uint8_t {
+  none = 0,       // not on the ACL at all
+  read_only = 1,  // may view status/updates
+  read_write = 2, // may change parameters (requires the steering lock)
+  steer = 3,      // read_write + may pause/resume/checkpoint the app
+};
+
+const char* privilege_name(Privilege p);
+
+/// True when `have` grants at least `need`.
+constexpr bool allows(Privilege have, Privilege need) {
+  return static_cast<std::uint8_t>(have) >= static_cast<std::uint8_t>(need);
+}
+
+}  // namespace discover::security

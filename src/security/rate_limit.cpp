@@ -1,0 +1,46 @@
+#include "security/rate_limit.h"
+
+#include <algorithm>
+
+namespace discover::security {
+
+void TokenBucket::refill(util::TimePoint now) {
+  if (now <= last_) return;
+  const double elapsed_sec =
+      static_cast<double>(now - last_) / static_cast<double>(util::kSecond);
+  tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_sec);
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(util::TimePoint now, double cost) {
+  if (rate_ <= 0) return true;  // unlimited
+  refill(now);
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+double TokenBucket::available(util::TimePoint now) const {
+  if (rate_ <= 0) return burst_;
+  TokenBucket copy = *this;
+  copy.refill(now);
+  return copy.tokens_;
+}
+
+bool RateLimiter::admit(util::TimePoint now, std::uint64_t bytes) {
+  // Check both buckets before consuming either so a rejection leaves the
+  // limiter state unchanged.
+  const bool req_ok = policy_.max_requests_per_sec <= 0 ||
+                      requests_.available(now) >= 1.0;
+  const bool byte_ok = policy_.max_bytes_per_sec <= 0 ||
+                       bytes_.available(now) >= static_cast<double>(bytes);
+  if (!req_ok || !byte_ok) {
+    ++rejected_;
+    return false;
+  }
+  requests_.try_consume(now, 1.0);
+  bytes_.try_consume(now, static_cast<double>(bytes));
+  return true;
+}
+
+}  // namespace discover::security

@@ -1,0 +1,67 @@
+// Token-bucket rate limiting for per-peer resource-usage policies.
+//
+// Paper §6.3 ("Resource utilization"): access policies per server expressed
+// as "number of requests per second, or the data bytes being transferred to
+// each server per second".  AccessPolicy carries both limits; RateLimiter
+// enforces them with two token buckets.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace discover::security {
+
+struct AccessPolicy {
+  double max_requests_per_sec = 0;  // 0 => unlimited
+  double max_bytes_per_sec = 0;     // 0 => unlimited
+};
+
+class TokenBucket {
+ public:
+  /// rate per second; burst = bucket capacity.  rate <= 0 disables limiting.
+  TokenBucket(double rate, double burst) : rate_(rate), tokens_(burst),
+                                           burst_(burst) {}
+
+  /// Tries to take `cost` tokens at time `now`; returns false if the bucket
+  /// lacks them (request should be rejected / deferred).
+  bool try_consume(util::TimePoint now, double cost);
+
+  [[nodiscard]] double available(util::TimePoint now) const;
+
+ private:
+  void refill(util::TimePoint now);
+
+  double rate_;
+  double tokens_;
+  double burst_;
+  util::TimePoint last_ = 0;
+};
+
+/// Combined request+byte limiter for one peer (server or client).
+class RateLimiter {
+ public:
+  explicit RateLimiter(AccessPolicy policy)
+      : policy_(policy),
+        requests_(policy.max_requests_per_sec,
+                  policy.max_requests_per_sec > 0
+                      ? policy.max_requests_per_sec
+                      : 1.0),
+        bytes_(policy.max_bytes_per_sec,
+               policy.max_bytes_per_sec > 0 ? policy.max_bytes_per_sec : 1.0) {
+  }
+
+  /// Admits one request of `bytes` payload at `now`.
+  bool admit(util::TimePoint now, std::uint64_t bytes);
+
+  [[nodiscard]] const AccessPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  AccessPolicy policy_;
+  TokenBucket requests_;
+  TokenBucket bytes_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace discover::security

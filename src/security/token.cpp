@@ -1,0 +1,61 @@
+#include "security/token.h"
+
+#include <cstdio>
+
+namespace discover::security {
+
+std::uint64_t digest64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t keyed_digest64(std::uint64_t key, std::string_view data) {
+  char keybuf[17];
+  std::snprintf(keybuf, sizeof(keybuf), "%016llx",
+                static_cast<unsigned long long>(key));
+  std::uint64_t h = digest64(keybuf);
+  h ^= digest64(data);
+  h *= 0x100000001b3ULL;
+  h ^= digest64(keybuf) >> 7;
+  return h;
+}
+
+std::uint64_t TokenAuthority::mac_of(const SessionToken& t) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s|%u|%lld|%lld", t.user.c_str(), t.issuer,
+                static_cast<long long>(t.issued_at),
+                static_cast<long long>(t.expires_at));
+  return keyed_digest64(secret_, buf);
+}
+
+SessionToken TokenAuthority::issue(const std::string& user,
+                                   util::TimePoint now,
+                                   util::Duration ttl) const {
+  SessionToken t;
+  t.user = user;
+  t.issuer = issuer_;
+  t.issued_at = now;
+  t.expires_at = now + ttl;
+  t.mac = mac_of(t);
+  return t;
+}
+
+util::Status TokenAuthority::verify(const SessionToken& token,
+                                    util::TimePoint now) const {
+  if (token.issuer != issuer_) {
+    return {util::Errc::unauthenticated, "token issued by another server"};
+  }
+  if (token.mac != mac_of(token)) {
+    return {util::Errc::unauthenticated, "token MAC mismatch"};
+  }
+  if (now >= token.expires_at) {
+    return {util::Errc::unauthenticated, "token expired"};
+  }
+  return {};
+}
+
+}  // namespace discover::security

@@ -1,0 +1,59 @@
+// Session tokens with a keyed-digest MAC.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the original system rode on SSL and
+// servlet session ids.  We reproduce the *protocol structure* — a server
+// issues an expiring token at level-1 authentication; every later request
+// carries it; peer servers can verify tokens they issued themselves — using
+// a 64-bit keyed FNV digest.  This is NOT cryptographically strong and is
+// clearly labelled as a stand-in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace discover::security {
+
+/// FNV-1a 64-bit digest; used for password digests and token MACs.
+std::uint64_t digest64(std::string_view data);
+/// Keyed variant: digest64(key || data || key).
+std::uint64_t keyed_digest64(std::uint64_t key, std::string_view data);
+
+struct SessionToken {
+  std::string user;
+  std::uint32_t issuer = 0;  // NodeId value of the issuing server
+  util::TimePoint issued_at = 0;
+  util::TimePoint expires_at = 0;
+  std::uint64_t mac = 0;
+
+  friend bool operator==(const SessionToken&, const SessionToken&) = default;
+};
+
+/// Issues and verifies tokens for one server.  Each server has its own
+/// secret; tokens are only verifiable by their issuer, so access to a remote
+/// server always goes through an explicit cross-server authentication step
+/// (paper §5.2.2), never by replaying a local token remotely.
+class TokenAuthority {
+ public:
+  TokenAuthority(std::uint32_t issuer, std::uint64_t secret)
+      : issuer_(issuer), secret_(secret) {}
+
+  [[nodiscard]] SessionToken issue(const std::string& user,
+                                   util::TimePoint now,
+                                   util::Duration ttl) const;
+
+  /// Checks issuer, expiry and MAC.
+  [[nodiscard]] util::Status verify(const SessionToken& token,
+                                    util::TimePoint now) const;
+
+ private:
+  [[nodiscard]] std::uint64_t mac_of(const SessionToken& t) const;
+
+  std::uint32_t issuer_;
+  std::uint64_t secret_;
+};
+
+}  // namespace discover::security

@@ -1,0 +1,20 @@
+#include "util/bytes.h"
+
+#include <cstdio>
+
+namespace discover::util {
+
+std::string hex_dump(const Bytes& b, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  out.reserve(n * 3 + 8);
+  char tmp[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x ", b[i]);
+    out += tmp;
+  }
+  if (b.size() > max_bytes) out += "...";
+  return out;
+}
+
+}  // namespace discover::util

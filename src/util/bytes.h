@@ -1,0 +1,26 @@
+// Raw byte-sequence helpers shared by the wire, net and http layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace discover::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Copies a string's characters into a byte vector.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte vector as text.
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Hex representation, handy in logs and test failure messages.
+std::string hex_dump(const Bytes& b, std::size_t max_bytes = 64);
+
+}  // namespace discover::util

@@ -1,0 +1,66 @@
+// Time abstraction shared by the simulated and threaded network backends.
+//
+// All middleware timestamps are nanoseconds on a monotonic timeline.  The
+// discrete-event simulator owns a ManualClock it advances between events;
+// the threaded backend reads std::chrono::steady_clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace discover::util {
+
+/// Nanoseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+/// Nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_us(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Virtual clock advanced explicitly by the discrete-event scheduler.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_to(TimePoint t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<TimePoint> now_{0};
+};
+
+/// Wall clock for the threaded backend.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    const auto since_start = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(since_start)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace discover::util

@@ -1,0 +1,54 @@
+// Strong integral id types.
+//
+// The middleware juggles many kinds of numeric identifiers (nodes, ports,
+// sessions, applications, clients, locks, request correlations).  Mixing
+// them up silently is a classic source of distributed-systems bugs, so every
+// identifier gets its own non-convertible type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace discover::util {
+
+/// A non-convertible wrapper around an integral value.  Two StrongIds with
+/// different Tag types never compare or convert to each other.
+template <typename Tag, typename T = std::uint64_t>
+class StrongId {
+ public:
+  using value_type = T;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(T value) : value_(value) {}
+
+  [[nodiscard]] constexpr T value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  T value_{};
+};
+
+}  // namespace discover::util
+
+namespace std {
+template <typename Tag, typename T>
+struct hash<discover::util::StrongId<Tag, T>> {
+  size_t operator()(discover::util::StrongId<Tag, T> id) const noexcept {
+    return std::hash<T>{}(id.value());
+  }
+};
+}  // namespace std

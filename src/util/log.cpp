@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace discover::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %-14s %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace discover::util

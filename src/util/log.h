@@ -1,0 +1,51 @@
+// Thread-safe leveled logging.
+//
+// Default level is `warn` so tests and benchmarks stay quiet; examples turn
+// on `info` to narrate middleware operation.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace discover::util {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+}
+
+/// Streams a log line: LOG(info, "server") << "client " << id << " joined";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)),
+        enabled_(level >= log_level()) {}
+  ~LogStream() {
+    if (enabled_) detail::log_line(level_, component_, stream_.str());
+  }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace discover::util
+
+#define DISCOVER_LOG(level, component) \
+  ::discover::util::LogStream(::discover::util::LogLevel::level, (component))

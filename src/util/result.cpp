@@ -1,0 +1,24 @@
+#include "util/result.h"
+
+namespace discover::util {
+
+const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::unauthenticated: return "unauthenticated";
+    case Errc::unavailable: return "unavailable";
+    case Errc::timeout: return "timeout";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::failed_precondition: return "failed_precondition";
+    case Errc::conflict: return "conflict";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace discover::util

@@ -1,0 +1,108 @@
+// Minimal expected-style error handling.
+//
+// Middleware-internal failures (auth denied, unknown application, lock held,
+// malformed frame, ...) are data, not exceptional control flow: they cross
+// the wire as Error messages.  Result<T> keeps that explicit.
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace discover::util {
+
+enum class Errc {
+  ok = 0,
+  invalid_argument,
+  not_found,
+  already_exists,
+  permission_denied,
+  unauthenticated,
+  unavailable,
+  timeout,
+  resource_exhausted,
+  failed_precondition,
+  conflict,
+  protocol_error,
+  internal,
+};
+
+const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Error& e) {
+  return os << errc_name(e.code) << ": " << e.message;
+}
+
+/// Either a value or an Error.  `ok()` must be checked before `value()`.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+  Result(Errc code, std::string message)
+      : data_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations without a payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+  Status(Errc code, std::string message)
+      : error_{code, std::move(message)}, failed_(true) {}
+
+  static Status ok_status() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace discover::util

@@ -1,0 +1,160 @@
+#include "util/stats.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace discover::util {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  total_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  total_ += other.total_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_of(Duration nanos) {
+  if (nanos < 1) nanos = 1;
+  const auto v = static_cast<std::uint64_t>(nanos);
+  const int log2 = 63 - std::countl_zero(v);
+  std::uint64_t sub;
+  if (log2 <= kSubBits) {
+    // Small values: bucket index is the value itself, exact.
+    return static_cast<std::size_t>(v);
+  }
+  sub = (v >> (log2 - kSubBits)) & ((1u << kSubBits) - 1);
+  const std::size_t idx =
+      (static_cast<std::size_t>(log2) << kSubBits) + static_cast<std::size_t>(sub);
+  return std::min(idx, kBuckets - 1);
+}
+
+Duration LatencyHistogram::bucket_low(std::size_t bucket) {
+  const std::size_t log2 = bucket >> kSubBits;
+  const std::size_t sub = bucket & ((1u << kSubBits) - 1);
+  if (log2 <= kSubBits) return static_cast<Duration>(bucket);
+  return static_cast<Duration>(((1ULL << kSubBits) + sub)
+                               << (log2 - kSubBits));
+}
+
+Duration LatencyHistogram::bucket_high(std::size_t bucket) {
+  const std::size_t log2 = bucket >> kSubBits;
+  if (log2 <= kSubBits) return static_cast<Duration>(bucket);
+  return bucket_low(bucket) + (static_cast<Duration>(1) << (log2 - kSubBits)) - 1;
+}
+
+void LatencyHistogram::record(Duration nanos) {
+  if (nanos < 0) nanos = 0;
+  ++buckets_[bucket_of(nanos)];
+  ++count_;
+  sum_ += static_cast<double>(nanos);
+  min_ = std::min(min_, nanos);
+  max_ = std::max(max_, nanos);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Duration LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] > target) {
+      // Interpolate linearly inside the bucket.
+      const double frac = buckets_[i] > 1
+                              ? static_cast<double>(target - seen) /
+                                    static_cast<double>(buckets_[i] - 1)
+                              : 0.0;
+      const auto lo = bucket_low(i);
+      const auto hi = std::min(bucket_high(i), max_);
+      return lo + static_cast<Duration>(frac * static_cast<double>(hi - lo));
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p50=%s p95=%s p99=%s max=%s (n=%llu)",
+                format_duration(percentile(0.50)).c_str(),
+                format_duration(percentile(0.95)).c_str(),
+                format_duration(percentile(0.99)).c_str(),
+                format_duration(max()).c_str(),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<Duration>::max();
+  max_ = 0;
+}
+
+std::string format_duration(Duration d) {
+  char buf[48];
+  const double v = static_cast<double>(d);
+  if (d < 10 * kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  } else if (d < 10 * kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", v / kMicrosecond);
+  } else if (d < 10 * kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / kSecond);
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t n) {
+  char buf[48];
+  if (n < 10 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(n));
+  } else if (n < 10ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", static_cast<double>(n) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(n) / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace discover::util

@@ -1,0 +1,83 @@
+// Measurement primitives used by the benchmark harness and the servers'
+// self-instrumentation (latency histograms, counters, traffic accounting).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace discover::util {
+
+/// Streaming mean/min/max/stddev (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double total() const { return total_; }
+
+  void merge(const OnlineStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double total_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Latency histogram with logarithmic buckets (~4% relative resolution)
+/// over [1ns, ~18s].  Percentile queries interpolate within a bucket.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(Duration nanos);
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] Duration min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] Duration max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean_ns() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// q in [0, 1]; e.g. 0.5 for median, 0.95, 0.99.
+  [[nodiscard]] Duration percentile(double q) const;
+
+  /// "p50=1.2ms p95=3.4ms p99=9ms max=12ms (n=1000)"
+  [[nodiscard]] std::string summary() const;
+
+  void clear();
+
+ private:
+  static std::size_t bucket_of(Duration nanos);
+  static Duration bucket_low(std::size_t bucket);
+  static Duration bucket_high(std::size_t bucket);
+
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per power of two.
+  static constexpr std::size_t kBuckets = 64 << kSubBits;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Duration min_ = std::numeric_limits<Duration>::max();
+  Duration max_ = 0;
+};
+
+/// Formats a duration with a sensible unit (ns/us/ms/s).
+std::string format_duration(Duration d);
+
+/// Formats byte counts (B/KiB/MiB).
+std::string format_bytes(std::uint64_t n);
+
+}  // namespace discover::util

@@ -1,0 +1,31 @@
+#include "wire/cdr.h"
+
+namespace discover::wire {
+
+void Encoder::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void Encoder::bytes(const util::Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b.data(), b.size());
+}
+
+std::string Decoder::str() {
+  const std::uint32_t n = u32();
+  if (remaining() < n) throw DecodeError("truncated string");
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+util::Bytes Decoder::bytes() {
+  const std::uint32_t n = u32();
+  if (remaining() < n) throw DecodeError("truncated bytes");
+  util::Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace discover::wire

@@ -1,0 +1,186 @@
+// CDR-style binary serialization.
+//
+// Models CORBA's Common Data Representation closely enough that the ORB
+// substrate has realistic marshalling behaviour: little-endian primitives,
+// natural alignment padding, length-prefixed strings and sequences.  The
+// same codec also carries the "custom TCP protocol" frames between servers
+// and applications (the paper used Java serialization there; one codec for
+// both keeps the comparison in bench A1 about *protocol* cost, not codec
+// cost).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace discover::wire {
+
+/// Thrown on malformed input; callers at frame boundaries convert it to a
+/// protocol error Status.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { align(2); raw_le(v); }
+  void u32(std::uint32_t v) { align(4); raw_le(v); }
+  void u64(std::uint64_t v) { align(8); raw_le(v); }
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed UTF-8 string (no NUL terminator on the wire).
+  void str(std::string_view s);
+  /// Length-prefixed opaque byte sequence.
+  void bytes(const util::Bytes& b);
+
+  template <typename T, typename Fn>
+  void sequence(const std::vector<T>& v, Fn encode_element) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& e : v) encode_element(*this, e);
+  }
+
+  template <typename K, typename V, typename FnK, typename FnV>
+  void map(const std::map<K, V>& m, FnK encode_key, FnV encode_value) {
+    u32(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      encode_key(*this, k);
+      encode_value(*this, v);
+    }
+  }
+
+  template <typename T, typename Fn>
+  void optional(const std::optional<T>& v, Fn encode_element) {
+    boolean(v.has_value());
+    if (v) encode_element(*this, *v);
+  }
+
+  [[nodiscard]] const util::Bytes& data() const& { return buffer_; }
+  [[nodiscard]] util::Bytes take() && { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void align(std::size_t n) {
+    while (buffer_.size() % n != 0) buffer_.push_back(0);
+  }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buffer_.insert(buffer_.end(), b, b + n);
+  }
+  template <typename T>
+  void raw_le(T v) {
+    // Assumes little-endian host (checked in tests); CDR carries an
+    // endianness flag in the frame header, fixed to LE here.
+    raw(&v, sizeof(v));
+  }
+
+  util::Bytes buffer_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const util::Bytes& data)
+      : data_(data.data()), size_(data.size()) {}
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return read_raw<std::uint8_t>(1); }
+  std::uint16_t u16() { align(2); return read_raw<std::uint16_t>(2); }
+  std::uint32_t u32() { align(4); return read_raw<std::uint32_t>(4); }
+  std::uint64_t u64() { align(8); return read_raw<std::uint64_t>(8); }
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str();
+  util::Bytes bytes();
+
+  template <typename T, typename Fn>
+  std::vector<T> sequence(Fn decode_element) {
+    const std::uint32_t n = u32();
+    check_remaining(n);  // Each element is at least one byte.
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(decode_element(*this));
+    return out;
+  }
+
+  template <typename K, typename V, typename FnK, typename FnV>
+  std::map<K, V> map(FnK decode_key, FnV decode_value) {
+    const std::uint32_t n = u32();
+    check_remaining(n);
+    std::map<K, V> out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      K k = decode_key(*this);
+      V v = decode_value(*this);
+      out.emplace(std::move(k), std::move(v));
+    }
+    return out;
+  }
+
+  template <typename T, typename Fn>
+  std::optional<T> optional(Fn decode_element) {
+    if (!boolean()) return std::nullopt;
+    return decode_element(*this);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+
+  /// Requires that all input was consumed (catches trailing garbage).
+  void finish() const {
+    if (!at_end()) throw DecodeError("trailing bytes after message");
+  }
+
+ private:
+  void align(std::size_t n) {
+    while (pos_ % n != 0) {
+      if (pos_ >= size_) throw DecodeError("truncated (padding)");
+      ++pos_;
+    }
+  }
+  void check_remaining(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated sequence");
+  }
+  template <typename T>
+  T read_raw(std::size_t n) {
+    if (remaining() < n) throw DecodeError("truncated value");
+    T v;
+    std::memcpy(&v, data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace discover::wire

@@ -1,0 +1,47 @@
+#include "workload/drivers.h"
+
+namespace discover::workload {
+
+ClientDriver::ClientDriver(net::Network& network, core::DiscoverClient& client,
+                           proto::AppId app, DriverConfig config)
+    : network_(network), client_(client), app_(app),
+      config_(std::move(config)) {}
+
+void ClientDriver::start() {
+  if (running_.exchange(true)) return;
+  network_.post(client_.node(), [this] {
+    client_.start_polling(app_);
+    command_once();
+  });
+}
+
+void ClientDriver::stop() {
+  running_.store(false);
+  network_.post(client_.node(), [this] { client_.stop_polling(app_); });
+}
+
+void ClientDriver::command_once() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  proto::ParamValue value;
+  if (config_.kind == proto::CommandKind::set_param) {
+    value = proto::ParamValue{
+        config_.value_base +
+        config_.value_step *
+            static_cast<double>(commands_sent_.load(std::memory_order_relaxed))};
+  }
+  commands_sent_.fetch_add(1, std::memory_order_relaxed);
+  client_.send_command(
+      app_, config_.kind, config_.param, value,
+      [this](util::Result<proto::CommandAck> r) {
+        if (r.ok() && r.value().accepted) {
+          acks_ok_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          acks_failed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Issue the next command one period after the previous completion.
+        network_.schedule(client_.node(), config_.command_period,
+                          [this] { command_once(); });
+      });
+}
+
+}  // namespace discover::workload

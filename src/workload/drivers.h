@@ -1,0 +1,59 @@
+// Scripted client behaviour for load experiments.
+//
+// A ClientDriver turns a DiscoverClient into a steady-state portal user:
+// it polls on the client's configured cadence and issues a read command
+// every `command_period`.  Request latencies accumulate in the client's
+// HttpClient histogram; the driver adds command-level success counters.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "core/client.h"
+
+namespace discover::workload {
+
+struct DriverConfig {
+  util::Duration command_period = util::milliseconds(200);
+  proto::CommandKind kind = proto::CommandKind::get_param;
+  std::string param;
+  /// When kind is set_param: value = base + step * commands_sent.
+  double value_base = 1.0;
+  double value_step = 0.0;
+};
+
+class ClientDriver {
+ public:
+  ClientDriver(net::Network& network, core::DiscoverClient& client,
+               proto::AppId app, DriverConfig config);
+
+  /// Begins polling + command loops; call after the client has logged in
+  /// and selected the application (and acquired the lock for writes).
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t commands_sent() const {
+    return commands_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t acks_ok() const {
+    return acks_ok_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t acks_failed() const {
+    return acks_failed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] core::DiscoverClient& client() { return client_; }
+
+ private:
+  void command_once();
+
+  net::Network& network_;
+  core::DiscoverClient& client_;
+  proto::AppId app_;
+  DriverConfig config_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> commands_sent_{0};
+  std::atomic<std::uint64_t> acks_ok_{0};
+  std::atomic<std::uint64_t> acks_failed_{0};
+};
+
+}  // namespace discover::workload

@@ -1,0 +1,53 @@
+#include "workload/report.h"
+
+#include <cstdio>
+
+namespace discover::workload {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths[i]), columns_[i].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%s  ", std::string(widths[i], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_int(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace discover::workload

@@ -1,0 +1,28 @@
+// Fixed-width table printing for the benchmark harness, so every bench
+// binary emits the paper-style rows described in DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace discover::workload {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_int(std::uint64_t v);
+
+}  // namespace discover::workload

@@ -1,0 +1,90 @@
+#include "workload/scenario.h"
+
+namespace discover::workload {
+
+RegistryNode::RegistryNode(net::Network& network) : network_(network) {}
+
+void RegistryNode::attach(net::NodeId self) {
+  orb_ = std::make_unique<orb::Orb>(network_, self);
+  naming_ref_ = orb_->activate(std::make_shared<orb::NamingService>());
+  trader_ref_ = orb_->activate(std::make_shared<orb::TraderService>());
+}
+
+void RegistryNode::on_message(const net::Message& msg) {
+  if (msg.channel == net::Channel::giop) orb_->handle(msg);
+}
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  net_.set_lan_model(config_.lan);
+  net_.set_wan_model(config_.wan);
+  registry_ = std::make_unique<RegistryNode>(net_);
+  const net::NodeId node =
+      net_.add_node("registry", registry_.get(), net::DomainId{0});
+  registry_->attach(node);
+}
+
+core::DiscoverServer& Scenario::add_server(const std::string& name,
+                                           std::uint32_t domain) {
+  core::ServerConfig cfg = config_.server_template;
+  cfg.name = name;
+  return add_server(name, domain, std::move(cfg));
+}
+
+core::DiscoverServer& Scenario::add_server(const std::string& name,
+                                           std::uint32_t domain,
+                                           core::ServerConfig config) {
+  auto server = std::make_unique<core::DiscoverServer>(net_, std::move(config));
+  core::DiscoverServer& ref = *server;
+  const net::NodeId node =
+      net_.add_node("server:" + name, server.get(), net::DomainId{domain});
+  ref.attach(node);
+  ref.set_registry(registry_->naming_ref(), registry_->trader_ref());
+  ref.start();
+  servers_.push_back(std::move(server));
+  return ref;
+}
+
+core::DiscoverClient& Scenario::add_client(const std::string& user,
+                                           core::DiscoverServer& server,
+                                           core::ClientConfig config) {
+  return add_client_in_domain(user, server,
+                              net_.node_domain(server.node()).value(),
+                              std::move(config));
+}
+
+core::DiscoverClient& Scenario::add_client_in_domain(
+    const std::string& user, core::DiscoverServer& server,
+    std::uint32_t domain, core::ClientConfig config) {
+  config.user = user;
+  auto client = std::make_unique<core::DiscoverClient>(net_, std::move(config));
+  core::DiscoverClient& ref = *client;
+  const net::NodeId node = net_.add_node("client:" + user, client.get(),
+                                         net::DomainId{domain});
+  ref.attach(node);
+  ref.set_server(server.node());
+  clients_.push_back(std::move(client));
+  return ref;
+}
+
+bool Scenario::run_until(const std::function<bool()>& pred,
+                         util::Duration max_sim_time) {
+  const util::TimePoint deadline = net_.now() + max_sim_time;
+  if (pred()) return true;
+  while (net_.now() < deadline && net_.pending_events() > 0) {
+    net_.step();
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+std::vector<security::AclEntry> make_acl(
+    std::initializer_list<std::pair<const char*, security::Privilege>>
+        users) {
+  std::vector<security::AclEntry> acl;
+  for (const auto& [user, priv] : users) {
+    acl.push_back(security::AclEntry{user, priv, 0});
+  }
+  return acl;
+}
+
+}  // namespace discover::workload

@@ -1,0 +1,112 @@
+// Deterministic simulation scenarios: N domains x M servers, a registry
+// node hosting the naming + trader services, applications and portal
+// clients — wired onto a SimNetwork with LAN/WAN link models.  This is the
+// harness behind the integration tests and the topology experiments
+// (E4-E8).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/synthetic.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/sim_network.h"
+#include "orb/naming.h"
+#include "orb/trader.h"
+
+namespace discover::workload {
+
+struct ScenarioConfig {
+  net::LinkModel lan{util::microseconds(200), 125e6};   // ~1 Gb/s, 0.2 ms
+  net::LinkModel wan{util::milliseconds(20), 12.5e6};   // ~100 Mb/s, 20 ms
+  core::ServerConfig server_template;
+};
+
+/// Registry host: a node whose only job is running the shared naming and
+/// trader servants (the "well-known initial reference" of the deployment).
+class RegistryNode final : public net::MessageHandler {
+ public:
+  explicit RegistryNode(net::Network& network);
+  void attach(net::NodeId self);
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] orb::ObjectRef naming_ref() const { return naming_ref_; }
+  [[nodiscard]] orb::ObjectRef trader_ref() const { return trader_ref_; }
+  [[nodiscard]] orb::Orb& orb() { return *orb_; }
+
+ private:
+  net::Network& network_;
+  std::unique_ptr<orb::Orb> orb_;
+  orb::ObjectRef naming_ref_;
+  orb::ObjectRef trader_ref_;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config = {});
+
+  [[nodiscard]] net::SimNetwork& net() { return net_; }
+  [[nodiscard]] RegistryNode& registry() { return *registry_; }
+
+  /// Adds a DISCOVER server in `domain`, attached, registry-wired, started.
+  core::DiscoverServer& add_server(const std::string& name,
+                                   std::uint32_t domain);
+  /// Adds a standalone server with a customized config.
+  core::DiscoverServer& add_server(const std::string& name,
+                                   std::uint32_t domain,
+                                   core::ServerConfig config);
+
+  /// Adds any SteerableApp subclass co-located with `server` and connects
+  /// it.  The app node joins the server's domain.
+  template <typename App, typename... Args>
+  App& add_app(core::DiscoverServer& server, app::AppConfig config,
+               Args&&... args) {
+    auto owned = std::make_unique<App>(net_, std::move(config),
+                                       std::forward<Args>(args)...);
+    App& ref = *owned;
+    const net::NodeId node =
+        net_.add_node("app:" + ref.config().name, owned.get(),
+                      net_.node_domain(server.node()));
+    ref.attach(node);
+    ref.connect(server.node());
+    apps_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Adds a portal client in the same domain as `server`, pointed at it.
+  core::DiscoverClient& add_client(const std::string& user,
+                                   core::DiscoverServer& server,
+                                   core::ClientConfig config = {});
+  /// Same, but places the client in an explicit domain (e.g. a remote site
+  /// reaching a central server over the WAN).
+  core::DiscoverClient& add_client_in_domain(const std::string& user,
+                                             core::DiscoverServer& server,
+                                             std::uint32_t domain,
+                                             core::ClientConfig config = {});
+
+  /// Runs until `pred` holds or `max_sim_time` elapses; true iff pred held.
+  bool run_until(const std::function<bool()>& pred,
+                 util::Duration max_sim_time = util::seconds(60));
+  void run_for(util::Duration d) { net_.run_for(d); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<core::DiscoverServer>>&
+  servers() const {
+    return servers_;
+  }
+
+ private:
+  ScenarioConfig config_;
+  net::SimNetwork net_;
+  std::unique_ptr<RegistryNode> registry_;
+  std::vector<std::unique_ptr<core::DiscoverServer>> servers_;
+  std::vector<std::unique_ptr<app::SteerableApp>> apps_;
+  std::vector<std::unique_ptr<core::DiscoverClient>> clients_;
+};
+
+/// Convenience ACL construction.
+std::vector<security::AclEntry> make_acl(
+    std::initializer_list<std::pair<const char*, security::Privilege>> users);
+
+}  // namespace discover::workload

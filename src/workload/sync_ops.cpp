@@ -1,0 +1,185 @@
+#include "workload/sync_ops.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "net/sim_network.h"
+
+namespace discover::workload {
+
+namespace {
+
+/// Lets the world advance by `d` regardless of backend.
+void advance(net::Network& network, util::Duration d) {
+  if (auto* sim = dynamic_cast<net::SimNetwork*>(&network)) {
+    sim->run_for(d);
+  } else {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+  }
+}
+
+template <typename Reply>
+struct CallState {
+  std::atomic<bool> done{false};
+  std::optional<util::Result<Reply>> result;
+};
+
+/// Runs `start` in the client node's context and waits for completion.
+/// The completion callback runs on the client's logical thread; the result
+/// is published with release/acquire ordering through `done`.
+template <typename Reply, typename StartFn>
+util::Result<Reply> sync_call(net::Network& network,
+                              core::DiscoverClient& client, StartFn start,
+                              util::Duration timeout) {
+  auto state = std::make_shared<CallState<Reply>>();
+  network.post(client.node(), [&client, state, start] {
+    start(client, [state](util::Result<Reply> r) {
+      state->result.emplace(std::move(r));
+      state->done.store(true, std::memory_order_release);
+    });
+  });
+  if (!wait_for(network,
+                [state] { return state->done.load(std::memory_order_acquire); },
+                timeout)) {
+    return util::Error{util::Errc::timeout, "sync call timed out"};
+  }
+  return std::move(*state->result);
+}
+
+}  // namespace
+
+bool wait_for(net::Network& network, const std::function<bool()>& done,
+              util::Duration timeout) {
+  if (auto* sim = dynamic_cast<net::SimNetwork*>(&network)) {
+    const util::TimePoint deadline = sim->now() + timeout;
+    if (done()) return true;
+    while (sim->now() < deadline && sim->pending_events() > 0) {
+      sim->step();
+      if (done()) return true;
+    }
+    return done();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return done();
+}
+
+util::Result<proto::LoginReply> sync_login(net::Network& network,
+                                           core::DiscoverClient& client,
+                                           util::Duration timeout) {
+  return sync_call<proto::LoginReply>(
+      network, client,
+      [](core::DiscoverClient& c, auto cb) { c.login(std::move(cb)); },
+      timeout);
+}
+
+util::Result<proto::SelectAppReply> sync_select(net::Network& network,
+                                                core::DiscoverClient& client,
+                                                const proto::AppId& app,
+                                                util::Duration timeout) {
+  return sync_call<proto::SelectAppReply>(
+      network, client,
+      [app](core::DiscoverClient& c, auto cb) {
+        c.select_app(app, std::move(cb));
+      },
+      timeout);
+}
+
+util::Result<proto::CommandAck> sync_command(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, proto::CommandKind kind, const std::string& param,
+    const proto::ParamValue& value, util::Duration timeout) {
+  return sync_call<proto::CommandAck>(
+      network, client,
+      [app, kind, param, value](core::DiscoverClient& c, auto cb) {
+        c.send_command(app, kind, param, value, std::move(cb));
+      },
+      timeout);
+}
+
+util::Result<proto::PollReply> sync_poll(net::Network& network,
+                                         core::DiscoverClient& client,
+                                         const proto::AppId& app,
+                                         util::Duration timeout) {
+  return sync_call<proto::PollReply>(
+      network, client,
+      [app](core::DiscoverClient& c, auto cb) { c.poll(app, std::move(cb)); },
+      timeout);
+}
+
+util::Result<proto::HistoryReply> sync_history(net::Network& network,
+                                               core::DiscoverClient& client,
+                                               const proto::AppId& app,
+                                               std::uint64_t from_seq,
+                                               std::uint32_t max,
+                                               util::Duration timeout) {
+  return sync_call<proto::HistoryReply>(
+      network, client,
+      [app, from_seq, max](core::DiscoverClient& c, auto cb) {
+        c.fetch_history(app, from_seq, max, std::move(cb));
+      },
+      timeout);
+}
+
+util::Result<proto::CollabAck> sync_collab_post(net::Network& network,
+                                                core::DiscoverClient& client,
+                                                const proto::AppId& app,
+                                                proto::EventKind kind,
+                                                const std::string& text,
+                                                util::Duration timeout) {
+  return sync_call<proto::CollabAck>(
+      network, client,
+      [app, kind, text](core::DiscoverClient& c, auto cb) {
+        c.post_collab(app, kind, text, std::move(cb));
+      },
+      timeout);
+}
+
+util::Result<proto::CollabAck> sync_group_op(net::Network& network,
+                                             core::DiscoverClient& client,
+                                             const proto::AppId& app,
+                                             proto::GroupOp op,
+                                             const std::string& subgroup,
+                                             util::Duration timeout) {
+  return sync_call<proto::CollabAck>(
+      network, client,
+      [app, op, subgroup](core::DiscoverClient& c, auto cb) {
+        c.group_op(app, op, subgroup, std::move(cb));
+      },
+      timeout);
+}
+
+bool sync_onboard_steerer(net::Network& network, core::DiscoverClient& client,
+                          const proto::AppId& app, util::Duration timeout) {
+  auto login = sync_login(network, client, timeout);
+  if (!login.ok() || !login.value().ok) return false;
+  auto select = sync_select(network, client, app, timeout);
+  if (!select.ok() || !select.value().ok) return false;
+  auto ack = sync_command(network, client, app,
+                          proto::CommandKind::acquire_lock, "", {}, timeout);
+  if (!ack.ok() || !ack.value().accepted) return false;
+
+  // The grant arrives as a lock_notice event; poll until it shows up.
+  const auto granted = [&client] {
+    for (const auto& ev : client.received_events()) {
+      if (ev.kind == proto::EventKind::lock_notice &&
+          ev.user == client.user() && ev.text == "granted") {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 0; i < 100 && !granted(); ++i) {
+    auto poll = sync_poll(network, client, app, timeout);
+    if (!poll.ok()) return false;
+    if (!granted()) advance(network, util::milliseconds(20));
+  }
+  return granted();
+}
+
+}  // namespace discover::workload

@@ -1,0 +1,59 @@
+// Synchronous wrappers over the async portal API for tests, examples and
+// benches.  Works on both backends: on a SimNetwork the wait pumps the
+// event loop; on a ThreadNetwork it sleep-polls while workers make
+// progress.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <optional>
+
+#include "core/client.h"
+#include "net/network.h"
+
+namespace discover::workload {
+
+/// Advances the world until `done` holds.  Returns false on timeout.
+bool wait_for(net::Network& network, const std::function<bool()>& done,
+              util::Duration timeout = util::seconds(30));
+
+util::Result<proto::LoginReply> sync_login(
+    net::Network& network, core::DiscoverClient& client,
+    util::Duration timeout = util::seconds(30));
+
+util::Result<proto::SelectAppReply> sync_select(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, util::Duration timeout = util::seconds(30));
+
+util::Result<proto::CommandAck> sync_command(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, proto::CommandKind kind,
+    const std::string& param = "", const proto::ParamValue& value = {},
+    util::Duration timeout = util::seconds(30));
+
+util::Result<proto::PollReply> sync_poll(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, util::Duration timeout = util::seconds(30));
+
+util::Result<proto::HistoryReply> sync_history(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, std::uint64_t from_seq, std::uint32_t max,
+    util::Duration timeout = util::seconds(30));
+
+util::Result<proto::CollabAck> sync_collab_post(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, proto::EventKind kind, const std::string& text,
+    util::Duration timeout = util::seconds(30));
+
+util::Result<proto::CollabAck> sync_group_op(
+    net::Network& network, core::DiscoverClient& client,
+    const proto::AppId& app, proto::GroupOp op, const std::string& subgroup,
+    util::Duration timeout = util::seconds(30));
+
+/// Full onboarding: login, select, acquire the steering lock, wait for the
+/// grant notice.  Returns false if any step fails.
+bool sync_onboard_steerer(net::Network& network, core::DiscoverClient& client,
+                          const proto::AppId& app,
+                          util::Duration timeout = util::seconds(30));
+
+}  // namespace discover::workload

@@ -1,0 +1,61 @@
+// Real-time scenarios on the ThreadNetwork backend: one OS thread per node,
+// wall-clock latencies.  Drives the saturation experiments (E1-E3).
+// All nodes must be added before start().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/synthetic.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/thread_network.h"
+#include "workload/scenario.h"  // RegistryNode
+
+namespace discover::workload {
+
+class ThreadScenario {
+ public:
+  explicit ThreadScenario(core::ServerConfig server_template = {});
+  ~ThreadScenario();
+
+  [[nodiscard]] net::ThreadNetwork& net() { return net_; }
+
+  core::DiscoverServer& add_server(const std::string& name,
+                                   std::uint32_t domain = 1);
+  core::DiscoverClient& add_client(const std::string& user,
+                                   core::DiscoverServer& server,
+                                   core::ClientConfig config = {});
+
+  template <typename App, typename... Args>
+  App& add_app(core::DiscoverServer& server, app::AppConfig config,
+               Args&&... args) {
+    auto owned = std::make_unique<App>(net_, std::move(config),
+                                       std::forward<Args>(args)...);
+    App& ref = *owned;
+    const net::NodeId node =
+        net_.add_node("app:" + ref.config().name, owned.get(),
+                      net_.node_domain(server.node()));
+    ref.attach(node);
+    pending_connects_.emplace_back(&ref, server.node());
+    apps_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Starts the worker threads, then issues the queued app connects.
+  void start();
+  void stop();
+
+ private:
+  core::ServerConfig server_template_;
+  net::ThreadNetwork net_;
+  std::unique_ptr<RegistryNode> registry_;
+  std::vector<std::unique_ptr<core::DiscoverServer>> servers_;
+  std::vector<std::unique_ptr<app::SteerableApp>> apps_;
+  std::vector<std::unique_ptr<core::DiscoverClient>> clients_;
+  std::vector<std::pair<app::SteerableApp*, net::NodeId>> pending_connects_;
+  bool started_ = false;
+};
+
+}  // namespace discover::workload

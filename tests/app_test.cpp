@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "app/control_network.h"
+#include "app/heat2d.h"
+#include "app/inspiral.h"
+#include "app/reservoir.h"
+#include "app/synthetic.h"
+#include "app/wave1d.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover::app {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+proto::AppCommand make_cmd(proto::CommandKind kind, const std::string& param,
+                           proto::ParamValue value = {}) {
+  proto::AppCommand cmd;
+  cmd.kind = kind;
+  cmd.param = param;
+  cmd.value = std::move(value);
+  cmd.request_id = 1;
+  cmd.user = "tester";
+  return cmd;
+}
+
+TEST(ControlNetworkTest, SensorsAndSteerables) {
+  ControlNetwork cn;
+  double x = 1.0;
+  cn.bind_double("x", "m", 0.0, 10.0, &x);
+  cn.add_sensor("twice_x", "m",
+                [&x] { return proto::ParamValue{2 * x}; });
+
+  EXPECT_TRUE(cn.has_sensor("x"));
+  EXPECT_TRUE(cn.has_actuator("x"));
+  EXPECT_TRUE(cn.has_sensor("twice_x"));
+  EXPECT_FALSE(cn.has_actuator("twice_x"));
+
+  const auto specs = cn.param_specs();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "x");
+  EXPECT_TRUE(specs[0].steerable);
+  EXPECT_FALSE(specs[1].steerable);
+
+  const auto metrics = cn.metrics();
+  EXPECT_DOUBLE_EQ(metrics.at("x"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.at("twice_x"), 2.0);
+}
+
+TEST(ControlNetworkTest, GetSetAndBounds) {
+  ControlNetwork cn;
+  double x = 1.0;
+  cn.bind_double("x", "m", 0.0, 10.0, &x);
+
+  auto get = cn.execute(make_cmd(proto::CommandKind::get_param, "x"));
+  EXPECT_TRUE(get.ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(get.value), 1.0);
+
+  auto set = cn.execute(
+      make_cmd(proto::CommandKind::set_param, "x", proto::ParamValue{5.0}));
+  EXPECT_TRUE(set.ok);
+  EXPECT_DOUBLE_EQ(x, 5.0);
+
+  auto oob = cn.execute(
+      make_cmd(proto::CommandKind::set_param, "x", proto::ParamValue{50.0}));
+  EXPECT_FALSE(oob.ok);
+  EXPECT_DOUBLE_EQ(x, 5.0);  // unchanged
+
+  auto missing = cn.execute(make_cmd(proto::CommandKind::get_param, "nope"));
+  EXPECT_FALSE(missing.ok);
+
+  auto not_steerable = cn.execute(
+      make_cmd(proto::CommandKind::set_param, "y", proto::ParamValue{1.0}));
+  EXPECT_FALSE(not_steerable.ok);
+
+  auto status = cn.execute(make_cmd(proto::CommandKind::query_status, ""));
+  EXPECT_TRUE(status.ok);
+  EXPECT_EQ(status.params.size(), 1u);
+
+  auto wrong_type = cn.execute(make_cmd(proto::CommandKind::set_param, "x",
+                                        proto::ParamValue{std::string("s")}));
+  EXPECT_FALSE(wrong_type.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Solver numerics (sanity, not bit-exactness)
+// ---------------------------------------------------------------------------
+
+class SolverFixture : public ::testing::Test {
+ protected:
+  app::AppConfig base_config(const std::string& name) {
+    app::AppConfig cfg;
+    cfg.name = name;
+    cfg.acl = make_acl({{"alice", Privilege::steer}});
+    cfg.step_time = util::milliseconds(1);
+    cfg.update_every = 10;
+    cfg.interact_every = 0;  // never pause for interaction in these tests
+    return cfg;
+  }
+  workload::Scenario scenario_;
+};
+
+TEST_F(SolverFixture, HeatDiffusionHeatsThePlate) {
+  auto& server = scenario_.add_server("s", 1);
+  auto& heat =
+      scenario_.add_app<Heat2DApp>(server, base_config("heat"), 16);
+  ASSERT_TRUE(scenario_.run_until([&] { return heat.steps() >= 200; }));
+  EXPECT_GT(heat.avg_temperature(), 1.0);
+  EXPECT_LE(heat.max_temperature(), 100.0 + 1e-9);
+  EXPECT_GT(heat.residual(), 0.0);
+}
+
+TEST_F(SolverFixture, ReservoirProducesOilThenWatersOut) {
+  auto& server = scenario_.add_server("s", 1);
+  auto& res =
+      scenario_.add_app<ReservoirApp>(server, base_config("res"), 12, 12);
+  ASSERT_TRUE(scenario_.run_until([&] { return res.steps() >= 400; }));
+  EXPECT_GT(res.average_pressure(), 0.0);
+  EXPECT_GE(res.water_cut(), 0.0);
+  EXPECT_LE(res.water_cut(), 1.0);
+  // Water injection raises saturation over time at the injector corner.
+  EXPECT_GT(res.oil_rate(), 0.0);
+}
+
+TEST_F(SolverFixture, WavePropagatesEnergy) {
+  auto& server = scenario_.add_server("s", 1);
+  auto& wave =
+      scenario_.add_app<Wave1DApp>(server, base_config("wave"), 128);
+  ASSERT_TRUE(scenario_.run_until([&] { return wave.steps() >= 300; }));
+  EXPECT_GT(wave.energy(), 0.0);
+  EXPECT_GT(wave.peak_amplitude(), 0.0);
+  EXPECT_LT(wave.peak_amplitude(), 100.0);  // stable (no blow-up)
+}
+
+TEST_F(SolverFixture, InspiralDecaysMonotonically) {
+  auto& server = scenario_.add_server("s", 1);
+  auto& binary = scenario_.add_app<InspiralApp>(server, base_config("gw"));
+  ASSERT_TRUE(scenario_.run_until([&] { return binary.steps() >= 100; }));
+  EXPECT_LT(binary.separation(), 60.0);
+  EXPECT_GT(binary.orbital_frequency(), 0.0);
+  const double sep_at_100 = binary.separation();
+  ASSERT_TRUE(scenario_.run_until([&] { return binary.steps() >= 300; }));
+  EXPECT_LE(binary.separation(), sep_at_100);
+}
+
+TEST_F(SolverFixture, SyntheticAppBurnsAndUpdates) {
+  auto& server = scenario_.add_server("s", 1);
+  auto& syn = scenario_.add_app<SyntheticApp>(server, base_config("syn"),
+                                              SyntheticSpec{2, 3, 50});
+  ASSERT_TRUE(scenario_.run_until([&] { return syn.updates_sent() >= 3; }));
+  EXPECT_GT(syn.accumulator(), 0.0);
+  EXPECT_EQ(syn.control().param_specs().size(), 5u);  // 2 params + 3 metrics
+}
+
+// ---------------------------------------------------------------------------
+// SteerableApp lifecycle against a real server
+// ---------------------------------------------------------------------------
+
+TEST_F(SolverFixture, LifecyclePauseResumeStop) {
+  auto& server = scenario_.add_server("s", 1);
+  app::AppConfig cfg = base_config("life");
+  cfg.interact_every = 5;
+  cfg.interaction_window = util::milliseconds(1);
+  auto& heat = scenario_.add_app<Heat2DApp>(server, cfg, 8);
+  ASSERT_TRUE(scenario_.run_until([&] { return heat.registered(); }));
+  const proto::AppId id = heat.app_id();
+
+  auto& alice = scenario_.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario_.net(), alice, id));
+
+  // Pause freezes the step counter.
+  ASSERT_TRUE(workload::sync_command(scenario_.net(), alice, id,
+                                     proto::CommandKind::pause_app)
+                  .value().accepted);
+  ASSERT_TRUE(scenario_.run_until([&] { return heat.paused(); }));
+  const std::uint64_t frozen = heat.steps();
+  scenario_.run_for(util::milliseconds(50));
+  EXPECT_EQ(heat.steps(), frozen);
+
+  // Resume continues.
+  ASSERT_TRUE(workload::sync_command(scenario_.net(), alice, id,
+                                     proto::CommandKind::resume_app)
+                  .value().accepted);
+  ASSERT_TRUE(scenario_.run_until([&] { return heat.steps() > frozen; }));
+
+  // Checkpoint is acknowledged.
+  ASSERT_TRUE(workload::sync_command(scenario_.net(), alice, id,
+                                     proto::CommandKind::checkpoint)
+                  .value().accepted);
+  ASSERT_TRUE(
+      scenario_.run_until([&] { return heat.checkpoints_taken() == 1; }));
+
+  // Stop deregisters the application from the server.
+  ASSERT_TRUE(workload::sync_command(scenario_.net(), alice, id,
+                                     proto::CommandKind::stop_app)
+                  .value().accepted);
+  ASSERT_TRUE(scenario_.run_until([&] { return heat.finished(); }));
+  ASSERT_TRUE(
+      scenario_.run_until([&] { return server.local_app_count() == 0; }));
+}
+
+TEST_F(SolverFixture, MaxStepsFinishesAndDeregisters) {
+  auto& server = scenario_.add_server("s", 1);
+  app::AppConfig cfg = base_config("short");
+  cfg.max_steps = 25;
+  auto& heat = scenario_.add_app<Heat2DApp>(server, cfg, 8);
+  ASSERT_TRUE(scenario_.run_until([&] { return heat.finished(); }));
+  EXPECT_EQ(heat.steps(), 25u);
+  ASSERT_TRUE(
+      scenario_.run_until([&] { return server.local_app_count() == 0; }));
+}
+
+TEST_F(SolverFixture, RejectedRegistrationStopsApp) {
+  core::ServerConfig strict;
+  strict.name = "strict";
+  strict.accept_any_app = false;
+  strict.accepted_app_keys = {42};
+  auto& server = scenario_.add_server("strict", 1, strict);
+
+  app::AppConfig cfg = base_config("badkey");
+  cfg.auth_key = 7;  // not accepted
+  auto& rejected = scenario_.add_app<SyntheticApp>(server, cfg,
+                                                   SyntheticSpec{});
+  ASSERT_TRUE(scenario_.run_until([&] { return rejected.finished(); }));
+  EXPECT_FALSE(rejected.registered());
+  EXPECT_EQ(server.local_app_count(), 0u);
+
+  app::AppConfig good = base_config("goodkey");
+  good.auth_key = 42;
+  auto& accepted = scenario_.add_app<SyntheticApp>(server, good,
+                                                   SyntheticSpec{});
+  ASSERT_TRUE(scenario_.run_until([&] { return accepted.registered(); }));
+}
+
+}  // namespace
+}  // namespace discover::app

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/session_archive.h"
+#include "util/rng.h"
+
+namespace discover::core {
+namespace {
+
+const proto::AppId kApp{2, 1};
+
+proto::ClientEvent event(std::uint64_t seq, proto::EventKind kind,
+                         const std::string& user = "",
+                         const std::string& param = "",
+                         proto::ParamValue value = {}) {
+  proto::ClientEvent ev;
+  ev.seq = seq;
+  ev.kind = kind;
+  ev.app = kApp;
+  ev.user = user;
+  ev.param = param;
+  ev.value = std::move(value);
+  return ev;
+}
+
+TEST(SessionArchiveTest, AppHistoryFiltersBySeq) {
+  SessionArchive archive;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    archive.log_app_event(event(s, proto::EventKind::update), "owner");
+  }
+  EXPECT_EQ(archive.latest_seq(kApp), 10u);
+  const auto all = archive.app_history(kApp, 0, 0);
+  EXPECT_EQ(all.size(), 10u);
+  const auto tail = archive.app_history(kApp, 7, 0);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].seq, 8u);
+  const auto capped = archive.app_history(kApp, 0, 4);
+  EXPECT_EQ(capped.size(), 4u);
+}
+
+TEST(SessionArchiveTest, RingCapDropsOldest) {
+  SessionArchive archive(5);
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    archive.log_app_event(event(s, proto::EventKind::update), "owner");
+  }
+  const auto all = archive.app_history(kApp, 0, 0);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.front().seq, 4u);
+  EXPECT_EQ(all.back().seq, 8u);
+}
+
+TEST(SessionArchiveTest, InteractionLogPerUser) {
+  SessionArchive archive;
+  archive.log_interaction("alice", event(1, proto::EventKind::response,
+                                         "alice"));
+  archive.log_interaction("alice", event(2, proto::EventKind::response,
+                                         "alice"));
+  archive.log_interaction("bob", event(3, proto::EventKind::response, "bob"));
+  EXPECT_EQ(archive.interactions("alice", kApp).size(), 2u);
+  EXPECT_EQ(archive.interactions("bob", kApp).size(), 1u);
+  EXPECT_EQ(archive.interactions("carol", kApp).size(), 0u);
+  EXPECT_EQ(archive.interactions_logged(), 3u);
+}
+
+TEST(SessionArchiveTest, ReplayParamsReconstructsFinalState) {
+  std::vector<proto::ClientEvent> events;
+  events.push_back(event(1, proto::EventKind::response, "alice", "alpha",
+                         proto::ParamValue{0.1}));
+  events.push_back(event(2, proto::EventKind::update));
+  events.push_back(event(3, proto::EventKind::response, "bob", "beta",
+                         proto::ParamValue{2.0}));
+  events.push_back(event(4, proto::EventKind::response, "alice", "alpha",
+                         proto::ParamValue{0.3}));
+  events.push_back(event(5, proto::EventKind::chat, "alice"));
+  const auto params = SessionArchive::replay_params(events);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_DOUBLE_EQ(std::get<double>(params.at("alpha")), 0.3);
+  EXPECT_DOUBLE_EQ(std::get<double>(params.at("beta")), 2.0);
+}
+
+TEST(SessionArchiveTest, DbMirrorAppliesOwnershipRules) {
+  db::RecordStore store;
+  SessionArchive archive(0, &store);
+  // Periodic update: owned by the app owner.
+  archive.log_app_event(event(1, proto::EventKind::update), "app-owner");
+  // Response to alice's request: owned by alice (§6.3).
+  archive.log_app_event(event(2, proto::EventKind::response, "alice"),
+                        "app-owner");
+  const db::Table* table = store.find_table("app_log_" + kApp.to_string());
+  ASSERT_NE(table, nullptr);
+  const auto rows = table->scan_all();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].owner, "app-owner");
+  EXPECT_EQ(rows[1].owner, "alice");
+}
+
+TEST(SessionArchiveTest, DropAppClearsLog) {
+  SessionArchive archive;
+  archive.log_app_event(event(1, proto::EventKind::update), "o");
+  archive.drop_app(kApp);
+  EXPECT_EQ(archive.app_history(kApp, 0, 0).size(), 0u);
+  EXPECT_EQ(archive.latest_seq(kApp), 0u);
+}
+
+/// Property: for any random event stream, a latecomer that fetches the full
+/// history and then applies poll events from the cut point sees exactly the
+/// same event sequence as a client present from the start.
+class ArchiveCatchUpFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArchiveCatchUpFuzz, HistoryPlusTailEqualsFullStream) {
+  util::Rng rng(GetParam());
+  SessionArchive archive;
+  std::vector<std::uint64_t> full;
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    archive.log_app_event(
+        event(s, static_cast<proto::EventKind>(rng.below(7))), "o");
+    full.push_back(s);
+  }
+  const std::uint64_t cut = rng.below(200);
+  const auto head = archive.app_history(kApp, 0, static_cast<std::uint32_t>(cut));
+  const std::uint64_t head_last = head.empty() ? 0 : head.back().seq;
+  const auto tail = archive.app_history(kApp, head_last, 0);
+  std::vector<std::uint64_t> stitched;
+  for (const auto& e : head) stitched.push_back(e.seq);
+  for (const auto& e : tail) stitched.push_back(e.seq);
+  EXPECT_EQ(stitched, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveCatchUpFuzz,
+                         ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace discover::core

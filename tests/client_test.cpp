@@ -1,0 +1,166 @@
+// DiscoverClient behaviour: multi-application sessions, request-id
+// correlation, event handlers, logout semantics, unauthenticated access.
+#include <gtest/gtest.h>
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = &scenario_.add_server("s", 1);
+    for (int i = 0; i < 2; ++i) {
+      app::AppConfig cfg;
+      cfg.name = "app" + std::to_string(i);
+      cfg.acl = make_acl({{"alice", Privilege::steer}});
+      cfg.step_time = util::milliseconds(1);
+      cfg.update_every = 5;
+      cfg.interact_every = 10;
+      apps_.push_back(&scenario_.add_app<app::SyntheticApp>(
+          *server_, cfg, app::SyntheticSpec{}));
+    }
+    ASSERT_TRUE(scenario_.run_until([&] {
+      return apps_[0]->registered() && apps_[1]->registered();
+    }));
+  }
+
+  workload::Scenario scenario_;
+  core::DiscoverServer* server_ = nullptr;
+  std::vector<app::SyntheticApp*> apps_;
+};
+
+TEST_F(ClientTest, TracksLoginStateAndKnownApps) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  EXPECT_FALSE(alice.logged_in());
+  auto login = workload::sync_login(scenario_.net(), alice);
+  ASSERT_TRUE(login.value().ok);
+  EXPECT_TRUE(alice.logged_in());
+  EXPECT_EQ(alice.known_apps().size(), 2u);
+  EXPECT_EQ(alice.token().user, "alice");
+
+  bool out = false;
+  scenario_.net().post(alice.node(), [&] {
+    alice.logout([&](util::Result<proto::CollabAck> r) {
+      out = r.ok() && r.value().ok;
+    });
+  });
+  ASSERT_TRUE(workload::wait_for(scenario_.net(), [&] { return out; }));
+  EXPECT_FALSE(alice.logged_in());
+}
+
+TEST_F(ClientTest, PollsTwoApplicationsIndependently) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  for (auto* app : apps_) {
+    ASSERT_TRUE(workload::sync_select(scenario_.net(), alice, app->app_id())
+                    .value().ok);
+  }
+  scenario_.net().post(alice.node(), [&] {
+    alice.start_polling(apps_[0]->app_id());
+    alice.start_polling(apps_[1]->app_id());
+  });
+  scenario_.run_for(util::milliseconds(400));
+  std::uint64_t from_0 = 0;
+  std::uint64_t from_1 = 0;
+  for (const auto& ev : alice.received_events()) {
+    if (ev.app == apps_[0]->app_id()) ++from_0;
+    if (ev.app == apps_[1]->app_id()) ++from_1;
+  }
+  EXPECT_GT(from_0, 0u);
+  EXPECT_GT(from_1, 0u);
+  scenario_.net().post(alice.node(), [&] {
+    alice.stop_polling(apps_[0]->app_id());
+    alice.stop_polling(apps_[1]->app_id());
+  });
+  scenario_.run_for(util::milliseconds(50));
+}
+
+TEST_F(ClientTest, EventHandlerFiresPerEvent) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), alice,
+                                    apps_[0]->app_id())
+                  .value().ok);
+  std::uint64_t handled = 0;
+  alice.set_event_handler([&](const proto::ClientEvent&) { ++handled; });
+  scenario_.run_for(util::milliseconds(100));
+  (void)workload::sync_poll(scenario_.net(), alice, apps_[0]->app_id());
+  EXPECT_EQ(handled, alice.events_received());
+  EXPECT_GT(handled, 0u);
+}
+
+TEST_F(ClientTest, OperationsWithoutLoginAreRejected) {
+  auto& ghost = scenario_.add_client("alice", *server_);
+  // Never logged in: empty token fails verification server-side.
+  auto sel = workload::sync_select(scenario_.net(), ghost,
+                                   apps_[0]->app_id());
+  ASSERT_TRUE(sel.ok());
+  EXPECT_FALSE(sel.value().ok);
+  auto poll = workload::sync_poll(scenario_.net(), ghost, apps_[0]->app_id());
+  ASSERT_TRUE(poll.ok());
+  EXPECT_FALSE(poll.value().ok);
+  auto cmd = workload::sync_command(scenario_.net(), ghost,
+                                    apps_[0]->app_id(),
+                                    proto::CommandKind::get_param, "param_0");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_FALSE(cmd.value().accepted);
+}
+
+TEST_F(ClientTest, CommandWithoutSelectIsRejected) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  auto cmd = workload::sync_command(scenario_.net(), alice,
+                                    apps_[0]->app_id(),
+                                    proto::CommandKind::get_param, "param_0");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_FALSE(cmd.value().accepted);
+  EXPECT_NE(cmd.value().message.find("not selected"), std::string::npos);
+}
+
+TEST_F(ClientTest, SelectUnknownAppFails) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  proto::AppId bogus{99, 7};
+  auto sel = workload::sync_select(scenario_.net(), alice, bogus);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_FALSE(sel.value().ok);
+}
+
+TEST_F(ClientTest, HistoryRequiresSelection) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  auto hist = workload::sync_history(scenario_.net(), alice,
+                                     apps_[0]->app_id(), 0, 10);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_FALSE(hist.value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), alice,
+                                    apps_[0]->app_id())
+                  .value().ok);
+  auto hist2 = workload::sync_history(scenario_.net(), alice,
+                                      apps_[0]->app_id(), 0, 10);
+  EXPECT_TRUE(hist2.value().ok);
+}
+
+TEST_F(ClientTest, ResolveHomeRequiresValidToken) {
+  auto& ghost = scenario_.add_client("alice", *server_);
+  util::Errc code = util::Errc::ok;
+  bool done = false;
+  scenario_.net().post(ghost.node(), [&] {
+    ghost.resolve_home(apps_[0]->app_id(), [&](util::Result<net::NodeId> r) {
+      if (!r.ok()) code = r.error().code;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(workload::wait_for(scenario_.net(), [&] { return done; }));
+  EXPECT_EQ(code, util::Errc::unavailable);
+}
+
+}  // namespace
+}  // namespace discover

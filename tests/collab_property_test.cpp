@@ -1,0 +1,140 @@
+// DESIGN.md §5 collaboration invariants, randomized across a two-server
+// deployment: every group member receives every shared chat exactly once
+// (identified by the host-assigned seq), sub-group messages never leak,
+// and update events are never duplicated at any client.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "app/synthetic.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+
+struct Member {
+  core::DiscoverClient* client = nullptr;
+  std::string subgroup;
+};
+
+class CollabFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollabFuzzTest, ExactlyOnceAndNoSubgroupLeaks) {
+  util::Rng rng(GetParam());
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  cfg.server_template.remote_update_mode =
+      rng.chance(0.5) ? core::RemoteUpdateMode::push
+                      : core::RemoteUpdateMode::poll;
+  cfg.server_template.remote_poll_period = util::milliseconds(20);
+  workload::Scenario scenario(cfg);
+  auto& host = scenario.add_server("host", 1);
+  auto& peer = scenario.add_server("peer", 2);
+
+  constexpr int kMembers = 6;
+  std::vector<security::AclEntry> acl;
+  for (int i = 0; i < kMembers; ++i) {
+    acl.push_back({"m" + std::to_string(i), Privilege::read_write, 0});
+  }
+  app::AppConfig app_cfg;
+  app_cfg.name = "board";
+  app_cfg.acl = acl;
+  app_cfg.step_time = util::milliseconds(2);
+  app_cfg.update_every = 10;
+  app_cfg.interact_every = 0;
+  auto& app = scenario.add_app<app::SyntheticApp>(host, app_cfg,
+                                                  app::SyntheticSpec{});
+  app::AppConfig id_cfg = app_cfg;
+  id_cfg.name = "identity";
+  id_cfg.update_every = 0;
+  scenario.add_app<app::SyntheticApp>(peer, id_cfg, app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] {
+    return app.registered() && host.peer_count() == 1 &&
+           peer.peer_count() == 1;
+  }));
+  const proto::AppId id = app.app_id();
+
+  // Members split across the two servers; a random subset joins a
+  // sub-group.
+  std::vector<Member> members;
+  for (int i = 0; i < kMembers; ++i) {
+    auto& c = scenario.add_client("m" + std::to_string(i),
+                                  i % 2 == 0 ? host : peer);
+    ASSERT_TRUE(workload::sync_login(scenario.net(), c).value().ok);
+    ASSERT_TRUE(workload::sync_select(scenario.net(), c, id).value().ok);
+    Member m;
+    m.client = &c;
+    if (rng.chance(0.4)) {
+      m.subgroup = "team";
+      ASSERT_TRUE(workload::sync_group_op(scenario.net(), c, id,
+                                          proto::GroupOp::join_subgroup,
+                                          "team")
+                      .value().ok);
+    }
+    members.push_back(m);
+  }
+
+  // Random chat traffic from random members.
+  struct SentChat {
+    std::string sender;
+    std::string subgroup;
+    std::string text;
+  };
+  std::vector<SentChat> sent;
+  for (int round = 0; round < 25; ++round) {
+    Member& m = members[rng.below(members.size())];
+    const std::string text = "msg-" + std::to_string(round);
+    ASSERT_TRUE(workload::sync_collab_post(scenario.net(), *m.client, id,
+                                           proto::EventKind::chat, text)
+                    .value().ok);
+    sent.push_back({m.client->user(), m.subgroup, text});
+    if (rng.chance(0.5)) scenario.run_for(util::milliseconds(30));
+  }
+  // Let everything propagate, then drain every member several times.
+  scenario.run_for(util::milliseconds(500));
+  for (int i = 0; i < 10; ++i) {
+    for (Member& m : members) {
+      (void)workload::sync_poll(scenario.net(), *m.client, id);
+    }
+    scenario.run_for(util::milliseconds(50));
+  }
+
+  for (const Member& m : members) {
+    // Exactly-once: no (seq) duplicates of any kind at any member.
+    std::set<std::uint64_t> seqs;
+    for (const auto& ev : m.client->received_events()) {
+      if (ev.seq == 0) continue;
+      EXPECT_TRUE(seqs.insert(ev.seq).second)
+          << m.client->user() << " saw seq " << ev.seq << " twice";
+    }
+    // Chat visibility: a member must see exactly the chats of its scope.
+    std::multiset<std::string> seen_chats;
+    for (const auto& ev : m.client->received_events()) {
+      if (ev.kind == proto::EventKind::chat) seen_chats.insert(ev.text);
+    }
+    for (const SentChat& chat : sent) {
+      const bool should_see =
+          chat.sender == m.client->user() || chat.subgroup == m.subgroup;
+      const auto copies = seen_chats.count(chat.text);
+      if (should_see) {
+        EXPECT_EQ(copies, 1u)
+            << m.client->user() << " (sub '" << m.subgroup << "') saw "
+            << copies << " copies of " << chat.text << " from "
+            << chat.sender << " (sub '" << chat.subgroup << "')";
+      } else {
+        EXPECT_EQ(copies, 0u)
+            << m.client->user() << " must not see " << chat.text;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollabFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace discover

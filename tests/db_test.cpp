@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "db/record_store.h"
+
+namespace discover::db {
+namespace {
+
+TEST(RecordStoreTest, InsertAndRead) {
+  RecordStore store;
+  Table& t = store.table("results");
+  const RecordId id = t.insert("alice", 100, {{"x", std::int64_t{42}}});
+  auto r = t.read(id, "alice");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<std::int64_t>(r.value().fields.at("x")), 42);
+  EXPECT_EQ(r.value().owner, "alice");
+  EXPECT_EQ(r.value().created_at, 100);
+}
+
+TEST(RecordStoreTest, NonOwnerCannotReadWithoutGrant) {
+  RecordStore store;
+  Table& t = store.table("results");
+  const RecordId id = t.insert("alice", 0, {});
+  EXPECT_FALSE(t.read(id, "bob").ok());
+  ASSERT_TRUE(t.grant_read(id, "bob").ok());
+  EXPECT_TRUE(t.read(id, "bob").ok());
+}
+
+TEST(RecordStoreTest, GrantIsReadOnly) {
+  // Paper §6.3: other clients get read-only rights; they may never write.
+  RecordStore store;
+  Table& t = store.table("results");
+  const RecordId id = t.insert("alice", 0, {{"v", 1.0}});
+  ASSERT_TRUE(t.grant_read(id, "bob").ok());
+  const auto s = t.update(id, "bob", {{"v", 2.0}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, util::Errc::permission_denied);
+  EXPECT_FALSE(t.remove(id, "bob").ok());
+  // Owner can.
+  EXPECT_TRUE(t.update(id, "alice", {{"v", 2.0}}).ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(t.read(id, "alice").value()
+                                        .fields.at("v")),
+                   2.0);
+}
+
+TEST(RecordStoreTest, QueryFiltersByPredicateAndVisibility) {
+  RecordStore store;
+  Table& t = store.table("runs");
+  for (int i = 0; i < 10; ++i) {
+    const RecordId id = t.insert(i % 2 == 0 ? "alice" : "bob", i,
+                                 {{"i", static_cast<std::int64_t>(i)}});
+    (void)id;
+  }
+  Predicate p;
+  p.field = "i";
+  p.op = Predicate::Op::ge;
+  p.literal = std::int64_t{5};
+  const auto alice_sees = t.query("alice", {p});
+  // Alice owns even i: 6, 8 are >= 5.
+  EXPECT_EQ(alice_sees.size(), 2u);
+}
+
+TEST(RecordStoreTest, PredicateOperators) {
+  Record r;
+  r.fields["x"] = std::int64_t{5};
+  const auto check = [&](Predicate::Op op, Value lit) {
+    Predicate p;
+    p.field = "x";
+    p.op = op;
+    p.literal = std::move(lit);
+    return p.matches(r);
+  };
+  EXPECT_TRUE(check(Predicate::Op::eq, std::int64_t{5}));
+  EXPECT_TRUE(check(Predicate::Op::ne, std::int64_t{4}));
+  EXPECT_TRUE(check(Predicate::Op::lt, std::int64_t{6}));
+  EXPECT_TRUE(check(Predicate::Op::le, std::int64_t{5}));
+  EXPECT_TRUE(check(Predicate::Op::gt, std::int64_t{4}));
+  EXPECT_TRUE(check(Predicate::Op::ge, std::int64_t{5}));
+  // Mixed int/double compares numerically.
+  EXPECT_TRUE(check(Predicate::Op::eq, 5.0));
+  EXPECT_TRUE(check(Predicate::Op::lt, 5.5));
+  // Cross-type string comparison: eq false, ne true.
+  EXPECT_FALSE(check(Predicate::Op::eq, std::string("5")));
+  EXPECT_TRUE(check(Predicate::Op::ne, std::string("5")));
+}
+
+TEST(RecordStoreTest, MissingFieldOnlyMatchesNe) {
+  Record r;
+  Predicate p;
+  p.field = "absent";
+  p.op = Predicate::Op::eq;
+  p.literal = 1.0;
+  EXPECT_FALSE(p.matches(r));
+  p.op = Predicate::Op::ne;
+  EXPECT_TRUE(p.matches(r));
+}
+
+TEST(RecordStoreTest, TablesAreIndependent) {
+  RecordStore store;
+  store.table("a").insert("u", 0, {});
+  store.table("b").insert("u", 0, {});
+  store.table("b").insert("u", 0, {});
+  EXPECT_EQ(store.table("a").size(), 1u);
+  EXPECT_EQ(store.table("b").size(), 2u);
+  EXPECT_EQ(store.table_names().size(), 2u);
+  EXPECT_EQ(store.find_table("missing"), nullptr);
+}
+
+TEST(RecordStoreTest, ValueToString) {
+  EXPECT_EQ(value_to_string(Value{std::int64_t{7}}), "7");
+  EXPECT_EQ(value_to_string(Value{2.5}), "2.5");
+  EXPECT_EQ(value_to_string(Value{std::string("x")}), "x");
+}
+
+}  // namespace
+}  // namespace discover::db

@@ -1,0 +1,319 @@
+// Cross-module edge cases: domain link overrides, ORB pipelining, malformed
+// portal traffic, buffered-command ordering, whiteboard payloads, and
+// identifier edge cases.
+#include <gtest/gtest.h>
+
+#include "app/synthetic.h"
+#include "grid/job.h"
+#include "grid/resource.h"
+#include "net/sim_network.h"
+#include "orb/orb.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+TEST(SimTopologyTest, DomainLinkOverrideBeatsDefaultWan) {
+  net::SimNetwork net;
+  net.set_lan_model({util::microseconds(10), 1e12});
+  net.set_wan_model({util::milliseconds(100), 1e12});
+  net.set_domain_link(net::DomainId{1}, net::DomainId{2},
+                      {util::milliseconds(3), 1e12});  // dedicated fiber
+  class Sink : public net::MessageHandler {
+    void on_message(const net::Message&) override {}
+  } sink;
+  const net::NodeId a = net.add_node("a", &sink, net::DomainId{1});
+  const net::NodeId b = net.add_node("b", &sink, net::DomainId{2});
+  const net::NodeId c = net.add_node("c", &sink, net::DomainId{3});
+  net.send(a, b, net::Channel::main_channel, {});
+  net.run_until_idle();
+  EXPECT_EQ(net.now(), util::milliseconds(3));  // override applied
+  net.send(a, c, net::Channel::main_channel, {});
+  net.run_until_idle();
+  EXPECT_EQ(net.now(), util::milliseconds(3) + util::milliseconds(100));
+}
+
+TEST(OrbPipeliningTest, ManyOutstandingCallsCorrelateCorrectly) {
+  net::SimNetwork net;
+  net.set_lan_model({util::milliseconds(2), 1e9});
+
+  class Doubler : public orb::Servant {
+   public:
+    [[nodiscard]] std::string interface_name() const override {
+      return "Doubler";
+    }
+    void dispatch(const std::string&, wire::Decoder& args, wire::Encoder& out,
+                  orb::DispatchContext&) override {
+      out.i64(args.i64() * 2);
+    }
+  };
+  class Node : public net::MessageHandler {
+   public:
+    explicit Node(net::Network& n) : network(n) {}
+    void init(net::NodeId self) {
+      orb = std::make_unique<orb::Orb>(network, self);
+    }
+    void on_message(const net::Message& msg) override { orb->handle(msg); }
+    net::Network& network;
+    std::unique_ptr<orb::Orb> orb;
+  };
+  Node caller(net);
+  Node callee(net);
+  const net::NodeId nc = net.add_node("c", &caller);
+  const net::NodeId ns = net.add_node("s", &callee);
+  caller.init(nc);
+  callee.init(ns);
+  const orb::ObjectRef ref = callee.orb->activate(std::make_shared<Doubler>());
+
+  // 64 concurrent in-flight calls; every reply must match its request.
+  int correct = 0;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    wire::Encoder args;
+    args.i64(i);
+    caller.orb->invoke(ref, "double", std::move(args),
+                       [&correct, i](util::Result<util::Bytes> r) {
+                         ASSERT_TRUE(r.ok());
+                         wire::Decoder d(r.value());
+                         if (d.i64() == 2 * i) ++correct;
+                       });
+  }
+  net.run_until_idle();
+  EXPECT_EQ(correct, 64);
+}
+
+class PortalEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = &scenario_.add_server("s", 1);
+    app::AppConfig cfg;
+    cfg.name = "edge";
+    cfg.acl = make_acl({{"alice", Privilege::steer}});
+    cfg.step_time = util::milliseconds(1);
+    cfg.update_every = 0;
+    cfg.interact_every = 2;
+    cfg.interaction_window = util::milliseconds(1);
+    app_ = &scenario_.add_app<app::SyntheticApp>(*server_, cfg,
+                                                 app::SyntheticSpec{});
+    ASSERT_TRUE(scenario_.run_until([&] { return app_->registered(); }));
+  }
+
+  workload::Scenario scenario_;
+  core::DiscoverServer* server_ = nullptr;
+  app::SyntheticApp* app_ = nullptr;
+};
+
+TEST_F(PortalEdgeTest, MalformedBodyGets400NotACrash) {
+  // Raw garbage POSTed straight at the command servlet.
+  class RawClient : public net::MessageHandler {
+   public:
+    void on_message(const net::Message& msg) override {
+      auto parsed = http::parse_response(msg.payload);
+      if (parsed.ok()) last_status = parsed.value().status;
+    }
+    int last_status = 0;
+  } raw;
+  const net::NodeId raw_node = scenario_.net().add_node("raw", &raw);
+  http::HttpRequest req;
+  req.method = http::Method::post;
+  req.path = core::kPathCommand;
+  req.body = util::to_bytes("!!! not CDR !!!");
+  scenario_.net().send(raw_node, server_->node(), net::Channel::http,
+                       http::serialize(req));
+  // run_until (not until-idle): the app's periodic timers never quiesce.
+  ASSERT_TRUE(scenario_.net().run_until([&] { return raw.last_status != 0; }));
+  EXPECT_EQ(raw.last_status, 400);
+  // Server keeps functioning.
+  auto& alice = scenario_.add_client("alice", *server_);
+  EXPECT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+}
+
+TEST_F(PortalEdgeTest, BufferedCommandsFlushInSubmissionOrder) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(
+      workload::sync_onboard_steerer(scenario_.net(), alice, app_->app_id()));
+  // Fire three sets quickly; the daemon buffers during compute phases and
+  // must flush FIFO, so the final value is the LAST submitted.
+  for (const double v : {1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(workload::sync_command(scenario_.net(), alice,
+                                       app_->app_id(),
+                                       proto::CommandKind::set_param,
+                                       "param_0", proto::ParamValue{v})
+                    .value().accepted);
+  }
+  ASSERT_TRUE(scenario_.run_until(
+      [&] { return app_->commands_executed() >= 3; }));
+  const auto resp = app_->control().execute([] {
+    proto::AppCommand cmd;
+    cmd.kind = proto::CommandKind::get_param;
+    cmd.param = "param_0";
+    return cmd;
+  }());
+  EXPECT_DOUBLE_EQ(std::get<double>(resp.value), 3.0);
+}
+
+TEST_F(PortalEdgeTest, WhiteboardPayloadRoundTrips) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), alice, app_->app_id())
+                  .value().ok);
+  // Whiteboard ops carry arbitrary string payloads (stroke data).
+  bool ok = false;
+  scenario_.net().post(alice.node(), [&] {
+    proto::CollabPost post;
+    post.token = alice.token();
+    post.app_id = app_->app_id();
+    post.kind = proto::EventKind::whiteboard;
+    post.text = "stroke";
+    post.payload = proto::ParamValue{std::string("M10,20 L30,40")};
+    alice.post_collab(app_->app_id(), proto::EventKind::whiteboard,
+                      "M10,20 L30,40",
+                      [&](util::Result<proto::CollabAck> r) {
+                        ok = r.ok() && r.value().ok;
+                      });
+  });
+  ASSERT_TRUE(workload::wait_for(scenario_.net(), [&] { return ok; }));
+  scenario_.run_for(util::milliseconds(10));
+  auto poll = workload::sync_poll(scenario_.net(), alice, app_->app_id());
+  bool saw = false;
+  for (const auto& ev : alice.received_events()) {
+    if (ev.kind == proto::EventKind::whiteboard &&
+        ev.text == "M10,20 L30,40") {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(PortalEdgeTest, PollMaxEventsIsHonoured) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), alice, app_->app_id())
+                  .value().ok);
+  // Generate a burst of chat events into alice's FIFO.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), alice,
+                                           app_->app_id(),
+                                           proto::EventKind::chat,
+                                           "m" + std::to_string(i))
+                    .value().ok);
+  }
+  scenario_.run_for(util::milliseconds(10));
+  bool done = false;
+  std::size_t got = 0;
+  std::uint32_t backlog = 0;
+  scenario_.net().post(alice.node(), [&] {
+    proto::PollRequest req;  // handmade to set max_events
+    alice.poll(app_->app_id(), [&](util::Result<proto::PollReply> r) {
+      ASSERT_TRUE(r.ok());
+      got = r.value().events.size();
+      backlog = r.value().backlog;
+      done = true;
+    });
+    (void)req;
+  });
+  ASSERT_TRUE(workload::wait_for(scenario_.net(), [&] { return done; }));
+  // Default client poll_max_events is 64 >= 10, so one poll drains all.
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(backlog, 0u);
+}
+
+TEST_F(PortalEdgeTest, VisualizationServletRendersMetric) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), alice, app_->app_id())
+                  .value().ok);
+  // Produce some update history: the synthetic app updates are disabled
+  // (update_every=0 in this fixture), so publish via steering responses is
+  // not enough — re-register a chatty app instead.
+  app::AppConfig cfg;
+  cfg.name = "chatty";
+  cfg.acl = make_acl({{"alice", Privilege::steer}});
+  cfg.step_time = util::milliseconds(1);
+  cfg.update_every = 2;
+  cfg.interact_every = 0;
+  auto& chatty = scenario_.add_app<app::SyntheticApp>(*server_, cfg,
+                                                      app::SyntheticSpec{});
+  ASSERT_TRUE(scenario_.run_until([&] { return chatty.registered(); }));
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), alice,
+                                    chatty.app_id())
+                  .value().ok);
+  scenario_.run_for(util::milliseconds(100));
+
+  // Raw browser-style GET using alice's session cookie.
+  class RawClient : public net::MessageHandler {
+   public:
+    void on_message(const net::Message& msg) override {
+      auto parsed = http::parse_response(msg.payload);
+      if (parsed.ok()) {
+        status = parsed.value().status;
+        body = util::to_string(parsed.value().body);
+      }
+    }
+    int status = 0;
+    std::string body;
+  };
+  // Reuse alice's node so the server sees her HTTP session: send the GET
+  // from her node with her cookie.
+  http::HttpRequest req;
+  req.method = http::Method::get;
+  req.path = std::string(core::kPathViz) + "?app=" +
+             chatty.app_id().to_string() + "&metric=metric_0&n=40";
+  req.headers.set("Cookie", alice.http().cookie_for(server_->node()));
+  // Intercept the reply by parking a raw listener on alice's... instead,
+  // simplest: send from a raw node but with alice's cookie; the container
+  // resolves the session by cookie, not by source node.
+  RawClient raw;
+  const net::NodeId raw_node = scenario_.net().add_node("browser", &raw);
+  scenario_.net().send(raw_node, server_->node(), net::Channel::http,
+                       http::serialize(req));
+  ASSERT_TRUE(scenario_.net().run_until([&] { return raw.status != 0; }));
+  EXPECT_EQ(raw.status, 200);
+  EXPECT_NE(raw.body.find("metric_0"), std::string::npos);
+  EXPECT_NE(raw.body.find("samples="), std::string::npos);
+
+  // Without a session: 403.
+  http::HttpRequest anon;
+  anon.method = http::Method::get;
+  anon.path = std::string(core::kPathViz) + "?app=" +
+              chatty.app_id().to_string() + "&metric=metric_0";
+  raw.status = 0;
+  scenario_.net().send(raw_node, server_->node(), net::Channel::http,
+                       http::serialize(anon));
+  ASSERT_TRUE(scenario_.net().run_until([&] { return raw.status != 0; }));
+  EXPECT_EQ(raw.status, 403);
+
+  // Missing params: 400.
+  http::HttpRequest bad;
+  bad.method = http::Method::get;
+  bad.path = core::kPathViz;
+  raw.status = 0;
+  scenario_.net().send(raw_node, server_->node(), net::Channel::http,
+                       http::serialize(bad));
+  ASSERT_TRUE(scenario_.net().run_until([&] { return raw.status != 0; }));
+  EXPECT_EQ(raw.status, 400);
+}
+
+TEST(AppIdEdgeTest, ParseHandlesJunk) {
+  EXPECT_EQ(proto::AppId::parse(""), proto::AppId{});
+  EXPECT_EQ(proto::AppId::parse(":"), proto::AppId{});
+  EXPECT_EQ(proto::AppId::parse("5:"), (proto::AppId{5, 0}));
+  EXPECT_EQ(proto::AppId::parse("abc:def"), (proto::AppId{0, 0}));
+  EXPECT_FALSE(proto::AppId{}.valid());
+  EXPECT_TRUE((proto::AppId{1, 0}).valid());
+}
+
+TEST(PrivilegeNameTest, AllNamesCovered) {
+  EXPECT_STREQ(security::privilege_name(security::Privilege::none), "none");
+  EXPECT_STREQ(security::privilege_name(security::Privilege::steer),
+               "steer");
+  EXPECT_STREQ(net::channel_name(net::Channel::giop), "giop");
+  EXPECT_STREQ(net::channel_name(net::Channel::control), "control");
+  EXPECT_STREQ(grid::job_state_name(grid::JobState::finished), "finished");
+}
+
+}  // namespace
+}  // namespace discover

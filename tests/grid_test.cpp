@@ -1,0 +1,276 @@
+// Grid substrate (paper §7's CORBA CoG direction): GIS resource/identity
+// directories, GRAM job lifecycle (queue -> stage -> run -> finish/cancel),
+// the CoG allocator, and the full launch-then-steer integration.
+#include <gtest/gtest.h>
+
+#include "core/service_host.h"
+#include "grid/cog.h"
+#include "grid/resource.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+class GridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = std::make_unique<workload::Scenario>();
+    server_ = &scenario_->add_server("steering", 1);
+
+    // GIS hosted on its own service node.
+    gis_host_ = std::make_unique<core::ServiceHost>(scenario_->net());
+    const net::NodeId gis_node = scenario_->net().add_node(
+        "gis", gis_host_.get(), net::DomainId{0});
+    gis_host_->attach(gis_node);
+    gis_host_->set_registry(scenario_->registry().trader_ref());
+    gis_ = std::make_shared<grid::GridInformationService>();
+    gis_ref_ = gis_host_->publish(grid::kGisServiceType, gis_, {});
+
+    cog_ = grid::CorbaCoG(gis_host_->orb(), gis_ref_);
+  }
+
+  grid::GridResource& add_resource(const std::string& name,
+                                   std::uint32_t cpus,
+                                   const std::string& site) {
+    grid::ResourceConfig cfg;
+    cfg.name = name;
+    cfg.cpus = cpus;
+    cfg.attributes = {{"site", site}, {"arch", "x86"}};
+    cfg.reap_period = util::milliseconds(10);
+    auto resource =
+        std::make_unique<grid::GridResource>(scenario_->net(), cfg);
+    const net::NodeId node = scenario_->net().add_node(
+        "resource:" + name, resource.get(), net::DomainId{2});
+    resource->attach(node);
+    resource->set_gis(gis_ref_);
+    resource->start();
+    resources_.push_back(std::move(resource));
+    return *resources_.back();
+  }
+
+  grid::JobDescription job(const std::string& kind, const std::string& name,
+                           std::uint64_t max_steps = 0) {
+    grid::JobDescription d;
+    d.kind = kind;
+    d.name = name;
+    d.acl = make_acl({{"alice", Privilege::steer}});
+    d.discover_server = server_->node().value();
+    d.step_time = util::milliseconds(1);
+    d.update_every = 5;
+    d.interact_every = 10;
+    d.max_steps = max_steps;
+    d.stage_bytes = 1 << 20;
+    return d;
+  }
+
+  std::unique_ptr<workload::Scenario> scenario_;
+  core::DiscoverServer* server_ = nullptr;
+  std::unique_ptr<core::ServiceHost> gis_host_;
+  std::shared_ptr<grid::GridInformationService> gis_;
+  orb::ObjectRef gis_ref_;
+  grid::CorbaCoG cog_;
+  std::vector<std::unique_ptr<grid::GridResource>> resources_;
+};
+
+TEST_F(GridTest, ResourcesRegisterWithGis) {
+  add_resource("r1", 4, "texas");
+  add_resource("r2", 8, "rutgers");
+  ASSERT_TRUE(scenario_->run_until([&] { return gis_->resource_count() == 2; }));
+
+  std::vector<grid::ResourceInfo> found;
+  bool done = false;
+  cog_.discover_resources("site == texas",
+                          [&](util::Result<std::vector<grid::ResourceInfo>> r) {
+                            ASSERT_TRUE(r.ok());
+                            found = r.value();
+                            done = true;
+                          });
+  ASSERT_TRUE(scenario_->run_until([&] { return done; }));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "r1");
+  EXPECT_EQ(found[0].total_cpus, 4u);
+}
+
+TEST_F(GridTest, JobRunsToCompletionAndRegistersWithDiscover) {
+  auto& resource = add_resource("r1", 2, "texas");
+  ASSERT_TRUE(scenario_->run_until([&] { return gis_->resource_count() == 1; }));
+
+  grid::JobId id = 0;
+  cog_.submit(resource.gram_ref(), job("heat2d", "gridheat", 50),
+              [&](util::Result<grid::JobId> r) {
+                ASSERT_TRUE(r.ok());
+                id = r.value();
+              });
+  ASSERT_TRUE(scenario_->run_until([&] { return id != 0; }));
+
+  // Stage -> run: the job becomes a registered DISCOVER application.
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return server_->local_app_count() == 1; }, util::seconds(10)));
+  // Then completes (max_steps = 50) and is reaped.
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return resource.jobs_completed() == 1; }, util::seconds(30)));
+  const grid::JobStatus status = resource.status_of(id);
+  EXPECT_EQ(status.state, grid::JobState::finished);
+  EXPECT_EQ(status.steps, 50u);
+  EXPECT_FALSE(status.discover_app_id.empty());
+  // The finished app deregistered from the steering server too.
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return server_->local_app_count() == 0; }));
+}
+
+TEST_F(GridTest, CpuSlotsBoundConcurrencyFifo) {
+  auto& resource = add_resource("r1", 1, "texas");  // single slot
+  std::vector<grid::JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    cog_.submit(resource.gram_ref(),
+                job("synthetic", "q" + std::to_string(i), 30),
+                [&](util::Result<grid::JobId> r) {
+                  ASSERT_TRUE(r.ok());
+                  ids.push_back(r.value());
+                });
+  }
+  ASSERT_TRUE(scenario_->run_until([&] { return ids.size() == 3; }));
+  EXPECT_LE(resource.running_jobs(), 1u);
+  EXPECT_GE(resource.queued_jobs(), 1u);
+  // Eventually all three finish, one after another.
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return resource.jobs_completed() == 3; }, util::seconds(60)));
+}
+
+TEST_F(GridTest, CancelKillsRunningJob) {
+  auto& resource = add_resource("r1", 2, "texas");
+  grid::JobId id = 0;
+  cog_.submit(resource.gram_ref(), job("reservoir", "killme", 0),
+              [&](util::Result<grid::JobId> r) { id = r.value(); });
+  ASSERT_TRUE(scenario_->run_until([&] { return id != 0; }));
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return resource.status_of(id).state == grid::JobState::running; },
+      util::seconds(10)));
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return server_->local_app_count() == 1; }));
+
+  bool cancelled = false;
+  cog_.cancel(resource.gram_ref(), id,
+              [&](util::Status s) { cancelled = s.ok(); });
+  ASSERT_TRUE(scenario_->run_until([&] { return cancelled; }));
+  EXPECT_EQ(resource.status_of(id).state, grid::JobState::cancelled);
+  // The aborted app deregisters from the steering server.
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return server_->local_app_count() == 0; }));
+  // Double-cancel is a clean failure.
+  util::Errc code = util::Errc::ok;
+  cog_.cancel(resource.gram_ref(), id, [&](util::Status s) {
+    code = s.error().code;
+  });
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return code == util::Errc::failed_precondition; }));
+}
+
+TEST_F(GridTest, AllocatorPicksLeastLoadedResource) {
+  add_resource("small", 1, "texas");
+  auto& big = add_resource("big", 8, "texas");
+  ASSERT_TRUE(scenario_->run_until([&] { return gis_->resource_count() == 2; }));
+
+  grid::JobStatus status;
+  bool done = false;
+  cog_.allocate_and_submit("site == texas", job("synthetic", "placed", 100),
+                           [&](util::Result<grid::JobStatus> r) {
+                             ASSERT_TRUE(r.ok()) << r.error().message;
+                             status = r.value();
+                             done = true;
+                           });
+  ASSERT_TRUE(scenario_->run_until([&] { return done; }));
+  // The 8-cpu resource had the most free slots.
+  EXPECT_EQ(big.status_of(status.id).name, "placed");
+}
+
+TEST_F(GridTest, AllocatorFailsWhenNothingMatches) {
+  add_resource("r1", 2, "texas");
+  ASSERT_TRUE(scenario_->run_until([&] { return gis_->resource_count() == 1; }));
+  util::Errc code = util::Errc::ok;
+  cog_.allocate_and_submit("site == mars", job("synthetic", "nowhere"),
+                           [&](util::Result<grid::JobStatus> r) {
+                             ASSERT_FALSE(r.ok());
+                             code = r.error().code;
+                           });
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return code == util::Errc::unavailable; }));
+}
+
+TEST_F(GridTest, UnknownKindFailsCleanly) {
+  auto& resource = add_resource("r1", 2, "texas");
+  grid::JobId id = 0;
+  cog_.submit(resource.gram_ref(), job("fortran-monolith", "bad"),
+              [&](util::Result<grid::JobId> r) { id = r.value(); });
+  ASSERT_TRUE(scenario_->run_until([&] { return id != 0; }));
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return resource.status_of(id).state == grid::JobState::failed; },
+      util::seconds(10)));
+}
+
+TEST_F(GridTest, LaunchThenSteerEndToEnd) {
+  // The paper's §7 closing scenario: allocate + stage via the CoG kit,
+  // then steer the running job through the DISCOVER portal.
+  add_resource("r1", 4, "texas");
+  ASSERT_TRUE(scenario_->run_until([&] { return gis_->resource_count() == 1; }));
+
+  grid::JobStatus status;
+  bool placed = false;
+  cog_.allocate_and_submit("", job("heat2d", "steerable-job", 0),
+                           [&](util::Result<grid::JobStatus> r) {
+                             ASSERT_TRUE(r.ok());
+                             status = r.value();
+                             placed = true;
+                           });
+  ASSERT_TRUE(scenario_->run_until([&] { return placed; }));
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return server_->local_app_count() == 1; }, util::seconds(10)));
+
+  auto& alice = scenario_->add_client("alice", *server_);
+  auto login = workload::sync_login(scenario_->net(), alice);
+  ASSERT_TRUE(login.value().ok);
+  ASSERT_EQ(login.value().applications.size(), 1u);
+  const proto::AppId app_id = login.value().applications[0].id;
+  ASSERT_TRUE(
+      workload::sync_onboard_steerer(scenario_->net(), alice, app_id));
+  auto ack = workload::sync_command(scenario_->net(), alice, app_id,
+                                    proto::CommandKind::set_param, "alpha",
+                                    proto::ParamValue{0.19});
+  EXPECT_TRUE(ack.value().accepted);
+  // Stop the job through steering; the grid resource reaps it as finished.
+  ASSERT_TRUE(workload::sync_command(scenario_->net(), alice, app_id,
+                                     proto::CommandKind::stop_app)
+                  .value().accepted);
+  ASSERT_TRUE(scenario_->run_until(
+      [&] { return resources_[0]->jobs_completed() == 1; },
+      util::seconds(30)));
+}
+
+TEST_F(GridTest, GisIdentityDirectoryEnablesForeignLogin) {
+  // §6.3: "a centralized directory service like the GIS that maintains
+  // user-IDs" — wanda has no local application ACL anywhere on this
+  // server, but the directory vouches for her.
+  gis_->add_identity("wanda", security::digest64("pw"));
+  server_->set_identity_directory(gis_ref_);
+  scenario_->run_for(util::seconds(2));  // at least one refresh cycle
+
+  core::ClientConfig ccfg;
+  ccfg.password = "pw";
+  auto& wanda = scenario_->add_client("wanda", *server_, ccfg);
+  auto login = workload::sync_login(scenario_->net(), wanda);
+  ASSERT_TRUE(login.ok());
+  EXPECT_TRUE(login.value().ok) << login.value().message;
+
+  core::ClientConfig bad;
+  bad.password = "wrong";
+  auto& fake = scenario_->add_client("wanda", *server_, bad);
+  auto bad_login = workload::sync_login(scenario_->net(), fake);
+  EXPECT_FALSE(bad_login.value().ok);
+}
+
+}  // namespace
+}  // namespace discover

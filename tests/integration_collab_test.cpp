@@ -1,0 +1,230 @@
+// Collaboration-handler semantics (paper §4.1): default group, sub-groups,
+// disabling collaboration, response broadcast, slow-client FIFO behaviour.
+#include <gtest/gtest.h>
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+class CollabTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = &scenario_.add_server("hub", 1);
+    app::AppConfig cfg;
+    cfg.name = "shared-sim";
+    cfg.acl = make_acl({{"alice", Privilege::steer},
+                        {"bob", Privilege::read_write},
+                        {"carol", Privilege::read_only},
+                        {"dave", Privilege::read_only}});
+    cfg.step_time = util::milliseconds(1);
+    cfg.update_every = 0;  // quiet: only explicit events in these tests
+    cfg.interact_every = 4;
+    cfg.interaction_window = util::milliseconds(1);
+    app_ = &scenario_.add_app<app::SyntheticApp>(*server_, cfg,
+                                                 app::SyntheticSpec{});
+    ASSERT_TRUE(scenario_.run_until([&] { return app_->registered(); }));
+    app_id_ = app_->app_id();
+  }
+
+  core::DiscoverClient& join(const std::string& user) {
+    auto& c = scenario_.add_client(user, *server_);
+    EXPECT_TRUE(workload::sync_login(scenario_.net(), c).value().ok);
+    EXPECT_TRUE(
+        workload::sync_select(scenario_.net(), c, app_id_).value().ok);
+    return c;
+  }
+
+  void drain(core::DiscoverClient& c) {
+    (void)workload::sync_poll(scenario_.net(), c, app_id_);
+  }
+
+  std::uint64_t chats_seen(core::DiscoverClient& c, const std::string& text) {
+    std::uint64_t n = 0;
+    for (const auto& ev : c.received_events()) {
+      if (ev.kind == proto::EventKind::chat && ev.text == text) ++n;
+    }
+    return n;
+  }
+
+  workload::Scenario scenario_;
+  core::DiscoverServer* server_ = nullptr;
+  app::SyntheticApp* app_ = nullptr;
+  proto::AppId app_id_;
+};
+
+TEST_F(CollabTest, DefaultGroupReceivesChatExactlyOnce) {
+  auto& alice = join("alice");
+  auto& bob = join("bob");
+  auto& carol = join("carol");
+  ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), alice, app_id_,
+                                         proto::EventKind::chat, "m1")
+                  .value().ok);
+  scenario_.run_for(util::milliseconds(5));
+  for (auto* c : {&alice, &bob, &carol}) drain(*c);
+  EXPECT_EQ(chats_seen(alice, "m1"), 1u);  // own echo
+  EXPECT_EQ(chats_seen(bob, "m1"), 1u);
+  EXPECT_EQ(chats_seen(carol, "m1"), 1u);
+}
+
+TEST_F(CollabTest, SubgroupScopesChat) {
+  auto& alice = join("alice");
+  auto& bob = join("bob");
+  auto& carol = join("carol");
+  // Alice and bob join sub-group "team"; carol stays in the main group.
+  ASSERT_TRUE(workload::sync_group_op(scenario_.net(), alice, app_id_,
+                                      proto::GroupOp::join_subgroup, "team")
+                  .value().ok);
+  ASSERT_TRUE(workload::sync_group_op(scenario_.net(), bob, app_id_,
+                                      proto::GroupOp::join_subgroup, "team")
+                  .value().ok);
+  ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), alice, app_id_,
+                                         proto::EventKind::chat, "secret")
+                  .value().ok);
+  scenario_.run_for(util::milliseconds(5));
+  for (auto* c : {&alice, &bob, &carol}) drain(*c);
+  EXPECT_EQ(chats_seen(bob, "secret"), 1u);
+  EXPECT_EQ(chats_seen(carol, "secret"), 0u);  // never leaks outside
+
+  // After leaving, bob no longer receives team chat.
+  ASSERT_TRUE(workload::sync_group_op(scenario_.net(), bob, app_id_,
+                                      proto::GroupOp::leave_subgroup, "")
+                  .value().ok);
+  ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), alice, app_id_,
+                                         proto::EventKind::chat, "secret2")
+                  .value().ok);
+  scenario_.run_for(util::milliseconds(5));
+  for (auto* c : {&alice, &bob}) drain(*c);
+  EXPECT_EQ(chats_seen(bob, "secret2"), 0u);
+}
+
+TEST_F(CollabTest, DisabledCollaborationIsPrivateBothWays) {
+  auto& alice = join("alice");
+  auto& bob = join("bob");
+  ASSERT_TRUE(workload::sync_group_op(scenario_.net(), alice, app_id_,
+                                      proto::GroupOp::disable_collab, "")
+                  .value().ok);
+  // Alice's chat is not broadcast (paper §4.1: "clients can also disable
+  // all collaboration so that their requests/responses are not broadcast").
+  ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), alice, app_id_,
+                                         proto::EventKind::chat, "quiet")
+                  .value().ok);
+  // And bob's chat does not reach alice while she opted out.
+  ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), bob, app_id_,
+                                         proto::EventKind::chat, "loud")
+                  .value().ok);
+  scenario_.run_for(util::milliseconds(5));
+  drain(alice);
+  drain(bob);
+  EXPECT_EQ(chats_seen(bob, "quiet"), 0u);
+  EXPECT_EQ(chats_seen(alice, "quiet"), 1u);  // own echo still delivered
+  EXPECT_EQ(chats_seen(alice, "loud"), 0u);
+  // Re-enable: traffic flows again.
+  ASSERT_TRUE(workload::sync_group_op(scenario_.net(), alice, app_id_,
+                                      proto::GroupOp::enable_collab, "")
+                  .value().ok);
+  ASSERT_TRUE(workload::sync_collab_post(scenario_.net(), bob, app_id_,
+                                         proto::EventKind::chat, "loud2")
+                  .value().ok);
+  scenario_.run_for(util::milliseconds(5));
+  drain(alice);
+  EXPECT_EQ(chats_seen(alice, "loud2"), 1u);
+}
+
+TEST_F(CollabTest, ResponsesAreSharedWithGroupUnlessDisabled) {
+  auto& alice = join("alice");
+  auto& carol = join("carol");
+  ASSERT_TRUE(
+      workload::sync_onboard_steerer(scenario_.net(), alice, app_id_));
+  ASSERT_TRUE(workload::sync_command(scenario_.net(), alice, app_id_,
+                                     proto::CommandKind::set_param, "param_0",
+                                     proto::ParamValue{5.0})
+                  .value().accepted);
+  scenario_.run_for(util::milliseconds(30));
+  drain(carol);
+  // Carol sees alice's steering response (shared view).
+  std::uint64_t carol_responses =
+      carol.events_of_kind(proto::EventKind::response);
+  EXPECT_GE(carol_responses, 1u);
+
+  // With collaboration disabled, alice's next response stays private.
+  ASSERT_TRUE(workload::sync_group_op(scenario_.net(), alice, app_id_,
+                                      proto::GroupOp::disable_collab, "")
+                  .value().ok);
+  ASSERT_TRUE(workload::sync_command(scenario_.net(), alice, app_id_,
+                                     proto::CommandKind::set_param, "param_0",
+                                     proto::ParamValue{6.0})
+                  .value().accepted);
+  scenario_.run_for(util::milliseconds(30));
+  drain(carol);
+  drain(alice);
+  EXPECT_EQ(carol.events_of_kind(proto::EventKind::response),
+            carol_responses);  // unchanged
+  EXPECT_GE(alice.events_of_kind(proto::EventKind::response), 2u);
+}
+
+TEST_F(CollabTest, SlowClientFifoDropsOldestAndCountsIt) {
+  core::ServerConfig tiny = server_->config();
+  // Build a second server with a tiny FIFO to exercise the cap.
+  tiny.name = "tinyfifo";
+  tiny.client_fifo_cap = 4;
+  auto& small = scenario_.add_server("tinyfifo", 1, tiny);
+  app::AppConfig cfg;
+  cfg.name = "chatty";
+  cfg.acl = make_acl({{"dave", Privilege::read_only}});
+  cfg.step_time = util::milliseconds(1);
+  cfg.update_every = 1;  // very chatty
+  cfg.interact_every = 0;
+  auto& chatty = scenario_.add_app<app::SyntheticApp>(small, cfg,
+                                                      app::SyntheticSpec{});
+  ASSERT_TRUE(scenario_.run_until([&] { return chatty.registered(); }));
+
+  auto& dave = scenario_.add_client("dave", small);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), dave).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario_.net(), dave, chatty.app_id())
+                  .value().ok);
+  // Never poll while 50 updates arrive: only 4 survive.
+  scenario_.run_for(util::milliseconds(60));
+  auto poll = workload::sync_poll(scenario_.net(), dave, chatty.app_id());
+  ASSERT_TRUE(poll.ok());
+  EXPECT_LE(poll.value().events.size(), 4u);
+  EXPECT_GT(small.stats().events_dropped, 0u);
+  // Delivered events are the most recent ones (oldest dropped).
+  ASSERT_FALSE(poll.value().events.empty());
+  EXPECT_GT(poll.value().events.back().seq, 4u);
+}
+
+TEST_F(CollabTest, LockNoticesReachWholeGroup) {
+  auto& alice = join("alice");
+  auto& carol = join("carol");
+  ASSERT_TRUE(
+      workload::sync_onboard_steerer(scenario_.net(), alice, app_id_));
+  scenario_.run_for(util::milliseconds(5));
+  drain(carol);
+  EXPECT_GE(carol.events_of_kind(proto::EventKind::lock_notice), 1u);
+}
+
+TEST_F(CollabTest, LogoutReleasesHeldLock) {
+  auto& alice = join("alice");
+  ASSERT_TRUE(
+      workload::sync_onboard_steerer(scenario_.net(), alice, app_id_));
+  ASSERT_TRUE(server_->lock_holder(app_id_).has_value());
+  // Logout must forget alice's lock interest (paper §5.2.4 relay rules).
+  bool done = false;
+  scenario_.net().post(alice.node(), [&] {
+    alice.logout([&](util::Result<proto::CollabAck> r) {
+      done = r.ok() && r.value().ok;
+    });
+  });
+  ASSERT_TRUE(workload::wait_for(scenario_.net(), [&] { return done; }));
+  ASSERT_TRUE(scenario_.run_until(
+      [&] { return !server_->lock_holder(app_id_).has_value(); }));
+}
+
+}  // namespace
+}  // namespace discover

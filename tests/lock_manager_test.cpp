@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/lock_manager.h"
+#include "util/rng.h"
+
+namespace discover::core {
+namespace {
+
+const proto::AppId kApp{1, 1};
+const proto::AppId kOther{1, 2};
+
+LockIdentity who(const std::string& user, std::uint32_t server = 1) {
+  return LockIdentity{user, server};
+}
+
+TEST(LockManagerTest, ImmediateGrantWhenFree) {
+  LockManager lm;
+  bool granted = false;
+  EXPECT_TRUE(lm.request(kApp, who("alice"), [&](bool g) { granted = g; }));
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(lm.holder(kApp)->user, "alice");
+  EXPECT_EQ(lm.grants(), 1u);
+}
+
+TEST(LockManagerTest, SecondRequesterQueuesFifo) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  std::vector<std::string> grant_order;
+  EXPECT_FALSE(lm.request(kApp, who("bob"), [&](bool g) {
+    if (g) grant_order.push_back("bob");
+  }));
+  EXPECT_FALSE(lm.request(kApp, who("carol"), [&](bool g) {
+    if (g) grant_order.push_back("carol");
+  }));
+  EXPECT_EQ(lm.queue_length(kApp), 2u);
+
+  ASSERT_TRUE(lm.release(kApp, who("alice")).ok());
+  EXPECT_EQ(lm.holder(kApp)->user, "bob");
+  ASSERT_TRUE(lm.release(kApp, who("bob")).ok());
+  EXPECT_EQ(lm.holder(kApp)->user, "carol");
+  EXPECT_EQ(grant_order, (std::vector<std::string>{"bob", "carol"}));
+}
+
+TEST(LockManagerTest, ReacquireByHolderIsIdempotent) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  bool granted = false;
+  EXPECT_TRUE(lm.request(kApp, who("alice"), [&](bool g) { granted = g; }));
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(lm.queue_length(kApp), 0u);
+}
+
+TEST(LockManagerTest, SameUserDifferentServerIsDifferentIdentity) {
+  // Paper §5.2.4: lock identity is maintained at the host; a user portal at
+  // another server is a distinct requester.
+  LockManager lm;
+  lm.request(kApp, who("alice", 1), [](bool) {});
+  EXPECT_FALSE(lm.request(kApp, who("alice", 2), [](bool) {}));
+  EXPECT_EQ(lm.queue_length(kApp), 1u);
+}
+
+TEST(LockManagerTest, ReleaseByNonHolderFails) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  const auto s = lm.release(kApp, who("bob"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, util::Errc::permission_denied);
+  EXPECT_FALSE(lm.release(kOther, who("alice")).ok());  // not held at all
+}
+
+TEST(LockManagerTest, ForgetRemovesWaiterAndNotifiesDenied) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  bool bob_result = true;
+  lm.request(kApp, who("bob"), [&](bool g) { bob_result = g; });
+  lm.forget(kApp, who("bob"));
+  EXPECT_FALSE(bob_result);
+  EXPECT_EQ(lm.queue_length(kApp), 0u);
+}
+
+TEST(LockManagerTest, ForgetHolderPromotesNext) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  bool bob_granted = false;
+  lm.request(kApp, who("bob"), [&](bool g) { bob_granted = g; });
+  lm.forget(kApp, who("alice"));
+  EXPECT_TRUE(bob_granted);
+  EXPECT_EQ(lm.holder(kApp)->user, "bob");
+}
+
+TEST(LockManagerTest, DropAppDeniesAllWaiters) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  int denied = 0;
+  lm.request(kApp, who("bob"), [&](bool g) { denied += g ? 0 : 1; });
+  lm.request(kApp, who("carol"), [&](bool g) { denied += g ? 0 : 1; });
+  lm.drop_app(kApp);
+  EXPECT_EQ(denied, 2);
+  EXPECT_FALSE(lm.holder(kApp).has_value());
+}
+
+TEST(LockManagerTest, LocksAreIndependentAcrossApps) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  bool granted = false;
+  EXPECT_TRUE(lm.request(kOther, who("bob"), [&](bool g) { granted = g; }));
+  EXPECT_TRUE(granted);
+}
+
+/// Property: under random request/release/forget traffic there is never a
+/// moment with two holders, every grant callback fires exactly once, and
+/// grants - releases == (holder present ? 1 : 0) at the end.
+class LockFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockFuzzTest, SingleWriterInvariantHolds) {
+  util::Rng rng(GetParam());
+  LockManager lm;
+  const std::vector<LockIdentity> users = {
+      who("a", 1), who("b", 1), who("a", 2), who("c", 3), who("d", 2)};
+  std::map<std::string, int> callback_count;  // key: user@server
+  const auto key = [](const LockIdentity& w) {
+    return w.user + "@" + std::to_string(w.server);
+  };
+
+  std::set<std::string> waiting_or_holding;
+  for (int i = 0; i < 2000; ++i) {
+    const LockIdentity& u = users[rng.below(users.size())];
+    const int action = static_cast<int>(rng.below(3));
+    if (action == 0) {
+      // Avoid double-queuing the same identity (server layer prevents it).
+      if (waiting_or_holding.count(key(u)) != 0) continue;
+      waiting_or_holding.insert(key(u));
+      lm.request(kApp, u, [&, k = key(u)](bool granted) {
+        ++callback_count[k];
+        if (!granted) waiting_or_holding.erase(k);
+      });
+    } else if (action == 1) {
+      if (lm.release(kApp, u).ok()) waiting_or_holding.erase(key(u));
+    } else {
+      lm.forget(kApp, u);
+      waiting_or_holding.erase(key(u));
+    }
+    // Invariant: callbacks never fire more than once per outstanding
+    // request; with our no-double-queue discipline each user's count is
+    // bounded by their number of requests, and holder is unique by
+    // construction of the API (single std::optional) - verify consistency:
+    const auto h = lm.holder(kApp);
+    if (h) {
+      EXPECT_TRUE(waiting_or_holding.count(key(*h)) != 0)
+          << "holder must have an outstanding request";
+    }
+  }
+  // Drain: release/forget everything; every waiter must resolve.
+  for (const auto& u : users) lm.forget(kApp, u);
+  EXPECT_EQ(lm.queue_length(kApp), 0u);
+  EXPECT_FALSE(lm.holder(kApp).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockFuzzTest,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+}  // namespace
+}  // namespace discover::core

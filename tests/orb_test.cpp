@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "orb/naming.h"
+#include "orb/orb.h"
+#include "orb/trader.h"
+
+namespace discover::orb {
+namespace {
+
+/// A servant exposing add/fail/defer methods for the tests.
+class CalcServant : public Servant {
+ public:
+  explicit CalcServant(net::Network* net = nullptr, net::NodeId self = {})
+      : net_(net), self_(self) {}
+
+  [[nodiscard]] std::string interface_name() const override { return "Calc"; }
+
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, DispatchContext& ctx) override {
+    if (method == "add") {
+      const std::int64_t a = args.i64();
+      const std::int64_t b = args.i64();
+      out.i64(a + b);
+      ++calls;
+    } else if (method == "whoami") {
+      out.u32(ctx.requester.value());
+    } else if (method == "fail") {
+      throw OrbException{util::Errc::failed_precondition, "deliberate"};
+    } else if (method == "defer_add") {
+      const std::int64_t a = args.i64();
+      const std::int64_t b = args.i64();
+      auto reply = ctx.defer();
+      net_->schedule(self_, util::milliseconds(3), [reply, a, b] {
+        wire::Encoder result;
+        result.i64(a + b);
+        reply->reply(std::move(result));
+      });
+    } else {
+      throw OrbException{util::Errc::invalid_argument, "no method " + method};
+    }
+  }
+
+  net::Network* net_;
+  net::NodeId self_;
+  int calls = 0;
+};
+
+class OrbNode : public net::MessageHandler {
+ public:
+  explicit OrbNode(net::Network& net) : network_(net) {}
+  void init(net::NodeId self) {
+    self_ = self;
+    orb = std::make_unique<Orb>(network_, self);
+  }
+  void on_message(const net::Message& msg) override { orb->handle(msg); }
+  net::Network& network_;
+  net::NodeId self_{0};
+  std::unique_ptr<Orb> orb;
+};
+
+class OrbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_.set_lan_model({util::milliseconds(1), 1e9});
+    a_ = std::make_unique<OrbNode>(net_);
+    b_ = std::make_unique<OrbNode>(net_);
+    na_ = net_.add_node("a", a_.get());
+    nb_ = net_.add_node("b", b_.get());
+    a_->init(na_);
+    b_->init(nb_);
+  }
+
+  net::SimNetwork net_;
+  std::unique_ptr<OrbNode> a_;
+  std::unique_ptr<OrbNode> b_;
+  net::NodeId na_{0};
+  net::NodeId nb_{0};
+};
+
+TEST_F(OrbTest, RemoteInvocation) {
+  auto servant = std::make_shared<CalcServant>();
+  const ObjectRef ref = b_->orb->activate(servant);
+  EXPECT_EQ(ref.interface, "Calc");
+
+  wire::Encoder args;
+  args.i64(20);
+  args.i64(22);
+  std::int64_t result = 0;
+  a_->orb->invoke(ref, "add", std::move(args),
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_TRUE(r.ok()) << r.error().message;
+                    wire::Decoder d(r.value());
+                    result = d.i64();
+                  });
+  net_.run_until_idle();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(servant->calls, 1);
+  // One request + one reply over the wire.
+  EXPECT_EQ(net_.traffic().messages, 2u);
+}
+
+TEST_F(OrbTest, CollocatedInvocationSkipsNetworkButStaysAsync) {
+  auto servant = std::make_shared<CalcServant>();
+  const ObjectRef ref = a_->orb->activate(servant);
+  wire::Encoder args;
+  args.i64(1);
+  args.i64(2);
+  bool called_inline = true;
+  std::int64_t result = 0;
+  a_->orb->invoke(ref, "add", std::move(args),
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_TRUE(r.ok());
+                    wire::Decoder d(r.value());
+                    result = d.i64();
+                    called_inline = false;  // overwritten below if deferred
+                  });
+  const bool was_deferred = (result == 0);
+  net_.run_until_idle();
+  EXPECT_TRUE(was_deferred);
+  (void)called_inline;
+  EXPECT_EQ(result, 3);
+  EXPECT_EQ(net_.traffic().messages, 0u);  // no wire traffic
+}
+
+TEST_F(OrbTest, RequesterIdentityIsVisible) {
+  const ObjectRef ref = b_->orb->activate(std::make_shared<CalcServant>());
+  std::uint32_t who = 0;
+  a_->orb->invoke(ref, "whoami", wire::Encoder{},
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_TRUE(r.ok());
+                    wire::Decoder d(r.value());
+                    who = d.u32();
+                  });
+  net_.run_until_idle();
+  EXPECT_EQ(who, na_.value());
+}
+
+TEST_F(OrbTest, ExceptionsPropagateAsErrors) {
+  const ObjectRef ref = b_->orb->activate(std::make_shared<CalcServant>());
+  util::Errc code = util::Errc::ok;
+  a_->orb->invoke(ref, "fail", wire::Encoder{},
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_FALSE(r.ok());
+                    code = r.error().code;
+                  });
+  net_.run_until_idle();
+  EXPECT_EQ(code, util::Errc::failed_precondition);
+}
+
+TEST_F(OrbTest, UnknownServantAndMethod) {
+  ObjectRef bogus;
+  bogus.node = nb_.value();
+  bogus.key = 999;
+  util::Errc code = util::Errc::ok;
+  a_->orb->invoke(bogus, "add", wire::Encoder{},
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_FALSE(r.ok());
+                    code = r.error().code;
+                  });
+  net_.run_until_idle();
+  EXPECT_EQ(code, util::Errc::not_found);
+
+  const ObjectRef ref = b_->orb->activate(std::make_shared<CalcServant>());
+  a_->orb->invoke(ref, "nope", wire::Encoder{},
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_FALSE(r.ok());
+                    code = r.error().code;
+                  });
+  net_.run_until_idle();
+  EXPECT_EQ(code, util::Errc::invalid_argument);
+}
+
+TEST_F(OrbTest, DeferredReplyCompletesLater) {
+  auto servant = std::make_shared<CalcServant>(&net_, nb_);
+  const ObjectRef ref = b_->orb->activate(servant);
+  wire::Encoder args;
+  args.i64(5);
+  args.i64(6);
+  std::int64_t result = 0;
+  a_->orb->invoke(ref, "defer_add", std::move(args),
+                  [&](util::Result<util::Bytes> r) {
+                    ASSERT_TRUE(r.ok());
+                    wire::Decoder d(r.value());
+                    result = d.i64();
+                  });
+  net_.run_until_idle();
+  EXPECT_EQ(result, 11);
+}
+
+TEST_F(OrbTest, TimeoutWhenServantNeverAnswers) {
+  // Deactivated-but-referenced key on a node that exists: servant lookup
+  // fails -> error, so use a node that never processes giop: client node
+  // itself isn't one... instead deactivate after activate and rely on
+  // not_found; timeout path: target a servant whose reply we drop by
+  // pointing the ref at a non-orb... simplest: invoke on an address with no
+  // handler attached is impossible here, so test the timer directly via a
+  // deferred servant that never completes.
+  class SilentServant : public Servant {
+   public:
+    [[nodiscard]] std::string interface_name() const override {
+      return "Silent";
+    }
+    void dispatch(const std::string&, wire::Decoder&, wire::Encoder&,
+                  DispatchContext& ctx) override {
+      keep_alive = ctx.defer();  // never completed
+    }
+    std::shared_ptr<DeferredReply> keep_alive;
+  };
+  const ObjectRef ref = b_->orb->activate(std::make_shared<SilentServant>());
+  util::Errc code = util::Errc::ok;
+  a_->orb->invoke(
+      ref, "anything", wire::Encoder{},
+      [&](util::Result<util::Bytes> r) {
+        ASSERT_FALSE(r.ok());
+        code = r.error().code;
+      },
+      util::milliseconds(100));
+  net_.run_until_idle();
+  EXPECT_EQ(code, util::Errc::timeout);
+}
+
+TEST_F(OrbTest, DeactivateMakesServantUnreachable) {
+  const ObjectRef ref = b_->orb->activate(std::make_shared<CalcServant>());
+  b_->orb->deactivate(ref.key);
+  util::Errc code = util::Errc::ok;
+  a_->orb->invoke(ref, "add", wire::Encoder{},
+                  [&](util::Result<util::Bytes> r) { code = r.error().code; });
+  net_.run_until_idle();
+  EXPECT_EQ(code, util::Errc::not_found);
+}
+
+// ---------------------------------------------------------------------------
+// Naming service
+// ---------------------------------------------------------------------------
+
+TEST_F(OrbTest, NamingBindResolveUnbind) {
+  const ObjectRef naming_ref =
+      b_->orb->activate(std::make_shared<NamingService>());
+  const ObjectRef target = b_->orb->activate(std::make_shared<CalcServant>());
+  NamingClient naming(*a_->orb, naming_ref);
+
+  bool bound = false;
+  naming.bind("calc", target, [&](util::Status s) { bound = s.ok(); });
+  net_.run_until_idle();
+  EXPECT_TRUE(bound);
+
+  ObjectRef resolved;
+  naming.resolve("calc", [&](util::Result<ObjectRef> r) {
+    ASSERT_TRUE(r.ok());
+    resolved = r.value();
+  });
+  net_.run_until_idle();
+  EXPECT_EQ(resolved, target);
+
+  // Duplicate bind fails; rebind succeeds.
+  util::Errc code = util::Errc::ok;
+  naming.bind("calc", target,
+              [&](util::Status s) { code = s.error().code; });
+  net_.run_until_idle();
+  EXPECT_EQ(code, util::Errc::already_exists);
+  bool rebound = false;
+  naming.rebind("calc", target, [&](util::Status s) { rebound = s.ok(); });
+  net_.run_until_idle();
+  EXPECT_TRUE(rebound);
+
+  bool unbound = false;
+  naming.unbind("calc", [&](util::Status s) { unbound = s.ok(); });
+  net_.run_until_idle();
+  EXPECT_TRUE(unbound);
+  naming.resolve("calc", [&](util::Result<ObjectRef> r) {
+    EXPECT_FALSE(r.ok());
+  });
+  net_.run_until_idle();
+}
+
+// ---------------------------------------------------------------------------
+// Trader service
+// ---------------------------------------------------------------------------
+
+TEST(ConstraintTest, Matching) {
+  const std::map<std::string, std::string> props{{"name", "rutgers"},
+                                                 {"domain", "1"}};
+  EXPECT_TRUE(match_constraint("", props).value());
+  EXPECT_TRUE(match_constraint("name == rutgers", props).value());
+  EXPECT_FALSE(match_constraint("name == texas", props).value());
+  EXPECT_TRUE(match_constraint("name != texas", props).value());
+  EXPECT_TRUE(match_constraint("exist domain", props).value());
+  EXPECT_FALSE(match_constraint("exist missing", props).value());
+  EXPECT_TRUE(
+      match_constraint("name == rutgers and domain == 1", props).value());
+  EXPECT_FALSE(
+      match_constraint("name == rutgers and domain == 2", props).value());
+}
+
+TEST(ConstraintTest, SyntaxErrors) {
+  const std::map<std::string, std::string> props;
+  EXPECT_FALSE(match_constraint("name ==", props).ok());
+  EXPECT_FALSE(match_constraint("name ~= x", props).ok());
+  EXPECT_FALSE(match_constraint("a == b or c == d", props).ok());
+  EXPECT_FALSE(match_constraint("a == b and", props).ok());
+  EXPECT_FALSE(match_constraint("exist", props).ok());
+}
+
+TEST_F(OrbTest, TraderExportQueryWithdraw) {
+  const ObjectRef trader_ref =
+      b_->orb->activate(std::make_shared<TraderService>());
+  const ObjectRef svc = b_->orb->activate(std::make_shared<CalcServant>());
+  TraderClient trader(*a_->orb, trader_ref);
+
+  std::uint64_t offer_id = 0;
+  trader.export_offer("DISCOVER", svc, {{"name", "rutgers"}},
+                      [&](util::Result<std::uint64_t> r) {
+                        ASSERT_TRUE(r.ok());
+                        offer_id = r.value();
+                      });
+  trader.export_offer("DISCOVER", svc, {{"name", "texas"}},
+                      [](util::Result<std::uint64_t>) {});
+  trader.export_offer("OTHER", svc, {}, [](util::Result<std::uint64_t>) {});
+  net_.run_until_idle();
+  ASSERT_NE(offer_id, 0u);
+
+  std::vector<ServiceOffer> offers;
+  trader.query("DISCOVER", "", [&](util::Result<std::vector<ServiceOffer>> r) {
+    ASSERT_TRUE(r.ok());
+    offers = r.value();
+  });
+  net_.run_until_idle();
+  EXPECT_EQ(offers.size(), 2u);  // OTHER filtered by type
+
+  trader.query("DISCOVER", "name == texas",
+               [&](util::Result<std::vector<ServiceOffer>> r) {
+                 ASSERT_TRUE(r.ok());
+                 offers = r.value();
+               });
+  net_.run_until_idle();
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].properties.at("name"), "texas");
+
+  bool withdrawn = false;
+  trader.withdraw(offer_id, [&](util::Status s) { withdrawn = s.ok(); });
+  net_.run_until_idle();
+  EXPECT_TRUE(withdrawn);
+  trader.query("DISCOVER", "", [&](util::Result<std::vector<ServiceOffer>> r) {
+    offers = r.value();
+  });
+  net_.run_until_idle();
+  EXPECT_EQ(offers.size(), 1u);
+}
+
+TEST_F(OrbTest, ObjectRefEncodesAndPrints) {
+  ObjectRef ref;
+  ref.node = 3;
+  ref.key = 9;
+  ref.interface = "Calc";
+  wire::Encoder e;
+  encode(e, ref);
+  wire::Decoder d(e.data());
+  EXPECT_EQ(decode_object_ref(d), ref);
+  EXPECT_EQ(ref.to_string(), "IOR:Calc@3/9");
+}
+
+}  // namespace
+}  // namespace discover::orb

@@ -1,0 +1,115 @@
+// DESIGN.md §5 security invariant, fuzzed end-to-end: "a client can never
+// reach an application absent from its ACL; privilege rules apply to every
+// command".  Random users with random privileges issue random commands;
+// every acceptance must be justified by the ACL + lock state.
+#include <gtest/gtest.h>
+
+#include "app/synthetic.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+
+class SecurityFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SecurityFuzzTest, AcceptanceAlwaysJustifiedByAclAndLock) {
+  util::Rng rng(GetParam());
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+
+  const std::vector<Privilege> levels = {
+      Privilege::read_only, Privilege::read_write, Privilege::steer};
+  std::map<std::string, Privilege> granted;
+  std::vector<security::AclEntry> acl;
+  for (int i = 0; i < 5; ++i) {
+    const std::string user = "u" + std::to_string(i);
+    const Privilege p = levels[rng.below(levels.size())];
+    granted[user] = p;
+    acl.push_back({user, p, 0});
+  }
+  // And one user who is NOT on the ACL at all.
+  granted["outsider"] = Privilege::none;
+
+  app::AppConfig cfg;
+  cfg.name = "fuzzed";
+  cfg.acl = acl;
+  cfg.step_time = util::milliseconds(1);
+  cfg.update_every = 0;
+  cfg.interact_every = 2;
+  cfg.interaction_window = util::milliseconds(1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, cfg,
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+
+  // Outsiders cannot even log in.
+  auto& outsider = scenario.add_client("outsider", server);
+  auto login = workload::sync_login(scenario.net(), outsider);
+  ASSERT_TRUE(login.ok());
+  EXPECT_FALSE(login.value().ok);
+
+  std::map<std::string, core::DiscoverClient*> clients;
+  for (const auto& [user, priv] : granted) {
+    if (priv == Privilege::none) continue;
+    auto& c = scenario.add_client(user, server);
+    ASSERT_TRUE(workload::sync_login(scenario.net(), c).value().ok);
+    ASSERT_TRUE(workload::sync_select(scenario.net(), c, id).value().ok);
+    clients[user] = &c;
+  }
+
+  const std::vector<proto::CommandKind> kinds = {
+      proto::CommandKind::get_param,    proto::CommandKind::set_param,
+      proto::CommandKind::query_status, proto::CommandKind::acquire_lock,
+      proto::CommandKind::release_lock, proto::CommandKind::checkpoint,
+      proto::CommandKind::pause_app,    proto::CommandKind::resume_app};
+
+  for (int round = 0; round < 120; ++round) {
+    auto it = clients.begin();
+    std::advance(it, static_cast<long>(rng.below(clients.size())));
+    const std::string& user = it->first;
+    core::DiscoverClient& c = *it->second;
+    const proto::CommandKind kind = kinds[rng.below(kinds.size())];
+    const Privilege have = granted[user];
+    const Privilege need = proto::required_privilege(kind);
+    // Snapshot lock state BEFORE issuing (the command may change it).
+    const auto holder = server.lock_holder(id);
+    const bool holds_lock =
+        holder.has_value() && holder->user == user &&
+        holder->server == server.node().value();
+
+    auto ack = workload::sync_command(scenario.net(), c, id, kind, "param_0",
+                                      proto::ParamValue{rng.uniform()});
+    ASSERT_TRUE(ack.ok());
+    const bool accepted = ack.value().accepted;
+
+    if (!security::allows(have, need)) {
+      EXPECT_FALSE(accepted)
+          << user << " (" << security::privilege_name(have) << ") ran "
+          << proto::command_name(kind);
+    } else if (kind == proto::CommandKind::acquire_lock) {
+      EXPECT_TRUE(accepted);  // queues or grants, both are accepted
+    } else if (kind == proto::CommandKind::release_lock) {
+      EXPECT_TRUE(accepted);  // processed (may fail inside, still relayed)
+    } else if (need != Privilege::read_only) {
+      // Mutating commands additionally require holding the lock.
+      EXPECT_EQ(accepted, holds_lock)
+          << user << " ran " << proto::command_name(kind)
+          << " holding=" << holds_lock;
+    } else {
+      EXPECT_TRUE(accepted)
+          << user << " read command " << proto::command_name(kind);
+    }
+    // Let queued grants and app responses settle between rounds.
+    if (rng.chance(0.3)) scenario.run_for(util::milliseconds(5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecurityFuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace discover

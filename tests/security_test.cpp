@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "security/acl.h"
+#include "security/rate_limit.h"
+#include "security/token.h"
+
+namespace discover::security {
+namespace {
+
+TEST(PrivilegeTest, OrderingIsInclusive) {
+  EXPECT_TRUE(allows(Privilege::steer, Privilege::read_only));
+  EXPECT_TRUE(allows(Privilege::steer, Privilege::read_write));
+  EXPECT_TRUE(allows(Privilege::read_write, Privilege::read_only));
+  EXPECT_FALSE(allows(Privilege::read_only, Privilege::read_write));
+  EXPECT_FALSE(allows(Privilege::none, Privilege::read_only));
+  EXPECT_TRUE(allows(Privilege::none, Privilege::none));
+}
+
+TEST(AclTest, GrantRevokeLookup) {
+  AccessControlList acl;
+  acl.grant("alice", Privilege::steer);
+  acl.grant("bob", Privilege::read_only);
+  EXPECT_EQ(acl.privilege_of("alice"), Privilege::steer);
+  EXPECT_EQ(acl.privilege_of("bob"), Privilege::read_only);
+  EXPECT_EQ(acl.privilege_of("mallory"), Privilege::none);
+  EXPECT_TRUE(acl.knows("alice"));
+  EXPECT_FALSE(acl.knows("mallory"));
+  acl.revoke("alice");
+  EXPECT_EQ(acl.privilege_of("alice"), Privilege::none);
+}
+
+TEST(AclTest, RegrantOverwrites) {
+  AccessControlList acl;
+  acl.grant("alice", Privilege::steer);
+  acl.grant("alice", Privilege::read_only);
+  EXPECT_EQ(acl.privilege_of("alice"), Privilege::read_only);
+  EXPECT_EQ(acl.size(), 1u);
+}
+
+TEST(AclTest, PasswordDigestChecked) {
+  AccessControlList acl;
+  acl.grant("alice", Privilege::steer, digest64("s3cret"));
+  acl.grant("bob", Privilege::read_only);  // digest 0 = accept anything
+  EXPECT_TRUE(acl.check_password("alice", digest64("s3cret")));
+  EXPECT_FALSE(acl.check_password("alice", digest64("wrong")));
+  EXPECT_TRUE(acl.check_password("bob", 12345));
+  EXPECT_FALSE(acl.check_password("mallory", 0));
+}
+
+TEST(AclTest, EntriesRoundTrip) {
+  AccessControlList acl(std::vector<AclEntry>{
+      {"a", Privilege::steer, 1}, {"b", Privilege::read_only, 0}});
+  const auto entries = acl.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(AccessControlList(entries).privilege_of("a"), Privilege::steer);
+}
+
+TEST(DigestTest, DeterministicAndSensitive) {
+  EXPECT_EQ(digest64("hello"), digest64("hello"));
+  EXPECT_NE(digest64("hello"), digest64("hellp"));
+  EXPECT_NE(keyed_digest64(1, "x"), keyed_digest64(2, "x"));
+  EXPECT_NE(keyed_digest64(1, "x"), keyed_digest64(1, "y"));
+}
+
+TEST(TokenTest, IssueVerifyLifecycle) {
+  TokenAuthority authority(7, 0xFEED);
+  const auto t = authority.issue("alice", 1000, util::seconds(10));
+  EXPECT_TRUE(authority.verify(t, 1000).ok());
+  EXPECT_TRUE(authority.verify(t, 1000 + util::seconds(9)).ok());
+  EXPECT_FALSE(authority.verify(t, 1000 + util::seconds(10)).ok());
+}
+
+TEST(TokenTest, TamperedTokenRejected) {
+  TokenAuthority authority(7, 0xFEED);
+  auto t = authority.issue("alice", 1000, util::seconds(10));
+  t.user = "mallory";
+  EXPECT_FALSE(authority.verify(t, 1000).ok());
+
+  auto t2 = authority.issue("alice", 1000, util::seconds(10));
+  t2.expires_at += util::seconds(1000);
+  EXPECT_FALSE(authority.verify(t2, 1000).ok());
+}
+
+TEST(TokenTest, CrossIssuerRejected) {
+  TokenAuthority a(1, 0xFEED);
+  TokenAuthority b(2, 0xFEED);
+  const auto t = a.issue("alice", 0, util::seconds(10));
+  EXPECT_FALSE(b.verify(t, 0).ok());
+}
+
+TEST(TokenBucketTest, EnforcesRate) {
+  TokenBucket bucket(10.0, 10.0);  // 10/s, burst 10
+  util::TimePoint now = 0;
+  int admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (bucket.try_consume(now, 1.0)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 10);  // burst exhausted
+  now += util::seconds(1);
+  EXPECT_TRUE(bucket.try_consume(now, 1.0));  // refilled
+}
+
+TEST(TokenBucketTest, ZeroRateMeansUnlimited) {
+  TokenBucket bucket(0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_consume(0, 50.0));
+}
+
+TEST(RateLimiterTest, RequestAndByteLimits) {
+  AccessPolicy policy;
+  policy.max_requests_per_sec = 5;
+  policy.max_bytes_per_sec = 1000;
+  RateLimiter limiter(policy);
+  util::TimePoint now = 0;
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (limiter.admit(now, 100)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5);  // request bucket binds first
+  EXPECT_EQ(limiter.rejected(), 5u);
+
+  now += util::seconds(10);
+  // Byte bucket binds: 1000 bytes/s budget, 600-byte requests.
+  int byte_admitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (limiter.admit(now, 600)) ++byte_admitted;
+  }
+  EXPECT_EQ(byte_admitted, 1);
+}
+
+TEST(RateLimiterTest, UnlimitedPolicyAdmitsEverything) {
+  RateLimiter limiter(AccessPolicy{});
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(limiter.admit(0, 1 << 20));
+  EXPECT_EQ(limiter.rejected(), 0u);
+}
+
+}  // namespace
+}  // namespace discover::security

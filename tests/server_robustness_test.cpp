@@ -1,0 +1,315 @@
+// Robustness/housekeeping behaviour: application liveness, lock leases,
+// request redirection, session expiry, token expiry, peer rate limiting,
+// and the server-push extension.
+#include <gtest/gtest.h>
+
+#include "app/synthetic.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+app::AppConfig basic_app(const std::string& name) {
+  app::AppConfig cfg;
+  cfg.name = name;
+  cfg.acl = make_acl({{"alice", Privilege::steer},
+                      {"bob", Privilege::read_only}});
+  cfg.step_time = util::milliseconds(1);
+  cfg.update_every = 5;
+  cfg.interact_every = 10;
+  cfg.interaction_window = util::milliseconds(1);
+  return cfg;
+}
+
+using MutingApp = app::SyntheticApp;  // "hang" comes from the config below
+
+TEST(LivenessTest, SilentApplicationIsDeregistered) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.app_liveness_factor = 5;
+  cfg.server_template.app_liveness_sweep = util::milliseconds(20);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+
+  // The app advertises a 5 ms update period, then we sever its node by
+  // "crashing" it: stop its timer loop by pausing the app WITHOUT the
+  // keep-alive (simulate by simply dropping it from the network: we abuse
+  // max_steps so it stops computing but never deregisters gracefully...
+  // SteerableApp always deregisters on max_steps, so instead mute by
+  // detaching: easiest honest crash = set an enormous step_time after
+  // registration is impossible from outside; use a custom app that stops).
+  //
+  // Simplest faithful crash: register a synthetic app, then remove its
+  // handler by never running it again — in SimNetwork we can emulate a
+  // hang by pausing via lock-free direct state: the server only sees
+  // silence either way.  We use a second scenario-level trick: an app
+  // with update_every=1 whose node we silence by stopping the whole app
+  // through a steering `stop` would deregister cleanly.  So: kill by
+  // firewall — drop is not supported; instead exploit that SteerableApp
+  // stops ticking when `paused_` is set but keep-alive only starts when
+  // pause arrives via command.  A "hung" app = one whose compute_step
+  // never returns; not representable in a cooperative sim.  We therefore
+  // test liveness directly: register, then advance virtual time far
+  // beyond the budget without letting the app run by using max_steps to
+  // halt stepping (it finishes AND deregisters) — not silent.
+  //
+  // => The honest silent-app is one with update_every = 0 after a burst:
+  // the SyntheticApp can't do that, so we craft it with config: period
+  // advertised from update_period = step*update_every, but interact_every
+  // = 1 and interaction_window huge: the app parks in interaction phase
+  // forever WITHOUT pause (no keep-alive), going silent.
+  app::AppConfig acfg = basic_app("hang");
+  acfg.update_every = 1;                              // advertises 1 ms
+  acfg.interact_every = 3;                            // quickly interact
+  acfg.interaction_window = util::seconds(3600);      // ...and hang there
+  auto& hung = scenario.add_app<MutingApp>(server, acfg,
+                                           app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return hung.registered(); }));
+  EXPECT_EQ(server.local_app_count(), 1u);
+
+  // After the hang, no traffic flows; the sweep must reap it (budget =
+  // 5 x 1 ms, sweep every 20 ms).
+  scenario.run_for(util::milliseconds(200));
+  EXPECT_EQ(server.local_app_count(), 0u);
+  EXPECT_EQ(server.stats().apps_departed, 1u);
+}
+
+TEST(LivenessTest, PausedApplicationSurvivesViaKeepalive) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.app_liveness_factor = 5;
+  cfg.server_template.app_liveness_sweep = util::milliseconds(20);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, basic_app("p"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(
+      workload::sync_onboard_steerer(scenario.net(), alice, app.app_id()));
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, app.app_id(),
+                                     proto::CommandKind::pause_app)
+                  .value().accepted);
+  ASSERT_TRUE(scenario.run_until([&] { return app.paused(); }));
+  // Paused for a long time: keep-alives must keep it registered.
+  scenario.run_for(util::seconds(2));
+  EXPECT_EQ(server.local_app_count(), 1u);
+  // And resume still works afterwards.
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, app.app_id(),
+                                     proto::CommandKind::resume_app)
+                  .value().accepted);
+  ASSERT_TRUE(scenario.run_until([&] { return !app.paused(); }));
+}
+
+TEST(LockLeaseTest, ExpiredLeaseReleasesAndPromotesWaiter) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.lock_lease = util::milliseconds(150);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  app::AppConfig acfg = basic_app("leased");
+  acfg.acl = make_acl({{"alice", Privilege::steer},
+                       {"carol", Privilege::steer}});
+  auto& app = scenario.add_app<app::SyntheticApp>(server, acfg,
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("alice", server);
+  auto& carol = scenario.add_client("carol", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_TRUE(workload::sync_login(scenario.net(), carol).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), carol, id).value().ok);
+  ASSERT_TRUE(workload::sync_command(scenario.net(), carol, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value().accepted);
+  EXPECT_EQ(server.lock_holder(id)->user, "alice");
+
+  // Alice walks away; the lease reaps her and carol is promoted.
+  ASSERT_TRUE(scenario.run_until([&] {
+    const auto h = server.lock_holder(id);
+    return h.has_value() && h->user == "carol";
+  }));
+  // The group saw the lease-expired notice.
+  scenario.run_for(util::milliseconds(20));
+  (void)workload::sync_poll(scenario.net(), carol, id);
+  bool saw_expiry = false;
+  for (const auto& ev : carol.received_events()) {
+    if (ev.kind == proto::EventKind::lock_notice &&
+        ev.text == "lease expired") {
+      saw_expiry = true;
+    }
+  }
+  EXPECT_TRUE(saw_expiry);
+}
+
+TEST(LockLeaseTest, ReleaseBeforeExpiryIsNotDoubleReleased) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.lock_lease = util::milliseconds(100);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, basic_app("x"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, id,
+                                     proto::CommandKind::release_lock)
+                  .value().accepted);
+  // Reacquire: lease timer from grant #1 must not kill grant #2.
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value().accepted);
+  scenario.run_for(util::milliseconds(80));  // grant-1 lease would fire now
+  const auto holder = server.lock_holder(id);
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(holder->user, "alice");
+}
+
+TEST(RedirectTest, ClientLearnsHostAndMigrates) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  workload::Scenario scenario(cfg);
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  app::AppConfig acfg = basic_app("far-app");
+  auto& app = scenario.add_app<app::SyntheticApp>(host, acfg,
+                                                  app::SyntheticSpec{});
+  // alice has an identity at `near` too.
+  app::AppConfig id_cfg = basic_app("near-app");
+  scenario.add_app<app::SyntheticApp>(near, id_cfg, app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1;
+  }));
+
+  auto& alice = scenario.add_client("alice", near);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+
+  net::NodeId home{0};
+  bool done = false;
+  scenario.net().post(alice.node(), [&] {
+    alice.resolve_home(app.app_id(), [&](util::Result<net::NodeId> r) {
+      if (r.ok()) home = r.value();
+      done = true;
+    });
+  });
+  ASSERT_TRUE(workload::wait_for(scenario.net(), [&] { return done; }));
+  EXPECT_EQ(home, host.node());
+
+  // The portal migrates: point at the host and log in there directly.
+  scenario.net().post(alice.node(), [&] { alice.set_server(home); });
+  auto login2 = workload::sync_login(scenario.net(), alice);
+  ASSERT_TRUE(login2.ok());
+  ASSERT_TRUE(login2.value().ok);
+  auto sel = workload::sync_select(scenario.net(), alice, app.app_id());
+  ASSERT_TRUE(sel.value().ok);
+}
+
+TEST(SessionExpiryTest, IdleSessionDropReleasesLock) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.session_max_idle = util::milliseconds(300);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, basic_app("y"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  EXPECT_EQ(server.session_count(), 1u);
+  // Alice goes silent; the idle sweep drops her session and her lock.
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return server.session_count() == 0; }, util::seconds(10)));
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return !server.lock_holder(id).has_value(); },
+      util::seconds(5)));
+}
+
+TEST(TokenExpiryTest, ExpiredTokenIsRejected) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.token_ttl = util::milliseconds(200);
+  cfg.server_template.session_max_idle = 0;  // keep the session itself
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, basic_app("z"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), alice, app.app_id())
+                  .value().ok);
+  scenario.run_for(util::milliseconds(400));  // token expires
+  auto poll = workload::sync_poll(scenario.net(), alice, app.app_id());
+  ASSERT_TRUE(poll.ok());
+  EXPECT_FALSE(poll.value().ok);
+  // Re-login refreshes the token and service resumes.
+  ASSERT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  auto poll2 = workload::sync_poll(scenario.net(), alice, app.app_id());
+  EXPECT_TRUE(poll2.value().ok);
+}
+
+TEST(PeerRateLimitTest, AbusivePeerIsThrottled) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  cfg.server_template.peer_policy.max_requests_per_sec = 10;
+  workload::Scenario scenario(cfg);
+  auto& host = scenario.add_server("host", 1);
+  auto& peer = scenario.add_server("peer", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, basic_app("t"),
+                                                  app::SyntheticSpec{});
+  app::AppConfig id_cfg = basic_app("id");
+  scenario.add_app<app::SyntheticApp>(peer, id_cfg, app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] {
+    return app.registered() && peer.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+  auto& alice = scenario.add_client("alice", peer);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), alice, app.app_id())
+                  .value().ok);
+  // Hammer the remote app with commands; beyond the 10/s budget the host
+  // rejects the relays.
+  int rejected = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto ack = workload::sync_command(scenario.net(), alice, app.app_id(),
+                                      proto::CommandKind::get_param,
+                                      "param_0");
+    if (!ack.ok() || !ack.value().accepted) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(host.stats().peer_rate_limited, 0u);
+}
+
+TEST(PushExtensionTest, PushedEventsArriveWithoutPolling) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, basic_app("push"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+  auto& bob = scenario.add_client("bob", server);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), bob).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), bob, id).value().ok);
+  ASSERT_TRUE(workload::sync_group_op(scenario.net(), bob, id,
+                                      proto::GroupOp::enable_push, "")
+                  .value().ok);
+  scenario.run_for(util::milliseconds(100));
+  // No poll was ever issued, yet updates arrived.
+  EXPECT_GT(bob.pushed_events(), 0u);
+  EXPECT_GT(bob.events_of_kind(proto::EventKind::update), 0u);
+  EXPECT_EQ(server.total_fifo_backlog(), 0u);
+
+  // Disabling push reverts to FIFO queueing.
+  ASSERT_TRUE(workload::sync_group_op(scenario.net(), bob, id,
+                                      proto::GroupOp::disable_push, "")
+                  .value().ok);
+  const std::uint64_t pushed_before = bob.pushed_events();
+  scenario.run_for(util::milliseconds(100));
+  EXPECT_EQ(bob.pushed_events(), pushed_before);
+  EXPECT_GT(server.total_fifo_backlog(), 0u);
+}
+
+}  // namespace
+}  // namespace discover

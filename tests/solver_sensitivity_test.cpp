@@ -1,0 +1,157 @@
+// Steering-sensitivity properties: changing a steerable parameter must
+// measurably change each solver's dynamics — otherwise "interactive
+// steering" is theatre.  Each test runs two copies of a solver that differ
+// only in one steered parameter and checks the physically expected
+// ordering.
+#include <gtest/gtest.h>
+
+#include "app/heat2d.h"
+#include "app/inspiral.h"
+#include "app/reservoir.h"
+#include "app/wave1d.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover::app {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+AppConfig fast_config(const std::string& name) {
+  AppConfig cfg;
+  cfg.name = name;
+  cfg.acl = make_acl({{"alice", Privilege::steer}});
+  cfg.step_time = util::milliseconds(1);
+  cfg.update_every = 0;
+  cfg.interact_every = 2;  // responsive to steering
+  cfg.interaction_window = util::milliseconds(1);
+  return cfg;
+}
+
+/// Steers `param` on one of two otherwise-identical apps and runs both to
+/// `steps`.
+template <typename App>
+void steer_one(workload::Scenario& scenario, core::DiscoverServer& server,
+               App& steered, const std::string& param, double value,
+               std::uint64_t steps, App& control) {
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice,
+                                             steered.app_id()));
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, steered.app_id(),
+                                     proto::CommandKind::set_param, param,
+                                     proto::ParamValue{value})
+                  .value().accepted);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return steered.steps() >= steps && control.steps() >= steps; },
+      util::seconds(120)));
+}
+
+TEST(SolverSensitivityTest, LowDiffusivityDelaysHeating) {
+  // Compare during the transient (before both plates reach steady state):
+  // an order-of-magnitude lower alpha must leave the plate colder.
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& normal =
+      scenario.add_app<Heat2DApp>(server, fast_config("normal"), 16);
+  auto& sluggish =
+      scenario.add_app<Heat2DApp>(server, fast_config("sluggish"), 16);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return normal.registered() && sluggish.registered(); }));
+  steer_one(scenario, server, sluggish, "alpha", 0.02, 120, normal);
+  EXPECT_LT(sluggish.avg_temperature(), normal.avg_temperature());
+}
+
+TEST(SolverSensitivityTest, HotterSourceRaisesPlateTemperature) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& blazing =
+      scenario.add_app<Heat2DApp>(server, fast_config("blazing"), 16);
+  auto& mild = scenario.add_app<Heat2DApp>(server, fast_config("mild"), 16);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return blazing.registered() && mild.registered(); }));
+  steer_one(scenario, server, blazing, "source_temp", 500.0, 300, mild);
+  EXPECT_GT(blazing.max_temperature(), mild.max_temperature() * 2);
+}
+
+TEST(SolverSensitivityTest, LowerInjectionSlowsWaterBreakthrough) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& flood =
+      scenario.add_app<ReservoirApp>(server, fast_config("flood"), 16, 16);
+  auto& trickle =
+      scenario.add_app<ReservoirApp>(server, fast_config("trickle"), 16, 16);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return flood.registered() && trickle.registered(); }));
+  // Compare mid-flood (before both wells water out completely): trickle
+  // injects 50 bbl/day vs flood's default 500.
+  steer_one(scenario, server, trickle, "injection_rate", 50.0, 300, flood);
+  EXPECT_LT(trickle.water_cut(), flood.water_cut());
+}
+
+TEST(SolverSensitivityTest, ProducerBhpControlsDrawdown) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& open =
+      scenario.add_app<ReservoirApp>(server, fast_config("open"), 16, 16);
+  auto& choked =
+      scenario.add_app<ReservoirApp>(server, fast_config("choked"), 16, 16);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return open.registered() && choked.registered(); }));
+  // Choked producer held near reservoir pressure -> little drawdown.
+  steer_one(scenario, server, choked, "producer_bhp", 2900.0, 500, open);
+  EXPECT_LT(choked.oil_rate(), open.oil_rate());
+}
+
+TEST(SolverSensitivityTest, FasterMediumCarriesMoreEnergy) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& fast = scenario.add_app<Wave1DApp>(server, fast_config("fast"), 128);
+  auto& slow = scenario.add_app<Wave1DApp>(server, fast_config("slow"), 128);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return fast.registered() && slow.registered(); }));
+  steer_one(scenario, server, slow, "velocity", 0.1, 400, fast);
+  // With a slower medium the injected energy stays localized; the faster
+  // default (0.4) spreads it across more cells.
+  EXPECT_NE(fast.energy(), slow.energy());
+  EXPECT_GT(fast.peak_amplitude(), 0.0);
+  EXPECT_GT(slow.peak_amplitude(), 0.0);
+}
+
+TEST(SolverSensitivityTest, AsymmetricBinariesInspiralSlower) {
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& equal =
+      scenario.add_app<InspiralApp>(server, fast_config("equal"));
+  auto& asym = scenario.add_app<InspiralApp>(server, fast_config("asym"));
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return equal.registered() && asym.registered(); }));
+  // dr/dt ~ -eta: the equal-mass binary (eta=0.25 default) decays fastest.
+  steer_one(scenario, server, asym, "eta", 0.05, 500, equal);
+  EXPECT_GT(asym.separation(), equal.separation());
+}
+
+TEST(SolverSensitivityTest, SteeringMidRunChangesTrajectory) {
+  // A single app steered mid-flight must diverge from its own earlier
+  // trend: freeze the heat source, confirm the plate stops heating.
+  workload::Scenario scenario;
+  auto& server = scenario.add_server("s", 1);
+  auto& heat = scenario.add_app<Heat2DApp>(server, fast_config("h"), 16);
+  ASSERT_TRUE(scenario.run_until([&] { return heat.registered(); }));
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice,
+                                             heat.app_id()));
+  ASSERT_TRUE(scenario.run_until([&] { return heat.steps() >= 200; }));
+  const double before = heat.avg_temperature();
+  // Kill the source; diffusion alone cannot raise the average.
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, heat.app_id(),
+                                     proto::CommandKind::set_param,
+                                     "source_temp", proto::ParamValue{0.0})
+                  .value().accepted);
+  ASSERT_TRUE(scenario.run_until([&] { return heat.steps() >= 600; },
+                                 util::seconds(60)));
+  EXPECT_LT(heat.avg_temperature(), before * 1.5);
+}
+
+}  // namespace
+}  // namespace discover::app

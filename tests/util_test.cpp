@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/ids.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace discover::util {
+namespace {
+
+TEST(StrongIdTest, ComparesAndHashes) {
+  struct TagA {};
+  using IdA = StrongId<TagA, std::uint32_t>;
+  const IdA a{1};
+  const IdA b{2};
+  EXPECT_TRUE(a == IdA{1});
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(std::hash<IdA>{}(a), std::hash<IdA>{}(IdA{1}));
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+
+  Result<int> bad = Error{Errc::not_found, "nope"};
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::not_found);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(ResultTest, StatusDefaultsToOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status f{Errc::timeout, "late"};
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code, Errc::timeout);
+}
+
+TEST(ResultTest, ErrcNamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::permission_denied), "permission_denied");
+  EXPECT_STREQ(errc_name(Errc::protocol_error), "protocol_error");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.between(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(OnlineStatsTest, MeanMinMaxStddev) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombinedStream) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(LatencyHistogramTest, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 32; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 32);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBounded) {
+  LatencyHistogram h;
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    h.record(static_cast<Duration>(rng.below(50'000'000)));
+  }
+  Duration prev = 0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const Duration p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_LE(h.percentile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, RelativeErrorUnderFivePercent) {
+  LatencyHistogram h;
+  // All samples identical: every percentile must land within bucket width.
+  for (int i = 0; i < 100; ++i) h.record(1'234'567);
+  const double p50 = static_cast<double>(h.percentile(0.5));
+  EXPECT_NEAR(p50, 1'234'567.0, 1'234'567.0 * 0.05);
+}
+
+TEST(LatencyHistogramTest, MergeAccumulates) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(100);
+  b.record(200);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 200);
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.advance_to(milliseconds(5));
+  EXPECT_EQ(c.now(), 5 * kMillisecond);
+}
+
+TEST(ClockTest, SystemClockIsMonotone) {
+  SystemClock c;
+  const TimePoint a = c.now();
+  const TimePoint b = c.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(FormatTest, Durations) {
+  EXPECT_EQ(format_duration(500), "500ns");
+  EXPECT_EQ(format_duration(2 * kMillisecond), "2000.0us");
+  EXPECT_EQ(format_duration(123 * kMillisecond), "123.00ms");
+  EXPECT_EQ(format_duration(15 * kSecond), "15.00s");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(format_bytes(100), "100B");
+  EXPECT_EQ(format_bytes(100 * 1024), "100.0KiB");
+}
+
+TEST(BytesTest, RoundTripAndHex) {
+  const Bytes b = to_bytes("abc");
+  EXPECT_EQ(to_string(b), "abc");
+  EXPECT_EQ(hex_dump(b), "61 62 63 ");
+}
+
+}  // namespace
+}  // namespace discover::util

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "wire/cdr.h"
+
+namespace discover::wire {
+namespace {
+
+TEST(CdrTest, PrimitivesRoundTrip) {
+  Encoder e;
+  e.u8(0xAB);
+  e.u16(0xBEEF);
+  e.u32(0xDEADBEEF);
+  e.u64(0x0123456789ABCDEFULL);
+  e.i8(-5);
+  e.i16(-300);
+  e.i32(-70000);
+  e.i64(-5'000'000'000LL);
+  e.boolean(true);
+  e.f64(3.14159);
+
+  Decoder d(e.data());
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u16(), 0xBEEF);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.i8(), -5);
+  EXPECT_EQ(d.i16(), -300);
+  EXPECT_EQ(d.i32(), -70000);
+  EXPECT_EQ(d.i64(), -5'000'000'000LL);
+  EXPECT_TRUE(d.boolean());
+  EXPECT_DOUBLE_EQ(d.f64(), 3.14159);
+  d.finish();
+}
+
+TEST(CdrTest, AlignmentPadsLikeCdr) {
+  Encoder e;
+  e.u8(1);
+  e.u32(2);  // expect 3 bytes of padding before this
+  EXPECT_EQ(e.size(), 8u);
+  Decoder d(e.data());
+  EXPECT_EQ(d.u8(), 1);
+  EXPECT_EQ(d.u32(), 2u);
+}
+
+TEST(CdrTest, StringsAndBytes) {
+  Encoder e;
+  e.str("hello");
+  e.str("");
+  e.bytes({0x01, 0x02, 0x03});
+  Decoder d(e.data());
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.str(), "");
+  EXPECT_EQ(d.bytes(), (util::Bytes{0x01, 0x02, 0x03}));
+  d.finish();
+}
+
+TEST(CdrTest, SequencesAndMaps) {
+  Encoder e;
+  const std::vector<std::uint32_t> v{1, 2, 3};
+  e.sequence(v, [](Encoder& enc, std::uint32_t x) { enc.u32(x); });
+  const std::map<std::string, double> m{{"a", 1.5}, {"b", -2.0}};
+  e.map(m, [](Encoder& enc, const std::string& k) { enc.str(k); },
+        [](Encoder& enc, double x) { enc.f64(x); });
+
+  Decoder d(e.data());
+  const auto v2 =
+      d.sequence<std::uint32_t>([](Decoder& dec) { return dec.u32(); });
+  EXPECT_EQ(v2, v);
+  const auto m2 = d.map<std::string, double>(
+      [](Decoder& dec) { return dec.str(); },
+      [](Decoder& dec) { return dec.f64(); });
+  EXPECT_EQ(m2, m);
+}
+
+TEST(CdrTest, OptionalRoundTrip) {
+  Encoder e;
+  e.optional(std::optional<std::uint32_t>{7},
+             [](Encoder& enc, std::uint32_t x) { enc.u32(x); });
+  e.optional(std::optional<std::uint32_t>{},
+             [](Encoder& enc, std::uint32_t x) { enc.u32(x); });
+  Decoder d(e.data());
+  EXPECT_EQ(d.optional<std::uint32_t>([](Decoder& dec) { return dec.u32(); }),
+            std::optional<std::uint32_t>{7});
+  EXPECT_EQ(d.optional<std::uint32_t>([](Decoder& dec) { return dec.u32(); }),
+            std::nullopt);
+}
+
+TEST(CdrTest, TruncatedInputThrows) {
+  Encoder e;
+  e.u64(42);
+  util::Bytes data = e.data();
+  data.resize(4);
+  Decoder d(data);
+  EXPECT_THROW(d.u64(), DecodeError);
+}
+
+TEST(CdrTest, TruncatedStringThrows) {
+  Encoder e;
+  e.str("hello world");
+  util::Bytes data = e.data();
+  data.resize(7);
+  Decoder d(data);
+  EXPECT_THROW(d.str(), DecodeError);
+}
+
+TEST(CdrTest, HugeSequenceLengthRejectedBeforeAllocation) {
+  Encoder e;
+  e.u32(0xFFFFFFFF);  // claims 4 billion elements, no data follows
+  Decoder d(e.data());
+  EXPECT_THROW(
+      d.sequence<std::uint8_t>([](Decoder& dec) { return dec.u8(); }),
+      DecodeError);
+}
+
+TEST(CdrTest, TrailingGarbageDetected) {
+  Encoder e;
+  e.u8(1);
+  e.u8(2);
+  Decoder d(e.data());
+  d.u8();
+  EXPECT_THROW(d.finish(), DecodeError);
+}
+
+/// Property: random (value-type, value) streams round-trip exactly.
+class CdrFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdrFuzzTest, RandomStreamsRoundTrip) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> kinds;
+    std::vector<std::uint64_t> ints;
+    std::vector<std::string> strings;
+    std::vector<double> doubles;
+    Encoder e;
+    const int n = static_cast<int>(rng.between(1, 40));
+    for (int i = 0; i < n; ++i) {
+      const int kind = static_cast<int>(rng.below(4));
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: {
+          const std::uint64_t v = rng.next();
+          ints.push_back(v);
+          e.u64(v);
+          break;
+        }
+        case 1: {
+          std::string s;
+          const int len = static_cast<int>(rng.below(32));
+          for (int c = 0; c < len; ++c) {
+            s.push_back(static_cast<char>('a' + rng.below(26)));
+          }
+          strings.push_back(s);
+          e.str(s);
+          break;
+        }
+        case 2: {
+          const double v = rng.uniform() * 1e12 - 5e11;
+          doubles.push_back(v);
+          e.f64(v);
+          break;
+        }
+        case 3: {
+          const std::uint64_t v = rng.below(256);
+          ints.push_back(v);
+          e.u8(static_cast<std::uint8_t>(v));
+          break;
+        }
+      }
+    }
+    Decoder d(e.data());
+    std::size_t ii = 0;
+    std::size_t si = 0;
+    std::size_t di = 0;
+    for (const int kind : kinds) {
+      switch (kind) {
+        case 0: EXPECT_EQ(d.u64(), ints[ii++]); break;
+        case 1: EXPECT_EQ(d.str(), strings[si++]); break;
+        case 2: EXPECT_DOUBLE_EQ(d.f64(), doubles[di++]); break;
+        case 3: EXPECT_EQ(d.u8(), ints[ii++]); break;
+      }
+    }
+    d.finish();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdrFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace discover::wire
