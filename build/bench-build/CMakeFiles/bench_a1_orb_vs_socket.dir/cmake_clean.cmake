@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_orb_vs_socket"
+  "../bench/bench_a1_orb_vs_socket.pdb"
+  "CMakeFiles/bench_a1_orb_vs_socket.dir/bench_a1_orb_vs_socket.cpp.o"
+  "CMakeFiles/bench_a1_orb_vs_socket.dir/bench_a1_orb_vs_socket.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_orb_vs_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_poll_vs_push"
+  "../bench/bench_a2_poll_vs_push.pdb"
+  "CMakeFiles/bench_a2_poll_vs_push.dir/bench_a2_poll_vs_push.cpp.o"
+  "CMakeFiles/bench_a2_poll_vs_push.dir/bench_a2_poll_vs_push.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_poll_vs_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_remote_update_modes"
+  "../bench/bench_a3_remote_update_modes.pdb"
+  "CMakeFiles/bench_a3_remote_update_modes.dir/bench_a3_remote_update_modes.cpp.o"
+  "CMakeFiles/bench_a3_remote_update_modes.dir/bench_a3_remote_update_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_remote_update_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_app_scalability"
+  "../bench/bench_e1_app_scalability.pdb"
+  "CMakeFiles/bench_e1_app_scalability.dir/bench_e1_app_scalability.cpp.o"
+  "CMakeFiles/bench_e1_app_scalability.dir/bench_e1_app_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_app_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

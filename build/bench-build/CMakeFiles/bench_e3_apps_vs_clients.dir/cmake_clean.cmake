@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_apps_vs_clients"
+  "../bench/bench_e3_apps_vs_clients.pdb"
+  "CMakeFiles/bench_e3_apps_vs_clients.dir/bench_e3_apps_vs_clients.cpp.o"
+  "CMakeFiles/bench_e3_apps_vs_clients.dir/bench_e3_apps_vs_clients.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_apps_vs_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_remote_vs_local"
+  "../bench/bench_e4_remote_vs_local.pdb"
+  "CMakeFiles/bench_e4_remote_vs_local.dir/bench_e4_remote_vs_local.cpp.o"
+  "CMakeFiles/bench_e4_remote_vs_local.dir/bench_e4_remote_vs_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_remote_vs_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

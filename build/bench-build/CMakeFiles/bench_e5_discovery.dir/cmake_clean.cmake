@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_discovery"
+  "../bench/bench_e5_discovery.pdb"
+  "CMakeFiles/bench_e5_discovery.dir/bench_e5_discovery.cpp.o"
+  "CMakeFiles/bench_e5_discovery.dir/bench_e5_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

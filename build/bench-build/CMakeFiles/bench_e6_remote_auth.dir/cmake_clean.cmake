@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_remote_auth"
+  "../bench/bench_e6_remote_auth.pdb"
+  "CMakeFiles/bench_e6_remote_auth.dir/bench_e6_remote_auth.cpp.o"
+  "CMakeFiles/bench_e6_remote_auth.dir/bench_e6_remote_auth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_remote_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

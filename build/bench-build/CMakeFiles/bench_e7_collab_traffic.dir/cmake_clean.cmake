@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_collab_traffic"
+  "../bench/bench_e7_collab_traffic.pdb"
+  "CMakeFiles/bench_e7_collab_traffic.dir/bench_e7_collab_traffic.cpp.o"
+  "CMakeFiles/bench_e7_collab_traffic.dir/bench_e7_collab_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_collab_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

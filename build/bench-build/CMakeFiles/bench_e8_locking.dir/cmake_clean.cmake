@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_locking"
+  "../bench/bench_e8_locking.pdb"
+  "CMakeFiles/bench_e8_locking.dir/bench_e8_locking.cpp.o"
+  "CMakeFiles/bench_e8_locking.dir/bench_e8_locking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

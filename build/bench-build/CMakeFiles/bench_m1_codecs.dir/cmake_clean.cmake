@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_m1_codecs"
+  "../bench/bench_m1_codecs.pdb"
+  "CMakeFiles/bench_m1_codecs.dir/bench_m1_codecs.cpp.o"
+  "CMakeFiles/bench_m1_codecs.dir/bench_m1_codecs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_launch_and_steer.dir/grid_launch_and_steer.cpp.o"
+  "CMakeFiles/grid_launch_and_steer.dir/grid_launch_and_steer.cpp.o.d"
+  "grid_launch_and_steer"
+  "grid_launch_and_steer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_launch_and_steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for grid_launch_and_steer.
+# This may be replaced when dependencies are built.

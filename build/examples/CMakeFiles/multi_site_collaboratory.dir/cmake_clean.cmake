@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_site_collaboratory.dir/multi_site_collaboratory.cpp.o"
+  "CMakeFiles/multi_site_collaboratory.dir/multi_site_collaboratory.cpp.o.d"
+  "multi_site_collaboratory"
+  "multi_site_collaboratory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_site_collaboratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oil_reservoir_steering.dir/oil_reservoir_steering.cpp.o"
+  "CMakeFiles/oil_reservoir_steering.dir/oil_reservoir_steering.cpp.o.d"
+  "oil_reservoir_steering"
+  "oil_reservoir_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oil_reservoir_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

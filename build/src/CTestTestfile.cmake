@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("wire")
+subdirs("net")
+subdirs("http")
+subdirs("orb")
+subdirs("security")
+subdirs("proto")
+subdirs("db")
+subdirs("app")
+subdirs("grid")
+subdirs("core")
+subdirs("workload")

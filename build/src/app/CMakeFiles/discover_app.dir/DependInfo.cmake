@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/control_network.cpp" "src/app/CMakeFiles/discover_app.dir/control_network.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/control_network.cpp.o.d"
+  "/root/repo/src/app/heat2d.cpp" "src/app/CMakeFiles/discover_app.dir/heat2d.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/heat2d.cpp.o.d"
+  "/root/repo/src/app/inspiral.cpp" "src/app/CMakeFiles/discover_app.dir/inspiral.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/inspiral.cpp.o.d"
+  "/root/repo/src/app/reservoir.cpp" "src/app/CMakeFiles/discover_app.dir/reservoir.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/reservoir.cpp.o.d"
+  "/root/repo/src/app/steerable_app.cpp" "src/app/CMakeFiles/discover_app.dir/steerable_app.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/steerable_app.cpp.o.d"
+  "/root/repo/src/app/synthetic.cpp" "src/app/CMakeFiles/discover_app.dir/synthetic.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/synthetic.cpp.o.d"
+  "/root/repo/src/app/wave1d.cpp" "src/app/CMakeFiles/discover_app.dir/wave1d.cpp.o" "gcc" "src/app/CMakeFiles/discover_app.dir/wave1d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/discover_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/discover_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/discover_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/discover_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_app.dir/control_network.cpp.o"
+  "CMakeFiles/discover_app.dir/control_network.cpp.o.d"
+  "CMakeFiles/discover_app.dir/heat2d.cpp.o"
+  "CMakeFiles/discover_app.dir/heat2d.cpp.o.d"
+  "CMakeFiles/discover_app.dir/inspiral.cpp.o"
+  "CMakeFiles/discover_app.dir/inspiral.cpp.o.d"
+  "CMakeFiles/discover_app.dir/reservoir.cpp.o"
+  "CMakeFiles/discover_app.dir/reservoir.cpp.o.d"
+  "CMakeFiles/discover_app.dir/steerable_app.cpp.o"
+  "CMakeFiles/discover_app.dir/steerable_app.cpp.o.d"
+  "CMakeFiles/discover_app.dir/synthetic.cpp.o"
+  "CMakeFiles/discover_app.dir/synthetic.cpp.o.d"
+  "CMakeFiles/discover_app.dir/wave1d.cpp.o"
+  "CMakeFiles/discover_app.dir/wave1d.cpp.o.d"
+  "libdiscover_app.a"
+  "libdiscover_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/discover_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/lock_manager.cpp" "src/core/CMakeFiles/discover_core.dir/lock_manager.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/discover_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/server_remote.cpp" "src/core/CMakeFiles/discover_core.dir/server_remote.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/server_remote.cpp.o.d"
+  "/root/repo/src/core/server_servlets.cpp" "src/core/CMakeFiles/discover_core.dir/server_servlets.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/server_servlets.cpp.o.d"
+  "/root/repo/src/core/service_host.cpp" "src/core/CMakeFiles/discover_core.dir/service_host.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/service_host.cpp.o.d"
+  "/root/repo/src/core/session_archive.cpp" "src/core/CMakeFiles/discover_core.dir/session_archive.cpp.o" "gcc" "src/core/CMakeFiles/discover_core.dir/session_archive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/discover_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/discover_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/discover_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/discover_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/discover_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/discover_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/discover_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

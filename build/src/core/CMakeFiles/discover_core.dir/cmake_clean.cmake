@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_core.dir/client.cpp.o"
+  "CMakeFiles/discover_core.dir/client.cpp.o.d"
+  "CMakeFiles/discover_core.dir/lock_manager.cpp.o"
+  "CMakeFiles/discover_core.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/discover_core.dir/server.cpp.o"
+  "CMakeFiles/discover_core.dir/server.cpp.o.d"
+  "CMakeFiles/discover_core.dir/server_remote.cpp.o"
+  "CMakeFiles/discover_core.dir/server_remote.cpp.o.d"
+  "CMakeFiles/discover_core.dir/server_servlets.cpp.o"
+  "CMakeFiles/discover_core.dir/server_servlets.cpp.o.d"
+  "CMakeFiles/discover_core.dir/service_host.cpp.o"
+  "CMakeFiles/discover_core.dir/service_host.cpp.o.d"
+  "CMakeFiles/discover_core.dir/session_archive.cpp.o"
+  "CMakeFiles/discover_core.dir/session_archive.cpp.o.d"
+  "libdiscover_core.a"
+  "libdiscover_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

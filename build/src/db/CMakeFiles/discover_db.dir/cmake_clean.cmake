@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_db.dir/record_store.cpp.o"
+  "CMakeFiles/discover_db.dir/record_store.cpp.o.d"
+  "libdiscover_db.a"
+  "libdiscover_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_grid.dir/cog.cpp.o"
+  "CMakeFiles/discover_grid.dir/cog.cpp.o.d"
+  "CMakeFiles/discover_grid.dir/gis.cpp.o"
+  "CMakeFiles/discover_grid.dir/gis.cpp.o.d"
+  "CMakeFiles/discover_grid.dir/resource.cpp.o"
+  "CMakeFiles/discover_grid.dir/resource.cpp.o.d"
+  "libdiscover_grid.a"
+  "libdiscover_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/http_client.cpp" "src/http/CMakeFiles/discover_http.dir/http_client.cpp.o" "gcc" "src/http/CMakeFiles/discover_http.dir/http_client.cpp.o.d"
+  "/root/repo/src/http/http_message.cpp" "src/http/CMakeFiles/discover_http.dir/http_message.cpp.o" "gcc" "src/http/CMakeFiles/discover_http.dir/http_message.cpp.o.d"
+  "/root/repo/src/http/servlet_container.cpp" "src/http/CMakeFiles/discover_http.dir/servlet_container.cpp.o" "gcc" "src/http/CMakeFiles/discover_http.dir/servlet_container.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/discover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/discover_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_http.dir/http_client.cpp.o"
+  "CMakeFiles/discover_http.dir/http_client.cpp.o.d"
+  "CMakeFiles/discover_http.dir/http_message.cpp.o"
+  "CMakeFiles/discover_http.dir/http_message.cpp.o.d"
+  "CMakeFiles/discover_http.dir/servlet_container.cpp.o"
+  "CMakeFiles/discover_http.dir/servlet_container.cpp.o.d"
+  "libdiscover_http.a"
+  "libdiscover_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_net.dir/sim_network.cpp.o"
+  "CMakeFiles/discover_net.dir/sim_network.cpp.o.d"
+  "CMakeFiles/discover_net.dir/thread_network.cpp.o"
+  "CMakeFiles/discover_net.dir/thread_network.cpp.o.d"
+  "libdiscover_net.a"
+  "libdiscover_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_orb.dir/naming.cpp.o"
+  "CMakeFiles/discover_orb.dir/naming.cpp.o.d"
+  "CMakeFiles/discover_orb.dir/orb.cpp.o"
+  "CMakeFiles/discover_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/discover_orb.dir/trader.cpp.o"
+  "CMakeFiles/discover_orb.dir/trader.cpp.o.d"
+  "libdiscover_orb.a"
+  "libdiscover_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/discover_proto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/discover_proto.dir/messages.cpp.o.d"
+  "/root/repo/src/proto/types.cpp" "src/proto/CMakeFiles/discover_proto.dir/types.cpp.o" "gcc" "src/proto/CMakeFiles/discover_proto.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/discover_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/discover_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/discover_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_proto.dir/messages.cpp.o"
+  "CMakeFiles/discover_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/discover_proto.dir/types.cpp.o"
+  "CMakeFiles/discover_proto.dir/types.cpp.o.d"
+  "libdiscover_proto.a"
+  "libdiscover_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

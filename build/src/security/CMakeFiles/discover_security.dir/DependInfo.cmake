@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/acl.cpp" "src/security/CMakeFiles/discover_security.dir/acl.cpp.o" "gcc" "src/security/CMakeFiles/discover_security.dir/acl.cpp.o.d"
+  "/root/repo/src/security/rate_limit.cpp" "src/security/CMakeFiles/discover_security.dir/rate_limit.cpp.o" "gcc" "src/security/CMakeFiles/discover_security.dir/rate_limit.cpp.o.d"
+  "/root/repo/src/security/token.cpp" "src/security/CMakeFiles/discover_security.dir/token.cpp.o" "gcc" "src/security/CMakeFiles/discover_security.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/discover_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_security.dir/acl.cpp.o"
+  "CMakeFiles/discover_security.dir/acl.cpp.o.d"
+  "CMakeFiles/discover_security.dir/rate_limit.cpp.o"
+  "CMakeFiles/discover_security.dir/rate_limit.cpp.o.d"
+  "CMakeFiles/discover_security.dir/token.cpp.o"
+  "CMakeFiles/discover_security.dir/token.cpp.o.d"
+  "libdiscover_security.a"
+  "libdiscover_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

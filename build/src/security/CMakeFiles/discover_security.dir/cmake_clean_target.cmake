@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiscover_security.a"
+)

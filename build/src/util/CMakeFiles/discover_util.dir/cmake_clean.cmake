@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_util.dir/bytes.cpp.o"
+  "CMakeFiles/discover_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/discover_util.dir/log.cpp.o"
+  "CMakeFiles/discover_util.dir/log.cpp.o.d"
+  "CMakeFiles/discover_util.dir/result.cpp.o"
+  "CMakeFiles/discover_util.dir/result.cpp.o.d"
+  "CMakeFiles/discover_util.dir/stats.cpp.o"
+  "CMakeFiles/discover_util.dir/stats.cpp.o.d"
+  "libdiscover_util.a"
+  "libdiscover_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_wire.dir/cdr.cpp.o"
+  "CMakeFiles/discover_wire.dir/cdr.cpp.o.d"
+  "libdiscover_wire.a"
+  "libdiscover_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

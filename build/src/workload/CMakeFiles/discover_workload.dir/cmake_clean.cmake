@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_workload.dir/drivers.cpp.o"
+  "CMakeFiles/discover_workload.dir/drivers.cpp.o.d"
+  "CMakeFiles/discover_workload.dir/report.cpp.o"
+  "CMakeFiles/discover_workload.dir/report.cpp.o.d"
+  "CMakeFiles/discover_workload.dir/scenario.cpp.o"
+  "CMakeFiles/discover_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/discover_workload.dir/sync_ops.cpp.o"
+  "CMakeFiles/discover_workload.dir/sync_ops.cpp.o.d"
+  "CMakeFiles/discover_workload.dir/thread_scenario.cpp.o"
+  "CMakeFiles/discover_workload.dir/thread_scenario.cpp.o.d"
+  "libdiscover_workload.a"
+  "libdiscover_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

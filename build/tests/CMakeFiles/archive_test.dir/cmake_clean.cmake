@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_test.dir/archive_test.cpp.o"
+  "CMakeFiles/archive_test.dir/archive_test.cpp.o.d"
+  "archive_test"
+  "archive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

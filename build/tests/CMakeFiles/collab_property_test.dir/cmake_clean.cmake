@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_property_test.dir/collab_property_test.cpp.o"
+  "CMakeFiles/collab_property_test.dir/collab_property_test.cpp.o.d"
+  "collab_property_test"
+  "collab_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

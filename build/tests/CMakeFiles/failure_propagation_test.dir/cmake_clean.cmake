@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_propagation_test.dir/failure_propagation_test.cpp.o"
+  "CMakeFiles/failure_propagation_test.dir/failure_propagation_test.cpp.o.d"
+  "failure_propagation_test"
+  "failure_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_test.dir/http_test.cpp.o"
+  "CMakeFiles/http_test.dir/http_test.cpp.o.d"
+  "http_test"
+  "http_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_collab_test.dir/integration_collab_test.cpp.o"
+  "CMakeFiles/integration_collab_test.dir/integration_collab_test.cpp.o.d"
+  "integration_collab_test"
+  "integration_collab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_collab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

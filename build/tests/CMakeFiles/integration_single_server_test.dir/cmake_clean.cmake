@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_single_server_test.dir/integration_single_server_test.cpp.o"
+  "CMakeFiles/integration_single_server_test.dir/integration_single_server_test.cpp.o.d"
+  "integration_single_server_test"
+  "integration_single_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_single_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

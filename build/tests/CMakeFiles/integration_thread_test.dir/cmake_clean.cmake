@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_thread_test.dir/integration_thread_test.cpp.o"
+  "CMakeFiles/integration_thread_test.dir/integration_thread_test.cpp.o.d"
+  "integration_thread_test"
+  "integration_thread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_manager_test.dir/lock_manager_test.cpp.o"
+  "CMakeFiles/lock_manager_test.dir/lock_manager_test.cpp.o.d"
+  "lock_manager_test"
+  "lock_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

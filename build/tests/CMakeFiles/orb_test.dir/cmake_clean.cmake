@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_test.dir/orb_test.cpp.o"
+  "CMakeFiles/orb_test.dir/orb_test.cpp.o.d"
+  "orb_test"
+  "orb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

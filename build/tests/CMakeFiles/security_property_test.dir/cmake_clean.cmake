@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_property_test.dir/security_property_test.cpp.o"
+  "CMakeFiles/security_property_test.dir/security_property_test.cpp.o.d"
+  "security_property_test"
+  "security_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_robustness_test.dir/server_robustness_test.cpp.o"
+  "CMakeFiles/server_robustness_test.dir/server_robustness_test.cpp.o.d"
+  "server_robustness_test"
+  "server_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_pool_test.dir/service_pool_test.cpp.o"
+  "CMakeFiles/service_pool_test.dir/service_pool_test.cpp.o.d"
+  "service_pool_test"
+  "service_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

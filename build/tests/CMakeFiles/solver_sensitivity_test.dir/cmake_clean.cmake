@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_sensitivity_test.dir/solver_sensitivity_test.cpp.o"
+  "CMakeFiles/solver_sensitivity_test.dir/solver_sensitivity_test.cpp.o.d"
+  "solver_sensitivity_test"
+  "solver_sensitivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
