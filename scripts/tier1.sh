@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the chaos suite again
+# under ThreadSanitizer (the fault-injection paths in ThreadNetwork touch
+# shared state from worker threads; TSan proves the locking).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== tier 1b: chaos suite under TSan =="
+cmake -B build-tsan -S . -DDISCOVER_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target chaos_test retry_policy_test
+(cd build-tsan && ctest -L chaos --output-on-failure)
+
+echo "tier1: all green"

@@ -47,6 +47,8 @@ DiscoverClient::DiscoverClient(net::Network& network, ClientConfig config)
 void DiscoverClient::attach(net::NodeId self) {
   self_ = self;
   http_.set_self(self);
+  http_.set_retry_policy(config_.request_retry);
+  http_.set_retry_seed(0x9e37 + self.value());
 }
 
 void DiscoverClient::set_server(net::NodeId server) { server_ = server; }

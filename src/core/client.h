@@ -15,6 +15,7 @@
 
 #include "http/http_client.h"
 #include "net/network.h"
+#include "net/retry.h"
 #include "proto/messages.h"
 #include "security/token.h"
 
@@ -26,6 +27,10 @@ struct ClientConfig {
   util::Duration poll_period = util::milliseconds(100);
   std::uint32_t poll_max_events = 64;
   util::Duration request_timeout = util::seconds(10);
+  /// Retry policy for portal HTTP requests (disabled by default: legacy
+  /// single-shot semantics).  Retries reuse the request id, so the server
+  /// deduplicates re-executions.
+  net::RetryPolicy request_retry{};
 };
 
 class DiscoverClient final : public net::MessageHandler {

@@ -26,6 +26,8 @@ void DiscoverServer::attach(net::NodeId self) {
   tokens_ = security::TokenAuthority(self.value(), config_.token_secret);
   container_ = std::make_unique<http::ServletContainer>(network_, self_);
   orb_ = std::make_unique<orb::Orb>(network_, self_);
+  orb_->set_retry_policy(config_.orb_retry);
+  orb_->set_retry_seed(0x9e37 + self.value());
   mount_servlets();
   activate_servants();
 }
@@ -622,8 +624,9 @@ void DiscoverServer::drop_session(std::uint64_t key) {
       wire::Encoder args;
       args.str(session.user);
       args.u32(self_.value());
-      orb_->invoke(entry->corba_proxy, "forget_locks", std::move(args),
-                   [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+      invoke_peer(entry->corba_proxy.node, entry->corba_proxy, "forget_locks",
+                  std::move(args), [](util::Result<util::Bytes>) {},
+                  config_.orb_call_timeout);
     }
   }
   sessions_.erase(it);

@@ -33,6 +33,7 @@
 #include "http/http_client.h"
 #include "http/servlet_container.h"
 #include "net/network.h"
+#include "net/retry.h"
 #include "orb/naming.h"
 #include "orb/orb.h"
 #include "orb/trader.h"
@@ -83,6 +84,15 @@ struct ServerConfig {
   util::Duration orb_call_timeout = util::seconds(10);
   /// Login aggregation waits at most this long for slow peers.
   util::Duration login_fanout_timeout = util::seconds(3);
+
+  /// Peer health: after this many consecutive ORB timeouts a peer is marked
+  /// suspect — its remote apps are withdrawn from the directory and no more
+  /// calls are routed to it until a re-probe (sent each peer_refresh_period)
+  /// succeeds.  0 disables suspicion.
+  std::uint32_t peer_suspect_threshold = 3;
+  /// Retry policy for ORB calls to peers (disabled by default: legacy
+  /// single-shot semantics).
+  net::RetryPolicy orb_retry{};
 
   RemoteUpdateMode remote_update_mode = RemoteUpdateMode::push;
   util::Duration remote_poll_period = util::milliseconds(100);
@@ -210,6 +220,8 @@ class DiscoverServer final : public net::MessageHandler {
   }
   [[nodiscard]] db::RecordStore& record_store() { return db_; }
   [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  /// True while `node` is a known peer currently marked suspect.
+  [[nodiscard]] bool peer_suspect(net::NodeId node) const;
   [[nodiscard]] std::size_t local_app_count() const;
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   /// Applications (local only) visible to `user` per the ACLs.
@@ -285,6 +297,11 @@ class DiscoverServer final : public net::MessageHandler {
     std::string name;
     orb::ObjectRef server_ref;  // their DiscoverCorbaServer
     std::unique_ptr<security::RateLimiter> limiter;
+    // Health tracking: consecutive ORB timeouts; at
+    // config_.peer_suspect_threshold the peer goes suspect and is only
+    // re-probed (not routed to) until a probe succeeds.
+    std::uint32_t consecutive_failures = 0;
+    bool suspect = false;
   };
 
   class MasterServlet;
@@ -354,6 +371,9 @@ class DiscoverServer final : public net::MessageHandler {
 
   // -- peers / discovery --------------------------------------------------------
   void refresh_peers();
+  /// (Re-)advertises this server through the trader; called at start() and
+  /// again each refresh round until an offer id is confirmed.
+  void export_trader_offer();
   void schedule_refresh();
   void handle_control_channel(const net::Message& msg);
   void broadcast_system_event(proto::SystemEventKind kind,
@@ -362,6 +382,18 @@ class DiscoverServer final : public net::MessageHandler {
   Peer* peer_by_node(std::uint32_t node);
   /// Applies the per-peer resource policy (§6.3); true = admitted.
   bool admit_peer(std::uint32_t node, std::size_t bytes);
+  /// ORB call to a peer with health accounting: feeds note_peer_call() with
+  /// the outcome before running `cb`.
+  void invoke_peer(std::uint32_t node, const orb::ObjectRef& ref,
+                   const std::string& method, wire::Encoder args,
+                   orb::Orb::ResultCallback cb, util::Duration timeout);
+  /// Records one call outcome; `timed_out` failures accumulate toward
+  /// suspicion, any response (even an error) proves liveness and heals.
+  void note_peer_call(std::uint32_t node, bool timed_out);
+  /// Withdraws the peer's apps from the directory, emits a control-channel
+  /// error event, and stops routing to it until a re-probe succeeds.
+  void mark_peer_suspect(Peer& peer);
+  void probe_suspect_peer(Peer& peer);
   /// Ensures a remote AppEntry exists with a resolved CorbaProxy ref; then
   /// runs `ready` (with nullptr on failure).
   void with_remote_app(const proto::AppId& app,

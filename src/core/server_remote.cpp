@@ -216,6 +216,12 @@ void DiscoverServer::set_registry(orb::ObjectRef naming,
                                   orb::ObjectRef trader) {
   naming_ = orb::NamingClient(*orb_, std::move(naming));
   trader_ = orb::TraderClient(*orb_, std::move(trader));
+  // Registry calls must not wait forever: a lost reply on a faulty link
+  // would otherwise wedge the refresh loop (its reschedule lives in the
+  // query callback).  With a deadline the loop self-heals, and the ORB
+  // retry policy (if enabled) rides each call through transient loss.
+  naming_.set_call_timeout(config_.orb_call_timeout);
+  trader_.set_call_timeout(config_.orb_call_timeout);
 }
 
 void DiscoverServer::start() {
@@ -229,16 +235,19 @@ void DiscoverServer::start() {
                                        [this] { report_monitoring(); });
   }
   if (trader_.configured()) {
-    std::map<std::string, std::string> props;
-    props["name"] = config_.name;
-    props["domain"] =
-        std::to_string(network_.node_domain(self_).value());
-    trader_.export_offer("DISCOVER", own_server_ref_, props,
-                         [this](util::Result<std::uint64_t> r) {
-                           if (r.ok()) trader_offer_id_ = r.value();
-                         });
+    export_trader_offer();
     refresh_peers();
   }
+}
+
+void DiscoverServer::export_trader_offer() {
+  std::map<std::string, std::string> props;
+  props["name"] = config_.name;
+  props["domain"] = std::to_string(network_.node_domain(self_).value());
+  trader_.export_offer("DISCOVER", own_server_ref_, props,
+                       [this](util::Result<std::uint64_t> r) {
+                         if (r.ok()) trader_offer_id_ = r.value();
+                       });
 }
 
 void DiscoverServer::shutdown() {
@@ -267,6 +276,10 @@ void DiscoverServer::refresh_peers() {
     schedule_refresh();
     return;
   }
+  // A lost export_offer reply leaves us unadvertised; retry each round
+  // until the offer is confirmed (export is idempotent at the trader: a
+  // duplicate simply re-registers the same ref under a new offer id).
+  if (started_ && trader_offer_id_ == 0) export_trader_offer();
   trader_.query(
       "DISCOVER", "",
       [this](util::Result<std::vector<orb::ServiceOffer>> r) {
@@ -287,6 +300,11 @@ void DiscoverServer::refresh_peers() {
                 << peer.node;
             peers_.emplace(offer.ref.node, std::move(peer));
           }
+        }
+        // Re-probe suspect peers each refresh round; a successful ping
+        // heals them and routing resumes.
+        for (auto& [_, peer] : peers_) {
+          if (peer.suspect) probe_suspect_peer(peer);
         }
         schedule_refresh();
       });
@@ -365,6 +383,103 @@ DiscoverServer::Peer* DiscoverServer::peer_by_node(std::uint32_t node) {
   return it != peers_.end() ? &it->second : nullptr;
 }
 
+bool DiscoverServer::peer_suspect(net::NodeId node) const {
+  const auto it = peers_.find(node.value());
+  return it != peers_.end() && it->second.suspect;
+}
+
+// ---------------------------------------------------------------------------
+// Peer health (suspect / re-probe / heal)
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::invoke_peer(std::uint32_t node,
+                                 const orb::ObjectRef& ref,
+                                 const std::string& method,
+                                 wire::Encoder args,
+                                 orb::Orb::ResultCallback cb,
+                                 util::Duration timeout) {
+  Peer* peer = peer_by_node(node);
+  if (peer != nullptr && peer->suspect) {
+    // Fail fast instead of waiting out a timeout against a peer already
+    // known to be unreachable; the refresh loop re-probes it.
+    cb(util::Error{util::Errc::unavailable,
+                   "peer " + peer->name + " is suspect"});
+    return;
+  }
+  orb_->invoke(
+      ref, method, std::move(args),
+      [this, node, cb = std::move(cb)](util::Result<util::Bytes> r) {
+        note_peer_call(node,
+                       !r.ok() && r.error().code == util::Errc::timeout);
+        cb(std::move(r));
+      },
+      timeout);
+}
+
+void DiscoverServer::note_peer_call(std::uint32_t node, bool timed_out) {
+  Peer* peer = peer_by_node(node);
+  if (peer == nullptr) return;
+  if (!timed_out) {
+    // Any response — even an application error — proves the peer is alive.
+    peer->consecutive_failures = 0;
+    if (peer->suspect) {
+      peer->suspect = false;
+      DISCOVER_LOG(info, "server")
+          << describe() << ": peer " << peer->name << "@" << peer->node
+          << " healed";
+    }
+    return;
+  }
+  if (config_.peer_suspect_threshold == 0 || peer->suspect) return;
+  if (++peer->consecutive_failures >= config_.peer_suspect_threshold) {
+    mark_peer_suspect(*peer);
+  }
+}
+
+void DiscoverServer::mark_peer_suspect(Peer& peer) {
+  peer.suspect = true;
+  DISCOVER_LOG(warn, "server")
+      << describe() << ": peer " << peer.name << "@" << peer.node
+      << " suspect after " << peer.consecutive_failures
+      << " consecutive timeouts";
+  // Its applications are unreachable: withdraw them from the directory and
+  // tell everyone (clients get an "application departed" event inside
+  // remove_remote_app; peers get a control-channel error event).
+  std::vector<proto::AppId> gone;
+  for (const auto& [id, entry] : apps_) {
+    if (!entry.local && id.host == peer.node) gone.push_back(id);
+  }
+  for (const auto& id : gone) {
+    remove_remote_app(id, "host server unreachable");
+    broadcast_system_event(proto::SystemEventKind::error, id,
+                           config_.name + ": application " + id.to_string() +
+                               " unreachable (host " + peer.name + ")");
+  }
+  if (gone.empty()) {
+    broadcast_system_event(proto::SystemEventKind::error, proto::AppId{},
+                           config_.name + ": peer " + peer.name +
+                               " unreachable");
+  }
+}
+
+void DiscoverServer::probe_suspect_peer(Peer& peer) {
+  const std::uint32_t node = peer.node;
+  orb_->invoke(
+      peer.server_ref, "ping", wire::Encoder{},
+      [this, node](util::Result<util::Bytes> r) {
+        Peer* p = peer_by_node(node);
+        if (p == nullptr || !r.ok()) return;
+        p->consecutive_failures = 0;
+        if (p->suspect) {
+          p->suspect = false;
+          DISCOVER_LOG(info, "server")
+              << describe() << ": peer " << p->name << "@" << p->node
+              << " healed (probe)";
+        }
+      },
+      config_.orb_call_timeout);
+}
+
 bool DiscoverServer::admit_peer(std::uint32_t node, std::size_t bytes) {
   Peer* peer = peer_by_node(node);
   if (peer == nullptr || !peer->limiter) return true;
@@ -440,6 +555,11 @@ void DiscoverServer::with_remote_app(const proto::AppId& app,
     ready(nullptr);  // a local id we don't know, or no registry to resolve
     return;
   }
+  if (const Peer* host = peer_by_node(app.host);
+      host != nullptr && host->suspect) {
+    ready(nullptr);  // its host is unreachable; don't re-resolve until healed
+    return;
+  }
   naming_.resolve(
       app.to_string(),
       [this, app, ready = std::move(ready)](util::Result<orb::ObjectRef> r) {
@@ -467,21 +587,35 @@ void DiscoverServer::subscribe_remote(AppEntry& entry) {
   args.u32(self_.value());
   encode(args, own_server_ref_);
   const proto::AppId id = entry.id;
-  orb_->invoke(entry.corba_proxy, "subscribe", std::move(args),
-               [this, id](util::Result<util::Bytes> r) {
-                 AppEntry* e = find_app(id);
-                 if (e == nullptr) return;
-                 if (!r.ok()) {
-                   e->remote_subscribed = false;
-                   return;
-                 }
-                 wire::Decoder d(r.value());
-                 e->remote_known_seq = std::max(e->remote_known_seq, d.u64());
-                 if (config_.remote_update_mode == RemoteUpdateMode::poll) {
-                   start_remote_poll(*e);
-                 }
-               },
-               config_.orb_call_timeout);
+  invoke_peer(entry.corba_proxy.node, entry.corba_proxy, "subscribe",
+              std::move(args),
+              [this, id](util::Result<util::Bytes> r) {
+                AppEntry* e = find_app(id);
+                if (e == nullptr) return;
+                if (!r.ok()) {
+                  // A lost subscription would silently starve every local
+                  // watcher; keep re-trying while the entry exists (it is
+                  // removed when the host goes suspect or the app departs,
+                  // which ends this loop).  Failed attempts still feed the
+                  // peer failure detector through invoke_peer.
+                  e->remote_subscribed = false;
+                  network_.schedule(
+                      self_, config_.remote_poll_period, [this, id] {
+                        AppEntry* e2 = find_app(id);
+                        if (e2 != nullptr && !e2->local &&
+                            !e2->remote_subscribed) {
+                          subscribe_remote(*e2);
+                        }
+                      });
+                  return;
+                }
+                wire::Decoder d(r.value());
+                e->remote_known_seq = std::max(e->remote_known_seq, d.u64());
+                if (config_.remote_update_mode == RemoteUpdateMode::poll) {
+                  start_remote_poll(*e);
+                }
+              },
+              config_.orb_call_timeout);
 }
 
 void DiscoverServer::unsubscribe_remote(AppEntry& entry) {
@@ -493,8 +627,9 @@ void DiscoverServer::unsubscribe_remote(AppEntry& entry) {
   }
   wire::Encoder args;
   args.u32(self_.value());
-  orb_->invoke(entry.corba_proxy, "unsubscribe", std::move(args),
-               [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+  invoke_peer(entry.corba_proxy.node, entry.corba_proxy, "unsubscribe",
+              std::move(args), [](util::Result<util::Bytes>) {},
+              config_.orb_call_timeout);
 }
 
 void DiscoverServer::start_remote_poll(AppEntry& entry) {
@@ -506,17 +641,18 @@ void DiscoverServer::start_remote_poll(AppEntry& entry) {
         wire::Encoder args;
         args.u64(e->remote_known_seq);
         args.u32(256);
-        orb_->invoke(e->corba_proxy, "poll_events", std::move(args),
-                     [this, id](util::Result<util::Bytes> r) {
-                       AppEntry* e2 = find_app(id);
-                       if (e2 == nullptr || !e2->remote_subscribed) return;
-                       if (r.ok()) {
-                         wire::Decoder d(r.value());
-                         ingest_remote_events(*e2, decode_event_seq(d));
-                       }
-                       start_remote_poll(*e2);  // next round after the reply
-                     },
-                     config_.orb_call_timeout);
+        invoke_peer(e->corba_proxy.node, e->corba_proxy, "poll_events",
+                    std::move(args),
+                    [this, id](util::Result<util::Bytes> r) {
+                      AppEntry* e2 = find_app(id);
+                      if (e2 == nullptr || !e2->remote_subscribed) return;
+                      if (r.ok()) {
+                        wire::Decoder d(r.value());
+                        ingest_remote_events(*e2, decode_event_seq(d));
+                      }
+                      start_remote_poll(*e2);  // next round after the reply
+                    },
+                    config_.orb_call_timeout);
       });
 }
 
@@ -538,8 +674,8 @@ void DiscoverServer::push_to_subscribers(AppEntry& entry,
     wire::Encoder args;
     proto::encode(args, entry.id);
     encode_event_seq(args, {ev});
-    orb_->invoke(ref, "forward_event", std::move(args),
-                 [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+    invoke_peer(node, ref, "forward_event", std::move(args),
+                [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
     ++stats_.peer_events_out;
   }
 }

@@ -79,13 +79,19 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     session.user = req.user;
     session.client_node = ctx.client;
 
-    if (s.peers_.empty()) {
+    // Cross-server authentication fan-out: ask every known peer's
+    // DiscoverCorbaServer for this user's applications (§5.2.2).  Suspect
+    // peers are skipped — waiting out their timeout would stall every
+    // login for nothing.
+    std::vector<Peer*> live_peers;
+    for (auto& [node, peer] : s.peers_) {
+      if (!peer.suspect) live_peers.push_back(&peer);
+    }
+    if (live_peers.empty()) {
       set_body(response, proto::encode_body(reply));
       return;
     }
 
-    // Cross-server authentication fan-out: ask every known peer's
-    // DiscoverCorbaServer for this user's applications (§5.2.2).
     auto deferred = ctx.defer();
     struct FanOut {
       proto::LoginReply reply;
@@ -94,14 +100,14 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     };
     auto state = std::make_shared<FanOut>();
     state->reply = std::move(reply);
-    state->remaining = s.peers_.size();
+    state->remaining = live_peers.size();
     state->out = deferred;
-    for (auto& [node, peer] : s.peers_) {
+    for (Peer* peer : live_peers) {
       wire::Encoder args;
       args.str(req.user);
       args.u64(req.password_digest);
-      s.orb_->invoke(
-          peer.server_ref, "authenticate", std::move(args),
+      s.invoke_peer(
+          peer->node, peer->server_ref, "authenticate", std::move(args),
           [state](util::Result<util::Bytes> r) {
             if (r.ok()) {
               wire::Decoder d(r.value());
@@ -183,8 +189,9 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
       // CorbaProxy, then subscribe this server to its event stream.
       wire::Encoder args;
       args.str(user);
-      s.orb_->invoke(
-          entry->corba_proxy, "get_interface", std::move(args),
+      s.invoke_peer(
+          entry->corba_proxy.node, entry->corba_proxy, "get_interface",
+          std::move(args),
           [&s, deferred, user, session_key, app_id](
               util::Result<util::Bytes> r) {
             proto::SelectAppReply out2;
@@ -323,8 +330,9 @@ class DiscoverServer::CommandServlet final : public http::Servlet {
     args.boolean(sub.collab_enabled);
     args.str(sub.subgroup);
     const std::uint64_t rid = req.request_id;
-    s.orb_->invoke(
-        entry->corba_proxy, "send_command", std::move(args),
+    s.invoke_peer(
+        entry->corba_proxy.node, entry->corba_proxy, "send_command",
+        std::move(args),
         [deferred, rid](util::Result<util::Bytes> r) {
           proto::CommandAck out;
           out.request_id = rid;
@@ -468,9 +476,10 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
       // Relay to the host, which stamps/archives/redistributes (§5.2.3).
       wire::Encoder args;
       proto::encode(args, ev);
-      s.orb_->invoke(entry->corba_proxy, "forward_collab", std::move(args),
-                     [](util::Result<util::Bytes>) {},
-                     s.config_.orb_call_timeout);
+      s.invoke_peer(entry->corba_proxy.node, entry->corba_proxy,
+                    "forward_collab", std::move(args),
+                    [](util::Result<util::Bytes>) {},
+                    s.config_.orb_call_timeout);
     }
     ack.ok = true;
     ack.message = "posted";
@@ -583,8 +592,9 @@ class DiscoverServer::ArchiveServlet final : public http::Servlet {
     wire::Encoder args;
     args.u64(req.from_seq);
     args.u32(req.max_events);
-    s.orb_->invoke(
-        entry->corba_proxy, "poll_events", std::move(args),
+    s.invoke_peer(
+        entry->corba_proxy.node, entry->corba_proxy, "poll_events",
+        std::move(args),
         [deferred](util::Result<util::Bytes> r) {
           proto::HistoryReply out;
           if (!r.ok()) {

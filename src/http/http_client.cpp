@@ -15,18 +15,43 @@ void HttpClient::request(net::NodeId server, HttpRequest req, Callback cb,
   Pending pending;
   pending.cb = std::move(cb);
   pending.sent_at = network_.now();
+  pending.wire = serialize(req);
+  pending.server = server;
+  pending.timeout = timeout;
   if (timeout > 0) {
-    pending.timeout_timer = network_.schedule(self_, timeout, [this, id] {
-      const auto it = pending_.find(id);
-      if (it == pending_.end()) return;
-      Callback cb2 = std::move(it->second.cb);
-      pending_.erase(it);
-      ++timeouts_;
-      cb2(util::Error{util::Errc::timeout, "http request timed out"});
-    });
+    pending.timeout_timer = network_.schedule(
+        self_, timeout, [this, id] { on_timeout(id); });
   }
+  util::Bytes wire = pending.wire;
   pending_.emplace(id, std::move(pending));
-  network_.send(self_, server, net::Channel::http, serialize(req));
+  network_.send(self_, server, net::Channel::http, std::move(wire));
+}
+
+void HttpClient::on_timeout(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (retry_policy_.enabled() && p.attempts < retry_policy_.max_attempts) {
+    const util::Duration delay =
+        retry_policy_.backoff_after(p.attempts, retry_rng_);
+    ++p.attempts;
+    ++retries_;
+    // Resend the identical bytes (same X-Request-Id) after backoff; a late
+    // response landing during the backoff cancels this timer via handle().
+    p.timeout_timer = network_.schedule(self_, delay, [this, id] {
+      const auto rit = pending_.find(id);
+      if (rit == pending_.end()) return;
+      Pending& rp = rit->second;
+      network_.send(self_, rp.server, net::Channel::http, rp.wire);
+      rp.timeout_timer = network_.schedule(self_, rp.timeout,
+                                           [this, id] { on_timeout(id); });
+    });
+    return;
+  }
+  Callback cb2 = std::move(p.cb);
+  pending_.erase(it);
+  ++timeouts_;
+  cb2(util::Error{util::Errc::timeout, "http request timed out"});
 }
 
 void HttpClient::handle(const net::Message& msg) {

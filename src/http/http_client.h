@@ -12,7 +12,9 @@
 
 #include "http/http_message.h"
 #include "net/network.h"
+#include "net/retry.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace discover::http {
@@ -35,6 +37,12 @@ class HttpClient {
   /// Feeds one Channel::http message from the owner's demux.
   void handle(const net::Message& msg);
 
+  /// Retransmission policy for timed-out requests.  Retries reuse the
+  /// original X-Request-Id, so the container's duplicate-request cache
+  /// replays instead of re-executing the servlet.
+  void set_retry_policy(net::RetryPolicy policy) { retry_policy_ = policy; }
+  void set_retry_seed(std::uint64_t seed) { retry_rng_ = util::Rng(seed); }
+
   /// Remembers Set-Cookie values per server and replays them — the portal's
   /// session continuity.
   [[nodiscard]] std::string cookie_for(net::NodeId server) const;
@@ -44,6 +52,7 @@ class HttpClient {
   }
   [[nodiscard]] std::uint64_t requests_sent() const { return next_id_ - 1; }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
  private:
@@ -51,14 +60,25 @@ class HttpClient {
     Callback cb;
     util::TimePoint sent_at;
     net::TimerId timeout_timer{0};
+    // Retransmission state: the serialized request, its target, the
+    // per-attempt timeout, and the attempt count.
+    util::Bytes wire;
+    net::NodeId server{0};
+    util::Duration timeout = 0;
+    std::uint32_t attempts = 1;
   };
+
+  void on_timeout(std::uint64_t id);
 
   net::Network& network_;
   net::NodeId self_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::uint32_t, std::string> cookies_;  // by server node
+  net::RetryPolicy retry_policy_{};
+  util::Rng retry_rng_{0x477bULL};
   std::uint64_t next_id_ = 1;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
   util::LatencyHistogram rtt_;
 };
 

@@ -68,7 +68,19 @@ void DeferredHttpReply::complete(HttpResponse resp) {
     if (!resp.headers.get(n)) resp.headers.set(n, v);
   }
   resp.reason = reason_for(resp.status);
-  network_.send(self_, client_, net::Channel::http, serialize(resp));
+  util::Bytes wire = serialize(resp);
+  if (on_complete_) on_complete_(wire);
+  network_.send(self_, client_, net::Channel::http, std::move(wire));
+}
+
+void ServletContainer::cache_response(const DedupKey& key,
+                                      const util::Bytes& wire) {
+  if (!response_cache_.emplace(key, wire).second) return;
+  response_cache_order_.push_back(key);
+  while (response_cache_order_.size() > kResponseCacheCap) {
+    response_cache_.erase(response_cache_order_.front());
+    response_cache_order_.pop_front();
+  }
 }
 
 void ServletContainer::handle(const net::Message& msg) {
@@ -76,12 +88,35 @@ void ServletContainer::handle(const net::Message& msg) {
   auto parsed = parse_request(msg.payload);
   HttpResponse resp;
   bool deferred = false;
+  DedupKey dedup_key{0, 0};
+  bool has_dedup_key = false;
   if (!parsed.ok()) {
     resp.status = 400;
     resp.reason = reason_for(400);
     resp.body = util::to_bytes(parsed.error().message);
   } else {
     const HttpRequest& req = parsed.value();
+    // Duplicate-request handling: a retried request (same client, same
+    // X-Request-Id) replays the cached response; a copy whose deferred
+    // dispatch is still in progress is swallowed (the eventual reply
+    // answers every attempt).
+    if (const auto rid = req.headers.get("X-Request-Id")) {
+      dedup_key = {msg.src.value(),
+                   std::strtoull(rid->c_str(), nullptr, 10)};
+      has_dedup_key = dedup_key.second != 0;
+    }
+    if (has_dedup_key) {
+      const auto cached = response_cache_.find(dedup_key);
+      if (cached != response_cache_.end()) {
+        ++dedup_hits_;
+        network_.send(self_, msg.src, net::Channel::http, cached->second);
+        return;
+      }
+      if (inflight_.count(dedup_key) != 0) {
+        ++dedup_hits_;
+        return;
+      }
+    }
     HttpSession& session = session_for(req, resp);
     // Correlate the reply with the request for the async client.
     if (const auto rid = req.headers.get("X-Request-Id")) {
@@ -97,10 +132,18 @@ void ServletContainer::handle(const net::Message& msg) {
       ctx.client = msg.src;
       ctx.session = &session;
       ctx.now = start;
-      ctx.defer = [this, &deferred, &resp, &msg] {
+      ctx.defer = [this, &deferred, &resp, &msg, dedup_key, has_dedup_key] {
         deferred = true;
-        return std::make_shared<DeferredHttpReply>(network_, self_, msg.src,
-                                                   resp);
+        auto reply = std::make_shared<DeferredHttpReply>(network_, self_,
+                                                         msg.src, resp);
+        if (has_dedup_key) {
+          inflight_.insert(dedup_key);
+          reply->set_on_complete([this, dedup_key](const util::Bytes& wire) {
+            inflight_.erase(dedup_key);
+            cache_response(dedup_key, wire);
+          });
+        }
+        return reply;
       };
       servlet->service(req, resp, ctx);
       resp.reason = reason_for(resp.status);
@@ -109,7 +152,9 @@ void ServletContainer::handle(const net::Message& msg) {
   ++requests_served_;
   service_latency_.record(network_.now() - start);
   if (!deferred) {
-    network_.send(self_, msg.src, net::Channel::http, serialize(resp));
+    util::Bytes wire = serialize(resp);
+    if (has_dedup_key) cache_response(dedup_key, wire);
+    network_.send(self_, msg.src, net::Channel::http, std::move(wire));
   }
 }
 

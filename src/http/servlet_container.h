@@ -4,9 +4,14 @@
 // channels and calls handle() for Channel::http traffic.
 #pragma once
 
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "http/servlet.h"
@@ -27,11 +32,18 @@ class DeferredHttpReply {
   /// already put on the seed response.
   void complete(HttpResponse resp);
 
+  /// Container hook: observes the final serialized response (fills the
+  /// duplicate-request cache for deferred replies).
+  void set_on_complete(std::function<void(const util::Bytes&)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
  private:
   net::Network& network_;
   net::NodeId self_;
   net::NodeId client_;
   HttpResponse seed_;
+  std::function<void(const util::Bytes&)> on_complete_;
   bool done_ = false;
 };
 
@@ -60,14 +72,29 @@ class ServletContainer {
   /// Drops sessions idle longer than `max_idle`.
   void expire_sessions(util::Duration max_idle);
 
+  /// Duplicate requests (client retries / network duplicates) answered from
+  /// the response cache rather than re-executed.
+  [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
+
  private:
+  // Responses are cached by (client node, X-Request-Id) so a retried or
+  // duplicated request replays the original response instead of
+  // re-executing the servlet.
+  using DedupKey = std::pair<std::uint32_t, std::uint64_t>;
+
   HttpSession& session_for(const HttpRequest& req, HttpResponse& resp);
   Servlet* route(const std::string& path) const;
+  void cache_response(const DedupKey& key, const util::Bytes& wire);
 
   net::Network& network_;
   net::NodeId self_;
   std::vector<std::pair<std::string, std::shared_ptr<Servlet>>> mounts_;
   std::unordered_map<std::uint64_t, std::unique_ptr<HttpSession>> sessions_;
+  std::map<DedupKey, util::Bytes> response_cache_;
+  std::deque<DedupKey> response_cache_order_;
+  std::set<DedupKey> inflight_;  // deferred dispatches in progress
+  static constexpr std::size_t kResponseCacheCap = 1024;
+  std::uint64_t dedup_hits_ = 0;
   std::uint64_t next_session_ = 1;
   std::uint64_t requests_served_ = 0;
   util::LatencyHistogram service_latency_;

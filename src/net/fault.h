@@ -1,0 +1,39 @@
+// Fault-injection model for the transports.
+//
+// A FaultPlan describes the misbehaviour of one link (or link class):
+// probabilistic message drop and duplication plus extra delivery jitter.
+// Partitions and node crashes are separate, explicitly toggled states on
+// the backend (see SimNetwork/ThreadNetwork).  All randomness flows from a
+// backend-owned seeded Rng so chaos runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace discover::net {
+
+struct FaultPlan {
+  /// Probability in [0,1] that a message silently vanishes in transit.
+  double drop_prob = 0;
+  /// Probability in [0,1] that a message is delivered twice (the copy gets
+  /// its own jitter draw, so duplicates may reorder past later traffic).
+  double duplicate_prob = 0;
+  /// Extra delivery delay drawn uniformly from [0, jitter_max] per message.
+  util::Duration jitter_max = 0;
+
+  [[nodiscard]] bool active() const {
+    return drop_prob > 0 || duplicate_prob > 0 || jitter_max > 0;
+  }
+};
+
+/// Counters kept by a fault-injecting backend; useful for asserting that a
+/// chaos scenario actually exercised the failure paths it claims to.
+struct FaultStats {
+  std::uint64_t dropped = 0;          // lost to drop_prob
+  std::uint64_t duplicated = 0;       // extra copies delivered
+  std::uint64_t partition_drops = 0;  // lost to an active partition
+  std::uint64_t crash_drops = 0;      // lost because an endpoint is down
+};
+
+}  // namespace discover::net

@@ -43,7 +43,11 @@ class Network {
   virtual NodeId add_node(std::string name, MessageHandler* handler,
                           DomainId domain = DomainId{0}) = 0;
 
-  /// Reliable FIFO send; payload is consumed.
+  /// FIFO send; payload is consumed.  Delivery is reliable by default but
+  /// subject to the backend's fault plan: a backend configured with drop,
+  /// duplication, jitter, partitions, or node crashes may lose, repeat, or
+  /// delay the message.  Layers needing end-to-end reliability must retry
+  /// (see net/retry.h).
   virtual void send(NodeId from, NodeId to, Channel channel,
                     util::Bytes payload) = 0;
 

@@ -1,0 +1,48 @@
+// Retry policy with capped exponential backoff and bounded jitter.
+//
+// Shared by the ORB and the HTTP client: a request that times out is
+// retransmitted after backoff_after(attempt) until max_attempts is
+// exhausted.  The jitter draw comes from a caller-owned seeded Rng, so
+// retry timing is deterministic under SimNetwork.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace discover::net {
+
+struct RetryPolicy {
+  /// Total attempts including the first transmission.  1 = no retries
+  /// (the default keeps legacy single-shot semantics).
+  std::uint32_t max_attempts = 1;
+  util::Duration initial_backoff = util::milliseconds(50);
+  double multiplier = 2.0;
+  util::Duration max_backoff = util::seconds(2);
+  /// Fractional jitter in [0,1]: the backoff is scaled by a uniform factor
+  /// from [1-jitter/2, 1+jitter/2].
+  double jitter = 0.0;
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+
+  /// Delay before the retry that follows failed attempt number `attempt`
+  /// (1-based).  Grows geometrically and saturates at max_backoff; jitter
+  /// is applied after the cap and never produces a negative delay.
+  [[nodiscard]] util::Duration backoff_after(std::uint32_t attempt,
+                                             util::Rng& rng) const {
+    double base = static_cast<double>(initial_backoff);
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+      base *= multiplier;
+      if (base >= static_cast<double>(max_backoff)) break;
+    }
+    base = std::min(base, static_cast<double>(max_backoff));
+    if (jitter > 0) {
+      base *= 1.0 + jitter * (rng.uniform() - 0.5);
+    }
+    return std::max<util::Duration>(static_cast<util::Duration>(base), 0);
+  }
+};
+
+}  // namespace discover::net

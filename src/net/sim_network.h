@@ -5,19 +5,28 @@
 // same inputs produce byte-identical event orders.  This backend drives the
 // topology/latency/traffic experiments (E4, E5, E6, E7, E8) and all
 // integration tests.
+//
+// Fault injection: each link class (LAN/WAN, or a per-node-pair override)
+// can carry a FaultPlan (seeded drop/duplicate/jitter), node pairs or whole
+// domain pairs can be partitioned and healed, and nodes can crash and
+// restart.  All fault decisions draw from one seeded Rng in send order, so
+// a chaos run is exactly reproducible from its seed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <queue>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/network.h"
 #include "util/clock.h"
+#include "util/rng.h"
 
 namespace discover::net {
 
@@ -47,6 +56,38 @@ class SimNetwork final : public Network {
   void set_wan_model(LinkModel m) { wan_ = m; }
   /// Overrides the model for one ordered domain pair (applied both ways).
   void set_domain_link(DomainId a, DomainId b, LinkModel m);
+
+  // -- fault injection -----------------------------------------------------
+  /// Reseeds the fault RNG; chaos runs replay exactly from the same seed.
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = util::Rng(seed); }
+  /// Fault plan for links within one domain.
+  void set_lan_faults(FaultPlan p) { lan_faults_ = p; }
+  /// Fault plan for links between different domains.
+  void set_wan_faults(FaultPlan p) { wan_faults_ = p; }
+  /// Overrides the plan for one unordered node pair (both directions).
+  void set_link_faults(NodeId a, NodeId b, FaultPlan p);
+  /// Cuts / restores both directions between two nodes.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  /// Cuts / restores all traffic between two domains (both directions).
+  void partition_domains(DomainId a, DomainId b);
+  void heal_domains(DomainId a, DomainId b);
+  /// Whole-node crash: messages to/from the node are lost and its pending
+  /// timers are consumed without firing (a real crash loses its timers).
+  /// restart_node only re-opens the network; components must re-initialize
+  /// themselves.
+  void crash_node(NodeId node);
+  void restart_node(NodeId node);
+  [[nodiscard]] bool node_crashed(NodeId node) const;
+
+  [[nodiscard]] const FaultStats& fault_stats() const { return faults_; }
+
+  /// Event-trace recording: when enabled, every delivery, timer firing and
+  /// fault decision appends one line.  Two same-seed runs must produce
+  /// byte-identical traces — the determinism oracle of the chaos suite.
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  [[nodiscard]] const std::string& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
 
   // -- Network interface ---------------------------------------------------
   void send(NodeId from, NodeId to, Channel channel,
@@ -96,9 +137,16 @@ class SimNetwork final : public Network {
     std::string name;
     MessageHandler* handler;
     DomainId domain;
+    bool crashed = false;
   };
 
   [[nodiscard]] const LinkModel& link_between(NodeId a, NodeId b) const;
+  [[nodiscard]] const FaultPlan& faults_between(NodeId a, NodeId b) const;
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+  void enqueue_message(NodeId from, NodeId to, Channel channel,
+                       const util::Bytes& payload, util::TimePoint arrive);
+  void trace_line(const char* what, NodeId from, NodeId to, Channel channel,
+                  std::uint64_t seq_or_size);
   void dispatch(Event& ev);
 
   util::ManualClock clock_;
@@ -113,6 +161,17 @@ class SimNetwork final : public Network {
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_timer_ = 1;
   TrafficStats traffic_;
+
+  // Fault state.  std::set keeps lookup order deterministic.
+  util::Rng fault_rng_{0x5eedULL};
+  FaultPlan lan_faults_{};
+  FaultPlan wan_faults_{};
+  std::map<std::pair<std::uint32_t, std::uint32_t>, FaultPlan> link_faults_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> node_partitions_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> domain_partitions_;
+  FaultStats faults_;
+  bool trace_enabled_ = false;
+  std::string trace_;
 };
 
 }  // namespace discover::net

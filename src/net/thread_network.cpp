@@ -1,10 +1,20 @@
 #include "net/thread_network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
 
 namespace discover::net {
+
+namespace {
+
+std::pair<std::uint32_t, std::uint32_t> unordered_pair(std::uint32_t a,
+                                                       std::uint32_t b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
 
 ThreadNetwork::ThreadNetwork() = default;
 
@@ -74,7 +84,56 @@ void ThreadNetwork::send(NodeId from, NodeId to, Channel channel,
     }
     task.msg.seq = traffic_.messages;
   }
+  bool duplicate = false;
+  {
+    const std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (node_partitions_.count(unordered_pair(from.value(), to.value())) !=
+        0) {
+      ++faults_.partition_drops;
+      return;
+    }
+    if (fault_plan_.drop_prob > 0 &&
+        fault_rng_.chance(fault_plan_.drop_prob)) {
+      ++faults_.dropped;
+      return;
+    }
+    if (fault_plan_.duplicate_prob > 0 &&
+        fault_rng_.chance(fault_plan_.duplicate_prob)) {
+      ++faults_.duplicated;
+      duplicate = true;
+    }
+  }
+  if (duplicate) {
+    Task copy;
+    copy.msg = task.msg;
+    enqueue(to.value(), std::move(copy));
+  }
   enqueue(to.value(), std::move(task));
+}
+
+void ThreadNetwork::set_fault_seed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_rng_ = util::Rng(seed);
+}
+
+void ThreadNetwork::set_fault_plan(FaultPlan p) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_plan_ = p;
+}
+
+void ThreadNetwork::partition(NodeId a, NodeId b) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  node_partitions_.insert(unordered_pair(a.value(), b.value()));
+}
+
+void ThreadNetwork::heal(NodeId a, NodeId b) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  node_partitions_.erase(unordered_pair(a.value(), b.value()));
+}
+
+FaultStats ThreadNetwork::fault_stats() const {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  return faults_;
 }
 
 TimerId ThreadNetwork::schedule(NodeId node, util::Duration delay,

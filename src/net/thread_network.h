@@ -14,13 +14,16 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/network.h"
 #include "util/clock.h"
+#include "util/rng.h"
 
 namespace discover::net {
 
@@ -57,6 +60,16 @@ class ThreadNetwork final : public Network {
   /// timers do not count), or until `timeout` elapses.  Returns true when
   /// idle was reached.
   bool wait_idle(util::Duration timeout);
+
+  // -- fault injection (cheap subset) --------------------------------------
+  // Under real time there is no jitter model (the scheduler supplies plenty
+  // of its own); only seeded drop/duplicate plus explicit partitions.
+  void set_fault_seed(std::uint64_t seed);
+  /// One global plan applied to every link; jitter_max is ignored.
+  void set_fault_plan(FaultPlan p);
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  [[nodiscard]] FaultStats fault_stats() const;
 
  private:
   struct Task {
@@ -108,6 +121,12 @@ class ThreadNetwork final : public Network {
 
   mutable std::mutex traffic_mutex_;
   TrafficStats traffic_;
+
+  mutable std::mutex fault_mutex_;
+  util::Rng fault_rng_{0x5eedULL};
+  FaultPlan fault_plan_{};
+  std::set<std::pair<std::uint32_t, std::uint32_t>> node_partitions_;
+  FaultStats faults_;
 };
 
 }  // namespace discover::net

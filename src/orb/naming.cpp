@@ -56,7 +56,8 @@ void NamingClient::bind(const std::string& name, const ObjectRef& ref,
   orb_->invoke(service_, "bind", std::move(args),
                [cb = std::move(cb)](util::Result<util::Bytes> r) {
                  expect_ok(std::move(r), cb);
-               });
+               },
+               call_timeout_);
 }
 
 void NamingClient::rebind(const std::string& name, const ObjectRef& ref,
@@ -67,7 +68,8 @@ void NamingClient::rebind(const std::string& name, const ObjectRef& ref,
   orb_->invoke(service_, "rebind", std::move(args),
                [cb = std::move(cb)](util::Result<util::Bytes> r) {
                  expect_ok(std::move(r), cb);
-               });
+               },
+               call_timeout_);
 }
 
 void NamingClient::unbind(const std::string& name, StatusCallback cb) {
@@ -76,7 +78,8 @@ void NamingClient::unbind(const std::string& name, StatusCallback cb) {
   orb_->invoke(service_, "unbind", std::move(args),
                [cb = std::move(cb)](util::Result<util::Bytes> r) {
                  expect_ok(std::move(r), cb);
-               });
+               },
+               call_timeout_);
 }
 
 void NamingClient::resolve(const std::string& name, RefCallback cb) {
@@ -90,7 +93,8 @@ void NamingClient::resolve(const std::string& name, RefCallback cb) {
                  }
                  wire::Decoder d(r.value());
                  cb(decode_object_ref(d));
-               });
+               },
+               call_timeout_);
 }
 
 void NamingClient::list(ListCallback cb) {
@@ -110,7 +114,8 @@ void NamingClient::list(ListCallback cb) {
                    out.emplace_back(std::move(name), ref);
                  }
                  cb(std::move(out));
-               });
+               },
+               call_timeout_);
 }
 
 }  // namespace discover::orb

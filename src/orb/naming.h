@@ -50,9 +50,14 @@ class NamingClient {
 
   [[nodiscard]] bool configured() const { return service_.valid(); }
 
+  /// Per-call deadline on every naming invocation (0 = wait forever, the
+  /// legacy default).  See TraderClient::set_call_timeout.
+  void set_call_timeout(util::Duration t) { call_timeout_ = t; }
+
  private:
   Orb* orb_ = nullptr;
   ObjectRef service_;
+  util::Duration call_timeout_ = 0;
 };
 
 }  // namespace discover::orb

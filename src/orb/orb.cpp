@@ -69,6 +69,15 @@ Servant* Orb::servant_of(std::uint64_t key) const {
 void Orb::invoke(const ObjectRef& ref, const std::string& method,
                  wire::Encoder args, ResultCallback cb,
                  util::Duration timeout) {
+  // A full table means callers fired calls whose callees never answered
+  // (e.g. timeout==0 against a dead node).  Evict oldest-first so the
+  // table — and the leak — stays bounded.
+  while (!pending_.empty() && pending_.size() >= max_pending_) {
+    complete(pending_.begin()->first,
+             util::Error{util::Errc::resource_exhausted,
+                         "pending-call table full"});
+  }
+
   const std::uint64_t request_id = next_request_++;
   ++invocations_;
 
@@ -85,16 +94,20 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
   PendingCall pending;
   pending.cb = std::move(cb);
   pending.sent_at = network_.now();
+  pending.frame = payload;
+  pending.dest = ref.host();
+  pending.timeout = timeout;
   if (timeout > 0) {
-    pending.timeout_timer =
-        network_.schedule(self_, timeout, [this, request_id] {
-          complete(request_id,
-                   util::Error{util::Errc::timeout, "orb call timed out"});
-        });
+    pending.timeout_timer = network_.schedule(
+        self_, timeout, [this, request_id] { on_timeout(request_id); });
   }
   pending_.emplace(request_id, std::move(pending));
 
-  if (ref.node == self_.value()) {
+  transmit(ref.host(), std::move(payload));
+}
+
+void Orb::transmit(net::NodeId dest, util::Bytes payload) {
+  if (dest == self_) {
     // Collocated call: skip the network (and its traffic counters) but keep
     // marshalling and asynchrony so semantics match the remote path.
     network_.post(self_, [this, payload = std::move(payload)] {
@@ -106,8 +119,35 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
       handle(msg);
     });
   } else {
-    network_.send(self_, ref.host(), net::Channel::giop, std::move(payload));
+    network_.send(self_, dest, net::Channel::giop, std::move(payload));
   }
+}
+
+void Orb::on_timeout(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingCall& p = it->second;
+  if (retry_policy_.enabled() && p.attempts < retry_policy_.max_attempts) {
+    const util::Duration delay =
+        retry_policy_.backoff_after(p.attempts, retry_rng_);
+    ++p.attempts;
+    ++retries_;
+    // Retransmit after backoff with the SAME request id: the callee's
+    // reply cache recognizes it and a reply to any attempt completes the
+    // call.  A late reply landing during the backoff cancels this timer
+    // via complete().
+    p.timeout_timer = network_.schedule(self_, delay, [this, request_id] {
+      const auto rit = pending_.find(request_id);
+      if (rit == pending_.end()) return;
+      PendingCall& rp = rit->second;
+      transmit(rp.dest, rp.frame);
+      rp.timeout_timer = network_.schedule(
+          self_, rp.timeout, [this, request_id] { on_timeout(request_id); });
+    });
+    return;
+  }
+  complete(request_id,
+           util::Error{util::Errc::timeout, "orb call timed out"});
 }
 
 void Orb::handle(const net::Message& msg) {
@@ -131,6 +171,21 @@ void Orb::dispatch_request(const net::Message& msg, wire::Decoder& d) {
   const std::string method = d.str();
   const util::Bytes args = d.bytes();
 
+  // Deduplicate retransmitted / network-duplicated requests: replay the
+  // cached reply instead of re-executing the servant, and swallow copies
+  // of a request whose deferred dispatch is still in progress.
+  const DedupKey dedup_key{msg.src.value(), request_id};
+  const auto cached = reply_cache_.find(dedup_key);
+  if (cached != reply_cache_.end()) {
+    ++dedup_hits_;
+    transmit(msg.src, cached->second);
+    return;
+  }
+  if (inflight_requests_.count(dedup_key) != 0) {
+    ++dedup_hits_;
+    return;
+  }
+
   Servant* servant = servant_of(key);
   if (servant == nullptr) {
     send_reply(msg.src, request_id, false, {}, util::Errc::not_found,
@@ -143,8 +198,9 @@ void Orb::dispatch_request(const net::Message& msg, wire::Decoder& d) {
   DispatchContext ctx;
   ctx.requester = msg.src;
   ctx.now = network_.now();
-  ctx.defer = [this, &deferred, &msg, request_id] {
+  ctx.defer = [this, &deferred, &msg, request_id, dedup_key] {
     deferred = true;
+    inflight_requests_.insert(dedup_key);
     return std::make_shared<DeferredReply>(this, msg.src, request_id);
   };
 
@@ -182,17 +238,17 @@ void Orb::send_reply(net::NodeId to, std::uint64_t request_id, bool ok,
   util::Bytes payload = std::move(frame).take();
   bytes_marshalled_ += payload.size();
 
-  if (to == self_) {
-    network_.post(self_, [this, payload = std::move(payload)] {
-      net::Message msg;
-      msg.src = self_;
-      msg.dst = self_;
-      msg.channel = net::Channel::giop;
-      msg.payload = payload;
-      handle(msg);
-    });
-  } else {
-    network_.send(self_, to, net::Channel::giop, std::move(payload));
+  cache_reply({to.value(), request_id}, payload);
+  inflight_requests_.erase({to.value(), request_id});
+  transmit(to, std::move(payload));
+}
+
+void Orb::cache_reply(const DedupKey& key, const util::Bytes& payload) {
+  if (!reply_cache_.emplace(key, payload).second) return;
+  reply_cache_order_.push_back(key);
+  while (reply_cache_order_.size() > kReplyCacheCap) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
   }
 }
 

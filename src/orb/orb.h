@@ -14,14 +14,20 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "net/network.h"
+#include "net/retry.h"
 #include "orb/ior.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "wire/cdr.h"
 
@@ -92,6 +98,16 @@ class Orb {
   /// Feeds one Channel::giop message from the owner's demux.
   void handle(const net::Message& msg);
 
+  /// Retransmission policy for timed-out calls.  Retries reuse the original
+  /// request id, so the callee's reply cache deduplicates them; a call
+  /// without a timeout never retries (there is no failure signal).
+  void set_retry_policy(net::RetryPolicy policy) { retry_policy_ = policy; }
+  void set_retry_seed(std::uint64_t seed) { retry_rng_ = util::Rng(seed); }
+  /// Caps the pending-call table: when full, the oldest entry is completed
+  /// with Errc::resource_exhausted.  Bounds the leak from timeout==0 calls
+  /// whose callee died.
+  void set_max_pending(std::size_t n) { max_pending_ = n; }
+
   // Accounting for bench A1 / E5.
   [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
   [[nodiscard]] std::uint64_t bytes_marshalled() const {
@@ -104,6 +120,9 @@ class Orb {
     return servants_.size();
   }
   [[nodiscard]] net::NodeId self() const { return self_; }
+  [[nodiscard]] std::size_t pending_calls() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
 
  private:
   friend class DeferredReply;
@@ -112,7 +131,18 @@ class Orb {
     ResultCallback cb;
     util::TimePoint sent_at;
     net::TimerId timeout_timer{0};
+    // Retransmission state: the exact frame already sent, where it went,
+    // the per-attempt timeout, and how many attempts have been made.
+    util::Bytes frame;
+    net::NodeId dest{0};
+    util::Duration timeout = 0;
+    std::uint32_t attempts = 1;
   };
+
+  // Replies are cached by (requester, request id) so a retransmitted or
+  // duplicated request replays the original answer instead of re-executing
+  // the servant (exactly-once effects for non-idempotent methods).
+  using DedupKey = std::pair<std::uint32_t, std::uint64_t>;
 
   void dispatch_request(const net::Message& msg, wire::Decoder& d);
   void dispatch_reply(wire::Decoder& d);
@@ -120,11 +150,25 @@ class Orb {
                   const util::Bytes& body, util::Errc code,
                   const std::string& error_message);
   void complete(std::uint64_t request_id, util::Result<util::Bytes> result);
+  void transmit(net::NodeId dest, util::Bytes payload);
+  void on_timeout(std::uint64_t request_id);
+  void cache_reply(const DedupKey& key, const util::Bytes& payload);
 
   net::Network& network_;
   net::NodeId self_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Servant>> servants_;
-  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  // Ordered by request id (monotonic), so begin() is always the oldest
+  // entry — the one evicted when the table hits max_pending_.
+  std::map<std::uint64_t, PendingCall> pending_;
+  std::size_t max_pending_ = 4096;
+  net::RetryPolicy retry_policy_{};
+  util::Rng retry_rng_{0x07b1eULL};
+  std::uint64_t retries_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::map<DedupKey, util::Bytes> reply_cache_;
+  std::deque<DedupKey> reply_cache_order_;
+  std::set<DedupKey> inflight_requests_;  // deferred dispatches in progress
+  static constexpr std::size_t kReplyCacheCap = 1024;
   std::uint64_t next_key_ = 1;
   std::uint64_t next_request_ = 1;
   std::uint64_t invocations_ = 0;

@@ -136,7 +136,8 @@ void TraderClient::export_offer(
                  }
                  wire::Decoder d(r.value());
                  cb(d.u64());
-               });
+               },
+               call_timeout_);
 }
 
 void TraderClient::withdraw(std::uint64_t offer_id, StatusCallback cb) {
@@ -145,7 +146,8 @@ void TraderClient::withdraw(std::uint64_t offer_id, StatusCallback cb) {
   orb_->invoke(service_, "withdraw", std::move(args),
                [cb = std::move(cb)](util::Result<util::Bytes> r) {
                  cb(r.ok() ? util::Status() : util::Status(r.error()));
-               });
+               },
+               call_timeout_);
 }
 
 void TraderClient::query(const std::string& service_type,
@@ -167,7 +169,8 @@ void TraderClient::query(const std::string& service_type,
                    offers.push_back(decode_service_offer(d));
                  }
                  cb(std::move(offers));
-               });
+               },
+               call_timeout_);
 }
 
 }  // namespace discover::orb

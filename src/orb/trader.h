@@ -78,9 +78,15 @@ class TraderClient {
 
   [[nodiscard]] bool configured() const { return service_.valid(); }
 
+  /// Per-call deadline on every trader invocation.  0 (the legacy default)
+  /// waits forever — on a lossy link that wedges callers whose next step
+  /// lives in the callback, so servers set this to their ORB call timeout.
+  void set_call_timeout(util::Duration t) { call_timeout_ = t; }
+
  private:
   Orb* orb_ = nullptr;
   ObjectRef service_;
+  util::Duration call_timeout_ = 0;
 };
 
 }  // namespace discover::orb

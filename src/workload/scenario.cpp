@@ -17,6 +17,9 @@ void RegistryNode::on_message(const net::Message& msg) {
 Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
   net_.set_lan_model(config_.lan);
   net_.set_wan_model(config_.wan);
+  net_.set_fault_seed(config_.fault_seed);
+  if (config_.lan_faults.active()) net_.set_lan_faults(config_.lan_faults);
+  if (config_.wan_faults.active()) net_.set_wan_faults(config_.wan_faults);
   registry_ = std::make_unique<RegistryNode>(net_);
   const net::NodeId node =
       net_.add_node("registry", registry_.get(), net::DomainId{0});

@@ -22,6 +22,13 @@ struct ScenarioConfig {
   net::LinkModel lan{util::microseconds(200), 125e6};   // ~1 Gb/s, 0.2 ms
   net::LinkModel wan{util::milliseconds(20), 12.5e6};   // ~100 Mb/s, 20 ms
   core::ServerConfig server_template;
+
+  // Fault knobs (chaos scenarios): seeded drop/duplicate/jitter plans for
+  // intra-domain and cross-domain links.  Defaults are all-zero: faults
+  // off, legacy deterministic behaviour.
+  net::FaultPlan lan_faults{};
+  net::FaultPlan wan_faults{};
+  std::uint64_t fault_seed = 0x5eedULL;
 };
 
 /// Registry host: a node whose only job is running the shared naming and
@@ -90,6 +97,17 @@ class Scenario {
   bool run_until(const std::function<bool()>& pred,
                  util::Duration max_sim_time = util::seconds(60));
   void run_for(util::Duration d) { net_.run_for(d); }
+
+  /// Cuts / restores all traffic between two servers' domains (chaos
+  /// scenarios; both directions).
+  void partition(core::DiscoverServer& a, core::DiscoverServer& b) {
+    net_.partition_domains(net_.node_domain(a.node()),
+                           net_.node_domain(b.node()));
+  }
+  void heal(core::DiscoverServer& a, core::DiscoverServer& b) {
+    net_.heal_domains(net_.node_domain(a.node()),
+                      net_.node_domain(b.node()));
+  }
 
   [[nodiscard]] const std::vector<std::unique_ptr<core::DiscoverServer>>&
   servers() const {

@@ -1,0 +1,334 @@
+// Deterministic chaos suite: seeded message loss, duplication, jitter,
+// partitions and node crashes injected under the virtual clock, with the
+// retry/backoff + dedup + peer-health machinery riding through them.
+// Every scenario is run twice from the same fault seed and must produce a
+// byte-identical network event trace (the determinism oracle).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "app/synthetic.h"
+#include "net/thread_network.h"
+#include "orb/orb.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+app::AppConfig chaos_app(const std::string& name) {
+  app::AppConfig cfg;
+  cfg.name = name;
+  cfg.acl = make_acl({{"alice", Privilege::steer},
+                      {"bob", Privilege::read_only}});
+  // Keep the background update stream sparse so traces stay small.
+  cfg.step_time = util::milliseconds(5);
+  cfg.update_every = 100;
+  cfg.interact_every = 0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Steering through a lossy WAN + a mid-run partition: zero lost commands.
+// ---------------------------------------------------------------------------
+
+struct LossyRunResult {
+  int accepted = 0;
+  net::FaultStats stats{};
+  std::string trace;
+};
+
+LossyRunResult run_lossy_wan(std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.fault_seed = seed;
+  cfg.wan_faults.drop_prob = 0.08;
+  cfg.wan_faults.duplicate_prob = 0.03;
+  cfg.wan_faults.jitter_max = util::milliseconds(2);
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  cfg.server_template.orb_call_timeout = util::milliseconds(500);
+  cfg.server_template.peer_suspect_threshold = 0;  // isolate retry behaviour
+  cfg.server_template.orb_retry.max_attempts = 6;
+  cfg.server_template.orb_retry.initial_backoff = util::milliseconds(100);
+  cfg.server_template.orb_retry.max_backoff = util::seconds(1);
+  workload::Scenario scenario(cfg);
+
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, chaos_app("far"),
+                                                  app::SyntheticSpec{});
+  scenario.add_app<app::SyntheticApp>(near, chaos_app("near-id"),
+                                      app::SyntheticSpec{});
+  EXPECT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+
+  scenario.net().set_trace_enabled(true);
+
+  core::ClientConfig ccfg;
+  ccfg.request_timeout = util::seconds(8);
+  ccfg.request_retry.max_attempts = 4;
+  ccfg.request_retry.initial_backoff = util::milliseconds(250);
+  ccfg.request_retry.max_backoff = util::seconds(2);
+  auto& alice = scenario.add_client("alice", near, ccfg);
+  EXPECT_TRUE(
+      workload::sync_onboard_steerer(scenario.net(), alice, app.app_id()));
+
+  LossyRunResult out;
+  for (int i = 0; i < 20; ++i) {
+    if (i == 10) {
+      // 2 s blackout between the client's server and the app's host,
+      // healed by a timer while command #10's retries are backing off.
+      scenario.partition(near, host);
+      scenario.net().schedule(host.node(), util::seconds(2),
+                              [&] { scenario.heal(near, host); });
+    }
+    auto ack = workload::sync_command(
+        scenario.net(), alice, app.app_id(), proto::CommandKind::set_param,
+        "param_0", proto::ParamValue{static_cast<double>(i)},
+        util::seconds(60));
+    if (ack.ok() && ack.value().accepted) ++out.accepted;
+  }
+
+  out.stats = scenario.net().fault_stats();
+  out.trace = scenario.net().trace();
+  return out;
+}
+
+TEST(ChaosTest, LossyWanLosesNoSteerCommands) {
+  const LossyRunResult run = run_lossy_wan(0xC0FFEE);
+  EXPECT_EQ(run.accepted, 20);
+  // The run actually went through adversity: losses, duplicates, and the
+  // partition all fired.
+  EXPECT_GT(run.stats.dropped, 0u);
+  EXPECT_GT(run.stats.duplicated, 0u);
+  EXPECT_GT(run.stats.partition_drops, 0u);
+  EXPECT_FALSE(run.trace.empty());
+}
+
+TEST(ChaosTest, LossyWanRunsAreByteIdenticalPerSeed) {
+  const LossyRunResult a = run_lossy_wan(0xC0FFEE);
+  const LossyRunResult b = run_lossy_wan(0xC0FFEE);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.stats.dropped, b.stats.dropped);
+  EXPECT_EQ(a.stats.duplicated, b.stats.duplicated);
+  EXPECT_EQ(a.trace, b.trace);
+
+  // A different seed steers the fault RNG down a different path.
+  const LossyRunResult c = run_lossy_wan(0xBEEF);
+  EXPECT_EQ(c.accepted, 20);  // retries still save every command
+  EXPECT_NE(a.trace, c.trace);
+}
+
+// ---------------------------------------------------------------------------
+// (b)+(c) Partition -> peer suspect + directory withdrawal; heal -> restore.
+// ---------------------------------------------------------------------------
+
+struct PartitionRunResult {
+  bool suspect_after_partition = false;
+  bool select_rejected_while_suspect = false;
+  bool healed = false;
+  bool select_ok_after_heal = false;
+  bool command_ok_after_heal = false;
+  std::string trace;
+};
+
+PartitionRunResult run_partition_cycle(std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.fault_seed = seed;
+  cfg.server_template.peer_refresh_period = util::milliseconds(200);
+  cfg.server_template.orb_call_timeout = util::milliseconds(300);
+  cfg.server_template.peer_suspect_threshold = 3;
+  // Poll mode: the subscriber's periodic poll_events calls are the failure
+  // detector's heartbeat during the partition.
+  cfg.server_template.remote_update_mode = core::RemoteUpdateMode::poll;
+  cfg.server_template.remote_poll_period = util::milliseconds(100);
+  workload::Scenario scenario(cfg);
+
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, chaos_app("far"),
+                                                  app::SyntheticSpec{});
+  scenario.add_app<app::SyntheticApp>(near, chaos_app("near-id"),
+                                      app::SyntheticSpec{});
+  EXPECT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+
+  scenario.net().set_trace_enabled(true);
+
+  auto& alice = scenario.add_client("alice", near);
+  EXPECT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  EXPECT_TRUE(workload::sync_select(scenario.net(), alice, app.app_id())
+                  .value().ok);
+
+  PartitionRunResult out;
+  scenario.partition(near, host);
+  out.suspect_after_partition = scenario.run_until(
+      [&] { return near.peer_suspect(host.node()); }, util::seconds(30));
+
+  // While suspect, the remote app is gone from near's directory: a fresh
+  // select fast-fails instead of hanging on a dead peer.
+  auto sel = workload::sync_select(scenario.net(), alice, app.app_id());
+  out.select_rejected_while_suspect = sel.ok() && !sel.value().ok;
+
+  scenario.heal(near, host);
+  out.healed = scenario.run_until(
+      [&] { return !near.peer_suspect(host.node()); }, util::seconds(30));
+
+  auto sel2 = workload::sync_select(scenario.net(), alice, app.app_id());
+  out.select_ok_after_heal = sel2.ok() && sel2.value().ok;
+  auto ack = workload::sync_command(scenario.net(), alice, app.app_id(),
+                                    proto::CommandKind::get_param, "param_0");
+  out.command_ok_after_heal = ack.ok() && ack.value().accepted;
+
+  out.trace = scenario.net().trace();
+  return out;
+}
+
+TEST(ChaosTest, PartitionSuspectsPeerAndHealRestoresAccess) {
+  const PartitionRunResult run = run_partition_cycle(0x5eed);
+  EXPECT_TRUE(run.suspect_after_partition);
+  EXPECT_TRUE(run.select_rejected_while_suspect);
+  EXPECT_TRUE(run.healed);
+  EXPECT_TRUE(run.select_ok_after_heal);
+  EXPECT_TRUE(run.command_ok_after_heal);
+}
+
+TEST(ChaosTest, PartitionCycleRunsAreByteIdenticalPerSeed) {
+  const PartitionRunResult a = run_partition_cycle(0x5eed);
+  const PartitionRunResult b = run_partition_cycle(0x5eed);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_FALSE(a.trace.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-node crash: the host vanishes (messages AND timers die), the peer
+// detects it, and a restart lets probes through again.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, CrashedHostGoesSuspectRestartHeals) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(200);
+  cfg.server_template.orb_call_timeout = util::milliseconds(300);
+  cfg.server_template.peer_suspect_threshold = 3;
+  cfg.server_template.remote_update_mode = core::RemoteUpdateMode::poll;
+  cfg.server_template.remote_poll_period = util::milliseconds(100);
+  workload::Scenario scenario(cfg);
+
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, chaos_app("far"),
+                                                  app::SyntheticSpec{});
+  scenario.add_app<app::SyntheticApp>(near, chaos_app("near-id"),
+                                      app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1;
+  }));
+
+  auto& alice = scenario.add_client("alice", near);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), alice, app.app_id())
+                  .value().ok);
+
+  scenario.net().crash_node(host.node());
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return near.peer_suspect(host.node()); }, util::seconds(30)));
+  EXPECT_GT(scenario.net().fault_stats().crash_drops, 0u);
+
+  // Restart re-opens the node: the host object's ORB answers probes again
+  // (its own periodic timers died with the crash, but liveness is judged
+  // by the ping reply alone).
+  scenario.net().restart_node(host.node());
+  EXPECT_TRUE(scenario.run_until(
+      [&] { return !near.peer_suspect(host.node()); }, util::seconds(30)));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadNetwork smoke: the real-time backend's fault plan + ORB retries.
+// Runs under TSan in the chaos tier to race-check the fault bookkeeping.
+// ---------------------------------------------------------------------------
+
+class EchoServant : public orb::Servant {
+ public:
+  [[nodiscard]] std::string interface_name() const override { return "Echo"; }
+  void dispatch(const std::string& method, wire::Decoder&, wire::Encoder& out,
+                orb::DispatchContext&) override {
+    if (method != "echo") {
+      throw orb::OrbException{util::Errc::invalid_argument, "no " + method};
+    }
+    out.u32(7);
+  }
+};
+
+class ThreadOrbNode : public net::MessageHandler {
+ public:
+  explicit ThreadOrbNode(net::Network& net) : network_(net) {}
+  void init(net::NodeId self) {
+    orb = std::make_unique<orb::Orb>(network_, self);
+  }
+  void on_message(const net::Message& msg) override { orb->handle(msg); }
+  net::Network& network_;
+  std::unique_ptr<orb::Orb> orb;
+};
+
+TEST(ThreadChaosTest, OrbRetriesThroughRealTimeDrops) {
+  net::ThreadNetwork net;
+  net.set_fault_seed(0xD00D);
+  net::FaultPlan plan;
+  plan.drop_prob = 0.3;
+  net.set_fault_plan(plan);
+
+  ThreadOrbNode caller(net);
+  ThreadOrbNode callee(net);
+  const net::NodeId nc = net.add_node("caller", &caller);
+  const net::NodeId ns = net.add_node("callee", &callee);
+  caller.init(nc);
+  callee.init(ns);
+  net::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = util::milliseconds(10);
+  policy.max_backoff = util::milliseconds(50);
+  caller.orb->set_retry_policy(policy);
+  const orb::ObjectRef ref = callee.orb->activate(
+      std::make_shared<EchoServant>());
+  net.start();
+
+  std::atomic<int> ok{0};
+  std::atomic<int> done{0};
+  constexpr int kCalls = 32;
+  net.post(nc, [&] {
+    for (int i = 0; i < kCalls; ++i) {
+      caller.orb->invoke(ref, "echo", wire::Encoder{},
+                         [&](util::Result<util::Bytes> r) {
+                           if (r.ok()) ok.fetch_add(1);
+                           done.fetch_add(1);
+                         },
+                         util::milliseconds(50));
+    }
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load() < kCalls &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  net.stop();
+  EXPECT_EQ(done.load(), kCalls);
+  // With 10 attempts at 30% loss, effectively every call survives; require
+  // the vast majority so scheduling noise can't flake the assertion.
+  EXPECT_GE(ok.load(), kCalls - 2);
+  EXPECT_GT(net.fault_stats().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace discover

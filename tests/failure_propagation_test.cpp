@@ -119,6 +119,57 @@ TEST(FailurePropagationTest, LateOrbReplyAfterTimeoutIsDropped) {
   EXPECT_EQ(code, util::Errc::timeout);
 }
 
+TEST(FailurePropagationTest, PendingCallTableIsBoundedWithZeroTimeout) {
+  // Regression: invoke() with timeout == 0 arms no timer, so calls to a
+  // dead callee used to accumulate in the pending table forever.  The cap
+  // evicts the oldest entry (failing it with resource_exhausted) instead.
+  net::SimNetwork net;
+
+  class Node : public net::MessageHandler {
+   public:
+    explicit Node(net::Network& n) : network(n) {}
+    void init(net::NodeId self) {
+      orb = std::make_unique<orb::Orb>(network, self);
+    }
+    void on_message(const net::Message& msg) override { orb->handle(msg); }
+    net::Network& network;
+    std::unique_ptr<orb::Orb> orb;
+  };
+  Node a(net);
+  Node b(net);
+  const net::NodeId na = net.add_node("a", &a);
+  const net::NodeId nb = net.add_node("b", &b);
+  a.init(na);
+  b.init(nb);
+  // A ref to an object the callee never answers for: the node is crashed,
+  // so every request vanishes and no reply ever completes the call.
+  orb::ObjectRef ref;
+  ref.node = nb.value();
+  ref.key = 42;
+  net.crash_node(nb);
+
+  a.orb->set_max_pending(16);
+  int exhausted = 0;
+  int other = 0;
+  for (int i = 0; i < 100; ++i) {
+    a.orb->invoke(ref, "ping", wire::Encoder{},
+                  [&](util::Result<util::Bytes> r) {
+                    if (!r.ok() &&
+                        r.error().code == util::Errc::resource_exhausted) {
+                      ++exhausted;
+                    } else {
+                      ++other;
+                    }
+                  },
+                  /*timeout=*/0);
+    EXPECT_LE(a.orb->pending_calls(), 16u);
+  }
+  net.run_until_idle();
+  EXPECT_EQ(a.orb->pending_calls(), 16u);  // the survivors, still bounded
+  EXPECT_EQ(exhausted, 84);
+  EXPECT_EQ(other, 0);
+}
+
 TEST(WireGoldenTest, CdrLayoutIsStable) {
   // Pin the on-wire byte layout so protocol changes are deliberate: a u8
   // then an aligned u32 then a string.

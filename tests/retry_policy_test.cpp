@@ -1,0 +1,224 @@
+// Unit tests for the retry/backoff policy and the ORB + HTTP request
+// deduplication that makes retries safe for non-idempotent operations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/retry.h"
+#include "net/sim_network.h"
+#include "orb/orb.h"
+#include "util/rng.h"
+
+namespace discover {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backoff schedule
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, DisabledByDefault) {
+  net::RetryPolicy p;
+  EXPECT_EQ(p.max_attempts, 1u);
+  EXPECT_FALSE(p.enabled());
+}
+
+TEST(RetryPolicyTest, BackoffGrowsGeometricallyAndSaturates) {
+  net::RetryPolicy p;
+  p.max_attempts = 8;
+  p.initial_backoff = util::milliseconds(100);
+  p.multiplier = 2.0;
+  p.max_backoff = util::milliseconds(500);
+  util::Rng rng(1);
+  EXPECT_EQ(p.backoff_after(1, rng), util::milliseconds(100));
+  EXPECT_EQ(p.backoff_after(2, rng), util::milliseconds(200));
+  EXPECT_EQ(p.backoff_after(3, rng), util::milliseconds(400));
+  // Capped from here on: 800 -> 500, and it stays at the cap.
+  EXPECT_EQ(p.backoff_after(4, rng), util::milliseconds(500));
+  EXPECT_EQ(p.backoff_after(20, rng), util::milliseconds(500));
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBounds) {
+  net::RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = util::milliseconds(100);
+  p.max_backoff = util::seconds(2);
+  p.jitter = 0.5;  // factor in [0.75, 1.25]
+  util::Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const util::Duration d = p.backoff_after(1, rng);
+    EXPECT_GE(d, util::milliseconds(75));
+    EXPECT_LE(d, util::milliseconds(125));
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  net::RetryPolicy p;
+  p.max_attempts = 4;
+  p.jitter = 0.5;
+  util::Rng a(7);
+  util::Rng b(7);
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(p.backoff_after(i, a), p.backoff_after(i, b));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ORB retry + deduplication
+// ---------------------------------------------------------------------------
+
+class CountingServant : public orb::Servant {
+ public:
+  [[nodiscard]] std::string interface_name() const override {
+    return "Counter";
+  }
+  void dispatch(const std::string& method, wire::Decoder& args,
+                wire::Encoder& out, orb::DispatchContext& ctx) override {
+    (void)args;
+    (void)ctx;
+    if (method == "bump") {
+      ++calls;
+      out.u64(calls);
+    } else {
+      throw orb::OrbException{util::Errc::invalid_argument, "no " + method};
+    }
+  }
+  std::uint64_t calls = 0;
+};
+
+class OrbNode : public net::MessageHandler {
+ public:
+  explicit OrbNode(net::Network& net) : network_(net) {}
+  void init(net::NodeId self) {
+    orb = std::make_unique<orb::Orb>(network_, self);
+  }
+  void on_message(const net::Message& msg) override { orb->handle(msg); }
+  net::Network& network_;
+  std::unique_ptr<orb::Orb> orb;
+};
+
+struct OrbPair {
+  net::SimNetwork net;
+  OrbNode caller{net};
+  OrbNode callee{net};
+  net::NodeId nc{0};
+  net::NodeId ns{0};
+  std::shared_ptr<CountingServant> servant = std::make_shared<CountingServant>();
+  orb::ObjectRef ref;
+
+  explicit OrbPair(util::Duration latency) {
+    net.set_lan_model({latency, 1e9});
+    nc = net.add_node("caller", &caller);
+    ns = net.add_node("callee", &callee);
+    caller.init(nc);
+    callee.init(ns);
+    ref = callee.orb->activate(servant);
+  }
+};
+
+TEST(OrbRetryTest, RetriedCallWithLateOriginalReplyDeliversOnce) {
+  // RTT is 2 ms but the per-attempt timeout is 1 ms: attempt 1 times out
+  // while its reply is still in flight, a retransmission goes out, and BOTH
+  // replies eventually arrive.  The caller must fire its callback exactly
+  // once and the servant must execute exactly once (the retransmission is
+  // answered from the callee's reply cache).
+  OrbPair p(util::milliseconds(1));
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = util::microseconds(100);
+  p.caller.orb->set_retry_policy(policy);
+
+  int callbacks = 0;
+  util::Result<util::Bytes> last = util::Error{util::Errc::internal, "unset"};
+  p.net.post(p.nc, [&] {
+    p.caller.orb->invoke(p.ref, "bump", wire::Encoder{},
+                         [&](util::Result<util::Bytes> r) {
+                           ++callbacks;
+                           last = std::move(r);
+                         },
+                         util::milliseconds(1));
+  });
+  p.net.run_until_idle();
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_TRUE(last.ok());
+  EXPECT_EQ(p.servant->calls, 1u);
+  EXPECT_GE(p.caller.orb->retries(), 1u);
+  EXPECT_GE(p.callee.orb->dedup_hits(), 1u);
+  EXPECT_EQ(p.caller.orb->pending_calls(), 0u);
+}
+
+TEST(OrbRetryTest, RetrySpansAPartitionAndSucceeds) {
+  OrbPair p(util::milliseconds(1));
+  net::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = util::milliseconds(50);
+  policy.max_backoff = util::milliseconds(200);
+  p.caller.orb->set_retry_policy(policy);
+
+  p.net.partition(p.nc, p.ns);
+  // Heal while the retry loop is still backing off.
+  p.net.schedule(p.ns, util::milliseconds(150),
+                 [&] { p.net.heal(p.nc, p.ns); });
+
+  int callbacks = 0;
+  bool ok = false;
+  p.net.post(p.nc, [&] {
+    p.caller.orb->invoke(p.ref, "bump", wire::Encoder{},
+                         [&](util::Result<util::Bytes> r) {
+                           ++callbacks;
+                           ok = r.ok();
+                         },
+                         util::milliseconds(30));
+  });
+  p.net.run_until_idle();
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(p.servant->calls, 1u);
+  EXPECT_GT(p.net.fault_stats().partition_drops, 0u);
+}
+
+TEST(OrbRetryTest, ExhaustedRetriesReportTimeout) {
+  OrbPair p(util::milliseconds(1));
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = util::milliseconds(10);
+  p.caller.orb->set_retry_policy(policy);
+
+  p.net.partition(p.nc, p.ns);  // never healed
+  util::Errc code = util::Errc::ok;
+  p.net.post(p.nc, [&] {
+    p.caller.orb->invoke(p.ref, "bump", wire::Encoder{},
+                         [&](util::Result<util::Bytes> r) {
+                           code = r.ok() ? util::Errc::ok : r.error().code;
+                         },
+                         util::milliseconds(5));
+  });
+  p.net.run_until_idle();
+  EXPECT_EQ(code, util::Errc::timeout);
+  EXPECT_EQ(p.servant->calls, 0u);
+  EXPECT_EQ(p.caller.orb->retries(), 2u);  // attempts 2 and 3
+}
+
+TEST(OrbRetryTest, NetworkDuplicatedRequestExecutesOnce) {
+  // Even without retries, a transport-level duplicate of a request must not
+  // re-execute the servant: the reply cache replays the original answer.
+  OrbPair p(util::milliseconds(1));
+  net::FaultPlan dup;
+  dup.duplicate_prob = 1.0;  // every message is doubled
+  p.net.set_lan_faults(dup);
+
+  int callbacks = 0;
+  p.net.post(p.nc, [&] {
+    p.caller.orb->invoke(p.ref, "bump", wire::Encoder{},
+                         [&](util::Result<util::Bytes>) { ++callbacks; },
+                         util::seconds(1));
+  });
+  p.net.run_until_idle();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(p.servant->calls, 1u);
+  EXPECT_GE(p.callee.orb->dedup_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace discover

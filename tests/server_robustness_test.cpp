@@ -311,5 +311,49 @@ TEST(PushExtensionTest, PushedEventsArriveWithoutPolling) {
   EXPECT_GT(server.total_fifo_backlog(), 0u);
 }
 
+TEST(LockLeaseTest, CrashedHolderMidPartitionLeaseExpiresAndPeerAcquires) {
+  // A remote steerer holds the lock when her site partitions away AND her
+  // portal node crashes outright.  She can never release; the lease must
+  // reap the lock so a surviving collaborator can steer.
+  workload::ScenarioConfig cfg;
+  cfg.server_template.lock_lease = util::milliseconds(200);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  app::AppConfig acfg = basic_app("contested");
+  acfg.acl = make_acl({{"alice", Privilege::steer},
+                       {"carol", Privilege::steer}});
+  auto& app = scenario.add_app<app::SyntheticApp>(server, acfg,
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+
+  // Alice drives from a remote site (domain 2) across the WAN.
+  auto& alice = scenario.add_client_in_domain("alice", server, 2);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_EQ(server.lock_holder(id)->user, "alice");
+
+  // Her site partitions and her node crashes mid-session.
+  scenario.net().partition_domains(net::DomainId{1}, net::DomainId{2});
+  scenario.net().crash_node(alice.node());
+
+  // The lease fires at the host and frees the lock despite the dead holder.
+  ASSERT_TRUE(scenario.run_until([&] {
+    const auto h = server.lock_holder(id);
+    return !h.has_value() || h->user != "alice";
+  }, util::seconds(10)));
+
+  // A surviving local collaborator takes over steering.
+  auto& carol = scenario.add_client("carol", server);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), carol).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), carol, id).value().ok);
+  ASSERT_TRUE(workload::sync_command(scenario.net(), carol, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value().accepted);
+  ASSERT_TRUE(scenario.run_until([&] {
+    const auto h = server.lock_holder(id);
+    return h.has_value() && h->user == "carol";
+  }, util::seconds(10)));
+}
+
 }  // namespace
 }  // namespace discover
