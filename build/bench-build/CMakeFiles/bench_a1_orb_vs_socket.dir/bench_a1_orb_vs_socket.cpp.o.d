@@ -192,9 +192,11 @@ bench-build/CMakeFiles/bench_a1_orb_vs_socket.dir/bench_a1_orb_vs_socket.cpp.o: 
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.h \
- /root/repo/src/net/message.h /root/repo/src/net/address.h \
- /root/repo/src/util/ids.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
+ /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -209,14 +211,13 @@ bench-build/CMakeFiles/bench_a1_orb_vs_socket.dir/bench_a1_orb_vs_socket.cpp.o: 
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/util/bytes.h \
- /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/orb/orb.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/network.h \
+ /root/repo/src/net/message.h /root/repo/src/net/address.h \
+ /root/repo/src/util/ids.h /root/repo/src/util/bytes.h \
+ /root/repo/src/util/rng.h /root/repo/src/orb/orb.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -229,9 +230,9 @@ bench-build/CMakeFiles/bench_a1_orb_vs_socket.dir/bench_a1_orb_vs_socket.cpp.o: 
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/orb/ior.h \
- /root/repo/src/wire/cdr.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/net/retry.h \
+ /root/repo/src/orb/ior.h /root/repo/src/wire/cdr.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/optional /root/repo/src/util/result.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
  /root/repo/src/proto/messages.h /root/repo/src/proto/types.h \

@@ -229,7 +229,8 @@ bench-build/CMakeFiles/bench_e3_apps_vs_clients.dir/bench_e3_apps_vs_clients.cpp
  /root/repo/src/util/bytes.h /root/repo/src/net/network.h \
  /root/repo/src/net/message.h /root/repo/src/workload/drivers.h \
  /root/repo/src/core/client.h /root/repo/src/http/http_client.h \
- /root/repo/src/http/http_message.h /root/repo/src/util/stats.h \
+ /root/repo/src/http/http_message.h /root/repo/src/net/retry.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/stats.h \
  /root/repo/src/workload/thread_scenario.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -253,6 +254,6 @@ bench-build/CMakeFiles/bench_e3_apps_vs_clients.dir/bench_e3_apps_vs_clients.cpp
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/workload/scenario.h /root/repo/src/net/sim_network.h \
  /root/repo/src/workload/sync_ops.h

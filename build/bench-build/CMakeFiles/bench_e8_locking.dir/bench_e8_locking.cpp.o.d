@@ -233,6 +233,7 @@ bench-build/CMakeFiles/bench_e8_locking.dir/bench_e8_locking.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/core/client.h \
  /root/repo/src/http/http_client.h /root/repo/src/http/http_message.h \
+ /root/repo/src/net/retry.h /root/repo/src/util/rng.h \
  /root/repo/src/util/stats.h /root/repo/src/core/server.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/lock_manager.h \
@@ -243,5 +244,5 @@ bench-build/CMakeFiles/bench_e8_locking.dir/bench_e8_locking.cpp.o: \
  /root/repo/src/security/rate_limit.h /root/repo/src/net/sim_network.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/workload/sync_ops.h

@@ -220,32 +220,33 @@ examples/CMakeFiles/grid_launch_and_steer.dir/grid_launch_and_steer.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/orb/orb.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/retry.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
  /root/repo/src/orb/ior.h /root/repo/src/wire/cdr.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/optional /root/repo/src/util/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/orb/trader.h /root/repo/src/grid/cog.h \
  /root/repo/src/grid/gis.h /root/repo/src/grid/job.h \
  /root/repo/src/security/acl.h /root/repo/src/security/privilege.h \
- /root/repo/src/grid/resource.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/app/steerable_app.h /root/repo/src/app/control_network.h \
- /root/repo/src/proto/messages.h /root/repo/src/proto/types.h \
- /root/repo/src/security/token.h /root/repo/src/workload/scenario.h \
- /root/repo/src/app/synthetic.h /root/repo/src/core/client.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/http/http_client.h /root/repo/src/http/http_message.h \
- /root/repo/src/core/server.h /root/repo/src/core/lock_manager.h \
- /root/repo/src/core/session_archive.h /root/repo/src/db/record_store.h \
- /root/repo/src/http/servlet_container.h /root/repo/src/http/servlet.h \
- /root/repo/src/orb/naming.h /root/repo/src/security/rate_limit.h \
- /root/repo/src/net/sim_network.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/grid/resource.h /root/repo/src/app/steerable_app.h \
+ /root/repo/src/app/control_network.h /root/repo/src/proto/messages.h \
+ /root/repo/src/proto/types.h /root/repo/src/security/token.h \
+ /root/repo/src/workload/scenario.h /root/repo/src/app/synthetic.h \
+ /root/repo/src/core/client.h /root/repo/src/http/http_client.h \
+ /root/repo/src/http/http_message.h /root/repo/src/core/server.h \
+ /root/repo/src/core/lock_manager.h /root/repo/src/core/session_archive.h \
+ /root/repo/src/db/record_store.h /root/repo/src/http/servlet_container.h \
+ /root/repo/src/http/servlet.h /root/repo/src/orb/naming.h \
+ /root/repo/src/security/rate_limit.h /root/repo/src/net/sim_network.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/workload/sync_ops.h

@@ -210,16 +210,17 @@ src/core/CMakeFiles/discover_core.dir/client.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/stats.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/retry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/proto/messages.h /root/repo/src/proto/types.h \
- /root/repo/src/security/acl.h /root/repo/src/security/privilege.h \
- /root/repo/src/security/token.h /root/repo/src/wire/cdr.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/stats.h /root/repo/src/proto/messages.h \
+ /root/repo/src/proto/types.h /root/repo/src/security/acl.h \
+ /root/repo/src/security/privilege.h /root/repo/src/security/token.h \
+ /root/repo/src/wire/cdr.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/server.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/memory \

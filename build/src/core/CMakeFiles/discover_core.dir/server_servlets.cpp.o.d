@@ -231,12 +231,12 @@ src/core/CMakeFiles/discover_core.dir/server_servlets.cpp.o: \
  /root/repo/src/core/session_archive.h /root/repo/src/db/record_store.h \
  /root/repo/src/http/http_client.h /root/repo/src/http/http_message.h \
  /root/repo/src/net/network.h /root/repo/src/net/message.h \
- /root/repo/src/util/stats.h /usr/include/c++/12/algorithm \
+ /root/repo/src/net/retry.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/http/servlet_container.h /root/repo/src/http/servlet.h \
- /root/repo/src/orb/naming.h /root/repo/src/orb/orb.h \
- /root/repo/src/orb/ior.h /root/repo/src/orb/trader.h \
- /root/repo/src/proto/messages.h /root/repo/src/security/rate_limit.h \
- /root/repo/src/util/log.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/stats.h /root/repo/src/http/servlet_container.h \
+ /root/repo/src/http/servlet.h /root/repo/src/orb/naming.h \
+ /root/repo/src/orb/orb.h /root/repo/src/orb/ior.h \
+ /root/repo/src/orb/trader.h /root/repo/src/proto/messages.h \
+ /root/repo/src/security/rate_limit.h /root/repo/src/util/log.h

@@ -219,13 +219,17 @@ src/core/CMakeFiles/discover_core.dir/service_host.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/orb/orb.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/retry.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
  /root/repo/src/orb/ior.h /root/repo/src/wire/cdr.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/optional /root/repo/src/util/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/orb/trader.h /root/repo/src/util/log.h

@@ -231,10 +231,12 @@ src/grid/CMakeFiles/discover_grid.dir/resource.cpp.o: \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/util/bytes.h \
  /root/repo/src/net/network.h /root/repo/src/net/message.h \
  /root/repo/src/grid/gis.h /root/repo/src/orb/orb.h \
- /root/repo/src/orb/ior.h /root/repo/src/util/stats.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/retry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/orb/ior.h /root/repo/src/util/stats.h \
  /root/repo/src/orb/trader.h /root/repo/src/grid/job.h \
  /root/repo/src/app/heat2d.h /root/repo/src/app/inspiral.h \
  /root/repo/src/app/reservoir.h /root/repo/src/app/synthetic.h \

@@ -220,12 +220,19 @@ src/net/CMakeFiles/discover_net.dir/thread_network.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.h \
- /root/repo/src/net/message.h /root/repo/src/net/address.h \
- /root/repo/src/util/ids.h /root/repo/src/util/bytes.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/network.h \
+ /root/repo/src/net/message.h /root/repo/src/net/address.h \
+ /root/repo/src/util/ids.h /root/repo/src/util/bytes.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h

@@ -211,17 +211,17 @@ src/workload/CMakeFiles/discover_workload.dir/sync_ops.cpp.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/stats.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/retry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/proto/messages.h /root/repo/src/proto/types.h \
- /root/repo/src/security/acl.h /root/repo/src/security/privilege.h \
- /root/repo/src/security/token.h /root/repo/src/wire/cdr.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/stats.h /root/repo/src/proto/messages.h \
+ /root/repo/src/proto/types.h /root/repo/src/security/acl.h \
+ /root/repo/src/security/privilege.h /root/repo/src/security/token.h \
+ /root/repo/src/wire/cdr.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -244,4 +244,4 @@ src/workload/CMakeFiles/discover_workload.dir/sync_ops.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h

@@ -306,15 +306,15 @@ tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cpp.o: \
  /root/repo/src/grid/job.h /root/repo/src/grid/resource.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/grid/gis.h \
- /root/repo/src/orb/orb.h /root/repo/src/orb/ior.h \
- /root/repo/src/util/stats.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/orb/orb.h /root/repo/src/net/retry.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/orb/ior.h /root/repo/src/util/stats.h \
  /root/repo/src/orb/trader.h /root/repo/src/net/sim_network.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/workload/scenario.h /root/repo/src/core/client.h \
  /root/repo/src/http/http_client.h /root/repo/src/http/http_message.h \
  /root/repo/src/core/server.h /root/repo/src/core/lock_manager.h \

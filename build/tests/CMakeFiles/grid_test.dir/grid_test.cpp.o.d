@@ -298,17 +298,18 @@ tests/CMakeFiles/grid_test.dir/grid_test.cpp.o: \
  /root/repo/src/util/ids.h /root/repo/src/util/bytes.h \
  /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/orb/orb.h /root/repo/src/orb/ior.h \
- /root/repo/src/wire/cdr.h /usr/include/c++/12/cstring \
- /root/repo/src/util/result.h /root/repo/src/util/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/orb/trader.h /root/repo/src/grid/cog.h \
- /root/repo/src/grid/gis.h /root/repo/src/grid/job.h \
- /root/repo/src/security/acl.h /root/repo/src/security/privilege.h \
- /root/repo/src/grid/resource.h /usr/include/c++/12/deque \
+ /root/repo/src/orb/orb.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/net/retry.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/orb/ior.h /root/repo/src/wire/cdr.h \
+ /usr/include/c++/12/cstring /root/repo/src/util/result.h \
+ /root/repo/src/util/stats.h /root/repo/src/orb/trader.h \
+ /root/repo/src/grid/cog.h /root/repo/src/grid/gis.h \
+ /root/repo/src/grid/job.h /root/repo/src/security/acl.h \
+ /root/repo/src/security/privilege.h /root/repo/src/grid/resource.h \
  /root/repo/src/app/steerable_app.h /root/repo/src/app/control_network.h \
  /root/repo/src/proto/messages.h /root/repo/src/proto/types.h \
  /root/repo/src/security/token.h /root/repo/src/workload/scenario.h \
@@ -320,5 +321,5 @@ tests/CMakeFiles/grid_test.dir/grid_test.cpp.o: \
  /root/repo/src/orb/naming.h /root/repo/src/security/rate_limit.h \
  /root/repo/src/net/sim_network.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/workload/sync_ops.h

@@ -299,13 +299,13 @@ tests/CMakeFiles/http_test.dir/http_test.cpp.o: \
  /root/repo/src/net/address.h /root/repo/src/util/ids.h \
  /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/util/stats.h /usr/include/c++/12/algorithm \
+ /root/repo/src/net/retry.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/http/servlet_container.h /root/repo/src/http/servlet.h \
- /root/repo/src/net/sim_network.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/stats.h /root/repo/src/http/servlet_container.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/http/servlet.h \
+ /root/repo/src/net/sim_network.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h

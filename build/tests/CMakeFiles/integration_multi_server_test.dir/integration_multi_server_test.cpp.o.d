@@ -306,18 +306,19 @@ tests/CMakeFiles/integration_multi_server_test.dir/integration_multi_server_test
  /root/repo/src/net/network.h /root/repo/src/net/message.h \
  /root/repo/src/app/synthetic.h /root/repo/src/workload/scenario.h \
  /root/repo/src/core/client.h /root/repo/src/http/http_client.h \
- /root/repo/src/http/http_message.h /root/repo/src/util/stats.h \
+ /root/repo/src/http/http_message.h /root/repo/src/net/retry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/server.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/lock_manager.h /root/repo/src/core/session_archive.h \
- /root/repo/src/db/record_store.h /root/repo/src/http/servlet_container.h \
- /root/repo/src/http/servlet.h /root/repo/src/orb/naming.h \
- /root/repo/src/orb/orb.h /root/repo/src/orb/ior.h \
- /root/repo/src/orb/trader.h /root/repo/src/security/rate_limit.h \
- /root/repo/src/net/sim_network.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/stats.h /root/repo/src/core/server.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/lock_manager.h \
+ /root/repo/src/core/session_archive.h /root/repo/src/db/record_store.h \
+ /root/repo/src/http/servlet_container.h /root/repo/src/http/servlet.h \
+ /root/repo/src/orb/naming.h /root/repo/src/orb/orb.h \
+ /root/repo/src/orb/ior.h /root/repo/src/orb/trader.h \
+ /root/repo/src/security/rate_limit.h /root/repo/src/net/sim_network.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/workload/sync_ops.h

@@ -297,11 +297,12 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.h \
- /root/repo/src/net/message.h /root/repo/src/net/address.h \
- /root/repo/src/util/ids.h /root/repo/src/util/bytes.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/net/network.h /root/repo/src/net/message.h \
+ /root/repo/src/net/address.h /root/repo/src/util/ids.h \
+ /root/repo/src/util/bytes.h /root/repo/src/util/rng.h \
  /root/repo/src/net/thread_network.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \

@@ -297,16 +297,17 @@ tests/CMakeFiles/orb_test.dir/orb_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.h \
- /root/repo/src/net/message.h /root/repo/src/net/address.h \
- /root/repo/src/util/ids.h /root/repo/src/util/bytes.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/fault.h \
  /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/net/network.h /root/repo/src/net/message.h \
+ /root/repo/src/net/address.h /root/repo/src/util/ids.h \
+ /root/repo/src/util/bytes.h /root/repo/src/util/rng.h \
  /root/repo/src/orb/naming.h /root/repo/src/orb/orb.h \
- /root/repo/src/orb/ior.h /root/repo/src/wire/cdr.h \
- /usr/include/c++/12/cstring /root/repo/src/util/result.h \
- /root/repo/src/util/stats.h /usr/include/c++/12/algorithm \
+ /root/repo/src/net/retry.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/orb/ior.h \
+ /root/repo/src/wire/cdr.h /usr/include/c++/12/cstring \
+ /root/repo/src/util/result.h /root/repo/src/util/stats.h \
  /root/repo/src/orb/trader.h

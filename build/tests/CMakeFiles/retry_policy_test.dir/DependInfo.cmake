@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/retry_policy_test.cpp" "tests/CMakeFiles/retry_policy_test.dir/retry_policy_test.cpp.o" "gcc" "tests/CMakeFiles/retry_policy_test.dir/retry_policy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/discover_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/discover_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/discover_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/discover_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/discover_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/discover_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/discover_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/discover_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/discover_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/discover_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/discover_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

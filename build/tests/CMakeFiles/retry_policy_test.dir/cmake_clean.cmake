@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retry_policy_test.dir/retry_policy_test.cpp.o"
+  "CMakeFiles/retry_policy_test.dir/retry_policy_test.cpp.o.d"
+  "retry_policy_test"
+  "retry_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retry_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
