@@ -6,12 +6,56 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/client.h"
+#include "net/network.h"
 #include "workload/report.h"
 
 namespace discover::bench {
+
+/// A portal client whose inbox can be switched into counting mode: during a
+/// measured fan-out storm it only tallies arriving messages and bytes
+/// instead of parsing them, so the measurement isolates the server's
+/// fan-out path from client-side decode cost.  Counters are atomic so the
+/// same type works on both SimNetwork and ThreadNetwork.
+class CountingClient final : public net::MessageHandler {
+ public:
+  CountingClient(net::Network& network, core::ClientConfig config)
+      : inner_(network, std::move(config)) {}
+
+  void attach(net::NodeId self) { inner_.attach(self); }
+
+  void on_message(const net::Message& msg) override {
+    if (counting_.load(std::memory_order_relaxed)) {
+      messages_.fetch_add(1, std::memory_order_relaxed);
+      bytes_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+      return;
+    }
+    inner_.on_message(msg);
+  }
+
+  /// The wrapped client, used for the HTTP setup phase (login/select/...).
+  [[nodiscard]] core::DiscoverClient& portal() { return inner_; }
+  void set_counting(bool on) {
+    counting_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t counted_messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t counted_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  core::DiscoverClient inner_;
+  std::atomic<bool> counting_{false};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
 
 /// Collects summary rows during benchmark execution; printed from main().
 class Summary {

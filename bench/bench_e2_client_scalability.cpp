@@ -112,6 +112,129 @@ void BM_E2(benchmark::State& state) {
 BENCHMARK(BM_E2)->Arg(4)->Arg(8)->Arg(16)->Arg(20)->Arg(24)->Arg(32)->Arg(48)
     ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Push fan-out on the threaded backend: N push subscribers behind real
+// worker threads, one driver posting chats.  Complements the SimNetwork
+// sweep in bench_e7 — here the shared wire payload is handed to N
+// concurrent inboxes, so the encode-once saving shows up as wall-clock
+// delivery throughput.  Counting sinks tally deliveries with atomics, so
+// the measurement needs no cross-thread access to server internals.
+// ---------------------------------------------------------------------------
+
+bench::Summary& fanout_summary() {
+  static bench::Summary s(
+      "E2 fan-out: push delivery throughput, ThreadNetwork (legacy = "
+      "full-session scan + per-recipient encode)",
+      {"subs", "path", "deliveries_per_s", "delivered", "bytes_rx"});
+  return s;
+}
+
+constexpr int kFanoutChats = 50;
+
+void BM_E2_PushFanout(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  const bool fast_path = state.range(1) != 0;
+  double per_sec = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes_rx = 0;
+
+  for (auto _ : state) {
+    core::ServerConfig server_cfg;
+    server_cfg.fanout_fast_path = fast_path;
+    workload::ThreadScenario scenario(server_cfg);
+    auto& server = scenario.add_server("portal");
+
+    std::vector<security::AclEntry> acl;
+    acl.push_back({"driver", security::Privilege::read_write, 0});
+    for (int i = 0; i < subscribers; ++i) {
+      acl.push_back({"s" + std::to_string(i),
+                     security::Privilege::read_only, 0});
+    }
+    app::AppConfig cfg;
+    cfg.name = "board";
+    cfg.acl = acl;
+    cfg.step_time = util::milliseconds(50);
+    cfg.update_every = 0;  // the driver's chats are the only events
+    cfg.interact_every = 0;
+    auto& board = scenario.add_app<app::SyntheticApp>(server, cfg,
+                                                      app::SyntheticSpec{});
+
+    // Sinks are plain network nodes (no poll loop): added before start(),
+    // like every ThreadNetwork node.
+    std::vector<std::unique_ptr<bench::CountingClient>> sinks;
+    const net::DomainId domain = scenario.net().node_domain(server.node());
+    for (int i = 0; i < subscribers; ++i) {
+      core::ClientConfig ccfg;
+      ccfg.user = "s" + std::to_string(i);
+      auto sink =
+          std::make_unique<bench::CountingClient>(scenario.net(), ccfg);
+      const net::NodeId node = scenario.net().add_node(
+          "sink" + std::to_string(i), sink.get(), domain);
+      sink->attach(node);
+      sink->portal().set_server(server.node());
+      sinks.push_back(std::move(sink));
+    }
+    auto& driver = scenario.add_client("driver", server);
+
+    scenario.start();
+    workload::wait_for(scenario.net(), [&] { return board.registered(); },
+                       util::seconds(10));
+    const proto::AppId app_id = board.app_id();
+    for (auto& sink : sinks) {
+      (void)workload::sync_login(scenario.net(), sink->portal(),
+                                 util::seconds(20));
+      (void)workload::sync_select(scenario.net(), sink->portal(), app_id,
+                                  util::seconds(20));
+      (void)workload::sync_group_op(scenario.net(), sink->portal(), app_id,
+                                    proto::GroupOp::enable_push, "",
+                                    util::seconds(20));
+    }
+    (void)workload::sync_login(scenario.net(), driver, util::seconds(20));
+    (void)workload::sync_select(scenario.net(), driver, app_id,
+                                util::seconds(20));
+
+    const std::string text(256, 'w');
+    const auto total_counted = [&] {
+      std::uint64_t n = 0;
+      for (auto& sink : sinks) n += sink->counted_messages();
+      return n;
+    };
+    for (auto& sink : sinks) sink->set_counting(true);
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(subscribers) * kFanoutChats;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < kFanoutChats; ++k) {
+      (void)workload::sync_collab_post(scenario.net(), driver, app_id,
+                                       proto::EventKind::chat, text,
+                                       util::seconds(20));
+    }
+    workload::wait_for(scenario.net(),
+                       [&] { return total_counted() >= expect; },
+                       util::seconds(20));
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    delivered = total_counted();
+    for (auto& sink : sinks) bytes_rx += sink->counted_bytes();
+    if (elapsed_s > 0) {
+      per_sec = static_cast<double>(delivered) / elapsed_s;
+    }
+    scenario.stop();
+  }
+
+  state.counters["deliveries_per_sec"] = per_sec;
+  state.counters["delivered"] = static_cast<double>(delivered);
+  fanout_summary().row(
+      {workload::fmt_int(static_cast<std::uint64_t>(subscribers)),
+       fast_path ? "fast" : "legacy", workload::fmt_double(per_sec, 0),
+       workload::fmt_int(delivered), workload::fmt_int(bytes_rx)});
+}
+BENCHMARK(BM_E2_PushFanout)
+    ->ArgNames({"subs", "fast"})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
-DISCOVER_BENCH_MAIN(summary().print())
+DISCOVER_BENCH_MAIN(summary().print(); fanout_summary().print())

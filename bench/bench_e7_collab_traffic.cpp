@@ -8,9 +8,41 @@
 // P2P.
 #include "bench_common.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
 #include "app/synthetic.h"
 #include "workload/scenario.h"
 #include "workload/sync_ops.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (fan-out sweep): SimNetwork runs are
+// single-threaded, so relaxed atomics cost nothing and stay correct if a
+// future case spins up threads.  Aligned-new falls through to the default
+// implementation — the payloads measured here are byte buffers and events
+// with natural alignment.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -169,6 +201,153 @@ BENCHMARK(BM_E7)
     ->Args({32, 0})->Args({32, 1})
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Fan-out sweep: events/sec and allocations per delivered event as one
+// publish storm fans out to 8/64/512 subscribers, fast path vs legacy scan
+// (ServerConfig::fanout_fast_path).  Push mode measures the encode-once
+// broadcast; poll mode measures the shared-event FIFOs.
+// ---------------------------------------------------------------------------
+
+bench::Summary& fanout_summary() {
+  static bench::Summary s(
+      "Fan-out fast path: one chat event -> N subscribers, single server "
+      "(SimNetwork; legacy = pre-index full scan + per-recipient encode)",
+      {"subs", "mode", "path", "events_per_s", "allocs_per_delivery",
+       "alloc_bytes_per_delivery", "delivered"});
+  return s;
+}
+
+struct FanoutResult {
+  std::uint64_t delivered = 0;
+  double events_per_sec = 0;
+  double allocs_per_delivery = 0;
+  double alloc_bytes_per_delivery = 0;
+};
+
+constexpr int kFanoutEvents = 100;
+
+FanoutResult run_fanout(int subscribers, bool push, bool fast_path) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.fanout_fast_path = fast_path;
+  cfg.server_template.client_fifo_cap = 0;  // storm must not drop (poll mode)
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+
+  std::vector<security::AclEntry> acl;
+  acl.push_back({"driver", security::Privilege::read_write, 0});
+  for (int i = 0; i < subscribers; ++i) {
+    acl.push_back({"s" + std::to_string(i),
+                   security::Privilege::read_only, 0});
+  }
+  app::AppConfig app_cfg;
+  app_cfg.name = "board";
+  app_cfg.acl = acl;
+  app_cfg.step_time = util::milliseconds(50);
+  app_cfg.update_every = 0;  // the driver's chats are the only events
+  app_cfg.interact_every = 0;
+  auto& app = scenario.add_app<app::SyntheticApp>(server, app_cfg,
+                                                  app::SyntheticSpec{});
+  scenario.run_until([&] { return app.registered(); });
+  const proto::AppId app_id = app.app_id();
+
+  // N counting sinks (setup over real HTTP, storm counted without parsing)
+  // plus one regular driver client that publishes the chats.
+  std::vector<std::unique_ptr<bench::CountingClient>> sinks;
+  const net::DomainId domain = scenario.net().node_domain(server.node());
+  for (int i = 0; i < subscribers; ++i) {
+    core::ClientConfig ccfg;
+    ccfg.user = "s" + std::to_string(i);
+    auto sink =
+        std::make_unique<bench::CountingClient>(scenario.net(), ccfg);
+    const net::NodeId node = scenario.net().add_node(
+        "sink" + std::to_string(i), sink.get(), domain);
+    sink->attach(node);
+    sink->portal().set_server(server.node());
+    (void)workload::sync_login(scenario.net(), sink->portal());
+    (void)workload::sync_select(scenario.net(), sink->portal(), app_id);
+    if (push) {
+      (void)workload::sync_group_op(scenario.net(), sink->portal(), app_id,
+                                    proto::GroupOp::enable_push, "");
+    }
+    sinks.push_back(std::move(sink));
+  }
+  auto& driver = scenario.add_client("driver", server);
+  (void)workload::sync_login(scenario.net(), driver);
+  (void)workload::sync_select(scenario.net(), driver, app_id);
+
+  // A realistic whiteboard-op payload (a stroke batch, ~1 KiB);
+  // per-recipient serialization cost in the legacy path scales with this,
+  // the shared payload does not.
+  const std::string text(1024, 'w');
+
+  for (auto& sink : sinks) sink->set_counting(true);
+  const std::uint64_t delivered0 = server.stats().events_delivered;
+  const std::uint64_t allocs0 =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t alloc_bytes0 =
+      g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (int k = 0; k < kFanoutEvents; ++k) {
+    (void)workload::sync_collab_post(scenario.net(), driver, app_id,
+                                     proto::EventKind::whiteboard, text);
+  }
+  scenario.run_for(util::milliseconds(100));  // flush in-flight pushes
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::uint64_t delivered =
+      server.stats().events_delivered - delivered0;
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  const std::uint64_t alloc_bytes =
+      g_alloc_bytes.load(std::memory_order_relaxed) - alloc_bytes0;
+
+  FanoutResult out;
+  out.delivered = delivered;
+  if (elapsed_s > 0) {
+    out.events_per_sec = static_cast<double>(delivered) / elapsed_s;
+  }
+  if (delivered > 0) {
+    out.allocs_per_delivery =
+        static_cast<double>(allocs) / static_cast<double>(delivered);
+    out.alloc_bytes_per_delivery =
+        static_cast<double>(alloc_bytes) / static_cast<double>(delivered);
+  }
+  return out;
+}
+
+void BM_E7_Fanout(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  const bool push = state.range(1) != 0;
+  const bool fast_path = state.range(2) != 0;
+  FanoutResult r{};
+  for (auto _ : state) {
+    r = run_fanout(subscribers, push, fast_path);
+  }
+  state.counters["events_per_sec"] = r.events_per_sec;
+  state.counters["allocs_per_delivery"] = r.allocs_per_delivery;
+  state.counters["alloc_bytes_per_delivery"] = r.alloc_bytes_per_delivery;
+  state.counters["delivered"] = static_cast<double>(r.delivered);
+  fanout_summary().row(
+      {workload::fmt_int(static_cast<std::uint64_t>(subscribers)),
+       push ? "push" : "poll", fast_path ? "fast" : "legacy",
+       workload::fmt_double(r.events_per_sec, 0),
+       workload::fmt_double(r.allocs_per_delivery, 2),
+       workload::fmt_double(r.alloc_bytes_per_delivery, 1),
+       workload::fmt_int(r.delivered)});
+}
+BENCHMARK(BM_E7_Fanout)
+    ->ArgNames({"subs", "push", "fast"})
+    ->Args({8, 1, 0})->Args({8, 1, 1})
+    ->Args({8, 0, 0})->Args({8, 0, 1})
+    ->Args({64, 1, 0})->Args({64, 1, 1})
+    ->Args({64, 0, 0})->Args({64, 0, 1})
+    ->Args({512, 1, 0})->Args({512, 1, 1})
+    ->Args({512, 0, 0})->Args({512, 0, 1})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-DISCOVER_BENCH_MAIN(summary().print())
+DISCOVER_BENCH_MAIN(summary().print(); fanout_summary().print())

@@ -15,4 +15,7 @@ cmake -B build-tsan -S . -DDISCOVER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target chaos_test retry_policy_test
 (cd build-tsan && ctest -L chaos --output-on-failure)
 
+echo "== tier 1c: fan-out bench smoke (8-subscriber cases) =="
+(cd build && ctest -L bench-smoke --output-on-failure)
+
 echo "tier1: all green"

@@ -318,26 +318,79 @@ bool DiscoverServer::should_deliver(const ClientSession& session,
   return false;
 }
 
+namespace {
+
+/// Builds the push-extension HTTP message for one event and returns its wire
+/// bytes.  should_deliver gates only WHO receives an event, never what it
+/// looks like, so every recipient shares this single serialization.
+util::Bytes serialize_push_message(const proto::ClientEvent& ev) {
+  proto::PollReply push_body;
+  push_body.ok = true;
+  push_body.events.push_back(ev);
+  http::HttpResponse push_msg;
+  push_msg.status = 200;
+  push_msg.headers.set("X-Push", "1");
+  push_msg.body = proto::encode_body(push_body);
+  return http::serialize(push_msg);
+}
+
+}  // namespace
+
 void DiscoverServer::deliver_local(const proto::AppId& app,
                                    const proto::ClientEvent& ev) {
-  for (auto& [key, session] : sessions_) {
-    const auto it = session.apps.find(app);
-    if (it == session.apps.end()) continue;
-    ClientSub& sub = it->second;
+  if (!config_.fanout_fast_path) {
+    // Legacy path (pre-index cost model, kept for A/B benchmarking): scan
+    // every session and re-serialize / re-copy the event per recipient.
+    for (auto& [key, session] : sessions_) {
+      const auto it = session.apps.find(app);
+      if (it == session.apps.end()) continue;
+      ClientSub& sub = it->second;
+      if (!should_deliver(session, sub, ev)) continue;
+      if (sub.push) {
+        network_.send(self_, session.client_node, net::Channel::http,
+                      serialize_push_message(ev));
+      } else {
+        sub.fifo.push_back(std::make_shared<const proto::ClientEvent>(ev));
+        if (config_.client_fifo_cap != 0 &&
+            sub.fifo.size() > config_.client_fifo_cap) {
+          sub.fifo.pop_front();
+          ++sub.dropped;
+          ++stats_.events_dropped;
+        }
+      }
+      ++stats_.events_delivered;
+      if ((ev.kind == proto::EventKind::response ||
+           ev.kind == proto::EventKind::error) &&
+          session.user == ev.user) {
+        archive_.log_interaction(session.user, ev);
+      }
+    }
+    return;
+  }
+
+  // Fast path: O(subscribers of this app), with all per-event work hoisted
+  // out of the recipient loop and materialized lazily on first use.
+  const auto idx = subscribers_.find(app);
+  if (idx == subscribers_.end()) return;
+  net::Payload push_wire;          // encode-once wire bytes (push recipients)
+  bool push_encoded = false;
+  proto::SharedClientEvent shared;  // one allocation (poll recipients)
+  for (const SubscriberRef& ref : idx->second) {
+    ClientSession& session = *ref.session;
+    ClientSub& sub = *ref.sub;
     if (!should_deliver(session, sub, ev)) continue;
     if (sub.push) {
       // Server-push extension: deliver immediately, no FIFO memory cost.
-      proto::PollReply push_body;
-      push_body.ok = true;
-      push_body.events.push_back(ev);
-      http::HttpResponse push_msg;
-      push_msg.status = 200;
-      push_msg.headers.set("X-Push", "1");
-      push_msg.body = proto::encode_body(push_body);
+      // Every push recipient gets the same refcounted buffer.
+      if (!push_encoded) {
+        push_wire = serialize_push_message(ev);
+        push_encoded = true;
+      }
       network_.send(self_, session.client_node, net::Channel::http,
-                    http::serialize(push_msg));
+                    push_wire);
     } else {
-      sub.fifo.push_back(ev);
+      if (!shared) shared = std::make_shared<const proto::ClientEvent>(ev);
+      sub.fifo.push_back(shared);
       if (config_.client_fifo_cap != 0 &&
           sub.fifo.size() > config_.client_fifo_cap) {
         sub.fifo.pop_front();
@@ -614,38 +667,81 @@ void DiscoverServer::drop_session(std::uint64_t key) {
   const auto it = sessions_.find(key);
   if (it == sessions_.end()) return;
   ClientSession& session = it->second;
-  // Release/forget any lock interest, locally or at the remote host (§5.2.4).
   for (auto& [app_id, sub] : session.apps) {
+    // Release/forget any lock interest, locally or at the remote host
+    // (§5.2.4).
     AppEntry* entry = find_app(app_id);
-    if (entry == nullptr) continue;
-    if (entry->local) {
-      locks_.forget(app_id, LockIdentity{session.user, self_.value()});
-    } else {
-      wire::Encoder args;
-      args.str(session.user);
-      args.u32(self_.value());
-      invoke_peer(entry->corba_proxy.node, entry->corba_proxy, "forget_locks",
-                  std::move(args), [](util::Result<util::Bytes>) {},
-                  config_.orb_call_timeout);
+    if (entry != nullptr) {
+      if (entry->local) {
+        locks_.forget(app_id, LockIdentity{session.user, self_.value()});
+      } else {
+        wire::Encoder args;
+        args.str(session.user);
+        args.u32(self_.value());
+        invoke_peer(entry->corba_proxy.node, entry->corba_proxy,
+                    "forget_locks", std::move(args),
+                    [](util::Result<util::Bytes>) {},
+                    config_.orb_call_timeout);
+      }
+    }
+    // Drop the session's index rows.  The row count is the local watcher
+    // refcount: when it reaches zero for a remote app, nobody here needs
+    // its event stream any more — unsubscribe at the host in O(1) instead
+    // of the old O(apps x sessions) rescan.
+    const auto idx = subscribers_.find(app_id);
+    if (idx == subscribers_.end()) continue;
+    auto& refs = idx->second;
+    std::erase_if(refs,
+                  [key](const SubscriberRef& r) { return r.session_key == key; });
+    if (refs.empty()) {
+      subscribers_.erase(idx);
+      if (entry != nullptr && !entry->local) unsubscribe_remote(*entry);
     }
   }
   sessions_.erase(it);
-  // Unsubscribe remote apps nobody watches any more.
-  std::vector<proto::AppId> to_check;
-  for (auto& [id, entry] : apps_) {
-    if (!entry.local) to_check.push_back(id);
+}
+
+DiscoverServer::ClientSub& DiscoverServer::subscribe_session(
+    ClientSession& session, const proto::AppId& app) {
+  const auto [it, inserted] = session.apps.try_emplace(app);
+  if (inserted) {
+    subscribers_[app].push_back(
+        SubscriberRef{session.key, &session, &it->second});
   }
-  for (const proto::AppId& id : to_check) {
-    bool watched = false;
-    for (const auto& [_, s] : sessions_) {
-      if (s.apps.count(id) != 0) {
-        watched = true;
-        break;
-      }
+  return it->second;
+}
+
+std::size_t DiscoverServer::subscriber_count(const proto::AppId& app) const {
+  const auto it = subscribers_.find(app);
+  return it != subscribers_.end() ? it->second.size() : 0;
+}
+
+bool DiscoverServer::app_remote_subscribed(const proto::AppId& app) const {
+  const AppEntry* entry = find_app(app);
+  return entry != nullptr && !entry->local && entry->remote_subscribed;
+}
+
+bool DiscoverServer::subscriber_index_consistent() const {
+  // Brute-force oracle: rebuild the expected index from sessions_ and
+  // require an exact match (keys, row counts, and pointer identity).
+  std::map<proto::AppId, std::size_t> expected;
+  for (const auto& [key, session] : sessions_) {
+    for (const auto& [app_id, sub] : session.apps) ++expected[app_id];
+  }
+  std::map<proto::AppId, std::size_t> actual;
+  for (const auto& [app_id, refs] : subscribers_) {
+    if (refs.empty()) return false;  // empty rows must be erased
+    actual[app_id] = refs.size();
+    for (const SubscriberRef& ref : refs) {
+      const auto sit = sessions_.find(ref.session_key);
+      if (sit == sessions_.end()) return false;
+      if (ref.session != &sit->second) return false;
+      const auto ait = sit->second.apps.find(app_id);
+      if (ait == sit->second.apps.end()) return false;
+      if (ref.sub != &ait->second) return false;
     }
-    AppEntry* entry = find_app(id);
-    if (!watched && entry != nullptr) unsubscribe_remote(*entry);
   }
+  return expected == actual;
 }
 
 DiscoverServer::AppEntry* DiscoverServer::find_app(const proto::AppId& id) {

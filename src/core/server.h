@@ -109,6 +109,13 @@ struct ServerConfig {
   /// Share command responses with the requester's collaboration (sub)group.
   bool broadcast_responses = true;
 
+  /// Fan-out fast path (see DESIGN.md "Fan-out fast path"): deliver events
+  /// through the per-app subscriber index with one serialization per event
+  /// and shared event instances in the poll FIFOs.  When false,
+  /// deliver_local falls back to the legacy full-session scan with
+  /// per-recipient encoding — kept for A/B benchmarking of the fast path.
+  bool fanout_fast_path = true;
+
   /// Application liveness: a local application is force-deregistered when
   /// no Main/Response-channel traffic arrives for `app_liveness_factor`
   /// times its advertised update period.  Paused applications stay alive
@@ -233,11 +240,22 @@ class DiscoverServer final : public net::MessageHandler {
   }
   /// Total backlog across all client FIFOs (server memory pressure, A2).
   [[nodiscard]] std::size_t total_fifo_backlog() const;
+  /// Subscribers of `app` per the fan-out index (sessions that selected it).
+  [[nodiscard]] std::size_t subscriber_count(const proto::AppId& app) const;
+  /// True iff the subscriber index exactly mirrors a brute-force scan of
+  /// every session's selected apps — the oracle of the index property test.
+  [[nodiscard]] bool subscriber_index_consistent() const;
+  /// True while this (non-host) server holds a live event subscription at
+  /// the app's host.  False for local/unknown apps.
+  [[nodiscard]] bool app_remote_subscribed(const proto::AppId& app) const;
 
  private:
   // -- internal data ---------------------------------------------------------
   struct ClientSub {
-    std::deque<proto::ClientEvent> fifo;
+    /// Shared event instances: one ClientEvent allocation is pushed into
+    /// every subscriber's FIFO, so fan-out cost is independent of group
+    /// size.  Events are immutable once published.
+    std::deque<proto::SharedClientEvent> fifo;
     std::uint64_t dropped = 0;
     bool collab_enabled = true;
     /// Server-push extension: events go straight to the client instead of
@@ -252,6 +270,16 @@ class DiscoverServer final : public net::MessageHandler {
     std::string user;
     net::NodeId client_node{0};
     std::map<proto::AppId, ClientSub> apps;
+  };
+
+  /// One row of the per-app subscriber index.  The raw pointers stay valid
+  /// because both maps (sessions_ and ClientSession::apps) have node-stable
+  /// elements and rows are removed in drop_session before the session is
+  /// erased; subs are never removed individually.
+  struct SubscriberRef {
+    std::uint64_t session_key = 0;
+    ClientSession* session = nullptr;
+    ClientSub* sub = nullptr;
   };
 
   /// ApplicationProxy (paper §4.1/§5.1.2): full context for one application,
@@ -418,6 +446,9 @@ class DiscoverServer final : public net::MessageHandler {
   ClientSession* session_by_token(const security::SessionToken& token,
                                   std::uint64_t http_session);
   void drop_session(std::uint64_t key);
+  /// Creates (or returns) the session's sub for `app`, keeping the
+  /// subscriber index in sync.  The only way subs come into existence.
+  ClientSub& subscribe_session(ClientSession& session, const proto::AppId& app);
 
   void mount_servlets();
   void activate_servants();
@@ -447,6 +478,10 @@ class DiscoverServer final : public net::MessageHandler {
   std::uint32_t app_counter_ = 0;
 
   std::map<std::uint64_t, ClientSession> sessions_;  // by http session id
+  /// Fan-out index: app -> every session subscribed to it.  Maintained by
+  /// subscribe_session/drop_session; a row's vector length doubles as the
+  /// local watcher refcount that gates unsubscribe_remote.
+  std::map<proto::AppId, std::vector<SubscriberRef>> subscribers_;
   std::map<std::uint64_t, PendingCmd> pending_cmds_;
   std::uint64_t next_host_rid_ = 1;
 

@@ -501,11 +501,10 @@ void DiscoverServer::broadcast_system_event(proto::SystemEventKind kind,
   ev.origin_server = self_.value();
   ev.app = app;
   ev.text = text;
-  const util::Bytes payload =
-      proto::encode_framed(proto::FramedMessage{ev});
+  // One serialization shared by every peer (refcounted, not copied).
+  const net::Payload payload{proto::encode_framed(proto::FramedMessage{ev})};
   for (const auto& [node, _] : peers_) {
-    network_.send(self_, net::NodeId{node}, net::Channel::control,
-                  util::Bytes(payload));
+    network_.send(self_, net::NodeId{node}, net::Channel::control, payload);
   }
   ++stats_.system_events;
 }

@@ -1,5 +1,6 @@
 // HTTP-facing side of DiscoverServer: the master, command, collaboration
 // and archive servlets (paper §4.1's core service handlers).
+#include <algorithm>
 #include <memory>
 
 #include "core/server.h"
@@ -175,7 +176,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
           deferred->complete(body_response(403, proto::encode_body(out)));
           return;
         }
-        ClientSub& sub = sess->apps[app_id];
+        ClientSub& sub = s.subscribe_session(*sess, app_id);
         sub.privilege = p;
         out.ok = true;
         out.privilege = p;
@@ -214,7 +215,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
             }
             const std::uint64_t history_seq = d.u64();
             entry2->params = params;
-            ClientSub& sub = sess2->apps[app_id];
+            ClientSub& sub = s.subscribe_session(*sess2, app_id);
             sub.privilege = p;
             s.subscribe_remote(*entry2);
             out2.ok = true;
@@ -406,17 +407,22 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
       response.status = 400;
       return;
     }
-    // Poll-and-pull (paper §6.2): drain the per-client FIFO buffer.
+    // Poll-and-pull (paper §6.2): drain the per-client FIFO buffer.  The
+    // FIFO holds shared event instances, so draining moves pointers and the
+    // reply is serialized straight from them — no event copies on the poll
+    // path (wire format identical to encode_body(PollReply)).
     ClientSub& sub = sub_it->second;
     const std::uint32_t max = req.max_events == 0 ? 64 : req.max_events;
-    while (!sub.fifo.empty() && reply.events.size() < max) {
-      reply.events.push_back(std::move(sub.fifo.front()));
+    std::vector<proto::SharedClientEvent> events;
+    events.reserve(std::min<std::size_t>(sub.fifo.size(), max));
+    while (!sub.fifo.empty() && events.size() < max) {
+      events.push_back(std::move(sub.fifo.front()));
       sub.fifo.pop_front();
     }
-    reply.backlog = static_cast<std::uint32_t>(sub.fifo.size());
-    reply.ok = true;
+    const auto backlog = static_cast<std::uint32_t>(sub.fifo.size());
     ++s.stats_.polls_served;
-    set_body(response, proto::encode_body(reply));
+    set_body(response, proto::encode_poll_reply_shared(true, std::string(),
+                                                       events, backlog));
   }
 
   void post(const http::HttpRequest& request, http::HttpResponse& response,

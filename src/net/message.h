@@ -1,12 +1,49 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "net/address.h"
 #include "util/bytes.h"
 #include "util/clock.h"
 
 namespace discover::net {
+
+/// Reference-counted immutable wire payload.
+///
+/// A broadcast serializes its bytes ONCE and hands the same buffer to every
+/// recipient: copying a Payload is a refcount bump, never a byte copy.  The
+/// transports queue Payloads, so fault-injected duplicates and group fan-out
+/// share one allocation no matter how many deliveries they expand into.
+/// Converts implicitly from util::Bytes (wrapping, one allocation) and to
+/// const util::Bytes& (zero-cost view), so single-recipient call sites read
+/// exactly as before.
+class Payload {
+ public:
+  Payload() : bytes_(empty_bytes()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): Bytes is the common case.
+  Payload(util::Bytes b)
+      : bytes_(std::make_shared<const util::Bytes>(std::move(b))) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Payload(std::shared_ptr<const util::Bytes> b)
+      : bytes_(b ? std::move(b) : empty_bytes()) {}
+
+  [[nodiscard]] const util::Bytes& bytes() const { return *bytes_; }
+  // NOLINTNEXTLINE(google-explicit-constructor): view conversion.
+  operator const util::Bytes&() const { return *bytes_; }
+  [[nodiscard]] std::size_t size() const { return bytes_->size(); }
+  [[nodiscard]] bool empty() const { return bytes_->empty(); }
+
+ private:
+  static const std::shared_ptr<const util::Bytes>& empty_bytes() {
+    static const std::shared_ptr<const util::Bytes> kEmpty =
+        std::make_shared<const util::Bytes>();
+    return kEmpty;
+  }
+
+  std::shared_ptr<const util::Bytes> bytes_;
+};
 
 /// One datagram-with-reliable-FIFO-semantics between two nodes.  The
 /// transports guarantee per-(src,dst,channel) FIFO delivery, mirroring the
@@ -15,7 +52,7 @@ struct Message {
   NodeId src;
   NodeId dst;
   Channel channel = Channel::main_channel;
-  util::Bytes payload;
+  Payload payload;
 
   // Filled in by the transport.
   util::TimePoint sent_at = 0;

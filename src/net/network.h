@@ -48,8 +48,13 @@ class Network {
   /// duplication, jitter, partitions, or node crashes may lose, repeat, or
   /// delay the message.  Layers needing end-to-end reliability must retry
   /// (see net/retry.h).
+  ///
+  /// Payload converts implicitly from util::Bytes; broadcast call sites can
+  /// instead build one Payload and pass the same instance to every send, in
+  /// which case all copies (queueing, fault duplicates, fan-out) share one
+  /// underlying buffer.
   virtual void send(NodeId from, NodeId to, Channel channel,
-                    util::Bytes payload) = 0;
+                    Payload payload) = 0;
 
   /// Runs `fn` in `node`'s execution context after `delay`.
   virtual TimerId schedule(NodeId node, util::Duration delay,

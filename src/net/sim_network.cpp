@@ -109,8 +109,21 @@ void SimNetwork::trace_line(const char* what, NodeId from, NodeId to,
   trace_ += buf;
 }
 
+void SimNetwork::push_event(Event&& ev) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(ev);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(ev));
+  }
+  queue_.push(EventRef{slots_[slot].at, slots_[slot].seq, slot});
+}
+
 void SimNetwork::enqueue_message(NodeId from, NodeId to, Channel channel,
-                                 const util::Bytes& payload,
+                                 const Payload& payload,
                                  util::TimePoint arrive) {
   Event ev;
   ev.at = arrive;
@@ -122,11 +135,11 @@ void SimNetwork::enqueue_message(NodeId from, NodeId to, Channel channel,
   ev.msg.payload = payload;
   ev.msg.sent_at = now();
   ev.msg.seq = ev.seq;
-  queue_.push(std::move(ev));
+  push_event(std::move(ev));
 }
 
 void SimNetwork::send(NodeId from, NodeId to, Channel channel,
-                      util::Bytes payload) {
+                      Payload payload) {
   assert(from.value() < nodes_.size() && to.value() < nodes_.size());
   const LinkModel& link = link_between(from, to);
   const std::size_t size = payload.size();
@@ -197,7 +210,7 @@ TimerId SimNetwork::schedule(NodeId node, util::Duration delay,
   ev.timer_fn = std::move(fn);
   ev.timer_id = next_timer_++;
   const TimerId id{ev.timer_id};
-  queue_.push(std::move(ev));
+  push_event(std::move(ev));
   return id;
 }
 
@@ -250,10 +263,12 @@ void SimNetwork::dispatch(Event& ev) {
 
 bool SimNetwork::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top is const; the event is moved out via const_cast,
-  // which is safe because pop() immediately removes the moved-from shell.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  const EventRef ref = queue_.top();
   queue_.pop();
+  // Move the body out before dispatching: the handler may enqueue new
+  // events, which can reuse or reallocate slots.
+  Event ev = std::move(slots_[ref.slot]);
+  free_slots_.push_back(ref.slot);
   dispatch(ev);
   return true;
 }

@@ -91,7 +91,7 @@ class SimNetwork final : public Network {
 
   // -- Network interface ---------------------------------------------------
   void send(NodeId from, NodeId to, Channel channel,
-            util::Bytes payload) override;
+            Payload payload) override;
   TimerId schedule(NodeId node, util::Duration delay,
                    std::function<void()> fn) override;
   void cancel(TimerId id) override;
@@ -126,8 +126,19 @@ class SimNetwork final : public Network {
     std::function<void()> timer_fn;
     std::uint64_t timer_id = 0;  // nonzero for timers
     NodeId node;                 // destination / timer owner
+  };
 
-    bool operator>(const Event& other) const {
+  /// What actually sits in the heap: Events are >100 bytes (embedded
+  /// std::function + Message), so sifting them directly dominates the
+  /// delivery hot path under broadcast fan-out.  The heap orders 24-byte
+  /// handles instead; the Event body stays put in `slots_`.  Ordering is
+  /// the same (at, seq) total order, so event traces are unchanged.
+  struct EventRef {
+    util::TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+
+    bool operator>(const EventRef& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
     }
@@ -144,10 +155,11 @@ class SimNetwork final : public Network {
   [[nodiscard]] const FaultPlan& faults_between(NodeId a, NodeId b) const;
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
   void enqueue_message(NodeId from, NodeId to, Channel channel,
-                       const util::Bytes& payload, util::TimePoint arrive);
+                       const Payload& payload, util::TimePoint arrive);
   void trace_line(const char* what, NodeId from, NodeId to, Channel channel,
                   std::uint64_t seq_or_size);
   void dispatch(Event& ev);
+  void push_event(Event&& ev);
 
   util::ManualClock clock_;
   std::vector<NodeInfo> nodes_;
@@ -156,7 +168,9 @@ class SimNetwork final : public Network {
   std::map<std::pair<std::uint32_t, std::uint32_t>, LinkModel> domain_links_;
   // Directed (src,dst) -> time the link is busy until (serialization).
   std::unordered_map<std::uint64_t, util::TimePoint> link_busy_until_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::priority_queue<EventRef, std::vector<EventRef>, std::greater<>> queue_;
+  std::vector<Event> slots_;              // Event bodies, indexed by EventRef
+  std::vector<std::uint32_t> free_slots_;  // reusable slot indices
   std::unordered_set<std::uint64_t> cancelled_timers_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_timer_ = 1;

@@ -65,7 +65,7 @@ void ThreadNetwork::enqueue(std::uint32_t node_index, Task task) {
 }
 
 void ThreadNetwork::send(NodeId from, NodeId to, Channel channel,
-                         util::Bytes payload) {
+                         Payload payload) {
   assert(to.value() < nodes_.size());
   const std::size_t size = payload.size();
   Task task;

@@ -45,7 +45,7 @@ class ThreadNetwork final : public Network {
   void stop();
 
   void send(NodeId from, NodeId to, Channel channel,
-            util::Bytes payload) override;
+            Payload payload) override;
   TimerId schedule(NodeId node, util::Duration delay,
                    std::function<void()> fn) override;
   void cancel(TimerId id) override;

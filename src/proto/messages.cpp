@@ -180,6 +180,7 @@ SystemEvent decode_system_event(wire::Decoder& d) {
 
 util::Bytes encode_framed(const FramedMessage& msg) {
   wire::Encoder e;
+  e.reserve(160);  // covers the tag + a typical body without reallocation
   std::visit(
       [&e](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -377,12 +378,36 @@ PollRequest decode_poll_request(const util::Bytes& b) {
   return m;
 }
 
+namespace {
+// Encoder pre-size for a poll-reply: header plus a typical event footprint.
+// An estimate, not a bound — the buffer still grows for oversized events.
+constexpr std::size_t kPollReplyBaseHint = 48;
+constexpr std::size_t kPerEventHint = 128;
+}  // namespace
+
 util::Bytes encode_body(const PollReply& m) {
   wire::Encoder e;
+  e.reserve(kPollReplyBaseHint + m.message.size() +
+            m.events.size() * kPerEventHint);
   e.boolean(m.ok);
   e.str(m.message);
   encode_events(e, m.events);
   e.u32(m.backlog);
+  return std::move(e).take();
+}
+
+util::Bytes encode_poll_reply_shared(bool ok, const std::string& message,
+                                     const std::vector<SharedClientEvent>& events,
+                                     std::uint32_t backlog) {
+  wire::Encoder e;
+  e.reserve(kPollReplyBaseHint + message.size() +
+            events.size() * kPerEventHint);
+  e.boolean(ok);
+  e.str(message);
+  e.sequence(events, [](wire::Encoder& enc, const SharedClientEvent& ev) {
+    encode(enc, *ev);
+  });
+  e.u32(backlog);
   return std::move(e).take();
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -180,6 +181,19 @@ struct PollReply {
   std::vector<ClientEvent> events;
   std::uint32_t backlog = 0;  // events still queued server-side
 };
+
+/// A refcounted, immutable ClientEvent.  The server's fan-out fast path
+/// allocates each event once and shares the instance across every
+/// subscriber FIFO it lands in; encode_poll_reply_shared serializes a batch
+/// of them into the exact wire format of encode_body(PollReply).
+using SharedClientEvent = std::shared_ptr<const ClientEvent>;
+
+/// Wire-identical to encode_body(PollReply) but reads the events through
+/// shared pointers, so poll replies are assembled without copying events out
+/// of the per-subscriber FIFOs.
+util::Bytes encode_poll_reply_shared(bool ok, const std::string& message,
+                                     const std::vector<SharedClientEvent>& events,
+                                     std::uint32_t backlog);
 
 /// POST /discover/collab/chat and /whiteboard
 struct CollabPost {

@@ -74,6 +74,12 @@ class Encoder {
     if (v) encode_element(*this, *v);
   }
 
+  /// Pre-sizes the underlying buffer.  Hot encode paths (framed protocol
+  /// messages, poll replies) call this with an estimate of the final wire
+  /// size so a message grows in zero or one reallocation instead of the
+  /// log(n) doublings of an unreserved vector.
+  void reserve(std::size_t n) { buffer_.reserve(n); }
+
   [[nodiscard]] const util::Bytes& data() const& { return buffer_; }
   [[nodiscard]] util::Bytes take() && { return std::move(buffer_); }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
