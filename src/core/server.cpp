@@ -23,6 +23,9 @@ DiscoverServer::~DiscoverServer() = default;
 
 void DiscoverServer::attach(net::NodeId self) {
   self_ = self;
+  // Directory epoch: distinct per node and bumpable within a lifetime, so
+  // peers can tell "same server, newer state" from "don't trust your cache".
+  dir_epoch_ = (static_cast<std::uint64_t>(self.value()) << 32) | 1;
   tokens_ = security::TokenAuthority(self.value(), config_.token_secret);
   container_ = std::make_unique<http::ServletContainer>(network_, self_);
   orb_ = std::make_unique<orb::Orb>(network_, self_);
@@ -143,6 +146,7 @@ void DiscoverServer::handle_app_register(net::NodeId src,
   auto [it, inserted] = apps_.emplace(id, std::move(entry));
   assert(inserted);
   apps_by_node_[src.value()] = id;
+  bump_directory(id, /*removed=*/false);
   ++stats_.apps_registered;
   live_registrations_.fetch_add(1, std::memory_order_relaxed);
 
@@ -200,6 +204,9 @@ void DiscoverServer::handle_app_update(const proto::AppUpdate& update) {
 void DiscoverServer::handle_app_phase(const proto::AppPhaseNotice& notice) {
   AppEntry* entry = find_app(notice.app_id);
   if (entry == nullptr || !entry->local) return;
+  if (entry->phase != notice.phase) {
+    bump_directory(notice.app_id, /*removed=*/false);
+  }
   entry->phase = notice.phase;
   if (notice.phase == proto::AppPhase::interacting) {
     flush_buffered_commands(*entry);
@@ -218,6 +225,7 @@ void DiscoverServer::flush_buffered_commands(AppEntry& entry) {
 void DiscoverServer::handle_app_deregister(const proto::AppDeregister& msg) {
   AppEntry* entry = find_app(msg.app_id);
   if (entry == nullptr || !entry->local) return;
+  bump_directory(msg.app_id, /*removed=*/true);
   ++stats_.apps_departed;
 
   proto::ClientEvent ev;

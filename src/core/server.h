@@ -97,6 +97,43 @@ struct ServerConfig {
   RemoteUpdateMode remote_update_mode = RemoteUpdateMode::push;
   util::Duration remote_poll_period = util::milliseconds(100);
 
+  /// Peer outbox (batched server-to-server propagation, DESIGN.md "Peer
+  /// outbox & directory deltas").  Push-mode events and relayed collab
+  /// posts bound for a peer queue in a per-peer outbox and leave as one
+  /// forward_events batch when the first of three triggers fires: the
+  /// batch reaches peer_batch_max_events, its encoded payload reaches
+  /// peer_batch_max_bytes, or peer_flush_delay elapses since the first
+  /// queued event (Nagle).  A zero delay disables the outbox entirely and
+  /// reproduces the legacy one-ORB-call-per-event wire behaviour — kept
+  /// for A/B, mirroring fanout_fast_path.
+  util::Duration peer_flush_delay = util::milliseconds(5);
+  std::size_t peer_batch_max_events = 64;
+  std::size_t peer_batch_max_bytes = 48 * 1024;
+  /// Outbox backpressure: while a peer cannot be flushed (suspect, or a
+  /// batch is in flight) the queue is bounded here; at the cap the oldest
+  /// coalescible event (kind==update) — or failing that the oldest event —
+  /// is dropped and counted in outbox_dropped.
+  std::size_t peer_outbox_cap = 1024;
+
+  /// Versioned peer directory: each refresh round fetch every live peer's
+  /// application directory via list_apps_since as a delta against the last
+  /// seen (epoch, version).  false = request a full snapshot every round
+  /// (legacy A/B for the delta machinery).
+  bool peer_dir_deltas = true;
+  /// Disables the per-round directory fetch entirely (discovery then works
+  /// only through logins and the control channel, as it did before the
+  /// versioned directory existed).
+  bool peer_dir_refresh = true;
+  /// Bounded host-side directory change log; callers further behind than
+  /// this get a full snapshot.
+  std::size_t dir_log_cap = 128;
+
+  /// TEST ONLY (mixed-version rolling upgrade): emulate a pre-outbox peer
+  /// build whose DiscoverCorbaServer knows neither forward_events nor
+  /// list_apps_since.  New hosts must detect the rejection and fall back
+  /// to singular forward_event calls.
+  bool emulate_legacy_peer = false;
+
   std::size_t archive_cap_per_app = 4096;
   /// Mirror archived events into the record store (exercises §6.3
   /// ownership); costs memory in long benches, so optional.
@@ -173,6 +210,17 @@ struct ServerStats {
   std::uint64_t peer_events_in = 0;
   std::uint64_t peer_events_out = 0;
   std::uint64_t peer_rate_limited = 0;
+  // Peer outbox pipeline.
+  std::uint64_t peer_batches_out = 0;
+  std::uint64_t peer_batch_events_max = 0;  // largest batch flushed so far
+  std::uint64_t flushes_by_count = 0;
+  std::uint64_t flushes_by_bytes = 0;
+  std::uint64_t flushes_by_timer = 0;
+  std::uint64_t outbox_dropped = 0;
+  // Versioned peer directory.
+  std::uint64_t dir_deltas_in = 0;
+  std::uint64_t dir_fulls_in = 0;
+  std::uint64_t dir_refresh_bytes = 0;
   std::uint64_t system_events = 0;
   std::uint64_t apps_registered = 0;
   std::uint64_t apps_departed = 0;
@@ -248,6 +296,21 @@ class DiscoverServer final : public net::MessageHandler {
   /// True while this (non-host) server holds a live event subscription at
   /// the app's host.  False for local/unknown apps.
   [[nodiscard]] bool app_remote_subscribed(const proto::AppId& app) const;
+  /// Events currently queued in `node`'s outbox (0 when none exists).
+  [[nodiscard]] std::size_t outbox_depth(std::uint32_t node) const;
+  /// Cached directory of `node`'s local applications (versioned-directory
+  /// refresh); empty until the first list_apps_since reply.
+  [[nodiscard]] std::vector<proto::AppInfo> peer_directory(
+      std::uint32_t node) const;
+  /// This server's own directory version (bumped on local membership and
+  /// phase changes).
+  [[nodiscard]] std::uint64_t directory_version() const {
+    return dir_version_;
+  }
+  /// Invalidates every peer's cached directory view of this server: the
+  /// next list_apps_since from any peer gets a full snapshot.  An operator
+  /// escape hatch (and the epoch-mismatch test hook).
+  void bump_directory_epoch();
 
  private:
   // -- internal data ---------------------------------------------------------
@@ -310,6 +373,12 @@ class DiscoverServer final : public net::MessageHandler {
     net::TimerId poll_timer{0};  // remote-side, poll mode
     bool remote_subscribed = false;
     bool departed = false;
+    /// Remote-side, push mode: nonzero while a subscribe-gap fetch is in
+    /// flight (events the host published before our subscribe landed).
+    /// Pushes that arrive meanwhile wait in the buffer so the gap events
+    /// still come out in per-app order.
+    std::uint64_t backfill_upto = 0;
+    std::vector<proto::ClientEvent> backfill_buffer;
   };
 
   struct PendingCmd {
@@ -330,6 +399,45 @@ class DiscoverServer final : public net::MessageHandler {
     // re-probed (not routed to) until a probe succeeds.
     std::uint32_t consecutive_failures = 0;
     bool suspect = false;
+    // Versioned directory cache: the peer's local applications as of the
+    // last list_apps_since reply, and the (epoch, version) to present on
+    // the next one.
+    std::map<proto::AppId, proto::AppInfo> directory;
+    std::uint64_t dir_epoch = 0;
+    std::uint64_t dir_version = 0;
+    bool dir_inflight = false;
+    bool dir_unsupported = false;  // pre-outbox build; stop asking
+  };
+
+  /// One queued outbox event.  `encoded` is the standalone CDR encoding of
+  /// the event, produced once and shared by every peer outbox the event
+  /// lands in; flushes splice it into the batch without re-encoding.  The
+  /// decoded event is kept alongside for the legacy singular fallback.
+  struct OutboxItem {
+    proto::EventFrameKind frame_kind = proto::EventFrameKind::push;
+    proto::AppId app;
+    std::uint64_t seq = 0;  // 0 for collab_relay
+    proto::EventKind kind = proto::EventKind::system;
+    proto::SharedClientEvent event;
+    std::shared_ptr<const util::Bytes> encoded;
+  };
+
+  /// Why a flush fired (for the flushes_by_* stats).  `drain` flushes —
+  /// peer heal, shutdown, retry after a failed batch — bump no trigger
+  /// counter.
+  enum class FlushTrigger { count, bytes, timer, drain };
+
+  /// Per-peer outbox: FIFO across applications and frame kinds, so a
+  /// peer observes our send order.  At most one batch is in flight per
+  /// peer; newer events queue behind it and leave in the next batch (flow
+  /// control: batch size adapts to peer RTT).
+  struct PeerOutbox {
+    orb::ObjectRef ref;  // the peer's DiscoverCorbaServer
+    std::deque<OutboxItem> items;
+    std::size_t bytes = 0;  // encoded payload estimate of `items`
+    net::TimerId flush_timer{0};
+    bool inflight = false;
+    bool legacy_peer = false;  // peer rejected forward_events; go singular
   };
 
   class MasterServlet;
@@ -371,6 +479,41 @@ class DiscoverServer final : public net::MessageHandler {
   /// Remote-side ingestion of host-published events (push or poll).
   void ingest_remote_events(AppEntry& entry,
                             const std::vector<proto::ClientEvent>& events);
+
+  // -- peer outbox pipeline ----------------------------------------------------
+  /// Queues one event for `node` and fires any flush trigger that tripped.
+  void outbox_append(std::uint32_t node, const orb::ObjectRef& ref,
+                     OutboxItem item);
+  /// Sends the outbox as one forward_events batch (unless empty, in
+  /// flight, or the peer is suspect — then items wait for heal).
+  void flush_outbox(std::uint32_t node, FlushTrigger trigger);
+  /// Drains every outbox best-effort; shutdown path.
+  void flush_all_outboxes();
+  /// Heal hook: a peer came back; move its queued events immediately.
+  void drain_outbox_if_any(std::uint32_t node);
+  /// Re-arms the flush timer after a failed batch left requeued items.
+  void ob_arm_retry(std::uint32_t node);
+  /// Legacy singular send for one item (peer_flush_delay==0 never builds
+  /// items; this serves the mixed-version fallback).
+  void send_item_legacy(std::uint32_t node, const OutboxItem& item);
+  /// Relays a local client's collab post toward the app's host: through
+  /// the outbox when batching is on and the host's level-1 ref is known,
+  /// else a direct forward_collab (the legacy wire behaviour).
+  void relay_collab_to_host(AppEntry& entry, proto::ClientEvent ev);
+  /// forward_events servant body: applies push frames to remote entries
+  /// and publishes collab_relay frames for local apps.
+  void ingest_event_frames(const std::vector<proto::EventFrame>& frames);
+
+  // -- versioned directory -----------------------------------------------------
+  /// Records one local membership/phase change in the change log.
+  void bump_directory(const proto::AppId& app, bool removed);
+  /// Builds the list_apps_since reply for a caller at (epoch, since).
+  [[nodiscard]] proto::DirectoryUpdate directory_update_since(
+      std::uint64_t epoch, std::uint64_t since) const;
+  [[nodiscard]] proto::AppInfo app_info_of(const AppEntry& entry) const;
+  /// Fetches `peer`'s directory (delta or full per config) this round.
+  void refresh_peer_directory(Peer& peer);
+  void apply_directory_update(Peer& peer, const proto::DirectoryUpdate& upd);
 
   // -- command path -----------------------------------------------------------
   /// Host-side command admission: privilege, locks, buffering.  Returns the
@@ -427,6 +570,7 @@ class DiscoverServer final : public net::MessageHandler {
   void with_remote_app(const proto::AppId& app,
                        std::function<void(AppEntry*)> ready);
   void subscribe_remote(AppEntry& entry);
+  void backfill_remote_gap(AppEntry& entry, std::uint64_t upto);
   void unsubscribe_remote(AppEntry& entry);
   void start_remote_poll(AppEntry& entry);
   void remove_remote_app(const proto::AppId& app, const std::string& reason);
@@ -486,6 +630,19 @@ class DiscoverServer final : public net::MessageHandler {
   std::uint64_t next_host_rid_ = 1;
 
   std::map<std::uint32_t, Peer> peers_;
+  /// Keyed by peer node, NOT tied to peers_ lifetime: push targets come
+  /// from AppEntry::subscribers and may precede trader discovery.
+  std::map<std::uint32_t, PeerOutbox> outboxes_;
+  /// Directory change log: (version, app, removed).  Bounded by
+  /// config_.dir_log_cap; callers behind the tail get a full snapshot.
+  struct DirLogEntry {
+    std::uint64_t version = 0;
+    proto::AppId app;
+    bool removed = false;
+  };
+  std::deque<DirLogEntry> dir_log_;
+  std::uint64_t dir_epoch_ = 0;
+  std::uint64_t dir_version_ = 0;
   net::TimerId refresh_timer_{0};
   net::TimerId liveness_timer_{0};
   net::TimerId session_timer_{0};

@@ -2,6 +2,10 @@
 // and CorbaProxy (level-2) servants, trader-based peer discovery, remote
 // application access, event push/poll and the control channel.
 #include "core/server.h"
+
+#include <algorithm>
+#include <iterator>
+
 #include "util/log.h"
 
 namespace discover::core {
@@ -22,13 +26,31 @@ void encode_event_seq(wire::Encoder& e,
 
 std::vector<proto::ClientEvent> decode_event_seq(wire::Decoder& d) {
   const std::uint32_t n = d.u32();
+  if (d.remaining() < n) {  // each event is at least one byte
+    throw wire::DecodeError("truncated event sequence");
+  }
   std::vector<proto::ClientEvent> out;
-  out.reserve(n);
+  out.reserve(std::min<std::size_t>(n, wire::kMaxSequencePrereserve));
   for (std::uint32_t i = 0; i < n; ++i) {
     out.push_back(proto::decode_client_event(d));
   }
   return out;
 }
+
+/// Standalone encoding of one event — the unit the outbox shares across
+/// peers.  Spliced into batches at 8-byte boundaries, where it re-decodes
+/// exactly as proto::encode would have produced in place.
+std::shared_ptr<const util::Bytes> encode_event_standalone(
+    const proto::ClientEvent& ev) {
+  wire::Encoder e;
+  e.reserve(128);
+  proto::encode(e, ev);
+  return std::make_shared<const util::Bytes>(std::move(e).take());
+}
+
+/// Conservative per-item wire overhead (frame headers, alignment) used for
+/// the peer_batch_max_bytes trigger.
+constexpr std::size_t kOutboxItemOverhead = 32;
 
 }  // namespace
 
@@ -79,13 +101,32 @@ class DiscoverServer::DiscoverCorbaServerServant final : public orb::Servant {
       }
       encode_app_info_seq(out, apps);
     } else if (method == "forward_event") {
-      // Push-mode delivery from an application's host server.
+      // Push-mode delivery from an application's host server.  Kept as a
+      // compat alias beside forward_events so a new host can push to this
+      // server during a rolling upgrade, and as the peer_flush_delay==0
+      // legacy wire format.
       const proto::AppId app = proto::decode_app_id(args);
       const auto events = decode_event_seq(args);
       AppEntry* entry = s.find_app(app);
       if (entry != nullptr && !entry->local) {
         s.ingest_remote_events(*entry, events);
       }
+    } else if (method == "forward_events" && !s.config_.emulate_legacy_peer) {
+      // Batched peer outbox flush: push frames for apps hosted at the
+      // caller plus collab posts relayed toward apps hosted here.
+      if (ctx.requester != s.self_ &&
+          !s.admit_peer(ctx.requester.value(), args.remaining())) {
+        throw orb::OrbException{util::Errc::resource_exhausted,
+                                "peer rate limit exceeded"};
+      }
+      s.ingest_event_frames(proto::decode_event_frames(args));
+    } else if (method == "list_apps_since" &&
+               !s.config_.emulate_legacy_peer) {
+      // Versioned directory fetch: delta against the caller's cached
+      // (epoch, version), or a full snapshot when it is out of range.
+      const std::uint64_t epoch = args.u64();
+      const std::uint64_t since = args.u64();
+      encode(out, s.directory_update_since(epoch, since));
     } else if (method == "ping") {
       out.str(s.config_.name);
     } else {
@@ -258,6 +299,7 @@ void DiscoverServer::shutdown() {
   if (session_timer_.value() != 0) network_.cancel(session_timer_);
   if (monitor_timer_.value() != 0) network_.cancel(monitor_timer_);
   if (identity_timer_.value() != 0) network_.cancel(identity_timer_);
+  flush_all_outboxes();
   broadcast_system_event(proto::SystemEventKind::server_down, proto::AppId{},
                          config_.name + " shutting down");
   if (trader_.configured() && trader_offer_id_ != 0) {
@@ -302,9 +344,14 @@ void DiscoverServer::refresh_peers() {
           }
         }
         // Re-probe suspect peers each refresh round; a successful ping
-        // heals them and routing resumes.
+        // heals them and routing resumes.  Live peers get a versioned
+        // directory fetch instead.
         for (auto& [_, peer] : peers_) {
-          if (peer.suspect) probe_suspect_peer(peer);
+          if (peer.suspect) {
+            probe_suspect_peer(peer);
+          } else if (config_.peer_dir_refresh) {
+            refresh_peer_directory(peer);
+          }
         }
         schedule_refresh();
       });
@@ -365,6 +412,24 @@ void DiscoverServer::report_monitoring() {
   metrics["commands"] = static_cast<std::int64_t>(stats_.commands_accepted);
   metrics["events_delivered"] =
       static_cast<std::int64_t>(stats_.events_delivered);
+  metrics["peer_events_out"] =
+      static_cast<std::int64_t>(stats_.peer_events_out);
+  metrics["peer_batches_out"] =
+      static_cast<std::int64_t>(stats_.peer_batches_out);
+  metrics["peer_batch_events_max"] =
+      static_cast<std::int64_t>(stats_.peer_batch_events_max);
+  metrics["flushes_by_count"] =
+      static_cast<std::int64_t>(stats_.flushes_by_count);
+  metrics["flushes_by_bytes"] =
+      static_cast<std::int64_t>(stats_.flushes_by_bytes);
+  metrics["flushes_by_timer"] =
+      static_cast<std::int64_t>(stats_.flushes_by_timer);
+  metrics["outbox_dropped"] =
+      static_cast<std::int64_t>(stats_.outbox_dropped);
+  metrics["dir_deltas_in"] = static_cast<std::int64_t>(stats_.dir_deltas_in);
+  metrics["dir_fulls_in"] = static_cast<std::int64_t>(stats_.dir_fulls_in);
+  metrics["dir_refresh_bytes"] =
+      static_cast<std::int64_t>(stats_.dir_refresh_bytes);
   args.map(metrics, [](wire::Encoder& e, const std::string& k) { e.str(k); },
            [](wire::Encoder& e, std::int64_t v) { e.i64(v); });
   orb_->invoke(monitoring_ref_, "report", std::move(args),
@@ -427,6 +492,7 @@ void DiscoverServer::note_peer_call(std::uint32_t node, bool timed_out) {
       DISCOVER_LOG(info, "server")
           << describe() << ": peer " << peer->name << "@" << peer->node
           << " healed";
+      drain_outbox_if_any(node);
     }
     return;
   }
@@ -475,6 +541,7 @@ void DiscoverServer::probe_suspect_peer(Peer& peer) {
           DISCOVER_LOG(info, "server")
               << describe() << ": peer " << p->name << "@" << p->node
               << " healed (probe)";
+          drain_outbox_if_any(node);
         }
       },
       config_.orb_call_timeout);
@@ -609,12 +676,56 @@ void DiscoverServer::subscribe_remote(AppEntry& entry) {
                   return;
                 }
                 wire::Decoder d(r.value());
-                e->remote_known_seq = std::max(e->remote_known_seq, d.u64());
+                const std::uint64_t host_seq = d.u64();
                 if (config_.remote_update_mode == RemoteUpdateMode::poll) {
                   start_remote_poll(*e);
+                } else if (host_seq > e->remote_known_seq &&
+                           e->backfill_upto == 0) {
+                  // Events published between the level-2 handshake and this
+                  // subscribe landing (or while a re-subscribe was down)
+                  // were never pushed to us; fetch them once rather than
+                  // silently adopting the host's sequence.
+                  backfill_remote_gap(*e, host_seq);
                 }
               },
               config_.orb_call_timeout);
+}
+
+void DiscoverServer::backfill_remote_gap(AppEntry& entry,
+                                         std::uint64_t upto) {
+  const proto::AppId id = entry.id;
+  const std::uint64_t since = entry.remote_known_seq;
+  entry.backfill_upto = upto;
+  wire::Encoder args;
+  args.u64(since);
+  args.u32(256);
+  invoke_peer(
+      entry.corba_proxy.node, entry.corba_proxy, "poll_events",
+      std::move(args),
+      [this, id, since, upto](util::Result<util::Bytes> r) {
+        AppEntry* e = find_app(id);
+        if (e == nullptr || e->local || e->backfill_upto == 0) return;
+        if (r.ok()) {
+          wire::Decoder d(r.value());
+          for (const auto& ev : decode_event_seq(d)) {
+            // Only the gap itself: pushes never carried (since, upto], so
+            // this cannot double-deliver, and anything past upto is the
+            // push stream's job.
+            if (ev.seq <= since || ev.seq > upto) continue;
+            e->remote_known_seq = std::max(e->remote_known_seq, ev.seq);
+            ++stats_.peer_events_in;
+            deliver_local(e->id, ev);
+          }
+        }
+        // Whatever the archive couldn't give us is gone; don't stall the
+        // push stream waiting for it.
+        e->remote_known_seq = std::max(e->remote_known_seq, upto);
+        e->backfill_upto = 0;
+        const auto held = std::move(e->backfill_buffer);
+        e->backfill_buffer.clear();
+        ingest_remote_events(*e, held);
+      },
+      config_.orb_call_timeout);
 }
 
 void DiscoverServer::unsubscribe_remote(AppEntry& entry) {
@@ -657,6 +768,19 @@ void DiscoverServer::start_remote_poll(AppEntry& entry) {
 
 void DiscoverServer::ingest_remote_events(
     AppEntry& entry, const std::vector<proto::ClientEvent>& events) {
+  if (entry.backfill_upto != 0) {
+    // A subscribe-gap fetch is in flight; hold pushed events so the gap
+    // events still land first (bounded — an overflow abandons ordering
+    // rather than memory).
+    entry.backfill_buffer.insert(entry.backfill_buffer.end(), events.begin(),
+                                 events.end());
+    if (entry.backfill_buffer.size() <= wire::kMaxSequencePrereserve) return;
+    entry.backfill_upto = 0;
+    const auto held = std::move(entry.backfill_buffer);
+    entry.backfill_buffer.clear();
+    ingest_remote_events(entry, held);
+    return;
+  }
   for (const auto& ev : events) {
     if (ev.seq <= entry.remote_known_seq) continue;  // de-dup push+poll
     entry.remote_known_seq = ev.seq;
@@ -668,15 +792,452 @@ void DiscoverServer::ingest_remote_events(
 void DiscoverServer::push_to_subscribers(AppEntry& entry,
                                          const proto::ClientEvent& ev) {
   if (entry.subscribers.empty()) return;
+  if (config_.peer_flush_delay == 0) {
+    // Legacy per-event path (A/B baseline): one forward_event ORB call per
+    // event per subscribed peer, byte-for-byte the pre-outbox wire format.
+    for (const auto& [node, ref] : entry.subscribers) {
+      // One message per remote server, not per remote client (§5.2.3).
+      wire::Encoder args;
+      proto::encode(args, entry.id);
+      encode_event_seq(args, {ev});
+      invoke_peer(node, ref, "forward_event", std::move(args),
+                  [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+      ++stats_.peer_events_out;
+    }
+    return;
+  }
+  // Outbox path: serialize the event once, share the bytes across every
+  // subscriber's outbox, let the flush triggers coalesce.
+  const auto encoded = encode_event_standalone(ev);
+  const auto shared_ev = std::make_shared<const proto::ClientEvent>(ev);
   for (const auto& [node, ref] : entry.subscribers) {
-    // One message per remote server, not per remote client (§5.2.3).
-    wire::Encoder args;
-    proto::encode(args, entry.id);
-    encode_event_seq(args, {ev});
-    invoke_peer(node, ref, "forward_event", std::move(args),
-                [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+    OutboxItem item;
+    item.frame_kind = proto::EventFrameKind::push;
+    item.app = entry.id;
+    item.seq = ev.seq;
+    item.kind = ev.kind;
+    item.event = shared_ev;
+    item.encoded = encoded;
+    outbox_append(node, ref, std::move(item));
     ++stats_.peer_events_out;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Peer outbox pipeline (DESIGN.md "Peer outbox & directory deltas")
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::relay_collab_to_host(AppEntry& entry,
+                                          proto::ClientEvent ev) {
+  const std::uint32_t host = entry.corba_proxy.node;
+  const Peer* peer = peer_by_node(host);
+  const auto ob = outboxes_.find(host);
+  const bool batch = config_.peer_flush_delay > 0 && peer != nullptr &&
+                     peer->server_ref.valid() &&
+                     (ob == outboxes_.end() || !ob->second.legacy_peer);
+  if (!batch) {
+    // Legacy wire behaviour: direct forward_collab to the app's CorbaProxy.
+    wire::Encoder args;
+    proto::encode(args, ev);
+    invoke_peer(host, entry.corba_proxy, "forward_collab", std::move(args),
+                [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+    return;
+  }
+  OutboxItem item;
+  item.frame_kind = proto::EventFrameKind::collab_relay;
+  item.app = entry.id;
+  item.kind = ev.kind;
+  item.encoded = encode_event_standalone(ev);
+  item.event = std::make_shared<const proto::ClientEvent>(std::move(ev));
+  outbox_append(host, peer->server_ref, std::move(item));
+}
+
+void DiscoverServer::outbox_append(std::uint32_t node,
+                                   const orb::ObjectRef& ref,
+                                   OutboxItem item) {
+  PeerOutbox& ob = outboxes_[node];
+  ob.ref = ref;
+  if (ob.legacy_peer) {
+    send_item_legacy(node, item);
+    return;
+  }
+  if (ob.items.size() >= config_.peer_outbox_cap &&
+      config_.peer_outbox_cap > 0) {
+    // Backpressure: prefer shedding a periodic state update (a newer one
+    // supersedes it anyway) over collaboration or response traffic.
+    auto victim = ob.items.begin();
+    for (auto it = ob.items.begin(); it != ob.items.end(); ++it) {
+      if (it->kind == proto::EventKind::update) {
+        victim = it;
+        break;
+      }
+    }
+    ob.bytes -= std::min(ob.bytes,
+                         victim->encoded->size() + kOutboxItemOverhead);
+    ob.items.erase(victim);
+    ++stats_.outbox_dropped;
+  }
+  ob.bytes += item.encoded->size() + kOutboxItemOverhead;
+  ob.items.push_back(std::move(item));
+  if (ob.items.size() >= config_.peer_batch_max_events) {
+    flush_outbox(node, FlushTrigger::count);
+  } else if (ob.bytes >= config_.peer_batch_max_bytes) {
+    flush_outbox(node, FlushTrigger::bytes);
+  } else if (ob.flush_timer.value() == 0 && !ob.inflight) {
+    ob.flush_timer =
+        network_.schedule(self_, config_.peer_flush_delay, [this, node] {
+          const auto it = outboxes_.find(node);
+          if (it == outboxes_.end()) return;
+          it->second.flush_timer = net::TimerId{0};
+          flush_outbox(node, FlushTrigger::timer);
+        });
+  }
+}
+
+void DiscoverServer::flush_outbox(std::uint32_t node, FlushTrigger trigger) {
+  const auto it = outboxes_.find(node);
+  if (it == outboxes_.end()) return;
+  PeerOutbox& ob = it->second;
+  if (ob.items.empty() || ob.inflight) return;
+  if (const Peer* peer = peer_by_node(node); peer != nullptr &&
+                                             peer->suspect) {
+    // Don't burn encodes against a peer known to be unreachable: items
+    // wait (bounded by peer_outbox_cap) and drain on heal.
+    return;
+  }
+  if (ob.flush_timer.value() != 0) {
+    network_.cancel(ob.flush_timer);
+    ob.flush_timer = net::TimerId{0};
+  }
+
+  std::vector<OutboxItem> sent(std::make_move_iterator(ob.items.begin()),
+                               std::make_move_iterator(ob.items.end()));
+  ob.items.clear();
+  const std::size_t payload_hint = ob.bytes;
+  ob.bytes = 0;
+
+  // Group the FIFO into frames: one frame per run of (app, kind), so
+  // per-app order is the queue order and each push frame carries its
+  // contiguous seq range.
+  struct FrameSpan {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<FrameSpan> spans;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    if (i == 0 || sent[i].frame_kind != sent[i - 1].frame_kind ||
+        !(sent[i].app == sent[i - 1].app)) {
+      spans.push_back({i, 1});
+    } else {
+      ++spans.back().count;
+    }
+  }
+
+  wire::Encoder args;
+  args.reserve(payload_hint + 16);
+  args.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const auto& span : spans) {
+    const OutboxItem& first = sent[span.first];
+    const OutboxItem& last = sent[span.first + span.count - 1];
+    args.u8(static_cast<std::uint8_t>(first.frame_kind));
+    proto::encode(args, first.app);
+    args.u64(first.seq);
+    args.u64(last.seq);
+    args.u32(static_cast<std::uint32_t>(span.count));
+    for (std::size_t k = 0; k < span.count; ++k) {
+      args.align_to(8);
+      args.splice(*sent[span.first + k].encoded);
+    }
+  }
+
+  ++stats_.peer_batches_out;
+  stats_.peer_batch_events_max =
+      std::max<std::uint64_t>(stats_.peer_batch_events_max, sent.size());
+  switch (trigger) {
+    case FlushTrigger::count: ++stats_.flushes_by_count; break;
+    case FlushTrigger::bytes: ++stats_.flushes_by_bytes; break;
+    case FlushTrigger::timer: ++stats_.flushes_by_timer; break;
+    case FlushTrigger::drain: break;
+  }
+
+  ob.inflight = true;
+  invoke_peer(
+      node, ob.ref, "forward_events", std::move(args),
+      [this, node, sent = std::move(sent)](util::Result<util::Bytes> r) {
+        const auto oit = outboxes_.find(node);
+        if (oit == outboxes_.end()) return;
+        PeerOutbox& o = oit->second;
+        o.inflight = false;
+        if (!r.ok() && r.error().code == util::Errc::invalid_argument) {
+          // Mixed-version fallback: the peer predates forward_events.
+          // Resend this batch through the singular compat alias and stay
+          // singular for the rest of its lifetime.
+          o.legacy_peer = true;
+          for (const auto& item : sent) send_item_legacy(node, item);
+          for (const auto& item : o.items) send_item_legacy(node, item);
+          o.items.clear();
+          o.bytes = 0;
+          return;
+        }
+        if (!r.ok()) {
+          // Undelivered (timeout / suspect fail-fast).  Requeue push
+          // frames at the front — remote_known_seq makes a double
+          // delivery harmless, and the in-flight gate kept order — but
+          // drop collab relays: re-posting them under a fresh request id
+          // could duplicate a chat (the old forward_collab lost them the
+          // same way).
+          for (auto rit = sent.rbegin(); rit != sent.rend(); ++rit) {
+            if (rit->frame_kind != proto::EventFrameKind::push) {
+              ++stats_.outbox_dropped;
+              continue;
+            }
+            o.bytes += rit->encoded->size() + kOutboxItemOverhead;
+            o.items.push_front(std::move(*rit));
+          }
+          while (config_.peer_outbox_cap > 0 &&
+                 o.items.size() > config_.peer_outbox_cap) {
+            o.bytes -= std::min(
+                o.bytes, o.items.back().encoded->size() + kOutboxItemOverhead);
+            o.items.pop_back();
+            ++stats_.outbox_dropped;
+          }
+          if (!o.items.empty() && o.flush_timer.value() == 0) {
+            ob_arm_retry(node);
+          }
+          return;
+        }
+        if (!o.items.empty()) {
+          // Traffic that queued behind the in-flight batch leaves now.
+          flush_outbox(node, FlushTrigger::drain);
+        }
+      },
+      config_.orb_call_timeout);
+}
+
+void DiscoverServer::ob_arm_retry(std::uint32_t node) {
+  const auto it = outboxes_.find(node);
+  if (it == outboxes_.end()) return;
+  it->second.flush_timer =
+      network_.schedule(self_, config_.peer_flush_delay, [this, node] {
+        const auto oit = outboxes_.find(node);
+        if (oit == outboxes_.end()) return;
+        oit->second.flush_timer = net::TimerId{0};
+        flush_outbox(node, FlushTrigger::drain);
+      });
+}
+
+void DiscoverServer::send_item_legacy(std::uint32_t node,
+                                      const OutboxItem& item) {
+  if (item.frame_kind == proto::EventFrameKind::push) {
+    wire::Encoder args;
+    proto::encode(args, item.app);
+    encode_event_seq(args, {*item.event});
+    const auto oit = outboxes_.find(node);
+    if (oit == outboxes_.end()) return;
+    invoke_peer(node, oit->second.ref, "forward_event", std::move(args),
+                [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+    return;
+  }
+  // Collab relay: singular sends target the app's CorbaProxy, not the
+  // level-1 servant.
+  AppEntry* entry = find_app(item.app);
+  if (entry == nullptr || entry->local) return;
+  wire::Encoder args;
+  proto::encode(args, *item.event);
+  invoke_peer(node, entry->corba_proxy, "forward_collab", std::move(args),
+              [](util::Result<util::Bytes>) {}, config_.orb_call_timeout);
+}
+
+void DiscoverServer::drain_outbox_if_any(std::uint32_t node) {
+  const auto it = outboxes_.find(node);
+  if (it != outboxes_.end() && !it->second.items.empty()) {
+    flush_outbox(node, FlushTrigger::drain);
+  }
+}
+
+void DiscoverServer::flush_all_outboxes() {
+  for (auto& [node, ob] : outboxes_) {
+    if (ob.flush_timer.value() != 0) {
+      network_.cancel(ob.flush_timer);
+      ob.flush_timer = net::TimerId{0};
+    }
+    // Best-effort: inflight batches already carry their items; what is
+    // still queued goes out in one final batch.
+    if (!ob.items.empty() && !ob.inflight) {
+      flush_outbox(node, FlushTrigger::drain);
+    }
+  }
+}
+
+void DiscoverServer::ingest_event_frames(
+    const std::vector<proto::EventFrame>& frames) {
+  for (const auto& f : frames) {
+    AppEntry* entry = find_app(f.app);
+    if (entry == nullptr) continue;
+    if (f.kind == proto::EventFrameKind::push) {
+      if (entry->local) continue;
+      // Frame-level fast dedup: a retried batch whose whole range is
+      // already known needs no per-event scan.
+      if (f.seq_last != 0 && f.seq_last <= entry->remote_known_seq) continue;
+      ingest_remote_events(*entry, f.events);
+    } else {
+      if (!entry->local) continue;
+      for (const auto& ev : f.events) {
+        proto::ClientEvent stamped = ev;
+        stamped.app = f.app;
+        publish_event(*entry, std::move(stamped));
+      }
+    }
+  }
+}
+
+std::size_t DiscoverServer::outbox_depth(std::uint32_t node) const {
+  const auto it = outboxes_.find(node);
+  return it != outboxes_.end() ? it->second.items.size() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Versioned directory (DESIGN.md "Peer outbox & directory deltas")
+// ---------------------------------------------------------------------------
+
+proto::AppInfo DiscoverServer::app_info_of(const AppEntry& entry) const {
+  proto::AppInfo info;
+  info.id = entry.id;
+  info.name = entry.name;
+  info.description = entry.description;
+  info.phase = entry.phase;
+  info.update_seq = entry.event_seq;
+  return info;
+}
+
+void DiscoverServer::bump_directory(const proto::AppId& app, bool removed) {
+  ++dir_version_;
+  dir_log_.push_back({dir_version_, app, removed});
+  while (dir_log_.size() > config_.dir_log_cap) dir_log_.pop_front();
+}
+
+void DiscoverServer::bump_directory_epoch() {
+  ++dir_epoch_;
+  dir_log_.clear();
+}
+
+proto::DirectoryUpdate DiscoverServer::directory_update_since(
+    std::uint64_t epoch, std::uint64_t since) const {
+  proto::DirectoryUpdate upd;
+  upd.epoch = dir_epoch_;
+  upd.version = dir_version_;
+  // Delta only when the caller is on our epoch, not ahead of us (a host
+  // restart resets the version), and not behind the bounded change log.
+  const std::uint64_t log_floor =
+      dir_log_.empty() ? dir_version_ : dir_log_.front().version - 1;
+  const bool delta_ok = epoch == dir_epoch_ && since <= dir_version_ &&
+                        since >= log_floor;
+  if (!delta_ok) {
+    upd.full = true;
+    for (const auto& [id, entry] : apps_) {
+      if (entry.local) upd.apps.push_back(app_info_of(entry));
+    }
+    return upd;
+  }
+  // Collapse the log tail: the latest mention of an app wins, removals of
+  // apps the caller then saw re-register collapse into one upsert.
+  std::set<proto::AppId> touched;
+  for (auto it = dir_log_.rbegin(); it != dir_log_.rend(); ++it) {
+    if (it->version <= since) break;
+    if (!touched.insert(it->app).second) continue;
+    const AppEntry* entry = find_app(it->app);
+    if (entry != nullptr && entry->local) {
+      upd.apps.push_back(app_info_of(*entry));
+    } else {
+      upd.removed.push_back(it->app);
+    }
+  }
+  return upd;
+}
+
+void DiscoverServer::refresh_peer_directory(Peer& peer) {
+  if (peer.dir_inflight || peer.dir_unsupported || peer.suspect) return;
+  if (!peer.server_ref.valid()) return;
+  peer.dir_inflight = true;
+  wire::Encoder args;
+  // A (0, 0) cursor never matches a host epoch, so the legacy A/B knob
+  // degenerates to a full snapshot every round.
+  args.u64(config_.peer_dir_deltas ? peer.dir_epoch : 0);
+  args.u64(config_.peer_dir_deltas ? peer.dir_version : 0);
+  const std::uint32_t node = peer.node;
+  invoke_peer(
+      node, peer.server_ref, "list_apps_since", std::move(args),
+      [this, node](util::Result<util::Bytes> r) {
+        Peer* p = peer_by_node(node);
+        if (p == nullptr) return;
+        p->dir_inflight = false;
+        if (!r.ok()) {
+          if (r.error().code == util::Errc::invalid_argument) {
+            p->dir_unsupported = true;  // pre-outbox peer build
+          }
+          return;
+        }
+        stats_.dir_refresh_bytes += r.value().size();
+        try {
+          wire::Decoder d(r.value());
+          apply_directory_update(*p, proto::decode_directory_update(d));
+        } catch (const wire::DecodeError&) {
+          // Keep the stale view on malformed replies.
+        }
+      },
+      config_.orb_call_timeout);
+}
+
+void DiscoverServer::apply_directory_update(
+    Peer& peer, const proto::DirectoryUpdate& upd) {
+  if (upd.full) {
+    ++stats_.dir_fulls_in;
+  } else {
+    ++stats_.dir_deltas_in;
+    // A stale delta (reordered behind a newer reply) must not roll the
+    // view back; full snapshots always apply (epoch recovery).
+    if (upd.epoch == peer.dir_epoch && upd.version < peer.dir_version) return;
+  }
+
+  std::vector<proto::AppId> removed = upd.removed;
+  if (upd.full) {
+    std::set<proto::AppId> now_present;
+    for (const auto& info : upd.apps) now_present.insert(info.id);
+    for (const auto& [id, _] : peer.directory) {
+      if (now_present.count(id) == 0) removed.push_back(id);
+    }
+    peer.directory.clear();
+  }
+  for (const auto& info : upd.apps) {
+    peer.directory[info.id] = info;
+    // Freshen remote AppEntry metadata for apps we actively track.
+    if (AppEntry* entry = find_app(info.id);
+        entry != nullptr && !entry->local) {
+      entry->name = info.name;
+      entry->description = info.description;
+      entry->phase = info.phase;
+    }
+  }
+  for (const auto& id : removed) {
+    peer.directory.erase(id);
+    // Backup departure signal behind the control channel: only touch
+    // remote entries actually hosted at this peer.
+    if (const AppEntry* entry = find_app(id);
+        entry != nullptr && !entry->local && id.host == peer.node) {
+      remove_remote_app(id, "withdrawn from host directory");
+    }
+  }
+  peer.dir_epoch = upd.epoch;
+  peer.dir_version = upd.version;
+}
+
+std::vector<proto::AppInfo> DiscoverServer::peer_directory(
+    std::uint32_t node) const {
+  std::vector<proto::AppInfo> out;
+  const auto it = peers_.find(node);
+  if (it == peers_.end()) return out;
+  for (const auto& [_, info] : it->second.directory) out.push_back(info);
+  return out;
 }
 
 void DiscoverServer::remove_remote_app(const proto::AppId& app,

@@ -215,6 +215,13 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
             }
             const std::uint64_t history_seq = d.u64();
             entry2->params = params;
+            if (!entry2->remote_subscribed && entry2->remote_known_seq == 0) {
+              // First subscription: events up to the level-2 handshake are
+              // history the watcher never asked for.  Anything the host
+              // publishes after this point must reach us — the subscribe
+              // reply backfills the gap instead of skipping over it.
+              entry2->remote_known_seq = history_seq;
+            }
             ClientSub& sub = s.subscribe_session(*sess2, app_id);
             sub.privilege = p;
             s.subscribe_remote(*entry2);
@@ -479,13 +486,9 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
     if (entry->local) {
       s.publish_event(*entry, std::move(ev));
     } else {
-      // Relay to the host, which stamps/archives/redistributes (§5.2.3).
-      wire::Encoder args;
-      proto::encode(args, ev);
-      s.invoke_peer(entry->corba_proxy.node, entry->corba_proxy,
-                    "forward_collab", std::move(args),
-                    [](util::Result<util::Bytes>) {},
-                    s.config_.orb_call_timeout);
+      // Relay to the host, which stamps/archives/redistributes (§5.2.3) —
+      // through the host's outbox when batching is on.
+      s.relay_collab_to_host(*entry, std::move(ev));
     }
     ack.ok = true;
     ack.message = "posted";

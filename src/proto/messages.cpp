@@ -234,6 +234,75 @@ util::Result<FramedMessage> decode_framed(const util::Bytes& data) {
   }
 }
 
+// --- forward_events batches --------------------------------------------------
+
+void encode_event_frames(wire::Encoder& e, const std::vector<EventFrame>& v) {
+  e.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& f : v) {
+    e.u8(static_cast<std::uint8_t>(f.kind));
+    encode(e, f.app);
+    e.u64(f.seq_first);
+    e.u64(f.seq_last);
+    e.u32(static_cast<std::uint32_t>(f.events.size()));
+    for (const auto& ev : f.events) {
+      e.align_to(8);
+      encode(e, ev);
+    }
+  }
+}
+
+std::vector<EventFrame> decode_event_frames(wire::Decoder& d) {
+  const std::uint32_t n_frames = d.u32();
+  if (d.remaining() < n_frames) {
+    throw wire::DecodeError("truncated frame sequence");
+  }
+  std::vector<EventFrame> out;
+  out.reserve(std::min<std::size_t>(n_frames, wire::kMaxSequencePrereserve));
+  for (std::uint32_t i = 0; i < n_frames; ++i) {
+    EventFrame f;
+    f.kind = static_cast<EventFrameKind>(d.u8());
+    f.app = decode_app_id(d);
+    f.seq_first = d.u64();
+    f.seq_last = d.u64();
+    const std::uint32_t n_events = d.u32();
+    if (d.remaining() < n_events) {
+      throw wire::DecodeError("truncated event sequence");
+    }
+    f.events.reserve(
+        std::min<std::size_t>(n_events, wire::kMaxSequencePrereserve));
+    for (std::uint32_t k = 0; k < n_events; ++k) {
+      d.align_to(8);
+      f.events.push_back(decode_client_event(d));
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// --- directory deltas --------------------------------------------------------
+
+void encode(wire::Encoder& e, const DirectoryUpdate& v) {
+  e.u64(v.epoch);
+  e.u64(v.version);
+  e.boolean(v.full);
+  e.sequence(v.removed,
+             [](wire::Encoder& enc, const AppId& id) { encode(enc, id); });
+  e.sequence(v.apps,
+             [](wire::Encoder& enc, const AppInfo& a) { encode(enc, a); });
+}
+
+DirectoryUpdate decode_directory_update(wire::Decoder& d) {
+  DirectoryUpdate v;
+  v.epoch = d.u64();
+  v.version = d.u64();
+  v.full = d.boolean();
+  v.removed =
+      d.sequence<AppId>([](wire::Decoder& dd) { return decode_app_id(dd); });
+  v.apps =
+      d.sequence<AppInfo>([](wire::Decoder& dd) { return decode_app_info(dd); });
+  return v;
+}
+
 // --- HTTP bodies -------------------------------------------------------------
 
 namespace {

@@ -113,6 +113,59 @@ struct SystemEvent {
 };
 
 // ---------------------------------------------------------------------------
+// Server <-> server batched event propagation (DiscoverCorbaServer
+// "forward_events", see DESIGN.md "Peer outbox & directory deltas").  One
+// call drains a peer outbox: a sequence of frames, each a run of events for
+// one application.
+// ---------------------------------------------------------------------------
+
+enum class EventFrameKind : std::uint8_t {
+  /// Host -> subscriber push.  Events carry host-assigned seqs and the
+  /// frame carries their [seq_first, seq_last] range, so the receiver's
+  /// remote_known_seq dedup makes retried or duplicated batches harmless
+  /// and whole stale frames can be skipped without touching the events.
+  push = 0,
+  /// A client collaboration post relayed toward the application's host,
+  /// which stamps/archives/redistributes (§5.2.3).  Events carry no seq
+  /// yet; seq_first/seq_last are zero.
+  collab_relay = 1,
+};
+
+struct EventFrame {
+  EventFrameKind kind = EventFrameKind::push;
+  AppId app;
+  std::uint64_t seq_first = 0;
+  std::uint64_t seq_last = 0;
+  std::vector<ClientEvent> events;
+};
+
+/// Struct-based reference encoding.  Each event is placed at an 8-byte
+/// boundary, which makes the encoding byte-identical to the outbox fast
+/// path that splices pre-encoded standalone events (wire::Encoder::splice);
+/// peer_batch_test pins the two together.
+void encode_event_frames(wire::Encoder& e, const std::vector<EventFrame>& v);
+std::vector<EventFrame> decode_event_frames(wire::Decoder& d);
+
+// ---------------------------------------------------------------------------
+// Server <-> server versioned directory (DiscoverCorbaServer
+// "list_apps_since").  The host bumps `version` on every local membership
+// or phase change and keeps a bounded change log; a caller presenting its
+// cached (epoch, version) gets the delta, or a full snapshot when it is on
+// another epoch or behind the log tail.
+// ---------------------------------------------------------------------------
+
+struct DirectoryUpdate {
+  std::uint64_t epoch = 0;
+  std::uint64_t version = 0;
+  bool full = false;
+  std::vector<AppId> removed;  // delta only; empty in a full snapshot
+  std::vector<AppInfo> apps;   // delta: upserts; full: the whole directory
+};
+
+void encode(wire::Encoder& e, const DirectoryUpdate& v);
+DirectoryUpdate decode_directory_update(wire::Decoder& d);
+
+// ---------------------------------------------------------------------------
 // Framed envelope
 // ---------------------------------------------------------------------------
 

@@ -9,6 +9,7 @@
 // cost).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -28,6 +29,13 @@ class DecodeError : public std::runtime_error {
  public:
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// Sequence decoders pre-reserve at most this many elements no matter what
+/// the wire-carried count claims: the count is attacker-controlled and a
+/// sizeof(T) multiplier away from the byte-level bound check_remaining can
+/// enforce.  Vectors still grow past this normally while real elements
+/// decode.
+inline constexpr std::size_t kMaxSequencePrereserve = 1024;
 
 class Encoder {
  public:
@@ -79,6 +87,17 @@ class Encoder {
   /// size so a message grows in zero or one reallocation instead of the
   /// log(n) doublings of an unreserved vector.
   void reserve(std::size_t n) { buffer_.reserve(n); }
+
+  /// Pads with zero bytes to an n-byte boundary, exactly like the padding
+  /// emitted before an n-byte primitive.  Pairs with splice().
+  void align_to(std::size_t n) { align(n); }
+  /// Appends an already-encoded CDR fragment verbatim.  Alignment padding
+  /// inside a fragment depends only on its starting offset modulo the
+  /// largest primitive size, so a fragment encoded standalone (offset 0)
+  /// re-decodes identically when spliced at any align_to(8) boundary.  This
+  /// is how the peer outbox serializes each event once and memcpys it into
+  /// every per-peer batch.
+  void splice(const util::Bytes& b) { raw(b.data(), b.size()); }
 
   [[nodiscard]] const util::Bytes& data() const& { return buffer_; }
   [[nodiscard]] util::Bytes take() && { return std::move(buffer_); }
@@ -133,7 +152,7 @@ class Decoder {
     const std::uint32_t n = u32();
     check_remaining(n);  // Each element is at least one byte.
     std::vector<T> out;
-    out.reserve(n);
+    out.reserve(std::min<std::size_t>(n, kMaxSequencePrereserve));
     for (std::uint32_t i = 0; i < n; ++i) out.push_back(decode_element(*this));
     return out;
   }
@@ -156,6 +175,9 @@ class Decoder {
     if (!boolean()) return std::nullopt;
     return decode_element(*this);
   }
+
+  /// Skips the padding emitted by Encoder::align_to at the same offset.
+  void align_to(std::size_t n) { align(n); }
 
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
   [[nodiscard]] bool at_end() const { return pos_ == size_; }
