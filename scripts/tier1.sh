@@ -10,10 +10,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-echo "== tier 1b: chaos suite under TSan =="
+echo "== tier 1b: chaos + locks suites under TSan =="
 cmake -B build-tsan -S . -DDISCOVER_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target chaos_test retry_policy_test
-(cd build-tsan && ctest -L chaos --output-on-failure)
+cmake --build build-tsan -j "$(nproc)" \
+  --target chaos_test retry_policy_test lock_manager_test lock_lifecycle_test
+(cd build-tsan && ctest -L 'chaos|locks' --output-on-failure)
 
 echo "== tier 1c: fan-out bench smoke (8-subscriber cases) =="
 (cd build && ctest -L bench-smoke --output-on-failure)

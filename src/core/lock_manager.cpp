@@ -4,23 +4,29 @@
 
 namespace discover::core {
 
-bool LockManager::request(const proto::AppId& app, const LockIdentity& who,
-                          GrantCallback on_grant) {
+LockRequest LockManager::request(const proto::AppId& app,
+                                 const LockIdentity& who,
+                                 GrantCallback on_grant) {
   LockState& state = locks_[app];
   if (!state.holder) {
     state.holder = who;
     ++state.generation;
     ++grants_;
     on_grant(true);
-    return true;
+    return {true, 0};
   }
   if (*state.holder == who) {
-    // Idempotent re-acquire by the current holder.
+    // Idempotent re-acquire by the current holder.  Bumping the generation
+    // is what makes this a lease *renewal*: the timer armed at the original
+    // grant sees a generation mismatch and no longer expires the lock.
+    ++state.generation;
+    ++renewals_;
     on_grant(true);
-    return true;
+    return {true, 0};
   }
-  state.queue.push_back(Waiter{who, std::move(on_grant)});
-  return false;
+  const std::uint64_t ticket = next_ticket_++;
+  state.queue.push_back(Waiter{who, std::move(on_grant), ticket});
+  return {false, ticket};
 }
 
 util::Status LockManager::release(const proto::AppId& app,
@@ -68,11 +74,58 @@ void LockManager::forget(const proto::AppId& app, const LockIdentity& who) {
   }
 }
 
-void LockManager::drop_app(const proto::AppId& app) {
+std::optional<LockIdentity> LockManager::drop_app(const proto::AppId& app) {
   const auto it = locks_.find(app);
-  if (it == locks_.end()) return;
+  if (it == locks_.end()) return std::nullopt;
+  std::optional<LockIdentity> evicted = std::move(it->second.holder);
+  if (evicted) ++releases_;
   for (Waiter& w : it->second.queue) w.on_grant(false);
   locks_.erase(it);
+  return evicted;
+}
+
+bool LockManager::expire_ticket(const proto::AppId& app,
+                                std::uint64_t ticket) {
+  const auto it = locks_.find(app);
+  if (it == locks_.end()) return false;
+  auto& queue = it->second.queue;
+  const auto w = std::find_if(queue.begin(), queue.end(), [&](const Waiter& x) {
+    return x.ticket == ticket;
+  });
+  if (w == queue.end()) return false;
+  GrantCallback cb = std::move(w->on_grant);
+  queue.erase(w);
+  cb(false);
+  return true;
+}
+
+std::vector<LockReap> LockManager::reap_server(std::uint32_t server) {
+  std::vector<LockReap> out;
+  for (auto& [app, state] : locks_) {
+    LockReap reap{app, {}, {}, {}};
+    // Purge queued waiters from the dead server first so the promotion
+    // below can never hand the lock to one of them.
+    for (auto w = state.queue.begin(); w != state.queue.end();) {
+      if (w->who.server == server) {
+        reap.dropped_waiters.push_back(w->who);
+        w->on_grant(false);
+        w = state.queue.erase(w);
+      } else {
+        ++w;
+      }
+    }
+    if (state.holder && state.holder->server == server) {
+      reap.evicted_holder = std::move(state.holder);
+      state.holder.reset();
+      ++releases_;
+      grant_next(state);
+      reap.promoted = state.holder;
+    }
+    if (reap.evicted_holder || !reap.dropped_waiters.empty()) {
+      out.push_back(std::move(reap));
+    }
+  }
+  return out;
 }
 
 std::optional<LockIdentity> LockManager::holder(

@@ -12,6 +12,13 @@
 // exactly once — immediately for an uncontended lock, later when a release
 // promotes the head waiter (for remote requesters the callback completes a
 // deferred ORB reply, which is exactly the "relay" the paper describes).
+//
+// Lifecycle hardening beyond the paper: every grant (including an
+// idempotent re-acquire, which doubles as a lease renewal) bumps the
+// per-app generation so stale lease timers can detect they no longer
+// apply; queued waiters carry a monotone ticket so a deadline timer can
+// expire exactly the wait it was armed for; and `reap_server` evicts all
+// holders and waiters whose origin server has been declared dead.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "proto/types.h"
 #include "util/result.h"
@@ -33,15 +41,32 @@ struct LockIdentity {
   friend bool operator==(const LockIdentity&, const LockIdentity&) = default;
 };
 
+/// Outcome of `request`: either the lock was granted on the spot (callback
+/// already invoked) or the requester was queued under `ticket`.
+struct LockRequest {
+  bool granted = false;
+  std::uint64_t ticket = 0;  // nonzero iff queued
+};
+
+/// What `reap_server` did to one application's lock state.
+struct LockReap {
+  proto::AppId app;
+  std::optional<LockIdentity> evicted_holder;
+  std::vector<LockIdentity> dropped_waiters;
+  std::optional<LockIdentity> promoted;  // new holder after the eviction
+};
+
 class LockManager {
  public:
   using GrantCallback = std::function<void(bool granted)>;
 
-  /// Requests the steering lock for `app`.  Returns true if granted
-  /// immediately (callback already invoked), false if queued.
-  /// Re-acquisition by the current holder is granted immediately.
-  bool request(const proto::AppId& app, const LockIdentity& who,
-               GrantCallback on_grant);
+  /// Requests the steering lock for `app`.  Granted immediately (callback
+  /// already invoked) when uncontended; a re-acquire by the current holder
+  /// is granted immediately AND bumps the generation, renewing any lease
+  /// keyed to it.  Otherwise the requester is queued and the returned
+  /// ticket identifies the wait for `expire_ticket`.
+  LockRequest request(const proto::AppId& app, const LockIdentity& who,
+                      GrantCallback on_grant);
 
   /// Releases the lock if `who` holds it, then grants the next waiter.
   /// Fails with failed_precondition otherwise.
@@ -52,23 +77,40 @@ class LockManager {
   void forget(const proto::AppId& app, const LockIdentity& who);
 
   /// Drops all lock state for an application that went away; every waiter's
-  /// callback fires with granted=false.
-  void drop_app(const proto::AppId& app);
+  /// callback fires with granted=false.  An evicted holder counts as a
+  /// release and is returned so the caller can publish a notice.
+  std::optional<LockIdentity> drop_app(const proto::AppId& app);
+
+  /// Expires a queued wait by ticket (deadline passed); the waiter's
+  /// callback fires with granted=false.  Returns false when the ticket is
+  /// no longer queued (already granted, forgotten, or reaped) — the timer
+  /// that armed it must then do nothing.
+  bool expire_ticket(const proto::AppId& app, std::uint64_t ticket);
+
+  /// Evicts every holder and queued waiter whose origin server is `server`
+  /// (declared dead by the peer health tracker).  Waiters from the dead
+  /// server are purged first so they can never be promoted; then each
+  /// evicted holder's lock passes to the next surviving waiter.  Returns
+  /// one record per application that changed.
+  std::vector<LockReap> reap_server(std::uint32_t server);
 
   [[nodiscard]] std::optional<LockIdentity> holder(
       const proto::AppId& app) const;
   [[nodiscard]] std::size_t queue_length(const proto::AppId& app) const;
-  /// Monotone per-app counter bumped on every grant; lets lease timers
-  /// detect "same holder, same grant" without storing the identity.
+  /// Monotone per-app counter bumped on every grant and renewal; lets
+  /// lease timers detect "same holder, same grant" without storing the
+  /// identity.
   [[nodiscard]] std::uint64_t generation(const proto::AppId& app) const;
 
   [[nodiscard]] std::uint64_t grants() const { return grants_; }
   [[nodiscard]] std::uint64_t releases() const { return releases_; }
+  [[nodiscard]] std::uint64_t renewals() const { return renewals_; }
 
  private:
   struct Waiter {
     LockIdentity who;
     GrantCallback on_grant;
+    std::uint64_t ticket = 0;
   };
 
   struct LockState {
@@ -82,6 +124,8 @@ class LockManager {
   std::map<proto::AppId, LockState> locks_;
   std::uint64_t grants_ = 0;
   std::uint64_t releases_ = 0;
+  std::uint64_t renewals_ = 0;
+  std::uint64_t next_ticket_ = 1;
 };
 
 }  // namespace discover::core

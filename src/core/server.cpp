@@ -239,7 +239,12 @@ void DiscoverServer::handle_app_deregister(const proto::AppDeregister& msg) {
   if (naming_.configured()) {
     naming_.unbind(msg.app_id.to_string(), [](util::Status) {});
   }
-  locks_.drop_app(msg.app_id);
+  if (const auto evicted = locks_.drop_app(msg.app_id)) {
+    // Waiter callbacks above already published their "denied" notices; the
+    // evicted holder gets an explicit one before the entry disappears.
+    publish_lock_notice(msg.app_id, evicted->user, 0,
+                        "released: application departed");
+  }
   if (entry->servant_key != 0) orb_->deactivate(entry->servant_key);
   apps_by_node_.erase(entry->app_node.value());
   apps_.erase(msg.app_id);
@@ -519,12 +524,25 @@ void DiscoverServer::handle_lock_command(AppEntry& entry,
   const LockIdentity who{user, origin_server};
   const proto::AppId app = entry.id;
   if (acquire) {
-    locks_.request(app, who, [this, app, who, user, client_rid](bool granted) {
-      publish_lock_notice(app, user, client_rid,
-                          granted ? "granted" : "denied");
-      if (granted) arm_lock_lease(app, who);
-    });
+    const LockRequest req = locks_.request(
+        app, who, [this, app, who, user, client_rid](bool granted) {
+          publish_lock_notice(app, user, client_rid,
+                              granted ? "granted" : "denied");
+          if (granted) arm_lock_lease(app, who);
+        });
     // Queued requests produce no immediate notice; the grant arrives later.
+    // A waiter deadline bounds that wait: if the ticket is still queued
+    // when the timer fires, the waiter is expired and its callback above
+    // publishes the "denied" notice.
+    if (!req.granted && config_.lock_wait_deadline > 0) {
+      const std::uint64_t ticket = req.ticket;
+      network_.schedule(self_, config_.lock_wait_deadline,
+                        [this, app, ticket] {
+                          if (locks_.expire_ticket(app, ticket)) {
+                            ++stats_.lock_waiters_expired;
+                          }
+                        });
+    }
   } else {
     const util::Status s = locks_.release(app, who);
     publish_lock_notice(app, user, client_rid,
@@ -545,7 +563,23 @@ void DiscoverServer::publish_lock_notice(const proto::AppId& app,
   ev.user = user;
   ev.request_id = client_rid;
   ev.text = what;
+  ++stats_.lock_notices;
   publish_event(*entry, std::move(ev));
+}
+
+void DiscoverServer::reap_server_locks(std::uint32_t node,
+                                       const std::string& why) {
+  if (!config_.lock_reap_on_suspect) return;
+  for (const auto& reap : locks_.reap_server(node)) {
+    stats_.lock_waiters_reaped += reap.dropped_waiters.size();
+    // Dropped waiters' callbacks already published "denied" notices, and a
+    // promoted waiter's callback published "granted" and armed its lease.
+    if (reap.evicted_holder) {
+      ++stats_.lock_holders_reaped;
+      publish_lock_notice(reap.app, reap.evicted_holder->user, 0,
+                          "holder reaped: " + why);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -563,6 +597,7 @@ void DiscoverServer::arm_lock_lease(const proto::AppId& app,
       return;  // released (or re-granted) in the meantime
     }
     locks_.forget(app, who);  // releases + promotes the next waiter
+    ++stats_.lock_leases_expired;
     publish_lock_notice(app, who.user, 0, "lease expired");
   });
 }
@@ -643,13 +678,8 @@ std::vector<proto::AppInfo> DiscoverServer::visible_apps(
     if (!entry.local) continue;
     const security::Privilege p = entry.acl.privilege_of(user);
     if (p == security::Privilege::none) continue;
-    proto::AppInfo info;
-    info.id = id;
-    info.name = entry.name;
-    info.description = entry.description;
+    proto::AppInfo info = app_info_of(entry);
     info.privilege = p;
-    info.phase = entry.phase;
-    info.update_seq = entry.event_seq;
     out.push_back(std::move(info));
   }
   return out;
@@ -683,13 +713,7 @@ void DiscoverServer::drop_session(std::uint64_t key) {
       if (entry->local) {
         locks_.forget(app_id, LockIdentity{session.user, self_.value()});
       } else {
-        wire::Encoder args;
-        args.str(session.user);
-        args.u32(self_.value());
-        invoke_peer(entry->corba_proxy.node, entry->corba_proxy,
-                    "forget_locks", std::move(args),
-                    [](util::Result<util::Bytes>) {},
-                    config_.orb_call_timeout);
+        send_forget_locks(app_id, session.user, 1);
       }
     }
     // Drop the session's index rows.  The row count is the local watcher
@@ -707,6 +731,36 @@ void DiscoverServer::drop_session(std::uint64_t key) {
     }
   }
   sessions_.erase(it);
+}
+
+void DiscoverServer::send_forget_locks(const proto::AppId& app,
+                                       const std::string& user,
+                                       std::uint32_t attempt) {
+  AppEntry* entry = find_app(app);
+  // Remote entry gone (host suspect/departed) or the app moved home: the
+  // host's own lease/reaping reclaims the lock, nothing left to relay.
+  if (entry == nullptr || entry->local) return;
+  wire::Encoder args;
+  args.str(user);
+  args.u32(self_.value());
+  invoke_peer(
+      entry->corba_proxy.node, entry->corba_proxy, "forget_locks",
+      std::move(args),
+      [this, app, user, attempt](util::Result<util::Bytes> r) {
+        if (r.ok()) return;
+        if (attempt >= config_.forget_locks_attempts) {
+          ++stats_.forget_locks_abandoned;  // lease expiry is the backstop
+          return;
+        }
+        ++stats_.forget_locks_retries;
+        const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 16);
+        const util::Duration delay =
+            config_.forget_locks_backoff * (util::Duration{1} << shift);
+        network_.schedule(self_, delay, [this, app, user, attempt] {
+          send_forget_locks(app, user, attempt + 1);
+        });
+      },
+      config_.orb_call_timeout);
 }
 
 DiscoverServer::ClientSub& DiscoverServer::subscribe_session(

@@ -166,6 +166,25 @@ struct ServerConfig {
   /// the paper's behaviour).
   util::Duration lock_lease = 0;
 
+  /// Queued lock requesters wait at most this long for a grant; on expiry
+  /// the waiter is removed and receives a `denied` lock notice instead of
+  /// starving forever (0 = wait forever — the paper's behaviour).
+  util::Duration lock_wait_deadline = 0;
+
+  /// Reap steering-lock holders and queued waiters whose origin server has
+  /// been declared dead (marked suspect, or announced server_down).  The
+  /// lock passes to the next surviving waiter and survivors see a
+  /// lock_notice.  Leases remain the backstop when disabled.
+  bool lock_reap_on_suspect = true;
+
+  /// Retry schedule for the forget_locks relay sent to a remote host when
+  /// a local session drops.  These are whole-call resends on top of the
+  /// ORB-level retransmits of `orb_retry`; the relay is idempotent at the
+  /// host, so duplicates are harmless.  Lease expiry (or reaping) is the
+  /// backstop when every attempt fails.
+  std::uint32_t forget_locks_attempts = 4;
+  util::Duration forget_locks_backoff = util::milliseconds(250);
+
   /// Client sessions idle at the HTTP layer longer than this are dropped
   /// (their lock interest is released, remote subscriptions ref-counted
   /// down).
@@ -224,6 +243,14 @@ struct ServerStats {
   std::uint64_t system_events = 0;
   std::uint64_t apps_registered = 0;
   std::uint64_t apps_departed = 0;
+  // Steering-lock lifecycle.
+  std::uint64_t lock_notices = 0;
+  std::uint64_t lock_leases_expired = 0;
+  std::uint64_t lock_waiters_expired = 0;
+  std::uint64_t lock_holders_reaped = 0;
+  std::uint64_t lock_waiters_reaped = 0;
+  std::uint64_t forget_locks_retries = 0;
+  std::uint64_t forget_locks_abandoned = 0;
 };
 
 class DiscoverServer final : public net::MessageHandler {
@@ -285,6 +312,9 @@ class DiscoverServer final : public net::MessageHandler {
   [[nodiscard]] std::optional<LockIdentity> lock_holder(
       const proto::AppId& app) const {
     return locks_.holder(app);
+  }
+  [[nodiscard]] std::size_t lock_queue_length(const proto::AppId& app) const {
+    return locks_.queue_length(app);
   }
   /// Total backlog across all client FIFOs (server memory pressure, A2).
   [[nodiscard]] std::size_t total_fifo_backlog() const;
@@ -532,6 +562,16 @@ class DiscoverServer final : public net::MessageHandler {
                            bool shared, const std::string& subgroup);
   void publish_lock_notice(const proto::AppId& app, const std::string& user,
                            std::uint64_t client_rid, const std::string& what);
+  /// Evicts lock holders/waiters whose origin server `node` was declared
+  /// dead; publishes notices for evicted holders (waiter/promotion notices
+  /// ride the grant callbacks).  No-op unless `lock_reap_on_suspect`.
+  void reap_server_locks(std::uint32_t node, const std::string& why);
+  /// Relays forget_locks to a remote app's host with bounded exponential
+  /// backoff (attempt is 1-based); gives up when the remote entry is gone
+  /// or `forget_locks_attempts` is exhausted — the host's lease/reaping
+  /// then reclaims the lock.
+  void send_forget_locks(const proto::AppId& app, const std::string& user,
+                         std::uint32_t attempt);
 
   // -- security ---------------------------------------------------------------
   [[nodiscard]] util::Status verify_token(

@@ -91,13 +91,7 @@ class DiscoverServer::DiscoverCorbaServerServant final : public orb::Servant {
       std::vector<proto::AppInfo> apps;
       for (const auto& [id, entry] : s.apps_) {
         if (!entry.local) continue;
-        proto::AppInfo info;
-        info.id = id;
-        info.name = entry.name;
-        info.description = entry.description;
-        info.phase = entry.phase;
-        info.update_seq = entry.event_seq;
-        apps.push_back(std::move(info));
+        apps.push_back(s.app_info_of(entry));
       }
       encode_app_info_seq(out, apps);
     } else if (method == "forward_event") {
@@ -215,13 +209,7 @@ class DiscoverServer::CorbaProxyServant final : public orb::Servant {
       s.publish_event(*entry, ev);
       out.u64(entry->event_seq);
     } else if (method == "get_status") {
-      proto::AppInfo info;
-      info.id = app_;
-      info.name = entry->name;
-      info.description = entry->description;
-      info.phase = entry->phase;
-      info.update_seq = entry->event_seq;
-      encode(out, info);
+      encode(out, s.app_info_of(*entry));
     } else if (method == "forget_locks") {
       const std::string user = args.str();
       const std::uint32_t origin = args.u32();
@@ -430,6 +418,17 @@ void DiscoverServer::report_monitoring() {
   metrics["dir_fulls_in"] = static_cast<std::int64_t>(stats_.dir_fulls_in);
   metrics["dir_refresh_bytes"] =
       static_cast<std::int64_t>(stats_.dir_refresh_bytes);
+  metrics["lock_grants"] = static_cast<std::int64_t>(locks_.grants());
+  metrics["lock_releases"] = static_cast<std::int64_t>(locks_.releases());
+  metrics["lock_renewals"] = static_cast<std::int64_t>(locks_.renewals());
+  metrics["lock_leases_expired"] =
+      static_cast<std::int64_t>(stats_.lock_leases_expired);
+  metrics["lock_waiters_expired"] =
+      static_cast<std::int64_t>(stats_.lock_waiters_expired);
+  metrics["lock_holders_reaped"] =
+      static_cast<std::int64_t>(stats_.lock_holders_reaped);
+  metrics["lock_waiters_reaped"] =
+      static_cast<std::int64_t>(stats_.lock_waiters_reaped);
   args.map(metrics, [](wire::Encoder& e, const std::string& k) { e.str(k); },
            [](wire::Encoder& e, std::int64_t v) { e.i64(v); });
   orb_->invoke(monitoring_ref_, "report", std::move(args),
@@ -526,6 +525,10 @@ void DiscoverServer::mark_peer_suspect(Peer& peer) {
                            config_.name + ": peer " + peer.name +
                                " unreachable");
   }
+  // Steering locks held or awaited via the dead server would otherwise
+  // strand until the lease fires (or forever without one): reap them now
+  // so a surviving waiter is promoted.
+  reap_server_locks(peer.node, "origin server " + peer.name + " unreachable");
 }
 
 void DiscoverServer::probe_suspect_peer(Peer& peer) {
@@ -596,6 +599,7 @@ void DiscoverServer::handle_control_channel(const net::Message& msg) {
       for (const auto& id : gone) {
         remove_remote_app(id, "host server down");
       }
+      reap_server_locks(ev->origin_server, "origin server down");
       break;
     }
     case proto::SystemEventKind::server_up:
@@ -1107,6 +1111,15 @@ proto::AppInfo DiscoverServer::app_info_of(const AppEntry& entry) const {
   info.description = entry.description;
   info.phase = entry.phase;
   info.update_seq = entry.event_seq;
+  if (entry.local) {
+    // Steering-lock state rides the directory so remote servers and
+    // clients can see who drives and how deep the wait is (§5.2.4).
+    if (const auto h = locks_.holder(entry.id)) {
+      info.lock_holder = h->user + "@" + std::to_string(h->server);
+    }
+    info.lock_queue =
+        static_cast<std::uint32_t>(locks_.queue_length(entry.id));
+  }
   return info;
 }
 

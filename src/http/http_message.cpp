@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
+#include <optional>
+#include <system_error>
 
 namespace discover::http {
 
@@ -49,12 +52,40 @@ util::Status parse_headers(const std::vector<std::string>& lines,
   return {};
 }
 
+/// Strict Content-Length value parse: decimal digits only (after trimming
+/// optional whitespace), no sign, no trailing garbage, no overflow.
+std::optional<std::uint64_t> parse_content_length(std::string_view v) {
+  while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) {
+    v.remove_suffix(1);
+  }
+  while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+    v.remove_prefix(1);
+  }
+  if (v.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v.data(), v.data() + v.size(), value, 10);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) return std::nullopt;
+  return value;
+}
+
 util::Status check_body(const HeaderMap& headers, std::size_t actual) {
-  const auto cl = headers.get("Content-Length");
-  const std::size_t declared =
-      cl ? static_cast<std::size_t>(std::strtoull(cl->c_str(), nullptr, 10))
-         : 0;
-  if (declared != actual) {
+  std::optional<std::uint64_t> declared;
+  for (const auto& [name, value] : headers.all()) {
+    if (!iequals(name, "Content-Length")) continue;
+    const auto parsed = parse_content_length(value);
+    if (!parsed) {
+      return {util::Errc::protocol_error, "bad Content-Length: " + value};
+    }
+    // Repeats with the same value are tolerated (serialize() appends its
+    // own copy); disagreeing repeats are request smuggling, reject them.
+    if (declared && *declared != *parsed) {
+      return {util::Errc::protocol_error,
+              "conflicting Content-Length headers"};
+    }
+    declared = parsed;
+  }
+  if (declared.value_or(0) != actual) {
     return {util::Errc::protocol_error, "Content-Length mismatch"};
   }
   return {};

@@ -165,6 +165,8 @@ void encode(wire::Encoder& e, const AppInfo& v) {
   e.u8(static_cast<std::uint8_t>(v.privilege));
   e.u8(static_cast<std::uint8_t>(v.phase));
   e.u64(v.update_seq);
+  e.str(v.lock_holder);
+  e.u32(v.lock_queue);
 }
 
 AppInfo decode_app_info(wire::Decoder& d) {
@@ -175,6 +177,8 @@ AppInfo decode_app_info(wire::Decoder& d) {
   a.privilege = static_cast<security::Privilege>(d.u8());
   a.phase = static_cast<AppPhase>(d.u8());
   a.update_seq = d.u64();
+  a.lock_holder = d.str();
+  a.lock_queue = d.u32();
   return a;
 }
 

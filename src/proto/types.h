@@ -66,6 +66,10 @@ struct AppInfo {
   security::Privilege privilege = security::Privilege::none;  // of the asker
   AppPhase phase = AppPhase::computing;
   std::uint64_t update_seq = 0;
+  // Steering-lock state at the host (§5.2.4): "user@server" of the current
+  // driver (empty when the lock is free) and the number of queued waiters.
+  std::string lock_holder;
+  std::uint32_t lock_queue = 0;
 
   friend bool operator==(const AppInfo&, const AppInfo&) = default;
 };

@@ -1,8 +1,27 @@
 #include "security/token.h"
 
 #include <cstdio>
+#include <string>
 
 namespace discover::security {
+
+namespace {
+
+/// Appends `field` to the MAC preimage as "<length>:<bytes>".  The explicit
+/// length prefix makes field boundaries unambiguous: no delimiter character
+/// a hostile username could inject, and no fixed-size buffer to truncate
+/// long values into colliding preimages.
+void append_field(std::string& out, std::string_view field) {
+  out += std::to_string(field.size());
+  out += ':';
+  out += field;
+}
+
+void append_field(std::string& out, long long value) {
+  append_field(out, std::to_string(value));
+}
+
+}  // namespace
 
 std::uint64_t digest64(std::string_view data) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -25,11 +44,13 @@ std::uint64_t keyed_digest64(std::uint64_t key, std::string_view data) {
 }
 
 std::uint64_t TokenAuthority::mac_of(const SessionToken& t) const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "%s|%u|%lld|%lld", t.user.c_str(), t.issuer,
-                static_cast<long long>(t.issued_at),
-                static_cast<long long>(t.expires_at));
-  return keyed_digest64(secret_, buf);
+  std::string preimage;
+  preimage.reserve(t.user.size() + 64);
+  append_field(preimage, t.user);
+  append_field(preimage, static_cast<long long>(t.issuer));
+  append_field(preimage, static_cast<long long>(t.issued_at));
+  append_field(preimage, static_cast<long long>(t.expires_at));
+  return keyed_digest64(secret_, preimage);
 }
 
 SessionToken TokenAuthority::issue(const std::string& user,

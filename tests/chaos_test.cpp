@@ -385,6 +385,146 @@ TEST(ChaosTest, CrashedHostGoesSuspectRestartHeals) {
 }
 
 // ---------------------------------------------------------------------------
+// Steering-lock lifecycle under a peer crash: alice steers the host's app
+// from the near server and dave queues behind her there; then the near
+// server crashes mid-steer.  The host's failure detector marks it suspect
+// and reaps the lock: alice (holder) is evicted, dave (waiter with a dead
+// origin) is purged without EVER being granted, and carol — a surviving
+// waiter at the host itself — acquires well before the 30 s lease backstop
+// would have fired.  (DESIGN.md "Steering-lock lifecycle".)
+// ---------------------------------------------------------------------------
+
+struct LockCrashRunResult {
+  bool carol_acquired = false;
+  util::Duration reacquire_delay = 0;   // crash -> carol holds (virtual time)
+  std::vector<std::string> holders;     // distinct holder states observed
+  bool dave_ever_held = false;
+  core::ServerStats host_stats{};
+  std::string trace;
+};
+
+LockCrashRunResult run_lock_holder_crash(std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.fault_seed = seed;
+  cfg.server_template.peer_refresh_period = util::milliseconds(200);
+  cfg.server_template.orb_call_timeout = util::milliseconds(300);
+  cfg.server_template.peer_suspect_threshold = 3;
+  cfg.server_template.remote_update_mode = core::RemoteUpdateMode::poll;
+  cfg.server_template.remote_poll_period = util::milliseconds(100);
+  // The lease is deliberately far longer than suspect detection: only
+  // peer-crash reaping can free the lock this fast.
+  cfg.server_template.lock_lease = util::seconds(30);
+  workload::Scenario scenario(cfg);
+
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  const auto steer_acl = make_acl({{"alice", Privilege::steer},
+                                   {"dave", Privilege::steer},
+                                   {"carol", Privilege::steer}});
+  app::AppConfig acfg = chaos_app("far");
+  acfg.acl = steer_acl;
+  auto& app = scenario.add_app<app::SyntheticApp>(host, acfg,
+                                                  app::SyntheticSpec{});
+  app::AppConfig ncfg = chaos_app("near-id");
+  ncfg.acl = steer_acl;  // lets alice and dave authenticate at `near`
+  scenario.add_app<app::SyntheticApp>(near, ncfg, app::SyntheticSpec{});
+  EXPECT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+
+  scenario.net().set_trace_enabled(true);
+  const proto::AppId id = app.app_id();
+
+  // alice drives from `near`; dave queues behind her from `near` too.
+  auto& alice = scenario.add_client("alice", near);
+  EXPECT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  auto& dave = scenario.add_client("dave", near);
+  EXPECT_TRUE(workload::sync_login(scenario.net(), dave).value().ok);
+  EXPECT_TRUE(workload::sync_select(scenario.net(), dave, id).value().ok);
+  EXPECT_TRUE(workload::sync_command(scenario.net(), dave, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value()
+                  .accepted);
+  // carol waits at the host itself — the survivor.
+  auto& carol = scenario.add_client("carol", host);
+  EXPECT_TRUE(workload::sync_login(scenario.net(), carol).value().ok);
+  EXPECT_TRUE(workload::sync_select(scenario.net(), carol, id).value().ok);
+  EXPECT_TRUE(workload::sync_command(scenario.net(), carol, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value()
+                  .accepted);
+
+  LockCrashRunResult out;
+  // Mid-steer: alice is actively driving when her server dies.
+  for (int i = 0; i < 3; ++i) {
+    auto ack = workload::sync_command(
+        scenario.net(), alice, id, proto::CommandKind::set_param, "param_0",
+        proto::ParamValue{static_cast<double>(i)});
+    EXPECT_TRUE(ack.ok() && ack.value().accepted);
+  }
+  EXPECT_EQ(host.lock_holder(id)->user, "alice");
+  EXPECT_EQ(host.lock_queue_length(id), 2u);
+
+  const util::TimePoint crashed_at = scenario.net().now();
+  scenario.net().crash_node(near.node());
+
+  // Watch every holder transition at the host while waiting for carol.
+  const auto holder_name = [&] {
+    const auto h = host.lock_holder(id);
+    return h ? h->user + "@" + std::to_string(h->server) : std::string{"-"};
+  };
+  out.holders.push_back(holder_name());
+  out.carol_acquired = scenario.run_until(
+      [&] {
+        const std::string h = holder_name();
+        if (h != out.holders.back()) out.holders.push_back(h);
+        if (h.rfind("dave@", 0) == 0) out.dave_ever_held = true;
+        const auto held = host.lock_holder(id);
+        return held.has_value() && held->user == "carol";
+      },
+      util::seconds(20));
+  out.reacquire_delay = scenario.net().now() - crashed_at;
+  out.host_stats = host.stats();
+  out.trace = scenario.net().trace();
+  return out;
+}
+
+TEST(ChaosTest, CrashedLockHolderIsReapedAndSurvivorAcquires) {
+  const LockCrashRunResult run = run_lock_holder_crash(0xFA11);
+  ASSERT_TRUE(run.carol_acquired);
+
+  // Reaping (suspect detection) freed the lock, not the 30 s lease.
+  EXPECT_LT(run.reacquire_delay, util::seconds(30));
+  EXPECT_LT(run.reacquire_delay, util::seconds(10));
+  EXPECT_EQ(run.host_stats.lock_holders_reaped, 1u);
+  EXPECT_EQ(run.host_stats.lock_waiters_reaped, 1u);
+  EXPECT_EQ(run.host_stats.lock_leases_expired, 0u);
+
+  // Safety: the holder went alice -> carol with no interval of any other
+  // holder — in particular dave, whose origin died while he was queued,
+  // never held the lock.
+  EXPECT_FALSE(run.dave_ever_held);
+  for (const auto& h : run.holders) {
+    EXPECT_TRUE(h.rfind("alice@", 0) == 0 || h.rfind("carol@", 0) == 0 ||
+                h == "-")
+        << "unexpected holder " << h;
+  }
+  EXPECT_EQ(run.holders.front().rfind("alice@", 0), 0u);
+  EXPECT_EQ(run.holders.back().rfind("carol@", 0), 0u);
+}
+
+TEST(ChaosTest, LockHolderCrashRunsAreByteIdenticalPerSeed) {
+  const LockCrashRunResult a = run_lock_holder_crash(0xFA11);
+  const LockCrashRunResult b = run_lock_holder_crash(0xFA11);
+  EXPECT_EQ(a.carol_acquired, b.carol_acquired);
+  EXPECT_EQ(a.reacquire_delay, b.reacquire_delay);
+  EXPECT_EQ(a.holders, b.holders);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_FALSE(a.trace.empty());
+}
+
+// ---------------------------------------------------------------------------
 // ThreadNetwork smoke: the real-time backend's fault plan + ORB retries.
 // Runs under TSan in the chaos tier to race-check the fault bookkeeping.
 // ---------------------------------------------------------------------------

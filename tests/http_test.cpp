@@ -60,6 +60,54 @@ TEST(HttpCodecTest, RejectsMalformedInput) {
           .ok());
 }
 
+TEST(HttpCodecTest, RejectsBadContentLengthValues) {
+  // Trailing garbage must not be silently truncated to a valid prefix.
+  EXPECT_FALSE(
+      parse_request(
+          util::to_bytes("GET / HTTP/1.0\r\nContent-Length: 2junk\r\n\r\nab"))
+          .ok());
+  // Non-numeric and empty values.
+  EXPECT_FALSE(
+      parse_request(
+          util::to_bytes("GET / HTTP/1.0\r\nContent-Length: abc\r\n\r\n"))
+          .ok());
+  EXPECT_FALSE(parse_request(util::to_bytes(
+                                 "GET / HTTP/1.0\r\nContent-Length: \r\n\r\n"))
+                   .ok());
+  // Sign characters are not part of the grammar.
+  EXPECT_FALSE(
+      parse_request(
+          util::to_bytes("GET / HTTP/1.0\r\nContent-Length: +2\r\n\r\nab"))
+          .ok());
+  // Overflow beyond uint64 must be rejected, not wrapped.
+  EXPECT_FALSE(parse_request(util::to_bytes("GET / HTTP/1.0\r\n"
+                                            "Content-Length: "
+                                            "99999999999999999999999999\r\n"
+                                            "\r\n"))
+                   .ok());
+  // Surrounding whitespace is tolerated (RFC 7230 OWS).
+  EXPECT_TRUE(
+      parse_request(
+          util::to_bytes("GET / HTTP/1.0\r\nContent-Length: 2 \r\n\r\nab"))
+          .ok());
+}
+
+TEST(HttpCodecTest, RejectsConflictingDuplicateContentLength) {
+  // Disagreeing duplicates are a smuggling vector: reject.
+  EXPECT_FALSE(parse_request(util::to_bytes("GET / HTTP/1.0\r\n"
+                                            "Content-Length: 2\r\n"
+                                            "Content-Length: 3\r\n"
+                                            "\r\nab"))
+                   .ok());
+  // Identical duplicates are tolerated (serialize() appends its own copy
+  // after any caller-set header).
+  EXPECT_TRUE(parse_request(util::to_bytes("POST /x HTTP/1.0\r\n"
+                                           "Content-Length: 2\r\n"
+                                           "content-length: 2\r\n"
+                                           "\r\nab"))
+                  .ok());
+}
+
 TEST(HeaderMapTest, SetOverwritesCaseInsensitively) {
   HeaderMap h;
   h.set("Content-Type", "a");

@@ -1,0 +1,303 @@
+// Steering-lock lifecycle (DESIGN.md "Steering-lock lifecycle").
+//
+// Two layers of coverage: a property test driving LockManager through
+// random acquire/release/forget/crash interleavings against the safety
+// ("never two holders") and liveness ("no stranded lock, every callback
+// resolves exactly once") invariants, and scenario tests proving the
+// server-level lifecycle — lease renewal defusing the stale timer, and
+// waiter deadlines denying a starved waiter.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "app/synthetic.h"
+#include "core/lock_manager.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using core::LockIdentity;
+using core::LockManager;
+using security::Privilege;
+using workload::make_acl;
+
+const proto::AppId kApp{1, 1};
+
+// ---------------------------------------------------------------------------
+// Property test: random interleavings against a reference model
+// ---------------------------------------------------------------------------
+
+class LockLifecycleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockLifecycleFuzz, OneHolderNoStrandedLockExactlyOnceCallbacks) {
+  util::Rng rng(GetParam());
+  LockManager lm;
+  const std::vector<LockIdentity> users = {
+      {"a", 1}, {"b", 1}, {"c", 2}, {"a", 2}, {"d", 3}, {"e", 3}};
+  const auto key = [](const LockIdentity& w) {
+    return w.user + "@" + std::to_string(w.server);
+  };
+
+  // Per-request bookkeeping: every callback must fire exactly once over
+  // the request's lifetime; `outstanding` holds requests not yet resolved
+  // as denied (i.e. queued or currently holding).
+  struct Request {
+    LockIdentity who;
+    std::shared_ptr<int> fired;
+    std::uint64_t ticket = 0;
+  };
+  std::vector<std::shared_ptr<int>> all_fired;
+  std::map<std::string, Request> outstanding;
+  std::set<std::string> dead_servers;
+
+  const auto issue = [&](const LockIdentity& u) {
+    if (outstanding.count(key(u)) != 0) return;  // server layer forbids
+    auto fired = std::make_shared<int>(0);
+    all_fired.push_back(fired);
+    const std::string k = key(u);
+    const auto res = lm.request(kApp, u, [&outstanding, fired, k](bool g) {
+      ++*fired;
+      if (!g) outstanding.erase(k);  // denied resolves the request
+    });
+    // Either granted on the spot (entry = holder) or queued (entry =
+    // waiter); a synchronous denial is impossible by the API contract.
+    outstanding[k] = Request{u, fired, res.ticket};
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const LockIdentity& u = users[rng.below(users.size())];
+    switch (rng.below(6)) {
+      case 0:
+      case 1:
+        issue(u);
+        break;
+      case 2:
+        if (lm.release(kApp, u).ok()) outstanding.erase(key(u));
+        break;
+      case 3:
+        lm.forget(kApp, u);
+        outstanding.erase(key(u));
+        break;
+      case 4: {
+        // Waiter deadline: expire a random outstanding ticket.
+        if (outstanding.empty()) break;
+        auto it = outstanding.begin();
+        std::advance(it, static_cast<long>(rng.below(outstanding.size())));
+        lm.expire_ticket(kApp, it->second.ticket);
+        break;
+      }
+      case 5: {
+        // Peer crash: reap one of the three origin servers.
+        const std::uint32_t server =
+            static_cast<std::uint32_t>(1 + rng.below(3));
+        lm.reap_server(server);
+        for (auto it = outstanding.begin(); it != outstanding.end();) {
+          it = it->second.who.server == server ? outstanding.erase(it)
+                                               : ++it;
+        }
+        // SAFETY after a crash: the dead server can hold nothing.
+        const auto h = lm.holder(kApp);
+        EXPECT_TRUE(!h || h->server != server)
+            << "reaped server still holds the lock";
+        break;
+      }
+    }
+    // SAFETY every step: at most one holder (by construction of the API)
+    // and the holder must correspond to an unresolved request.
+    const auto h = lm.holder(kApp);
+    if (h) {
+      EXPECT_EQ(outstanding.count(key(*h)), 1u)
+          << "holder " << key(*h) << " has no outstanding request";
+    }
+    // Callbacks so far: never more than once.
+    for (const auto& f : all_fired) EXPECT_LE(*f, 1) << "callback refired";
+  }
+
+  // LIVENESS drain: forget everyone; nothing may stay queued or held, and
+  // every callback must have resolved exactly once.
+  for (const auto& u : users) lm.forget(kApp, u);
+  EXPECT_EQ(lm.queue_length(kApp), 0u);
+  EXPECT_FALSE(lm.holder(kApp).has_value());
+  for (const auto& f : all_fired) {
+    EXPECT_EQ(*f, 1) << "request resolved " << *f << " times";
+  }
+  // Accounting closes: every grant was eventually released.
+  EXPECT_EQ(lm.grants(), lm.releases());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockLifecycleFuzz,
+                         ::testing::Values(17, 23, 29, 31, 37, 41, 43, 47));
+
+// ---------------------------------------------------------------------------
+// Scenario tests: server-level lease renewal and waiter deadlines
+// ---------------------------------------------------------------------------
+
+app::AppConfig lifecycle_app(const std::string& name) {
+  app::AppConfig cfg;
+  cfg.name = name;
+  cfg.acl = make_acl({{"alice", Privilege::steer},
+                      {"carol", Privilege::steer}});
+  cfg.step_time = util::milliseconds(1);
+  cfg.update_every = 5;
+  cfg.interact_every = 10;
+  cfg.interaction_window = util::milliseconds(1);
+  return cfg;
+}
+
+TEST(LockLifecycleTest, RenewedLeaseIsNotExpiredByStaleTimer) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.lock_lease = util::milliseconds(200);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, lifecycle_app("ren"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("alice", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_EQ(server.lock_holder(id)->user, "alice");
+  const util::TimePoint granted_at = scenario.net().now();
+
+  // Renew halfway through the lease via an idempotent re-acquire.
+  scenario.run_for(util::milliseconds(100));
+  ASSERT_TRUE(workload::sync_command(scenario.net(), alice, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value()
+                  .accepted);
+  const util::TimePoint renewed_at = scenario.net().now();
+  EXPECT_EQ(server.locks().renewals(), 1u);
+
+  // Past the ORIGINAL lease deadline: the stale timer must not fire (the
+  // renewal bumped the generation it captured).
+  scenario.run_for(granted_at + util::milliseconds(250) -
+                   scenario.net().now());
+  ASSERT_TRUE(server.lock_holder(id).has_value());
+  EXPECT_EQ(server.lock_holder(id)->user, "alice");
+  EXPECT_EQ(server.stats().lock_leases_expired, 0u);
+
+  // Past the RENEWED deadline with no further renewal: now it expires.
+  scenario.run_for(renewed_at + util::milliseconds(250) -
+                   scenario.net().now());
+  EXPECT_FALSE(server.lock_holder(id).has_value());
+  EXPECT_EQ(server.stats().lock_leases_expired, 1u);
+}
+
+TEST(LockLifecycleTest, StarvedWaiterIsDeniedAtDeadline) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.lock_wait_deadline = util::milliseconds(100);
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, lifecycle_app("dl"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("alice", server);
+  auto& carol = scenario.add_client("carol", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_TRUE(workload::sync_login(scenario.net(), carol).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), carol, id).value().ok);
+  ASSERT_TRUE(workload::sync_command(scenario.net(), carol, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value()
+                  .accepted);
+  EXPECT_EQ(server.lock_queue_length(id), 1u);
+
+  // Alice never lets go; carol's wait must resolve as denied, not starve.
+  scenario.run_for(util::milliseconds(150));
+  EXPECT_EQ(server.lock_queue_length(id), 0u);
+  EXPECT_EQ(server.lock_holder(id)->user, "alice");
+  EXPECT_EQ(server.stats().lock_waiters_expired, 1u);
+
+  (void)workload::sync_poll(scenario.net(), carol, id);
+  bool carol_denied = false;
+  for (const auto& ev : carol.received_events()) {
+    if (ev.kind == proto::EventKind::lock_notice && ev.user == "carol" &&
+        ev.text == "denied") {
+      carol_denied = true;
+    }
+  }
+  EXPECT_TRUE(carol_denied);
+}
+
+TEST(LockLifecycleTest, RetriedForgetLocksFreesRemoteLockThroughOutage) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(200);
+  cfg.server_template.orb_call_timeout = util::milliseconds(300);
+  cfg.server_template.peer_suspect_threshold = 0;  // isolate the retry path
+  cfg.server_template.lock_lease = util::seconds(30);  // backstop only
+  cfg.server_template.forget_locks_attempts = 6;
+  cfg.server_template.forget_locks_backoff = util::milliseconds(200);
+  workload::Scenario scenario(cfg);
+
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, lifecycle_app("rem"),
+                                                  app::SyntheticSpec{});
+  scenario.add_app<app::SyntheticApp>(near, lifecycle_app("near-id"),
+                                      app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("alice", near);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_EQ(host.lock_holder(id)->user, "alice");
+
+  // Logout lands during a 1.5 s WAN blackout: the old fire-and-forget
+  // forget_locks relay would vanish and strand the lock until the 30 s
+  // lease; the retrying relay delivers it shortly after the heal.
+  scenario.partition(near, host);
+  scenario.net().schedule(host.node(), util::milliseconds(1500),
+                          [&] { scenario.heal(near, host); });
+  alice.logout([](util::Result<proto::CollabAck>) {});
+  const util::TimePoint logout_at = scenario.net().now();
+
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return !host.lock_holder(id).has_value(); }, util::seconds(15)));
+  EXPECT_LT(scenario.net().now() - logout_at, util::seconds(10));
+  EXPECT_GE(near.stats().forget_locks_retries, 1u);
+  EXPECT_EQ(near.stats().forget_locks_abandoned, 0u);
+  // The lock was relayed free, not expired or reaped.
+  EXPECT_EQ(host.stats().lock_leases_expired, 0u);
+  EXPECT_EQ(host.stats().lock_holders_reaped, 0u);
+}
+
+TEST(LockLifecycleTest, DirectorySurfacesHolderAndQueueDepth) {
+  workload::ScenarioConfig cfg;
+  workload::Scenario scenario(cfg);
+  auto& server = scenario.add_server("s", 1);
+  auto& app = scenario.add_app<app::SyntheticApp>(server, lifecycle_app("dir"),
+                                                  app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] { return app.registered(); }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("alice", server);
+  auto& carol = scenario.add_client("carol", server);
+  ASSERT_TRUE(workload::sync_onboard_steerer(scenario.net(), alice, id));
+  ASSERT_TRUE(workload::sync_login(scenario.net(), carol).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), carol, id).value().ok);
+  ASSERT_TRUE(workload::sync_command(scenario.net(), carol, id,
+                                     proto::CommandKind::acquire_lock)
+                  .value()
+                  .accepted);
+
+  const auto apps = server.visible_apps("carol");
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].lock_holder,
+            "alice@" + std::to_string(server.node().value()));
+  EXPECT_EQ(apps[0].lock_queue, 1u);
+}
+
+}  // namespace
+}  // namespace discover

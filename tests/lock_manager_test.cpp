@@ -16,7 +16,9 @@ LockIdentity who(const std::string& user, std::uint32_t server = 1) {
 TEST(LockManagerTest, ImmediateGrantWhenFree) {
   LockManager lm;
   bool granted = false;
-  EXPECT_TRUE(lm.request(kApp, who("alice"), [&](bool g) { granted = g; }));
+  const auto r = lm.request(kApp, who("alice"), [&](bool g) { granted = g; });
+  EXPECT_TRUE(r.granted);
+  EXPECT_EQ(r.ticket, 0u);
   EXPECT_TRUE(granted);
   EXPECT_EQ(lm.holder(kApp)->user, "alice");
   EXPECT_EQ(lm.grants(), 1u);
@@ -27,11 +29,11 @@ TEST(LockManagerTest, SecondRequesterQueuesFifo) {
   lm.request(kApp, who("alice"), [](bool) {});
   std::vector<std::string> grant_order;
   EXPECT_FALSE(lm.request(kApp, who("bob"), [&](bool g) {
-    if (g) grant_order.push_back("bob");
-  }));
+                    if (g) grant_order.push_back("bob");
+                  }).granted);
   EXPECT_FALSE(lm.request(kApp, who("carol"), [&](bool g) {
-    if (g) grant_order.push_back("carol");
-  }));
+                    if (g) grant_order.push_back("carol");
+                  }).granted);
   EXPECT_EQ(lm.queue_length(kApp), 2u);
 
   ASSERT_TRUE(lm.release(kApp, who("alice")).ok());
@@ -45,9 +47,22 @@ TEST(LockManagerTest, ReacquireByHolderIsIdempotent) {
   LockManager lm;
   lm.request(kApp, who("alice"), [](bool) {});
   bool granted = false;
-  EXPECT_TRUE(lm.request(kApp, who("alice"), [&](bool g) { granted = g; }));
+  EXPECT_TRUE(
+      lm.request(kApp, who("alice"), [&](bool g) { granted = g; }).granted);
   EXPECT_TRUE(granted);
   EXPECT_EQ(lm.queue_length(kApp), 0u);
+}
+
+TEST(LockManagerTest, ReacquireBumpsGenerationRenewingLease) {
+  // The lease timer armed at the original grant remembers the generation;
+  // a renewal must bump it or the stale timer expires the renewed lock.
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  const std::uint64_t before = lm.generation(kApp);
+  lm.request(kApp, who("alice"), [](bool) {});
+  EXPECT_GT(lm.generation(kApp), before);
+  EXPECT_EQ(lm.renewals(), 1u);
+  EXPECT_EQ(lm.grants(), 1u);  // a renewal is not a new grant
 }
 
 TEST(LockManagerTest, SameUserDifferentServerIsDifferentIdentity) {
@@ -55,7 +70,7 @@ TEST(LockManagerTest, SameUserDifferentServerIsDifferentIdentity) {
   // another server is a distinct requester.
   LockManager lm;
   lm.request(kApp, who("alice", 1), [](bool) {});
-  EXPECT_FALSE(lm.request(kApp, who("alice", 2), [](bool) {}));
+  EXPECT_FALSE(lm.request(kApp, who("alice", 2), [](bool) {}).granted);
   EXPECT_EQ(lm.queue_length(kApp), 1u);
 }
 
@@ -94,16 +109,102 @@ TEST(LockManagerTest, DropAppDeniesAllWaiters) {
   int denied = 0;
   lm.request(kApp, who("bob"), [&](bool g) { denied += g ? 0 : 1; });
   lm.request(kApp, who("carol"), [&](bool g) { denied += g ? 0 : 1; });
-  lm.drop_app(kApp);
+  const auto evicted = lm.drop_app(kApp);
   EXPECT_EQ(denied, 2);
   EXPECT_FALSE(lm.holder(kApp).has_value());
+  // Eviction counts as a release and reports who lost the lock so the
+  // server can publish a notice (same semantics as forget).
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->user, "alice");
+  EXPECT_EQ(lm.releases(), 1u);
+  EXPECT_FALSE(lm.drop_app(kApp).has_value());  // idempotent
+}
+
+TEST(LockManagerTest, ExpireTicketRemovesOnlyThatWait) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  bool bob_result = true;
+  const auto bob = lm.request(kApp, who("bob"), [&](bool g) { bob_result = g; });
+  ASSERT_FALSE(bob.granted);
+  ASSERT_NE(bob.ticket, 0u);
+  EXPECT_TRUE(lm.expire_ticket(kApp, bob.ticket));
+  EXPECT_FALSE(bob_result);
+  EXPECT_EQ(lm.queue_length(kApp), 0u);
+  // The ticket is gone: a later timer firing for it must be a no-op, even
+  // after the same identity queues again under a fresh ticket.
+  EXPECT_FALSE(lm.expire_ticket(kApp, bob.ticket));
+  bool bob2_result = true;
+  const auto bob2 =
+      lm.request(kApp, who("bob"), [&](bool g) { bob2_result = g; });
+  ASSERT_FALSE(bob2.granted);
+  EXPECT_NE(bob2.ticket, bob.ticket);
+  EXPECT_FALSE(lm.expire_ticket(kApp, bob.ticket));
+  EXPECT_EQ(lm.queue_length(kApp), 1u);
+  EXPECT_TRUE(bob2_result);  // untouched so far
+}
+
+TEST(LockManagerTest, ExpireTicketIgnoresGrantedWait) {
+  LockManager lm;
+  lm.request(kApp, who("alice"), [](bool) {});
+  bool bob_granted = false;
+  const auto bob =
+      lm.request(kApp, who("bob"), [&](bool g) { bob_granted = g; });
+  ASSERT_TRUE(lm.release(kApp, who("alice")).ok());
+  EXPECT_TRUE(bob_granted);
+  // The deadline timer races the grant and loses: holder is untouched.
+  EXPECT_FALSE(lm.expire_ticket(kApp, bob.ticket));
+  EXPECT_EQ(lm.holder(kApp)->user, "bob");
+}
+
+TEST(LockManagerTest, ReapServerEvictsHolderAndPromotesSurvivor) {
+  LockManager lm;
+  lm.request(kApp, who("alice", 2), [](bool) {});
+  bool bob_granted = false;
+  lm.request(kApp, who("bob", 1), [&](bool g) { bob_granted = g; });
+  const auto reaped = lm.reap_server(2);
+  ASSERT_EQ(reaped.size(), 1u);
+  EXPECT_EQ(reaped[0].app, kApp);
+  ASSERT_TRUE(reaped[0].evicted_holder.has_value());
+  EXPECT_EQ(reaped[0].evicted_holder->user, "alice");
+  ASSERT_TRUE(reaped[0].promoted.has_value());
+  EXPECT_EQ(reaped[0].promoted->user, "bob");
+  EXPECT_TRUE(bob_granted);
+  EXPECT_EQ(lm.holder(kApp)->user, "bob");
+  EXPECT_EQ(lm.releases(), 1u);
+}
+
+TEST(LockManagerTest, ReapServerNeverPromotesDeadServersWaiter) {
+  LockManager lm;
+  lm.request(kApp, who("alice", 2), [](bool) {});
+  bool dave_granted = false;
+  lm.request(kApp, who("dave", 2), [&](bool g) { dave_granted = g; });
+  bool carol_granted = false;
+  lm.request(kApp, who("carol", 1), [&](bool g) { carol_granted = g; });
+  const auto reaped = lm.reap_server(2);
+  ASSERT_EQ(reaped.size(), 1u);
+  ASSERT_EQ(reaped[0].dropped_waiters.size(), 1u);
+  EXPECT_EQ(reaped[0].dropped_waiters[0].user, "dave");
+  // dave (queued ahead of carol, but from the dead server) was purged
+  // before promotion; the lock skips straight to the survivor.
+  EXPECT_FALSE(dave_granted);
+  EXPECT_TRUE(carol_granted);
+  EXPECT_EQ(lm.holder(kApp)->user, "carol");
+}
+
+TEST(LockManagerTest, ReapServerUntouchedWhenNothingMatches) {
+  LockManager lm;
+  lm.request(kApp, who("alice", 1), [](bool) {});
+  EXPECT_TRUE(lm.reap_server(9).empty());
+  EXPECT_EQ(lm.holder(kApp)->user, "alice");
+  EXPECT_EQ(lm.releases(), 0u);
 }
 
 TEST(LockManagerTest, LocksAreIndependentAcrossApps) {
   LockManager lm;
   lm.request(kApp, who("alice"), [](bool) {});
   bool granted = false;
-  EXPECT_TRUE(lm.request(kOther, who("bob"), [&](bool g) { granted = g; }));
+  EXPECT_TRUE(
+      lm.request(kOther, who("bob"), [&](bool g) { granted = g; }).granted);
   EXPECT_TRUE(granted);
 }
 

@@ -81,6 +81,32 @@ TEST(TokenTest, TamperedTokenRejected) {
   EXPECT_FALSE(authority.verify(t2, 1000).ok());
 }
 
+TEST(TokenTest, LongUsernamesDoNotTruncateIntoCollisions) {
+  // The old MAC preimage was snprintf'd into a 128-byte buffer, so two
+  // usernames agreeing on the first ~100 bytes MAC-collided: a token for
+  // one verified as the other.  Length-prefixed fields must keep them
+  // distinct.
+  TokenAuthority authority(7, 0xFEED);
+  const std::string base(200, 'x');
+  const auto t = authority.issue(base + "A", 1000, util::seconds(10));
+  ASSERT_TRUE(authority.verify(t, 1000).ok());
+  auto forged = t;
+  forged.user = base + "B";
+  EXPECT_FALSE(authority.verify(forged, 1000).ok());
+}
+
+TEST(TokenTest, DelimiterCharactersInUsernameStayUnambiguous) {
+  // '|' was the old field delimiter; a user named with one could shift
+  // bytes across field boundaries.  It must verify as itself and nothing
+  // else.
+  TokenAuthority authority(7, 0xFEED);
+  const auto t = authority.issue("alice|7", 1000, util::seconds(10));
+  EXPECT_TRUE(authority.verify(t, 1000).ok());
+  auto forged = t;
+  forged.user = "alice";
+  EXPECT_FALSE(authority.verify(forged, 1000).ok());
+}
+
 TEST(TokenTest, CrossIssuerRejected) {
   TokenAuthority a(1, 0xFEED);
   TokenAuthority b(2, 0xFEED);
