@@ -1,0 +1,99 @@
+// Scenario-suite sweep runner (EXPERIMENTS.md "E9: scenario suite").
+//
+// Runs the four canned ScenarioSpecs — flash crowd, churn storm, slow-poll
+// swarm, partition mix — at a given population over the SimNetwork, prints
+// a per-scenario table and writes the metrics as BENCH_scenarios.json.
+// Plain main (no google-benchmark): each scenario is one deterministic
+// discrete-event run, not a statistical sample; identical (clients, seed)
+// inputs produce a byte-identical JSON file.
+//
+//   scenario_runner [--clients=N] [--seed=S] [--out=PATH] [--only=NAME]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "workload/scenario_spec.h"
+
+namespace {
+
+using namespace discover;
+
+double ms(std::int64_t nanos) {
+  return static_cast<double>(nanos) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t clients = 10000;
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_scenarios.json";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--clients=", 0) == 0) {
+      clients = static_cast<std::uint32_t>(
+          std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--clients=N] [--seed=S] [--out=PATH] "
+                   "[--only=NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<workload::ScenarioMetrics> all;
+  std::printf("%-16s %8s %10s %9s %9s %9s %10s %9s %8s %8s\n", "scenario",
+              "clients", "polls", "p50_ms", "p95_ms", "p99_ms", "delivered",
+              "shed", "resync", "adm_rej");
+  for (const auto& spec : workload::scenario_suite(clients, seed)) {
+    if (!only.empty() && spec.name != only) continue;
+    const auto wall0 = std::chrono::steady_clock::now();
+    workload::ScenarioEngine engine(spec);
+    const workload::ScenarioMetrics m = engine.run();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    std::printf(
+        "%-16s %8llu %10llu %9.3f %9.3f %9.3f %10llu %9llu %8llu %8llu"
+        "   (%.1fs wall)\n",
+        m.name.c_str(), static_cast<unsigned long long>(m.clients),
+        static_cast<unsigned long long>(m.polls), ms(m.poll_p50_ns),
+        ms(m.poll_p95_ns), ms(m.poll_p99_ns),
+        static_cast<unsigned long long>(m.events_delivered),
+        static_cast<unsigned long long>(m.events_shed),
+        static_cast<unsigned long long>(m.resync_markers),
+        static_cast<unsigned long long>(m.admission_rejected_logins +
+                                        m.admission_rejected_selects),
+        wall_s);
+    std::fflush(stdout);
+    all.push_back(m);
+  }
+  if (all.empty()) {
+    std::fprintf(stderr, "no scenario matched --only=%s\n", only.c_str());
+    return 2;
+  }
+
+  std::ofstream f(out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  f << workload::scenario_metrics_json(all);
+  std::printf("wrote %s (%zu scenarios, seed %llu)\n", out.c_str(),
+              all.size(), static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Scenario-suite sweep: runs the four canned scenarios (flash crowd, churn
+# storm, slow-poll swarm, partition mix) at full 10k-client scale on the
+# SimNetwork and writes BENCH_scenarios.json at the repo root.  The runs
+# are deterministic discrete-event simulations: the same CLIENTS/SEED pair
+# reproduces the checked-in JSON byte-for-byte on any machine (only wall
+# time varies).  See EXPERIMENTS.md "E9: scenario suite" for how to read
+# the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_scenarios.json}"
+CLIENTS="${CLIENTS:-10000}"
+SEED="${SEED:-1}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target scenario_runner
+
+"$BUILD_DIR"/bench/scenario_runner \
+  --clients="$CLIENTS" --seed="$SEED" --out="$OUT"
+echo "bench_scenarios: wrote $OUT"

@@ -19,4 +19,9 @@ cmake --build build-tsan -j "$(nproc)" \
 echo "== tier 1c: fan-out bench smoke (8-subscriber cases) =="
 (cd build && ctest -L bench-smoke --output-on-failure)
 
+echo "== tier 1d: backpressure + scenario-suite smoke =="
+# Smoke scale (48 clients); the full 10k-client sweep is
+# scripts/bench_scenarios.sh.
+(cd build && ctest -L scenarios --output-on-failure)
+
 echo "tier1: all green"

@@ -63,7 +63,7 @@ void DiscoverClient::on_message(const net::Message& msg) {
       const proto::PollReply reply =
           proto::decode_poll_reply(parsed.value().body);
       for (const auto& ev : reply.events) {
-        received_.push_back(ev);
+        record(ev);
         pushed_events_++;
         if (event_handler_) event_handler_(ev);
       }
@@ -150,7 +150,7 @@ void DiscoverClient::poll(
              if (r.ok() && r.value().ok) {
                max_backlog_ = std::max(max_backlog_, r.value().backlog);
                for (const auto& ev : r.value().events) {
-                 received_.push_back(ev);
+                 record(ev);
                  if (event_handler_) event_handler_(ev);
                }
              }
@@ -258,12 +258,15 @@ void DiscoverClient::poll_once(const proto::AppId& app) {
   });
 }
 
+void DiscoverClient::record(const proto::ClientEvent& ev) {
+  ++events_count_;
+  ++kind_counts_[ev.kind];
+  if (config_.record_events) received_.push_back(ev);
+}
+
 std::uint64_t DiscoverClient::events_of_kind(proto::EventKind k) const {
-  std::uint64_t n = 0;
-  for (const auto& ev : received_) {
-    if (ev.kind == k) ++n;
-  }
-  return n;
+  const auto it = kind_counts_.find(k);
+  return it != kind_counts_.end() ? it->second : 0;
 }
 
 }  // namespace discover::core

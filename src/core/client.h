@@ -31,6 +31,10 @@ struct ClientConfig {
   /// single-shot semantics).  Retries reuse the request id, so the server
   /// deduplicates re-executions.
   net::RetryPolicy request_retry{};
+  /// Keep every received event in memory (received_events()).  Large-scale
+  /// scenarios turn this off; events_received()/events_of_kind() then run
+  /// on counters instead of the stored record.
+  bool record_events = true;
 };
 
 class DiscoverClient final : public net::MessageHandler {
@@ -105,12 +109,13 @@ class DiscoverClient final : public net::MessageHandler {
   [[nodiscard]] const std::vector<proto::AppInfo>& known_apps() const {
     return known_apps_;
   }
+  /// Empty when config.record_events is false; use the counters instead.
   [[nodiscard]] const std::vector<proto::ClientEvent>& received_events()
       const {
     return received_;
   }
   [[nodiscard]] std::uint64_t events_received() const {
-    return received_.size();
+    return events_count_;
   }
   [[nodiscard]] std::uint64_t events_of_kind(proto::EventKind k) const;
   [[nodiscard]] const http::HttpClient& http() const { return http_; }
@@ -128,6 +133,8 @@ class DiscoverClient final : public net::MessageHandler {
   void post(const std::string& path, util::Bytes body,
             std::function<void(util::Result<http::HttpResponse>)> cb);
   void poll_once(const proto::AppId& app);
+  /// Counts (and, when configured, stores) one received event.
+  void record(const proto::ClientEvent& ev);
 
   net::Network& network_;
   ClientConfig config_;
@@ -138,6 +145,8 @@ class DiscoverClient final : public net::MessageHandler {
   bool logged_in_ = false;
   std::vector<proto::AppInfo> known_apps_;
   std::vector<proto::ClientEvent> received_;
+  std::uint64_t events_count_ = 0;
+  std::map<proto::EventKind, std::uint64_t> kind_counts_;
   std::set<proto::AppId> polling_;
   EventHandler event_handler_;
   std::uint64_t next_rid_ = 1;

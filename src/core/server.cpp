@@ -351,6 +351,9 @@ util::Bytes serialize_push_message(const proto::ClientEvent& ev) {
 
 void DiscoverServer::deliver_local(const proto::AppId& app,
                                    const proto::ClientEvent& ev) {
+  // Sessions whose FIFO overflowed under the disconnect policy; dropped
+  // only after the delivery loop finishes iterating.
+  std::vector<std::uint64_t> overflow_keys;
   if (!config_.fanout_fast_path) {
     // Legacy path (pre-index cost model, kept for A/B benchmarking): scan
     // every session and re-serialize / re-copy the event per recipient.
@@ -363,12 +366,13 @@ void DiscoverServer::deliver_local(const proto::AppId& app,
         network_.send(self_, session.client_node, net::Channel::http,
                       serialize_push_message(ev));
       } else {
-        sub.fifo.push_back(std::make_shared<const proto::ClientEvent>(ev));
-        if (config_.client_fifo_cap != 0 &&
-            sub.fifo.size() > config_.client_fifo_cap) {
-          sub.fifo.pop_front();
-          ++sub.dropped;
-          ++stats_.events_dropped;
+        fifo_push(sub, std::make_shared<const proto::ClientEvent>(ev));
+        if (fifo_over_limit(sub)) {
+          if (config_.fifo_overflow == FifoOverflowPolicy::shed_oldest) {
+            shed_fifo_overflow(sub);
+          } else {
+            overflow_keys.push_back(key);
+          }
         }
       }
       ++stats_.events_delivered;
@@ -377,6 +381,12 @@ void DiscoverServer::deliver_local(const proto::AppId& app,
           session.user == ev.user) {
         archive_.log_interaction(session.user, ev);
       }
+    }
+    // Disconnect-policy enforcement is deferred past the loop: drop_session
+    // mutates sessions_ (and the subscriber index) under our feet.
+    for (const std::uint64_t key : overflow_keys) {
+      ++stats_.overflow_disconnects;
+      drop_session(key);
     }
     return;
   }
@@ -403,12 +413,13 @@ void DiscoverServer::deliver_local(const proto::AppId& app,
                     push_wire);
     } else {
       if (!shared) shared = std::make_shared<const proto::ClientEvent>(ev);
-      sub.fifo.push_back(shared);
-      if (config_.client_fifo_cap != 0 &&
-          sub.fifo.size() > config_.client_fifo_cap) {
-        sub.fifo.pop_front();
-        ++sub.dropped;
-        ++stats_.events_dropped;
+      fifo_push(sub, shared);
+      if (fifo_over_limit(sub)) {
+        if (config_.fifo_overflow == FifoOverflowPolicy::shed_oldest) {
+          shed_fifo_overflow(sub);
+        } else {
+          overflow_keys.push_back(ref.session_key);
+        }
       }
     }
     ++stats_.events_delivered;
@@ -419,6 +430,10 @@ void DiscoverServer::deliver_local(const proto::AppId& app,
         session.user == ev.user) {
       archive_.log_interaction(session.user, ev);
     }
+  }
+  for (const std::uint64_t key : overflow_keys) {
+    ++stats_.overflow_disconnects;
+    drop_session(key);
   }
 }
 
@@ -706,6 +721,7 @@ void DiscoverServer::drop_session(std::uint64_t key) {
   if (it == sessions_.end()) return;
   ClientSession& session = it->second;
   for (auto& [app_id, sub] : session.apps) {
+    fifo_forget(sub);
     // Release/forget any lock interest, locally or at the remote host
     // (§5.2.4).
     AppEntry* entry = find_app(app_id);
@@ -831,6 +847,72 @@ std::size_t DiscoverServer::total_fifo_backlog() const {
     for (const auto& [__, sub] : session.apps) n += sub.fifo.size();
   }
   return n;
+}
+
+std::size_t DiscoverServer::total_fifo_backlog_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [_, session] : sessions_) {
+    for (const auto& [__, sub] : session.apps) n += sub.fifo_bytes;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-FIFO backpressure (§6.2 slow clients)
+// ---------------------------------------------------------------------------
+
+const char* fifo_overflow_policy_name(FifoOverflowPolicy p) {
+  switch (p) {
+    case FifoOverflowPolicy::shed_oldest: return "shed_oldest";
+    case FifoOverflowPolicy::disconnect: return "disconnect";
+  }
+  return "?";
+}
+
+void DiscoverServer::fifo_push(ClientSub& sub, proto::SharedClientEvent ev) {
+  const std::size_t bytes = proto::approx_footprint(*ev);
+  sub.fifo.push_back(std::move(ev));
+  sub.fifo_bytes += bytes;
+  ++fifo_entries_;
+  fifo_bytes_ += bytes;
+  stats_.peak_fifo_backlog =
+      std::max<std::uint64_t>(stats_.peak_fifo_backlog, fifo_entries_);
+  stats_.peak_fifo_backlog_bytes =
+      std::max<std::uint64_t>(stats_.peak_fifo_backlog_bytes, fifo_bytes_);
+}
+
+void DiscoverServer::fifo_pop_front(ClientSub& sub) {
+  assert(!sub.fifo.empty());
+  const std::size_t bytes = proto::approx_footprint(*sub.fifo.front());
+  sub.fifo.pop_front();
+  sub.fifo_bytes -= bytes;
+  --fifo_entries_;
+  fifo_bytes_ -= bytes;
+}
+
+bool DiscoverServer::fifo_over_limit(const ClientSub& sub) const {
+  if (config_.client_fifo_cap != 0 &&
+      sub.fifo.size() > config_.client_fifo_cap) {
+    return true;
+  }
+  return config_.client_fifo_max_bytes != 0 &&
+         sub.fifo_bytes > config_.client_fifo_max_bytes;
+}
+
+void DiscoverServer::shed_fifo_overflow(ClientSub& sub) {
+  while (fifo_over_limit(sub) && !sub.fifo.empty()) {
+    fifo_pop_front(sub);
+    ++sub.dropped;
+    ++sub.shed_since_poll;
+    ++stats_.events_dropped;
+  }
+}
+
+void DiscoverServer::fifo_forget(ClientSub& sub) {
+  fifo_entries_ -= sub.fifo.size();
+  fifo_bytes_ -= sub.fifo_bytes;
+  sub.fifo.clear();
+  sub.fifo_bytes = 0;
 }
 
 }  // namespace discover::core

@@ -65,6 +65,15 @@ inline constexpr const char* kHostHeader = "X-Discover-Host";
 /// periodically, as the prototype did).
 enum class RemoteUpdateMode { push, poll };
 
+/// What happens when a client's poll FIFO exceeds its bound (§6.2 slow
+/// clients).  `shed_oldest` drops from the front and the client observes a
+/// `resync` marker event on its next poll (value = number shed), telling it
+/// to catch up via the archive.  `disconnect` drops the whole session — the
+/// client's next request fails authentication and it must re-login.
+enum class FifoOverflowPolicy : std::uint8_t { shed_oldest = 0,
+                                               disconnect = 1 };
+const char* fifo_overflow_policy_name(FifoOverflowPolicy p);
+
 struct ServerConfig {
   std::string name = "discover";
   /// Application authentication (paper §4.1: "pre-assigned unique
@@ -77,8 +86,22 @@ struct ServerConfig {
   util::Duration token_ttl = util::seconds(3600);
 
   /// Per-client per-app FIFO buffer capacity ("FIFO buffers at the server
-  /// for each client to support slow clients", §6.2).  Oldest events drop.
+  /// for each client to support slow clients", §6.2).  0 = unbounded.
   std::size_t client_fifo_cap = 256;
+  /// Byte bound on the same FIFO (approx_footprint sum); 0 = entries-only.
+  /// Whichever bound trips first triggers `fifo_overflow`.
+  std::size_t client_fifo_max_bytes = 0;
+  /// Policy applied when a FIFO exceeds either bound.
+  FifoOverflowPolicy fifo_overflow = FifoOverflowPolicy::shed_oldest;
+
+  /// Login admission control: refuse new sessions beyond this many
+  /// (existing sessions may always re-login).  0 = unlimited.
+  std::size_t max_sessions = 0;
+  /// Per-application subscriber cap enforced at select time.  0 = unlimited.
+  std::size_t max_sessions_per_app = 0;
+  /// Suggested client back-off carried in admission rejections (also sent
+  /// as an HTTP Retry-After header, rounded up to whole seconds).
+  util::Duration admission_retry_after = util::seconds(2);
 
   util::Duration peer_refresh_period = util::seconds(2);
   util::Duration orb_call_timeout = util::seconds(10);
@@ -221,7 +244,14 @@ struct ServerStats {
   std::uint64_t updates_processed = 0;
   std::uint64_t responses_processed = 0;
   std::uint64_t events_delivered = 0;
-  std::uint64_t events_dropped = 0;
+  std::uint64_t events_dropped = 0;  // shed from client FIFOs (both policies)
+  // Backpressure (bounded FIFOs + admission control).
+  std::uint64_t resync_markers = 0;        // synthesized on post-shed polls
+  std::uint64_t overflow_disconnects = 0;  // sessions dropped by policy
+  std::uint64_t admission_rejected_logins = 0;
+  std::uint64_t admission_rejected_selects = 0;
+  std::uint64_t peak_fifo_backlog = 0;        // entries, across all FIFOs
+  std::uint64_t peak_fifo_backlog_bytes = 0;  // approx_footprint sum
   std::uint64_t polls_served = 0;
   std::uint64_t collab_posts = 0;
   std::uint64_t remote_commands_in = 0;
@@ -317,7 +347,11 @@ class DiscoverServer final : public net::MessageHandler {
     return locks_.queue_length(app);
   }
   /// Total backlog across all client FIFOs (server memory pressure, A2).
+  /// Brute-force entry scan — the oracle the running counters are checked
+  /// against in tests.
   [[nodiscard]] std::size_t total_fifo_backlog() const;
+  /// Same, in approximate bytes (sum of ClientSub::fifo_bytes).
+  [[nodiscard]] std::size_t total_fifo_backlog_bytes() const;
   /// Subscribers of `app` per the fan-out index (sessions that selected it).
   [[nodiscard]] std::size_t subscriber_count(const proto::AppId& app) const;
   /// True iff the subscriber index exactly mirrors a brute-force scan of
@@ -349,7 +383,12 @@ class DiscoverServer final : public net::MessageHandler {
     /// every subscriber's FIFO, so fan-out cost is independent of group
     /// size.  Events are immutable once published.
     std::deque<proto::SharedClientEvent> fifo;
+    /// approx_footprint sum of `fifo` (byte-bound accounting).
+    std::size_t fifo_bytes = 0;
     std::uint64_t dropped = 0;
+    /// Events shed since the last poll; nonzero makes the next poll lead
+    /// with a resync marker carrying this count.
+    std::uint64_t shed_since_poll = 0;
     bool collab_enabled = true;
     /// Server-push extension: events go straight to the client instead of
     /// the poll FIFO.
@@ -625,6 +664,18 @@ class DiscoverServer final : public net::MessageHandler {
   /// Pulls the global identity directory into the local cache (§6.3).
   void refresh_identities();
 
+  // -- FIFO backpressure ------------------------------------------------------
+  /// Appends to a sub's FIFO with entry+byte accounting and peak tracking.
+  void fifo_push(ClientSub& sub, proto::SharedClientEvent ev);
+  /// Removes the oldest queued event, maintaining the accounting.
+  void fifo_pop_front(ClientSub& sub);
+  /// True while either configured bound is exceeded.
+  [[nodiscard]] bool fifo_over_limit(const ClientSub& sub) const;
+  /// shed_oldest enforcement: pops until within bounds, counting sheds.
+  void shed_fifo_overflow(ClientSub& sub);
+  /// Releases a departing session's FIFO accounting (drop_session).
+  void fifo_forget(ClientSub& sub);
+
   // -- sessions ---------------------------------------------------------------
   ClientSession* session_of(std::uint64_t key);
   ClientSession* session_by_token(const security::SessionToken& token,
@@ -662,6 +713,10 @@ class DiscoverServer final : public net::MessageHandler {
   std::uint32_t app_counter_ = 0;
 
   std::map<std::uint64_t, ClientSession> sessions_;  // by http session id
+  /// Running totals across every session's FIFOs (kept in sync by the
+  /// fifo_* helpers; total_fifo_backlog*() scans are the oracle).
+  std::size_t fifo_entries_ = 0;
+  std::size_t fifo_bytes_ = 0;
   /// Fan-out index: app -> every session subscribed to it.  Maintained by
   /// subscribe_session/drop_session; a row's vector length doubles as the
   /// local watcher refcount that gates unsubscribe_remote.

@@ -400,6 +400,22 @@ void DiscoverServer::report_monitoring() {
   metrics["commands"] = static_cast<std::int64_t>(stats_.commands_accepted);
   metrics["events_delivered"] =
       static_cast<std::int64_t>(stats_.events_delivered);
+  // Backpressure: live backlog plus the shed/admission counters.
+  metrics["fifo_backlog"] = static_cast<std::int64_t>(fifo_entries_);
+  metrics["fifo_backlog_bytes"] = static_cast<std::int64_t>(fifo_bytes_);
+  metrics["peak_fifo_backlog"] =
+      static_cast<std::int64_t>(stats_.peak_fifo_backlog);
+  metrics["peak_fifo_backlog_bytes"] =
+      static_cast<std::int64_t>(stats_.peak_fifo_backlog_bytes);
+  metrics["events_shed"] = static_cast<std::int64_t>(stats_.events_dropped);
+  metrics["resync_markers"] =
+      static_cast<std::int64_t>(stats_.resync_markers);
+  metrics["overflow_disconnects"] =
+      static_cast<std::int64_t>(stats_.overflow_disconnects);
+  metrics["admission_rejected_logins"] =
+      static_cast<std::int64_t>(stats_.admission_rejected_logins);
+  metrics["admission_rejected_selects"] =
+      static_cast<std::int64_t>(stats_.admission_rejected_selects);
   metrics["peer_events_out"] =
       static_cast<std::int64_t>(stats_.peer_events_out);
   metrics["peer_batches_out"] =

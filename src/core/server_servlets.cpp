@@ -23,6 +23,24 @@ void set_body(http::HttpResponse& resp, util::Bytes body) {
   resp.body = std::move(body);
 }
 
+/// 503 + Retry-After (whole seconds, rounded up) for admission rejections.
+/// Mutates in place so the container's correlation/session headers survive.
+void set_admission(http::HttpResponse& resp, util::Bytes body,
+                   util::Duration retry_after) {
+  set_body(resp, std::move(body));
+  resp.status = 503;
+  resp.headers.set("Retry-After",
+                   std::to_string((retry_after + util::kSecond - 1) /
+                                  util::kSecond));
+}
+
+http::HttpResponse admission_response(util::Bytes body,
+                                      util::Duration retry_after) {
+  http::HttpResponse resp;
+  set_admission(resp, std::move(body), retry_after);
+  return resp;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -58,6 +76,22 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     const proto::LoginRequest req = proto::decode_login_request(request.body);
 
     proto::LoginReply reply;
+    // Admission control (flash crowds): refuse NEW sessions at the cap.  A
+    // client that already holds a session here may always re-login — its
+    // retry must not be punished by the crowd it is part of.
+    if (s.config_.max_sessions != 0 &&
+        s.sessions_.size() >= s.config_.max_sessions &&
+        s.sessions_.count(ctx.session->id()) == 0) {
+      reply.ok = false;
+      reply.admission = proto::AdmissionError::server_sessions;
+      reply.retry_after = s.config_.admission_retry_after;
+      reply.message = s.config_.name + " is full (" +
+                      std::to_string(s.sessions_.size()) + " sessions)";
+      ++s.stats_.admission_rejected_logins;
+      ++s.stats_.logins_failed;
+      set_admission(response, proto::encode_body(reply), reply.retry_after);
+      return;
+    }
     // Level-1 authentication against local application ACLs (§5.2.2).
     if (!s.authenticate_local(req.user, req.password_digest)) {
       reply.ok = false;
@@ -167,6 +201,20 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
         deferred->complete(body_response(404, proto::encode_body(out)));
         return;
       }
+      // Per-app admission: refuse NEW subscribers beyond the cap (sessions
+      // that already selected the app pass — their re-select is idempotent).
+      if (s.config_.max_sessions_per_app != 0 &&
+          sess->apps.count(app_id) == 0 &&
+          s.subscriber_count(app_id) >= s.config_.max_sessions_per_app) {
+        out.admission = proto::AdmissionError::app_sessions;
+        out.retry_after = s.config_.admission_retry_after;
+        out.message = "application " + app_id.to_string() + " is full";
+        ++s.stats_.admission_rejected_selects;
+        ++s.stats_.selects_failed;
+        deferred->complete(
+            admission_response(proto::encode_body(out), out.retry_after));
+        return;
+      }
       if (entry->local) {
         // Level-2 authentication against the application ACL (§5.2.2).
         const security::Privilege p = entry->acl.privilege_of(user);
@@ -214,6 +262,21 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
               params.push_back(proto::decode_param_spec(d));
             }
             const std::uint64_t history_seq = d.u64();
+            // Authoritative admission re-check: concurrent selects may have
+            // filled the app while our get_interface was in flight.
+            if (s.config_.max_sessions_per_app != 0 &&
+                sess2->apps.count(app_id) == 0 &&
+                s.subscriber_count(app_id) >=
+                    s.config_.max_sessions_per_app) {
+              out2.admission = proto::AdmissionError::app_sessions;
+              out2.retry_after = s.config_.admission_retry_after;
+              out2.message = "application " + app_id.to_string() + " is full";
+              ++s.stats_.admission_rejected_selects;
+              ++s.stats_.selects_failed;
+              deferred->complete(admission_response(proto::encode_body(out2),
+                                                    out2.retry_after));
+              return;
+            }
             entry2->params = params;
             if (!entry2->remote_subscribed && entry2->remote_known_seq == 0) {
               // First subscription: events up to the level-2 handshake are
@@ -421,10 +484,26 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
     ClientSub& sub = sub_it->second;
     const std::uint32_t max = req.max_events == 0 ? 64 : req.max_events;
     std::vector<proto::SharedClientEvent> events;
-    events.reserve(std::min<std::size_t>(sub.fifo.size(), max));
+    events.reserve(std::min<std::size_t>(sub.fifo.size(), max) + 1);
+    if (sub.shed_since_poll > 0) {
+      // The shed policy dropped events since this client last drained.  Lead
+      // the reply with a resync marker (before any survivors) carrying the
+      // shed count, so the client knows to catch up via the archive.
+      proto::ClientEvent marker;
+      marker.kind = proto::EventKind::resync;
+      marker.app = req.app_id;
+      marker.at = s.network_.now();
+      marker.text = "events shed by server backpressure; resync via archive";
+      marker.value =
+          proto::ParamValue{static_cast<std::int64_t>(sub.shed_since_poll)};
+      events.push_back(
+          std::make_shared<const proto::ClientEvent>(std::move(marker)));
+      sub.shed_since_poll = 0;
+      ++s.stats_.resync_markers;
+    }
     while (!sub.fifo.empty() && events.size() < max) {
-      events.push_back(std::move(sub.fifo.front()));
-      sub.fifo.pop_front();
+      events.push_back(sub.fifo.front());
+      s.fifo_pop_front(sub);
     }
     const auto backlog = static_cast<std::uint32_t>(sub.fifo.size());
     ++s.stats_.polls_served;

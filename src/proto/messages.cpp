@@ -305,6 +305,15 @@ DirectoryUpdate decode_directory_update(wire::Decoder& d) {
 
 // --- HTTP bodies -------------------------------------------------------------
 
+const char* admission_error_name(AdmissionError e) {
+  switch (e) {
+    case AdmissionError::none: return "none";
+    case AdmissionError::server_sessions: return "server_sessions";
+    case AdmissionError::app_sessions: return "app_sessions";
+  }
+  return "?";
+}
+
 namespace {
 void encode_events(wire::Encoder& e, const std::vector<ClientEvent>& v) {
   e.sequence(v,
@@ -338,6 +347,8 @@ util::Bytes encode_body(const LoginReply& m) {
   encode(e, m.token);
   e.sequence(m.applications,
              [](wire::Encoder& enc, const AppInfo& a) { encode(enc, a); });
+  e.u8(static_cast<std::uint8_t>(m.admission));
+  e.i64(m.retry_after);
   return std::move(e).take();
 }
 
@@ -349,6 +360,8 @@ LoginReply decode_login_reply(const util::Bytes& b) {
   m.token = decode_token(d);
   m.applications = d.sequence<AppInfo>(
       [](wire::Decoder& dec) { return decode_app_info(dec); });
+  m.admission = static_cast<AdmissionError>(d.u8());
+  m.retry_after = d.i64();
   return m;
 }
 
@@ -375,6 +388,8 @@ util::Bytes encode_body(const SelectAppReply& m) {
   e.sequence(m.interface_spec,
              [](wire::Encoder& enc, const ParamSpec& p) { encode(enc, p); });
   e.u64(m.history_seq);
+  e.u8(static_cast<std::uint8_t>(m.admission));
+  e.i64(m.retry_after);
   return std::move(e).take();
 }
 
@@ -387,6 +402,8 @@ SelectAppReply decode_select_app_reply(const util::Bytes& b) {
   m.interface_spec = d.sequence<ParamSpec>(
       [](wire::Decoder& dec) { return decode_param_spec(dec); });
   m.history_seq = d.u64();
+  m.admission = static_cast<AdmissionError>(d.u8());
+  m.retry_after = d.i64();
   return m;
 }
 

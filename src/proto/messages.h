@@ -182,6 +182,16 @@ util::Result<FramedMessage> decode_framed(const util::Bytes& data);
 // bodies are untagged CDR.  Paths live in core/portal_paths.h.
 // ---------------------------------------------------------------------------
 
+/// Typed admission-control rejection cause.  `none` means the request was
+/// not refused by admission control (it may still have failed for other
+/// reasons, e.g. bad credentials).
+enum class AdmissionError : std::uint8_t {
+  none = 0,
+  server_sessions = 1,  // server-wide session cap reached
+  app_sessions = 2,     // per-application subscriber cap reached
+};
+const char* admission_error_name(AdmissionError e);
+
 /// POST /discover/master/login
 struct LoginRequest {
   std::string user;
@@ -192,6 +202,11 @@ struct LoginReply {
   std::string message;
   security::SessionToken token;
   std::vector<AppInfo> applications;  // across the whole server network
+  // Admission control (flash-crowd backpressure): when the server-wide
+  // session cap rejects the login, `admission` names the cause and
+  // `retry_after` suggests how long the client should back off.
+  AdmissionError admission = AdmissionError::none;
+  util::Duration retry_after = 0;
 };
 
 /// POST /discover/master/select — level-2 authentication for one app.
@@ -205,6 +220,9 @@ struct SelectAppReply {
   security::Privilege privilege = security::Privilege::none;
   std::vector<ParamSpec> interface_spec;  // customized steering interface
   std::uint64_t history_seq = 0;          // latest event seq, for catch-up
+  // Admission control: per-app subscriber cap, same contract as LoginReply.
+  AdmissionError admission = AdmissionError::none;
+  util::Duration retry_after = 0;
 };
 
 /// POST /discover/command

@@ -92,8 +92,23 @@ const char* event_kind_name(EventKind k) {
     case EventKind::whiteboard: return "whiteboard";
     case EventKind::lock_notice: return "lock_notice";
     case EventKind::system: return "system";
+    case EventKind::resync: return "resync";
   }
   return "?";
+}
+
+std::size_t approx_footprint(const ClientEvent& ev) {
+  std::size_t bytes = sizeof(ClientEvent);
+  bytes += ev.user.size() + ev.text.size() + ev.param.size() +
+           ev.subgroup.size();
+  if (const auto* s = std::get_if<std::string>(&ev.value)) bytes += s->size();
+  // Each metrics entry: key characters plus map-node overhead (~3 pointers,
+  // a double and the key object).
+  for (const auto& [key, value] : ev.metrics) {
+    (void)value;
+    bytes += key.size() + 4 * sizeof(void*) + sizeof(double);
+  }
+  return bytes;
 }
 
 // --- wire helpers ----------------------------------------------------------

@@ -102,6 +102,7 @@ enum class EventKind : std::uint8_t {
   whiteboard = 4,  // collaboration whiteboard operation
   lock_notice = 5, // lock granted/denied/released notifications
   system = 6,      // membership changes, server events
+  resync = 7,      // FIFO overflow marker: `value` holds the shed count
 };
 const char* event_kind_name(EventKind k);
 
@@ -125,6 +126,11 @@ struct ClientEvent {
 
   friend bool operator==(const ClientEvent&, const ClientEvent&) = default;
 };
+
+/// Approximate in-memory size of a queued event, used for byte-based FIFO
+/// backlog accounting.  Deterministic (no allocator probing): struct size
+/// plus owned string/metrics payloads.
+std::size_t approx_footprint(const ClientEvent& ev);
 
 // --- wire helpers ----------------------------------------------------------
 

@@ -1,0 +1,442 @@
+#include "workload/scenario_spec.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace discover::workload {
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct ScenarioEngine::ClientState {
+  enum class State { idle, logging_in, selecting, active, retired };
+
+  core::DiscoverClient* client = nullptr;
+  net::NodeId node{0};
+  State state = State::idle;
+  bool enlisted = false;  // a join phase has claimed this client
+  bool slow = false;
+  bool collab = false;
+  bool steerer = false;
+  util::Duration poll_period = util::milliseconds(50);
+  std::uint64_t steer_ticks = 0;
+};
+
+ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {}
+ScenarioEngine::~ScenarioEngine() = default;
+
+void ScenarioEngine::setup() {
+  ScenarioConfig cfg;
+  cfg.server_template.client_fifo_cap = spec_.fifo_cap;
+  cfg.server_template.client_fifo_max_bytes = spec_.fifo_max_bytes;
+  cfg.server_template.fifo_overflow = spec_.overflow;
+  cfg.server_template.max_sessions = spec_.max_sessions;
+  cfg.server_template.max_sessions_per_app = spec_.max_sessions_per_app;
+  cfg.server_template.admission_retry_after = spec_.retry_after;
+  scenario_ = std::make_unique<Scenario>(cfg);
+
+  const std::uint32_t n_servers = std::max<std::uint32_t>(1, spec_.servers);
+  for (std::uint32_t s = 0; s < n_servers; ++s) {
+    servers_.push_back(
+        &scenario_->add_server("s" + std::to_string(s), s + 1));
+  }
+
+  // The hot application, hosted by server[0].  Every client is on its ACL;
+  // the first `steerers` with steer privilege, the rest read/write.
+  app::AppConfig app_cfg;
+  app_cfg.name = "hot";
+  app_cfg.step_time = spec_.app_step;
+  app_cfg.update_every = spec_.update_every;
+  app_cfg.interact_every = spec_.mix.steerers > 0 ? 4 : 0;
+  app_cfg.interaction_window = util::milliseconds(2);
+  for (std::uint32_t i = 0; i < spec_.total_clients; ++i) {
+    app_cfg.acl.push_back(security::AclEntry{
+        "u" + std::to_string(i),
+        i < spec_.mix.steerers ? security::Privilege::steer
+                               : security::Privilege::read_write,
+        0});
+  }
+  app_ = &scenario_->add_app<app::SyntheticApp>(*servers_[0], app_cfg,
+                                                app::SyntheticSpec{});
+  scenario_->run_until([&] { return app_->registered(); });
+  app_id_ = app_->app_id();
+  if (servers_.size() > 1) {
+    // Let the trader/peer refresh converge so non-host servers can resolve
+    // the application before the first remote select.
+    scenario_->run_for(cfg.server_template.peer_refresh_period * 2);
+  }
+
+  // The whole client population, round-robin across servers, idle until a
+  // join phase brings them online.  Events are counted, not stored: a
+  // 10k-client sweep would otherwise hold every update in memory.
+  util::Rng rng(spec_.seed);
+  clients_.reserve(spec_.total_clients);
+  for (std::uint32_t i = 0; i < spec_.total_clients; ++i) {
+    core::ClientConfig ccfg;
+    ccfg.record_events = false;
+    core::DiscoverClient& c = scenario_->add_client(
+        "u" + std::to_string(i), *servers_[i % servers_.size()], ccfg);
+    ClientState cl;
+    cl.client = &c;
+    cl.node = c.node();
+    cl.slow = rng.uniform() < spec_.mix.slow_poll_fraction;
+    cl.collab = rng.uniform() < spec_.mix.collab_fraction;
+    cl.steerer = i < spec_.mix.steerers;
+    cl.poll_period =
+        cl.slow ? spec_.mix.slow_poll_period : spec_.mix.poll_period;
+    clients_.push_back(cl);
+  }
+}
+
+void ScenarioEngine::join_client(std::size_t i) {
+  ClientState& cl = clients_[i];
+  if (cl.state != ClientState::State::idle) return;
+  cl.state = ClientState::State::logging_in;
+  cl.client->login([this, i](util::Result<proto::LoginReply> r) {
+    ClientState& cl = clients_[i];
+    net::SimNetwork& net = scenario_->net();
+    if (!r.ok()) {  // transport failure: back off and retry
+      cl.state = ClientState::State::idle;
+      ++admission_retries_;
+      net.schedule(cl.node, spec_.retry_after,
+                   [this, i] { join_client(i); });
+      return;
+    }
+    if (!r.value().ok) {
+      cl.state = ClientState::State::idle;
+      if (r.value().admission != proto::AdmissionError::none) {
+        // Typed admission rejection: honour the server's retry-after.
+        ++admission_rejected_seen_;
+        ++admission_retries_;
+        net.schedule(cl.node, r.value().retry_after,
+                     [this, i] { join_client(i); });
+      }
+      return;
+    }
+    cl.state = ClientState::State::selecting;
+    cl.client->select_app(
+        app_id_, [this, i](util::Result<proto::SelectAppReply> r2) {
+          ClientState& cl = clients_[i];
+          net::SimNetwork& net = scenario_->net();
+          if (!r2.ok() || !r2.value().ok) {
+            cl.state = ClientState::State::idle;
+            const bool admission =
+                r2.ok() &&
+                r2.value().admission != proto::AdmissionError::none;
+            if (admission) ++admission_rejected_seen_;
+            ++admission_retries_;
+            const util::Duration delay =
+                admission ? r2.value().retry_after : spec_.retry_after;
+            net.schedule(cl.node, delay, [this, i] { join_client(i); });
+            return;
+          }
+          cl.state = ClientState::State::active;
+          net.schedule(cl.node, cl.poll_period, [this, i] { poll_tick(i); });
+          if (cl.collab) {
+            net.schedule(cl.node, spec_.mix.collab_period,
+                         [this, i] { collab_tick(i); });
+          }
+          if (cl.steerer) {
+            cl.client->acquire_lock(app_id_,
+                                    [](util::Result<proto::CommandAck>) {});
+            net.schedule(cl.node, spec_.mix.steer_period,
+                         [this, i] { steer_tick(i); });
+          }
+        });
+  });
+}
+
+void ScenarioEngine::leave_client(std::size_t i, bool rejoin) {
+  ClientState& cl = clients_[i];
+  if (cl.state != ClientState::State::active) return;
+  net::SimNetwork& net = scenario_->net();
+  cl.state = rejoin ? ClientState::State::idle : ClientState::State::retired;
+  cl.client->logout([](util::Result<proto::CollabAck>) {});
+  if (rejoin) {
+    // Churn: the client comes straight back (reconnect storm).
+    net.schedule(cl.node, util::milliseconds(100),
+                 [this, i] { join_client(i); });
+    // Transitional: mark busy so a racing join slot cannot double-claim.
+    cl.state = ClientState::State::logging_in;
+    net.schedule(cl.node, util::milliseconds(99), [this, i] {
+      clients_[i].state = ClientState::State::idle;
+    });
+  }
+}
+
+void ScenarioEngine::poll_tick(std::size_t i) {
+  ClientState& cl = clients_[i];
+  if (cl.state != ClientState::State::active) return;
+  net::SimNetwork& net = scenario_->net();
+  const util::TimePoint t0 = net.now();
+  cl.client->poll(app_id_, [this, i, t0](util::Result<proto::PollReply> r) {
+    ClientState& cl = clients_[i];
+    net::SimNetwork& net = scenario_->net();
+    if (cl.state != ClientState::State::active) return;
+    if (r.ok() && !r.value().ok) {
+      // Session gone server-side: the disconnect overflow policy (or an
+      // idle sweep) bounced us.  Re-login from scratch.
+      ++sessions_lost_;
+      cl.state = ClientState::State::idle;
+      net.schedule(cl.node, spec_.retry_after,
+                   [this, i] { join_client(i); });
+      return;
+    }
+    if (r.ok()) {
+      ++polls_;
+      poll_latency_.record(net.now() - t0);
+    }
+    // Transport failures (partition) keep the cadence: poll-and-pull
+    // clients just try again next period.
+    net.schedule(cl.node, cl.poll_period, [this, i] { poll_tick(i); });
+  });
+}
+
+void ScenarioEngine::collab_tick(std::size_t i) {
+  ClientState& cl = clients_[i];
+  if (cl.state != ClientState::State::active) return;
+  net::SimNetwork& net = scenario_->net();
+  cl.client->post_collab(app_id_, proto::EventKind::chat,
+                         "hi from u" + std::to_string(i),
+                         [](util::Result<proto::CollabAck>) {});
+  net.schedule(cl.node, spec_.mix.collab_period,
+               [this, i] { collab_tick(i); });
+}
+
+void ScenarioEngine::steer_tick(std::size_t i) {
+  ClientState& cl = clients_[i];
+  if (cl.state != ClientState::State::active) return;
+  net::SimNetwork& net = scenario_->net();
+  ++cl.steer_ticks;
+  cl.client->set_param(app_id_, "param_0",
+                       1.0 + 0.01 * static_cast<double>(cl.steer_ticks),
+                       [](util::Result<proto::CommandAck>) {});
+  net.schedule(cl.node, spec_.mix.steer_period, [this, i] { steer_tick(i); });
+}
+
+void ScenarioEngine::run_phase(const PhaseSpec& phase) {
+  net::SimNetwork& net = scenario_->net();
+  if (servers_.size() > 1) {
+    if (phase.partition && !partitioned_) {
+      scenario_->partition(*servers_[0], *servers_[1]);
+      partitioned_ = true;
+    }
+    if (phase.heal && partitioned_) {
+      scenario_->heal(*servers_[0], *servers_[1]);
+      partitioned_ = false;
+    }
+  }
+  const net::NodeId anchor = servers_[0]->node();
+
+  // Joins claim not-yet-enlisted clients, spread across the phase.
+  std::uint32_t scheduled = 0;
+  for (std::size_t i = 0;
+       i < clients_.size() && scheduled < phase.join; ++i) {
+    if (clients_[i].enlisted) continue;
+    clients_[i].enlisted = true;
+    const util::Duration at =
+        phase.duration * static_cast<std::int64_t>(scheduled) /
+        static_cast<std::int64_t>(phase.join);
+    net.schedule(clients_[i].node, at, [this, i] { join_client(i); });
+    ++scheduled;
+  }
+
+  // Leave/churn slots pick whichever client is active when they fire.
+  const std::uint32_t slots = phase.leave + phase.churn;
+  for (std::uint32_t k = 0; k < slots; ++k) {
+    const bool rejoin = k >= phase.leave;
+    const util::Duration at = phase.duration * static_cast<std::int64_t>(k) /
+                              static_cast<std::int64_t>(slots);
+    net.schedule(anchor, at, [this, rejoin] {
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        if (clients_[i].state == ClientState::State::active) {
+          leave_client(i, rejoin);
+          return;
+        }
+      }
+    });
+  }
+
+  scenario_->run_for(phase.duration);
+}
+
+ScenarioMetrics ScenarioEngine::collect() {
+  ScenarioMetrics m;
+  m.name = spec_.name;
+  m.clients = spec_.total_clients;
+  m.polls = polls_;
+  m.poll_p50_ns = poll_latency_.percentile(0.50);
+  m.poll_p95_ns = poll_latency_.percentile(0.95);
+  m.poll_p99_ns = poll_latency_.percentile(0.99);
+  m.admission_rejected_seen = admission_rejected_seen_;
+  m.admission_retries = admission_retries_;
+  m.sessions_lost = sessions_lost_;
+  for (const ClientState& cl : clients_) {
+    m.events_received += cl.client->events_received();
+    m.resync_seen += cl.client->events_of_kind(proto::EventKind::resync);
+  }
+  for (const core::DiscoverServer* s : servers_) {
+    const core::ServerStats& st = s->stats();
+    m.events_delivered += st.events_delivered;
+    m.events_shed += st.events_dropped;
+    m.resync_markers += st.resync_markers;
+    m.overflow_disconnects += st.overflow_disconnects;
+    m.admission_rejected_logins += st.admission_rejected_logins;
+    m.admission_rejected_selects += st.admission_rejected_selects;
+    m.peak_fifo_backlog =
+        std::max(m.peak_fifo_backlog, st.peak_fifo_backlog);
+    m.peak_fifo_backlog_bytes =
+        std::max(m.peak_fifo_backlog_bytes, st.peak_fifo_backlog_bytes);
+    m.final_fifo_backlog += s->total_fifo_backlog();
+  }
+  return m;
+}
+
+ScenarioMetrics ScenarioEngine::run() {
+  setup();
+  for (const PhaseSpec& phase : spec_.phases) run_phase(phase);
+  return collect();
+}
+
+// ---------------------------------------------------------------------------
+// Canned suite
+// ---------------------------------------------------------------------------
+
+ScenarioSpec flash_crowd_spec(std::uint32_t clients, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.name = "flash_crowd";
+  s.servers = 1;
+  s.total_clients = clients;
+  s.seed = seed;
+  s.max_sessions = std::max<std::size_t>(1, clients * 3 / 4);
+  s.retry_after = util::milliseconds(500);
+  s.mix.poll_period = util::milliseconds(80);
+  s.app_step = util::milliseconds(10);
+  // Burst: everyone converges on the server inside 300ms; a quarter bounce
+  // off admission control and retry.  The release phase frees capacity so
+  // retries eventually land.
+  s.phases = {
+      PhaseSpec{"burst", util::milliseconds(300), clients, 0, 0, false,
+                false},
+      PhaseSpec{"sustain", util::milliseconds(1500), 0, 0, 0, false, false},
+      PhaseSpec{"release", util::milliseconds(800), 0, clients / 3, 0, false,
+                false},
+      PhaseSpec{"recover", util::milliseconds(1500), 0, 0, 0, false, false},
+  };
+  return s;
+}
+
+ScenarioSpec churn_storm_spec(std::uint32_t clients, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.name = "churn_storm";
+  s.servers = 1;
+  s.total_clients = clients;
+  s.seed = seed;
+  s.mix.poll_period = util::milliseconds(60);
+  s.app_step = util::milliseconds(5);
+  s.phases = {
+      PhaseSpec{"ramp", util::milliseconds(500), clients, 0, 0, false,
+                false},
+      PhaseSpec{"storm", util::milliseconds(2000), 0, 0, clients * 3 / 4,
+                false, false},
+      PhaseSpec{"settle", util::milliseconds(1000), 0, 0, 0, false, false},
+  };
+  return s;
+}
+
+ScenarioSpec slow_poll_swarm_spec(std::uint32_t clients, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.name = "slow_poll_swarm";
+  s.servers = 1;
+  s.total_clients = clients;
+  s.seed = seed;
+  s.fifo_cap = 64;
+  s.fifo_max_bytes = 64 * 1024;
+  s.overflow = core::FifoOverflowPolicy::shed_oldest;
+  s.mix.slow_poll_fraction = 0.5;
+  s.mix.poll_period = util::milliseconds(60);
+  s.mix.slow_poll_period = util::milliseconds(900);
+  s.app_step = util::milliseconds(2);  // sustained fan-out: 500 updates/s
+  s.phases = {
+      PhaseSpec{"ramp", util::milliseconds(400), clients, 0, 0, false,
+                false},
+      PhaseSpec{"sustain", util::milliseconds(3000), 0, 0, 0, false, false},
+  };
+  return s;
+}
+
+ScenarioSpec partition_mix_spec(std::uint32_t clients, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.name = "partition_mix";
+  s.servers = 2;
+  s.total_clients = clients;
+  s.seed = seed;
+  s.mix.poll_period = util::milliseconds(80);
+  s.mix.collab_fraction = 0.25;
+  s.mix.collab_period = util::milliseconds(300);
+  s.mix.steerers = 2;
+  s.mix.steer_period = util::milliseconds(250);
+  s.app_step = util::milliseconds(5);
+  s.phases = {
+      PhaseSpec{"ramp", util::milliseconds(600), clients, 0, 0, false,
+                false},
+      PhaseSpec{"coexist", util::milliseconds(1000), 0, 0, 0, false, false},
+      PhaseSpec{"partition", util::milliseconds(1200), 0, 0, 0, true, false},
+      PhaseSpec{"heal", util::milliseconds(1500), 0, 0, 0, false, true},
+  };
+  return s;
+}
+
+std::vector<ScenarioSpec> scenario_suite(std::uint32_t clients,
+                                         std::uint64_t seed) {
+  return {flash_crowd_spec(clients, seed), churn_storm_spec(clients, seed),
+          slow_poll_swarm_spec(clients, seed),
+          partition_mix_spec(clients, seed)};
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+std::string scenario_metrics_json(const std::vector<ScenarioMetrics>& all) {
+  std::string out = "{\n  \"scenarios\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const ScenarioMetrics& m = all[i];
+    out += "    {\n";
+    out += "      \"name\": \"" + m.name + "\",\n";
+    const auto field = [&](const char* key, std::uint64_t v, bool last) {
+      std::snprintf(buf, sizeof(buf), "      \"%s\": %llu%s\n", key,
+                    static_cast<unsigned long long>(v), last ? "" : ",");
+      out += buf;
+    };
+    field("clients", m.clients, false);
+    field("polls", m.polls, false);
+    field("poll_p50_ns", static_cast<std::uint64_t>(m.poll_p50_ns), false);
+    field("poll_p95_ns", static_cast<std::uint64_t>(m.poll_p95_ns), false);
+    field("poll_p99_ns", static_cast<std::uint64_t>(m.poll_p99_ns), false);
+    field("events_received", m.events_received, false);
+    field("resync_seen", m.resync_seen, false);
+    field("admission_rejected_seen", m.admission_rejected_seen, false);
+    field("admission_retries", m.admission_retries, false);
+    field("sessions_lost", m.sessions_lost, false);
+    field("events_delivered", m.events_delivered, false);
+    field("events_shed", m.events_shed, false);
+    field("resync_markers", m.resync_markers, false);
+    field("overflow_disconnects", m.overflow_disconnects, false);
+    field("admission_rejected_logins", m.admission_rejected_logins, false);
+    field("admission_rejected_selects", m.admission_rejected_selects,
+          false);
+    field("peak_fifo_backlog", m.peak_fifo_backlog, false);
+    field("peak_fifo_backlog_bytes", m.peak_fifo_backlog_bytes, false);
+    field("final_fifo_backlog", m.final_fifo_backlog, true);
+    out += i + 1 < all.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace discover::workload

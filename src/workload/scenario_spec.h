@@ -1,0 +1,161 @@
+// Declarative flash-crowd / churn scenario suite (see DESIGN.md
+// "Backpressure & the scenario DSL").
+//
+// A ScenarioSpec describes a whole experiment: the topology (servers, one
+// hot application), the client behaviour mix (poll cadences, collab
+// posters, steerers), the server backpressure knobs under test (FIFO
+// bounds, overflow policy, admission caps) and a list of phases — ramp,
+// burst, churn, partition — each joining/leaving/cycling some clients over
+// a duration.  ScenarioEngine drives the spec over a SimNetwork entirely
+// through client-node timers, so a (spec, seed) pair replays byte-identical
+// metrics on every run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "workload/scenario.h"
+
+namespace discover::workload {
+
+/// How the scenario's client population behaves while active.
+struct ClientMix {
+  /// Fraction of clients polling at slow_poll_period instead of
+  /// poll_period (the §6.2 "slow client" population).
+  double slow_poll_fraction = 0.0;
+  util::Duration poll_period = util::milliseconds(50);
+  util::Duration slow_poll_period = util::milliseconds(800);
+  /// Fraction of clients posting a chat line every collab_period.
+  double collab_fraction = 0.0;
+  util::Duration collab_period = util::milliseconds(400);
+  /// The first `steerers` clients acquire the lock and steer a parameter
+  /// every steer_period.
+  std::uint32_t steerers = 0;
+  util::Duration steer_period = util::milliseconds(300);
+};
+
+/// One phase of the scenario timeline.  Joins/leaves/churns are spread
+/// deterministically across the phase duration.
+struct PhaseSpec {
+  std::string name;
+  util::Duration duration = util::seconds(1);
+  std::uint32_t join = 0;   // inactive clients brought online
+  std::uint32_t leave = 0;  // active clients logged out for good
+  std::uint32_t churn = 0;  // active clients logged out + rejoined
+  bool partition = false;   // cut server[0] <-> server[1] at phase start
+  bool heal = false;        // heal the same cut at phase start
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::uint32_t servers = 1;  // clients beyond the first attach round-robin
+  std::uint32_t total_clients = 100;
+  std::uint64_t seed = 1;
+  ClientMix mix;
+  std::vector<PhaseSpec> phases;
+
+  /// Hot application shape (hosted by server[0]).
+  util::Duration app_step = util::milliseconds(5);
+  std::uint32_t update_every = 1;  // AppUpdate every N steps
+
+  /// Server backpressure under test.
+  std::size_t fifo_cap = 256;
+  std::size_t fifo_max_bytes = 0;
+  core::FifoOverflowPolicy overflow = core::FifoOverflowPolicy::shed_oldest;
+  std::size_t max_sessions = 0;          // per server; 0 = unlimited
+  std::size_t max_sessions_per_app = 0;  // 0 = unlimited
+  util::Duration retry_after = util::seconds(1);
+};
+
+/// Everything a scenario run reports.  Defaulted equality backs the
+/// determinism test: two runs of the same (spec, seed) must compare equal.
+struct ScenarioMetrics {
+  std::string name;
+  std::uint64_t clients = 0;
+  // Client-side poll round trips (sim time).
+  std::uint64_t polls = 0;
+  std::int64_t poll_p50_ns = 0;
+  std::int64_t poll_p95_ns = 0;
+  std::int64_t poll_p99_ns = 0;
+  std::uint64_t events_received = 0;
+  std::uint64_t resync_seen = 0;  // resync markers observed by clients
+  // Client-side admission/lifecycle.
+  std::uint64_t admission_rejected_seen = 0;  // rejections observed
+  std::uint64_t admission_retries = 0;        // re-login/select attempts
+  std::uint64_t sessions_lost = 0;  // active clients bounced (disconnect)
+  // Server-side aggregates (summed / maxed across servers).
+  std::uint64_t events_delivered = 0;
+  std::uint64_t events_shed = 0;
+  std::uint64_t resync_markers = 0;
+  std::uint64_t overflow_disconnects = 0;
+  std::uint64_t admission_rejected_logins = 0;
+  std::uint64_t admission_rejected_selects = 0;
+  std::uint64_t peak_fifo_backlog = 0;        // max over servers
+  std::uint64_t peak_fifo_backlog_bytes = 0;  // max over servers
+  std::uint64_t final_fifo_backlog = 0;       // sum at run end
+
+  friend bool operator==(const ScenarioMetrics&,
+                         const ScenarioMetrics&) = default;
+};
+
+/// Runs one ScenarioSpec start-to-finish on a fresh SimNetwork.
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioSpec spec);
+  ~ScenarioEngine();
+
+  /// Executes every phase and returns the collected metrics.  One-shot:
+  /// build a fresh engine to run again.
+  ScenarioMetrics run();
+
+  [[nodiscard]] Scenario& scenario() { return *scenario_; }
+  [[nodiscard]] const util::LatencyHistogram& poll_latency() const {
+    return poll_latency_;
+  }
+
+ private:
+  struct ClientState;
+
+  void setup();
+  void run_phase(const PhaseSpec& phase);
+  void join_client(std::size_t i);
+  void leave_client(std::size_t i, bool rejoin);
+  void poll_tick(std::size_t i);
+  void collab_tick(std::size_t i);
+  void steer_tick(std::size_t i);
+  ScenarioMetrics collect();
+
+  ScenarioSpec spec_;
+  std::unique_ptr<Scenario> scenario_;
+  std::vector<core::DiscoverServer*> servers_;
+  app::SyntheticApp* app_ = nullptr;
+  proto::AppId app_id_;
+  std::vector<ClientState> clients_;
+  util::LatencyHistogram poll_latency_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t admission_rejected_seen_ = 0;
+  std::uint64_t admission_retries_ = 0;
+  std::uint64_t sessions_lost_ = 0;
+  bool partitioned_ = false;
+};
+
+// Canned scenario specs (the four suite members).  `clients` scales the
+// population so the same shapes serve both the smoke tier and the full
+// 10k-client sweep.
+ScenarioSpec flash_crowd_spec(std::uint32_t clients, std::uint64_t seed = 1);
+ScenarioSpec churn_storm_spec(std::uint32_t clients, std::uint64_t seed = 1);
+ScenarioSpec slow_poll_swarm_spec(std::uint32_t clients,
+                                  std::uint64_t seed = 1);
+ScenarioSpec partition_mix_spec(std::uint32_t clients, std::uint64_t seed = 1);
+
+/// All four, in suite order.
+std::vector<ScenarioSpec> scenario_suite(std::uint32_t clients,
+                                         std::uint64_t seed = 1);
+
+/// BENCH_scenarios.json payload (no timestamps: byte-identical per seed).
+std::string scenario_metrics_json(const std::vector<ScenarioMetrics>& all);
+
+}  // namespace discover::workload

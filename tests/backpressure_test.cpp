@@ -1,0 +1,336 @@
+// Bounded-FIFO backpressure and admission control (DESIGN.md "Backpressure
+// & admission control"):
+//  * shed_oldest policy leads the next poll reply with a resync marker
+//    (ordering + shed-count payload pinned);
+//  * the resync marker travels the exact encode_body(PollReply) wire format
+//    through the shared-event encoder;
+//  * byte-based FIFO bounds shed independently of the entry cap, and the
+//    running byte/entry accounting agrees with a full scan;
+//  * disconnect policy drops the slow session instead of shedding;
+//  * login admission control: server-wide cap, re-login bypass, rejection
+//    racing a concurrent logout;
+//  * per-app session cap on select, with re-select bypass.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/synthetic.h"
+#include "proto/messages.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+/// One server, one quiet app (explicit chat posts drive all fan-out), with
+/// the backpressure knobs under test.
+struct Harness {
+  explicit Harness(core::ServerConfig tmpl) {
+    workload::ScenarioConfig cfg;
+    cfg.server_template = tmpl;
+    scenario = std::make_unique<workload::Scenario>(cfg);
+    server = &scenario->add_server("hub", 1);
+    app::AppConfig app_cfg;
+    app_cfg.name = "shared-sim";
+    app_cfg.acl = make_acl({{"alice", Privilege::steer},
+                            {"bob", Privilege::read_write},
+                            {"carol", Privilege::read_write}});
+    app_cfg.step_time = util::milliseconds(1);
+    app_cfg.update_every = 0;  // quiet: the test drives all traffic
+    app_cfg.interact_every = 0;
+    app = &scenario->add_app<app::SyntheticApp>(*server, app_cfg,
+                                                app::SyntheticSpec{});
+    EXPECT_TRUE(scenario->run_until([&] { return app->registered(); }));
+    app_id = app->app_id();
+  }
+
+  core::DiscoverClient& join(const std::string& user) {
+    auto& c = scenario->add_client(user, *server);
+    EXPECT_TRUE(workload::sync_login(scenario->net(), c).value().ok);
+    EXPECT_TRUE(
+        workload::sync_select(scenario->net(), c, app_id).value().ok);
+    return c;
+  }
+
+  void post_chats(core::DiscoverClient& from, int n,
+                  const std::string& prefix = "m") {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(workload::sync_collab_post(scenario->net(), from, app_id,
+                                             proto::EventKind::chat,
+                                             prefix + std::to_string(i))
+                      .value().ok);
+    }
+    scenario->run_for(util::milliseconds(5));
+  }
+
+  std::unique_ptr<workload::Scenario> scenario;
+  core::DiscoverServer* server = nullptr;
+  app::SyntheticApp* app = nullptr;
+  proto::AppId app_id;
+};
+
+// ---------------------------------------------------------------------------
+// shed_oldest: resync marker ordering and payload
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, ShedOldestLeadsPollReplyWithResyncMarkerThenSurvivors) {
+  core::ServerConfig cfg;
+  cfg.client_fifo_cap = 4;
+  Harness h(cfg);
+  auto& alice = h.join("alice");
+  auto& bob = h.join("bob");
+  h.post_chats(alice, 10);  // bob never drains: 6 of 10 shed
+
+  const auto poll = workload::sync_poll(h.scenario->net(), bob, h.app_id);
+  ASSERT_TRUE(poll.ok());
+  ASSERT_TRUE(poll.value().ok);
+  const auto& events = poll.value().events;
+  ASSERT_EQ(events.size(), 5u);  // marker + 4 survivors
+  // The marker leads the reply, carries the shed count, and names the app.
+  EXPECT_EQ(events.front().kind, proto::EventKind::resync);
+  EXPECT_EQ(events.front().app, h.app_id);
+  EXPECT_EQ(events.front().value,
+            proto::ParamValue{static_cast<std::int64_t>(6)});
+  // Survivors are the NEWEST events, still in sequence order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, proto::EventKind::chat);
+    EXPECT_EQ(events[i].text, "m" + std::to_string(i + 5));
+    if (i > 1) {
+      EXPECT_GT(events[i].seq, events[i - 1].seq);
+    }
+  }
+  EXPECT_GE(h.server->stats().events_dropped, 6u);
+  EXPECT_EQ(h.server->stats().resync_markers, 1u);
+  EXPECT_EQ(h.server->stats().overflow_disconnects, 0u);
+
+  // The marker is one-shot: a clean follow-up poll carries no resync.
+  const auto again = workload::sync_poll(h.scenario->net(), bob, h.app_id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().events.empty());
+  EXPECT_EQ(h.server->stats().resync_markers, 1u);
+}
+
+TEST(Backpressure, ResyncMarkerUsesExactPollReplyWireFormat) {
+  // The servlet serializes the synthesized marker through
+  // encode_poll_reply_shared; pin that a marker-bearing batch is
+  // byte-identical to encode_body(PollReply) and round-trips.
+  proto::ClientEvent marker;
+  marker.kind = proto::EventKind::resync;
+  marker.app = proto::AppId{3, 1};
+  marker.at = 1234;
+  marker.text = "events shed by server backpressure; resync via archive";
+  marker.value = proto::ParamValue{static_cast<std::int64_t>(7)};
+  proto::ClientEvent survivor;
+  survivor.kind = proto::EventKind::chat;
+  survivor.seq = 9;
+  survivor.app = marker.app;
+  survivor.user = "alice";
+  survivor.text = "m9";
+
+  proto::PollReply plain;
+  plain.ok = true;
+  plain.events = {marker, survivor};
+  plain.backlog = 0;
+  const std::vector<proto::SharedClientEvent> shared = {
+      std::make_shared<const proto::ClientEvent>(marker),
+      std::make_shared<const proto::ClientEvent>(survivor)};
+
+  const util::Bytes a = proto::encode_body(plain);
+  const util::Bytes b = proto::encode_poll_reply_shared(true, "", shared, 0);
+  EXPECT_EQ(a, b);
+
+  const proto::PollReply decoded = proto::decode_poll_reply(b);
+  ASSERT_EQ(decoded.events.size(), 2u);
+  EXPECT_EQ(decoded.events[0], marker);
+  EXPECT_EQ(decoded.events[1], survivor);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-bounded FIFOs and accounting
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, ByteBoundShedsWithUnlimitedEntryCap) {
+  core::ServerConfig cfg;
+  cfg.client_fifo_cap = 0;  // entries unbounded: only bytes constrain
+  cfg.client_fifo_max_bytes = 2048;
+  Harness h(cfg);
+  auto& alice = h.join("alice");
+  auto& bob = h.join("bob");
+  // Each chat carries a 256-byte payload, so a FIFO holds only a handful.
+  const std::string big(256, 'x');
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(workload::sync_collab_post(h.scenario->net(), alice, h.app_id,
+                                           proto::EventKind::chat,
+                                           big + std::to_string(i))
+                    .value().ok);
+  }
+  h.scenario->run_for(util::milliseconds(5));
+
+  // Per-subscriber byte bound holds for both idle FIFOs (alice's echoes
+  // pile up too), so the total is bounded by 2 * max_bytes.
+  EXPECT_GT(h.server->stats().events_dropped, 0u);
+  EXPECT_LE(h.server->total_fifo_backlog_bytes(), 2u * 2048u);
+  EXPECT_GT(h.server->stats().peak_fifo_backlog_bytes, 0u);
+  EXPECT_GT(h.server->stats().peak_fifo_backlog, 0u);
+
+  const auto poll = workload::sync_poll(h.scenario->net(), bob, h.app_id);
+  ASSERT_TRUE(poll.value().ok);
+  ASSERT_FALSE(poll.value().events.empty());
+  EXPECT_EQ(poll.value().events.front().kind, proto::EventKind::resync);
+
+  // Accounting oracle: once every FIFO drains, the scans read zero.
+  (void)workload::sync_poll(h.scenario->net(), alice, h.app_id);
+  (void)workload::sync_poll(h.scenario->net(), bob, h.app_id);
+  EXPECT_EQ(h.server->total_fifo_backlog(), 0u);
+  EXPECT_EQ(h.server->total_fifo_backlog_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// disconnect policy
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, DisconnectPolicyDropsSlowSessionInsteadOfShedding) {
+  core::ServerConfig cfg;
+  cfg.client_fifo_cap = 3;
+  cfg.fifo_overflow = core::FifoOverflowPolicy::disconnect;
+  Harness h(cfg);
+  auto& alice = h.join("alice");
+  auto& bob = h.join("bob");
+  // Alice drains her own echoes between posts; bob never polls and blows
+  // through his 3-entry cap on the 4th chat.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(workload::sync_collab_post(h.scenario->net(), alice, h.app_id,
+                                           proto::EventKind::chat,
+                                           "m" + std::to_string(i))
+                    .value().ok);
+    (void)workload::sync_poll(h.scenario->net(), alice, h.app_id);
+  }
+  h.scenario->run_for(util::milliseconds(5));
+
+  EXPECT_EQ(h.server->stats().overflow_disconnects, 1u);
+  EXPECT_EQ(h.server->stats().resync_markers, 0u);
+  // Bob's session is gone: his next poll is an application-level failure.
+  const auto poll = workload::sync_poll(h.scenario->net(), bob, h.app_id);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_FALSE(poll.value().ok);
+  // His FIFO was forgotten wholesale — the accounting scans agree.
+  EXPECT_EQ(h.server->total_fifo_backlog(), 0u);
+  EXPECT_EQ(h.server->total_fifo_backlog_bytes(), 0u);
+  // Alice is untouched.
+  const auto ap = workload::sync_poll(h.scenario->net(), alice, h.app_id);
+  EXPECT_TRUE(ap.value().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: server-wide session cap
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, ServerSessionCapRejectsNewLoginButNotReLogin) {
+  core::ServerConfig cfg;
+  cfg.max_sessions = 2;
+  cfg.admission_retry_after = util::seconds(3);
+  Harness h(cfg);
+  auto& alice = h.join("alice");
+  auto& bob = h.join("bob");
+  (void)bob;
+
+  // The server is full: a third principal bounces with a typed error.
+  auto& carol = h.scenario->add_client("carol", *h.server);
+  const auto rejected = workload::sync_login(h.scenario->net(), carol);
+  ASSERT_TRUE(rejected.ok()) << rejected.error().message;
+  EXPECT_FALSE(rejected.value().ok);
+  EXPECT_EQ(rejected.value().admission, proto::AdmissionError::server_sessions);
+  EXPECT_EQ(rejected.value().retry_after, util::seconds(3));
+  EXPECT_EQ(h.server->stats().admission_rejected_logins, 1u);
+
+  // Re-login of an existing session does not consume a new slot (flash
+  // crowd: browser refreshes must not evict the user).
+  const auto relogin = workload::sync_login(h.scenario->net(), alice);
+  ASSERT_TRUE(relogin.ok());
+  EXPECT_TRUE(relogin.value().ok);
+  EXPECT_EQ(h.server->stats().admission_rejected_logins, 1u);
+
+  // Capacity freed by a logout admits the waiting client.
+  bool out = false;
+  bob.logout([&](util::Result<proto::CollabAck>) { out = true; });
+  ASSERT_TRUE(workload::wait_for(h.scenario->net(), [&] { return out; }));
+  EXPECT_TRUE(workload::sync_login(h.scenario->net(), carol).value().ok);
+}
+
+TEST(Backpressure, AdmissionRejectionRacingConcurrentLogout) {
+  core::ServerConfig cfg;
+  cfg.max_sessions = 1;
+  cfg.admission_retry_after = util::milliseconds(200);
+  Harness h(cfg);
+  auto& alice = h.join("alice");
+
+  // Carol's login races alice's logout in the same sim instant.  Delivery
+  // order is deterministic (login first): carol bounces off the still-held
+  // slot, then the logout lands, and the typed retry-after is exactly long
+  // enough for the retry to find a free server.
+  auto& carol = h.scenario->add_client("carol", *h.server);
+  util::Result<proto::LoginReply> first =
+      util::Error{util::Errc::internal, "pending"};
+  bool login_done = false;
+  bool logout_done = false;
+  carol.login([&](util::Result<proto::LoginReply> r) {
+    first = std::move(r);
+    login_done = true;
+  });
+  alice.logout([&](util::Result<proto::CollabAck>) { logout_done = true; });
+  ASSERT_TRUE(workload::wait_for(h.scenario->net(),
+                                 [&] { return login_done && logout_done; }));
+
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().ok);
+  EXPECT_EQ(first.value().admission, proto::AdmissionError::server_sessions);
+  EXPECT_EQ(h.server->stats().admission_rejected_logins, 1u);
+
+  // Honouring the server's retry-after succeeds post-logout.
+  h.scenario->run_for(first.value().retry_after);
+  EXPECT_TRUE(workload::sync_login(h.scenario->net(), carol).value().ok);
+  EXPECT_EQ(h.server->stats().admission_rejected_logins, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: per-app session cap
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, PerAppCapRejectsSelectButNotReSelect) {
+  core::ServerConfig cfg;
+  cfg.max_sessions_per_app = 1;
+  cfg.admission_retry_after = util::seconds(1);
+  Harness h(cfg);
+  auto& alice = h.join("alice");  // takes the app's single slot
+
+  auto& bob = h.scenario->add_client("bob", *h.server);
+  ASSERT_TRUE(workload::sync_login(h.scenario->net(), bob).value().ok);
+  const auto rejected =
+      workload::sync_select(h.scenario->net(), bob, h.app_id);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected.value().ok);
+  EXPECT_EQ(rejected.value().admission, proto::AdmissionError::app_sessions);
+  EXPECT_EQ(rejected.value().retry_after, util::seconds(1));
+  EXPECT_EQ(h.server->stats().admission_rejected_selects, 1u);
+
+  // Re-selecting an app the session already subscribes to is idempotent
+  // and exempt from the cap.
+  EXPECT_TRUE(
+      workload::sync_select(h.scenario->net(), alice, h.app_id).value().ok);
+  EXPECT_EQ(h.server->stats().admission_rejected_selects, 1u);
+
+  // Alice leaving frees the slot for bob.
+  bool out = false;
+  alice.logout([&](util::Result<proto::CollabAck>) { out = true; });
+  ASSERT_TRUE(workload::wait_for(h.scenario->net(), [&] { return out; }));
+  EXPECT_TRUE(
+      workload::sync_select(h.scenario->net(), bob, h.app_id).value().ok);
+}
+
+}  // namespace
+}  // namespace discover

@@ -188,14 +188,21 @@ TEST_F(CollabTest, SlowClientFifoDropsOldestAndCountsIt) {
   ASSERT_TRUE(workload::sync_login(scenario_.net(), dave).value().ok);
   ASSERT_TRUE(workload::sync_select(scenario_.net(), dave, chatty.app_id())
                   .value().ok);
-  // Never poll while 50 updates arrive: only 4 survive.
+  // Never poll while 50 updates arrive: only 4 survive, and the overflow is
+  // explicit — the next poll leads with a resync marker carrying the count
+  // of shed events before the surviving (most recent) ones.
   scenario_.run_for(util::milliseconds(60));
   auto poll = workload::sync_poll(scenario_.net(), dave, chatty.app_id());
   ASSERT_TRUE(poll.ok());
-  EXPECT_LE(poll.value().events.size(), 4u);
-  EXPECT_GT(small.stats().events_dropped, 0u);
-  // Delivered events are the most recent ones (oldest dropped).
   ASSERT_FALSE(poll.value().events.empty());
+  EXPECT_EQ(poll.value().events.front().kind, proto::EventKind::resync);
+  EXPECT_EQ(poll.value().events.front().value,
+            proto::ParamValue{static_cast<std::int64_t>(
+                small.stats().events_dropped)});
+  EXPECT_LE(poll.value().events.size(), 5u);  // marker + cap survivors
+  EXPECT_GT(small.stats().events_dropped, 0u);
+  EXPECT_GT(small.stats().resync_markers, 0u);
+  // Delivered events are the most recent ones (oldest shed).
   EXPECT_GT(poll.value().events.back().seq, 4u);
 }
 

@@ -1,0 +1,123 @@
+// Flash-crowd & churn scenario suite (EXPERIMENTS.md "E9: scenario
+// suite").  Each canned ScenarioSpec runs start-to-finish on a fresh
+// SimNetwork at smoke scale and must
+//  * replay byte-identical metrics for the same (spec, seed) pair,
+//  * exercise the mechanism it was built around (admission rejections in
+//    the flash crowd, reconnects in the churn storm, bounded shedding in
+//    the slow-poll swarm, cross-site traffic around a partition),
+//  * keep the slow-poll swarm's peak FIFO backlog under the configured
+//    per-subscriber bound.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/scenario_spec.h"
+
+namespace discover {
+namespace {
+
+constexpr std::uint32_t kClients = 48;  // smoke scale; bench runs 10k
+
+workload::ScenarioMetrics run_spec(const workload::ScenarioSpec& spec) {
+  workload::ScenarioEngine engine(spec);
+  return engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: every suite member, run twice, metric-for-metric equal
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuite, EveryScenarioReplaysByteIdenticalMetricsPerSeed) {
+  for (const auto& spec : workload::scenario_suite(kClients, 7)) {
+    const workload::ScenarioMetrics a = run_spec(spec);
+    const workload::ScenarioMetrics b = run_spec(spec);
+    EXPECT_EQ(a, b) << spec.name << " diverged between identical runs";
+    EXPECT_GT(a.polls, 0u) << spec.name;
+    EXPECT_GT(a.events_delivered, 0u) << spec.name;
+    EXPECT_GT(a.poll_p99_ns, 0) << spec.name;
+    EXPECT_GE(a.poll_p99_ns, a.poll_p50_ns) << spec.name;
+  }
+}
+
+TEST(ScenarioSuite, DifferentSeedsSteerDifferentRuns) {
+  // The seed feeds the slow/collab mix assignment; with a 50% slow
+  // fraction two seeds virtually always shape distinct populations.
+  const workload::ScenarioMetrics a =
+      run_spec(workload::slow_poll_swarm_spec(kClients, 7));
+  const workload::ScenarioMetrics b =
+      run_spec(workload::slow_poll_swarm_spec(kClients, 8));
+  EXPECT_NE(a.polls, b.polls);
+}
+
+// ---------------------------------------------------------------------------
+// Flash crowd: admission control under a login burst
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuite, FlashCrowdBouncesOffAdmissionControlThenRecovers) {
+  const workload::ScenarioMetrics m =
+      run_spec(workload::flash_crowd_spec(kClients, 7));
+  // A quarter of the crowd exceeds max_sessions: rejections observed on
+  // both sides of the wire, and clients honoured the typed retry-after.
+  EXPECT_GT(m.admission_rejected_logins, 0u);
+  EXPECT_EQ(m.admission_rejected_seen, m.admission_rejected_logins);
+  EXPECT_GT(m.admission_retries, 0u);
+  // The release phase freed capacity, so held-out clients made it in and
+  // polled: more successful poll round-trips than admitted-at-burst
+  // clients alone could produce in the run.
+  EXPECT_GT(m.polls, static_cast<std::uint64_t>(kClients));
+}
+
+// ---------------------------------------------------------------------------
+// Churn storm: mass disconnect/reconnect
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuite, ChurnStormKeepsDeliveringThroughReconnects) {
+  const workload::ScenarioMetrics m =
+      run_spec(workload::churn_storm_spec(kClients, 7));
+  // Every churn slot logged a client out and back in; logins exceed the
+  // population, no admission involved.
+  EXPECT_GT(m.admission_retries + m.polls, 0u);
+  EXPECT_EQ(m.admission_rejected_logins, 0u);
+  EXPECT_GT(m.events_delivered, 0u);
+  EXPECT_EQ(m.overflow_disconnects, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-poll swarm: bounded backlog under sustained fan-out
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuite, SlowPollSwarmHoldsPeakBacklogUnderConfiguredBound) {
+  const workload::ScenarioSpec spec =
+      workload::slow_poll_swarm_spec(kClients, 7);
+  const workload::ScenarioMetrics m = run_spec(spec);
+  // Shedding engaged and was surfaced to clients as resync markers.
+  EXPECT_GT(m.events_shed, 0u);
+  EXPECT_GT(m.resync_markers, 0u);
+  EXPECT_GT(m.resync_seen, 0u);
+  // The core bound: each subscriber FIFO may transiently hold cap+1
+  // entries before the shed runs, so the server-wide peak is bounded by
+  // (cap + 1) * population.
+  EXPECT_LE(m.peak_fifo_backlog,
+            static_cast<std::uint64_t>(spec.fifo_cap + 1) * kClients);
+  // Nobody was disconnected: shed_oldest is the configured policy.
+  EXPECT_EQ(m.overflow_disconnects, 0u);
+  EXPECT_EQ(m.sessions_lost, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Partition mix: steer + collab across a cut and heal
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuite, PartitionMixSurvivesCutAndHeal) {
+  const workload::ScenarioMetrics m =
+      run_spec(workload::partition_mix_spec(kClients, 7));
+  // Both sites delivered events; the run spans a partition and its heal
+  // without deadlocking the suite (completion is the property).
+  EXPECT_GT(m.events_delivered, 0u);
+  EXPECT_GT(m.events_received, 0u);
+  EXPECT_GT(m.polls, 0u);
+}
+
+}  // namespace
+}  // namespace discover
