@@ -1,0 +1,124 @@
+// OBS (observability ablation): what does end-to-end tracing cost?  Each
+// arm replays the SAME flash-crowd scenario (fixed spec + seed, so the
+// discrete-event schedule and sim-time results are fixed) while sweeping
+// trace_sample_every: 0 (tracing off), 16 (default: first root of every
+// 16), 1 (trace every request), plus an everything-off arm that also
+// drops the per-stage latency histograms.  Because sim time is pinned,
+// the wall clock measures only the host-side bookkeeping — span minting,
+// ring appends, histogram records, header/tail encoding — and events/s
+// is directly comparable across arms.  Expected shape: the default
+// stride costs <=5% of the all-off arm's events/s and tracing-off is in
+// the noise; the trace-everything arm bounds the worst case.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "workload/scenario_spec.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "OBS: tracing + stage-histogram overhead (flash crowd, fixed seed; "
+      "same sim schedule per arm, wall clock isolates observability cost)",
+      {"clients", "trace", "stage", "events", "spans", "wall",
+       "events_per_s", "vs_off"});
+  return s;
+}
+
+struct ObsResult {
+  std::uint64_t events = 0;
+  std::uint64_t polls = 0;
+  std::int64_t spans = 0;
+  double wall_s = 0.0;
+};
+
+ObsResult run_observe(std::uint64_t trace_every, std::uint64_t stage_every,
+                      std::uint32_t clients) {
+  workload::ScenarioSpec spec = workload::flash_crowd_spec(clients, 1);
+  spec.trace_sample_every = trace_every;
+  spec.stage_sample_every = stage_every;
+  workload::ScenarioEngine engine(std::move(spec));
+  const auto t0 = std::chrono::steady_clock::now();
+  const workload::ScenarioMetrics m = engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ObsResult out;
+  out.events = m.events_delivered;
+  out.polls = m.polls;
+  const auto it = m.server_metrics.find("trace_spans_recorded");
+  if (it != m.server_metrics.end()) out.spans = it->second;
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+// events/s of the all-off arm per client scale, so later rows can report
+// their overhead relative to it (arms run in registration order).
+double& baseline_eps(std::uint32_t clients) {
+  static std::map<std::uint32_t, double> base;
+  return base[clients];
+}
+
+void BM_ObserveOverhead(benchmark::State& state) {
+  const auto trace_every = static_cast<std::uint64_t>(state.range(0));
+  const auto stage_every = static_cast<std::uint64_t>(state.range(1));
+  const auto clients = static_cast<std::uint32_t>(state.range(2));
+  ObsResult r{};
+  for (auto _ : state) {
+    // Best-of-3: the sim schedule (and so the event counts) is identical
+    // every run, so the minimum wall time is the least-noisy estimate of
+    // the bookkeeping cost on a shared machine.
+    for (int rep = 0; rep < 3; ++rep) {
+      ObsResult one = run_observe(trace_every, stage_every, clients);
+      if (rep == 0 || one.wall_s < r.wall_s) r = one;
+    }
+    state.SetIterationTime(r.wall_s);
+  }
+  const double eps =
+      r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+  if (trace_every == 0 && stage_every == 0) baseline_eps(clients) = eps;
+  const double base = baseline_eps(clients);
+  // Negative = slower than the all-off arm.  Acceptance: default stride
+  // within 5%, tracing-off within noise.
+  const double delta_pct = base > 0 ? (eps / base - 1.0) * 100.0 : 0.0;
+
+  state.counters["events"] = static_cast<double>(r.events);
+  state.counters["polls"] = static_cast<double>(r.polls);
+  state.counters["spans"] = static_cast<double>(r.spans);
+  state.counters["events_per_s"] = eps;
+  state.counters["overhead_pct"] = -delta_pct;
+
+  char wall_s[32], eps_s[32], delta_s[32];
+  std::snprintf(wall_s, sizeof(wall_s), "%.3fs", r.wall_s);
+  std::snprintf(eps_s, sizeof(eps_s), "%.0f", eps);
+  std::snprintf(delta_s, sizeof(delta_s), "%+.1f%%", delta_pct);
+  const char* trace_label = trace_every == 0   ? "off"
+                            : trace_every == 1 ? "all"
+                                               : "1/16";
+  summary().row({std::to_string(clients), trace_label,
+                 stage_every == 0 ? "off" : "on", workload::fmt_int(r.events),
+                 workload::fmt_int(static_cast<std::uint64_t>(r.spans)),
+                 wall_s, eps_s,
+                 trace_every == 0 && stage_every == 0 ? "base" : delta_s});
+}
+BENCHMARK(BM_ObserveOverhead)
+    ->ArgNames({"trace", "stage", "clients"})
+    // Smoke scale (ctest -L bench-smoke runs the clients:64 pair).
+    ->Args({0, 0, 64})
+    ->Args({16, 1, 64})
+    // Full A/B at the sweep scale (scripts/bench_observe.sh).
+    ->Args({0, 0, 512})
+    ->Args({0, 1, 512})
+    ->Args({16, 1, 512})
+    ->Args({1, 1, 512})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+}  // namespace
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Observability-overhead sweep: replays the flash-crowd scenario (fixed
+# spec + seed, so every arm runs the identical discrete-event schedule)
+# while sweeping trace_sample_every — 0 (off), 16 (default stride),
+# 1 (every request) — plus an arm that also drops the per-stage latency
+# histograms.  Sim time is pinned, so the wall-clock/events-per-second
+# deltas isolate the cost of span recording and histogram updates.
+# Writes BENCH_observe.json (google-benchmark JSON; see the events_per_s
+# and overhead_pct counters and EXPERIMENTS.md "E10: observability
+# overhead" for how to read the numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_observe.json}"
+FILTER="${FILTER:-clients:512}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_observe
+
+"$BUILD_DIR"/bench/bench_observe \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+echo "bench_observe: wrote $OUT"

@@ -24,4 +24,9 @@ echo "== tier 1d: backpressure + scenario-suite smoke =="
 # scripts/bench_scenarios.sh.
 (cd build && ctest -L scenarios --output-on-failure)
 
+echo "== tier 1e: observability suite =="
+# Metrics registry + /metrics and /trace endpoints + cross-server trace
+# propagation; the overhead sweep is scripts/bench_observe.sh.
+(cd build && ctest -L observability --output-on-failure)
+
 echo "tier1: all green"

@@ -31,8 +31,132 @@ void DiscoverServer::attach(net::NodeId self) {
   orb_ = std::make_unique<orb::Orb>(network_, self_);
   orb_->set_retry_policy(config_.orb_retry);
   orb_->set_retry_seed(0x9e37 + self.value());
+  tracer_.configure(self.value(), config_.trace_sample_every,
+                    config_.trace_ring_cap);
+  container_->set_tracer(&tracer_);
+  orb_->set_tracer(&tracer_);
+  register_metrics();
   mount_servlets();
   activate_servants();
+}
+
+void DiscoverServer::register_metrics() {
+  const auto counter = [this](const char* name, const std::uint64_t* v) {
+    metrics_.register_counter(name, v);
+  };
+  counter("logins_ok", &stats_.logins_ok);
+  counter("logins_failed", &stats_.logins_failed);
+  counter("selects_ok", &stats_.selects_ok);
+  counter("selects_failed", &stats_.selects_failed);
+  counter("commands_accepted", &stats_.commands_accepted);
+  counter("commands_rejected", &stats_.commands_rejected);
+  counter("commands_buffered", &stats_.commands_buffered);
+  counter("updates_processed", &stats_.updates_processed);
+  counter("responses_processed", &stats_.responses_processed);
+  counter("events_delivered", &stats_.events_delivered);
+  counter("events_dropped", &stats_.events_dropped);
+  counter("resync_markers", &stats_.resync_markers);
+  counter("overflow_disconnects", &stats_.overflow_disconnects);
+  counter("admission_rejected_logins", &stats_.admission_rejected_logins);
+  counter("admission_rejected_selects", &stats_.admission_rejected_selects);
+  counter("peak_fifo_backlog", &stats_.peak_fifo_backlog);
+  counter("peak_fifo_backlog_bytes", &stats_.peak_fifo_backlog_bytes);
+  counter("polls_served", &stats_.polls_served);
+  counter("collab_posts", &stats_.collab_posts);
+  counter("remote_commands_in", &stats_.remote_commands_in);
+  counter("remote_commands_out", &stats_.remote_commands_out);
+  counter("peer_events_in", &stats_.peer_events_in);
+  counter("peer_events_out", &stats_.peer_events_out);
+  counter("peer_rate_limited", &stats_.peer_rate_limited);
+  counter("peer_batches_out", &stats_.peer_batches_out);
+  counter("peer_batch_events_max", &stats_.peer_batch_events_max);
+  counter("flushes_by_count", &stats_.flushes_by_count);
+  counter("flushes_by_bytes", &stats_.flushes_by_bytes);
+  counter("flushes_by_timer", &stats_.flushes_by_timer);
+  counter("outbox_dropped", &stats_.outbox_dropped);
+  counter("dir_deltas_in", &stats_.dir_deltas_in);
+  counter("dir_fulls_in", &stats_.dir_fulls_in);
+  counter("dir_refresh_bytes", &stats_.dir_refresh_bytes);
+  counter("system_events", &stats_.system_events);
+  counter("apps_registered", &stats_.apps_registered);
+  counter("apps_departed", &stats_.apps_departed);
+  counter("lock_notices", &stats_.lock_notices);
+  counter("lock_leases_expired", &stats_.lock_leases_expired);
+  counter("lock_waiters_expired", &stats_.lock_waiters_expired);
+  counter("lock_holders_reaped", &stats_.lock_holders_reaped);
+  counter("lock_waiters_reaped", &stats_.lock_waiters_reaped);
+  counter("forget_locks_retries", &stats_.forget_locks_retries);
+  counter("forget_locks_abandoned", &stats_.forget_locks_abandoned);
+  counter("monitoring_reports", &stats_.monitoring_reports);
+  counter("monitoring_failures", &stats_.monitoring_failures);
+
+  // Live state sampled at scrape time.
+  const auto gauge = [this](const char* name,
+                            std::function<std::int64_t()> fn) {
+    metrics_.register_gauge(name, std::move(fn));
+  };
+  gauge("apps", [this] {
+    return static_cast<std::int64_t>(local_app_count());
+  });
+  gauge("sessions", [this] {
+    return static_cast<std::int64_t>(sessions_.size());
+  });
+  gauge("peers", [this] {
+    return static_cast<std::int64_t>(peers_.size());
+  });
+  gauge("fifo_backlog", [this] {
+    return static_cast<std::int64_t>(fifo_entries_);
+  });
+  gauge("fifo_backlog_bytes", [this] {
+    return static_cast<std::int64_t>(fifo_bytes_);
+  });
+  gauge("http_requests_served", [this] {
+    return static_cast<std::int64_t>(container_->requests_served());
+  });
+  gauge("http_dedup_hits", [this] {
+    return static_cast<std::int64_t>(container_->dedup_hits());
+  });
+  gauge("orb_invocations", [this] {
+    return static_cast<std::int64_t>(orb_->invocations());
+  });
+  gauge("orb_bytes_marshalled", [this] {
+    return static_cast<std::int64_t>(orb_->bytes_marshalled());
+  });
+  gauge("orb_pending_calls", [this] {
+    return static_cast<std::int64_t>(orb_->pending_calls());
+  });
+  gauge("orb_retries", [this] {
+    return static_cast<std::int64_t>(orb_->retries());
+  });
+  gauge("lock_grants", [this] {
+    return static_cast<std::int64_t>(locks_.grants());
+  });
+  gauge("lock_releases", [this] {
+    return static_cast<std::int64_t>(locks_.releases());
+  });
+  gauge("lock_renewals", [this] {
+    return static_cast<std::int64_t>(locks_.renewals());
+  });
+  gauge("trace_spans_recorded", [this] {
+    return static_cast<std::int64_t>(tracer_.spans_recorded());
+  });
+  gauge("trace_spans_evicted", [this] {
+    return static_cast<std::int64_t>(tracer_.spans_evicted());
+  });
+
+  // Cumulative subsystem latency (owned by container/orb; exposition only).
+  metrics_.register_histogram("http_service_ns",
+                              &container_->service_latency());
+  metrics_.register_histogram("orb_call_ns", &orb_->call_latency());
+
+  // Per-stage latency, owned by the registry and fed through the stage_*
+  // pointers (gated by stage_sample()).
+  stage_login_ = &metrics_.histogram("stage_login_ns");
+  stage_select_ = &metrics_.histogram("stage_select_ns");
+  stage_poll_ = &metrics_.histogram("stage_poll_ns");
+  stage_deliver_ = &metrics_.histogram("stage_deliver_ns");
+  stage_flush_rtt_ = &metrics_.histogram("stage_peer_flush_rtt_ns");
+  stage_lock_grant_ = &metrics_.histogram("stage_lock_grant_ns");
 }
 
 std::string DiscoverServer::describe() const {
@@ -351,6 +475,28 @@ util::Bytes serialize_push_message(const proto::ClientEvent& ev) {
 
 void DiscoverServer::deliver_local(const proto::AppId& app,
                                    const proto::ClientEvent& ev) {
+  // Observability shell around the fan-out: a stage-histogram sample and,
+  // when an ambient trace context exists (HTTP or ORB ingress), a span —
+  // the remote end of a cross-server delivery records here under the trace
+  // id minted at the origin server.
+  const bool sampled = stage_sample() && stage_deliver_ != nullptr;
+  const bool traced = tracer_.current().valid();
+  if (!sampled && !traced) {
+    deliver_local_impl(app, ev);
+    return;
+  }
+  const util::TimePoint t0 = network_.now();
+  deliver_local_impl(app, ev);
+  const util::Duration elapsed = network_.now() - t0;
+  if (sampled) stage_deliver_->record(elapsed);
+  if (traced) {
+    tracer_.record(tracer_.child_of(tracer_.current()), "core.deliver", t0,
+                   elapsed, "app=" + app.to_string());
+  }
+}
+
+void DiscoverServer::deliver_local_impl(const proto::AppId& app,
+                                        const proto::ClientEvent& ev) {
   // Sessions whose FIFO overflowed under the disconnect policy; dropped
   // only after the delivery loop finishes iterating.
   std::vector<std::uint64_t> overflow_keys;
@@ -539,8 +685,17 @@ void DiscoverServer::handle_lock_command(AppEntry& entry,
   const LockIdentity who{user, origin_server};
   const proto::AppId app = entry.id;
   if (acquire) {
+    // Acquire->grant latency: sampled at request time so queued grants
+    // measure their full wait, not just the promotion callback.
+    const bool sampled = stage_sample() && stage_lock_grant_ != nullptr;
+    const util::TimePoint requested_at = network_.now();
     const LockRequest req = locks_.request(
-        app, who, [this, app, who, user, client_rid](bool granted) {
+        app, who,
+        [this, app, who, user, client_rid, sampled,
+         requested_at](bool granted) {
+          if (granted && sampled) {
+            stage_lock_grant_->record(network_.now() - requested_at);
+          }
           publish_lock_notice(app, user, client_rid,
                               granted ? "granted" : "denied");
           if (granted) arm_lock_lease(app, who);

@@ -40,6 +40,8 @@
 #include "proto/messages.h"
 #include "security/rate_limit.h"
 #include "security/token.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace discover::core {
 
@@ -54,6 +56,8 @@ inline constexpr const char* kPathGroup = "/discover/collab/group";
 inline constexpr const char* kPathArchive = "/discover/archive";
 inline constexpr const char* kPathRedirect = "/discover/redirect";
 inline constexpr const char* kPathViz = "/discover/viz";
+inline constexpr const char* kPathMetrics = "/discover/metrics";
+inline constexpr const char* kPathTrace = "/discover/trace";
 /// Response header carrying the application's host-server node id on
 /// /discover/redirect replies (the "request redirection" auxiliary
 /// service of paper §4.1).
@@ -223,6 +227,21 @@ struct ServerConfig {
   /// active once set_identity_directory() provides a reference.
   util::Duration identity_refresh_period = util::seconds(1);
 
+  /// Observability (DESIGN.md §5h).  Request tracing: sampled ingress
+  /// requests mint a trace context that rides the X-Trace-Context HTTP
+  /// header and ORB request-frame metadata across servers; every hop
+  /// records spans into a bounded per-server ring served by /discover/trace.
+  /// 0 disables tracing, 1 traces every root, N traces the first root of
+  /// each stride of N.  Ids are counter-based, so Sim runs stay
+  /// byte-identical per seed.
+  std::uint64_t trace_sample_every = 16;
+  std::size_t trace_ring_cap = 2048;
+  /// Per-stage latency histograms (login, select, poll, deliver_local,
+  /// outbox flush RTT, lock acquire->grant), exported via /discover/metrics.
+  /// Same stride semantics as trace_sample_every; 0 disables the
+  /// timestamping entirely.
+  std::uint32_t stage_sample_every = 1;
+
   /// CALIBRATION (ThreadNetwork experiments only): CPU burned per HTTP
   /// request before servicing it, emulating the cost of the original Java
   /// servlet stack on 2001 hardware.  The paper's ~20-client knee (§6.1)
@@ -281,6 +300,11 @@ struct ServerStats {
   std::uint64_t lock_waiters_reaped = 0;
   std::uint64_t forget_locks_retries = 0;
   std::uint64_t forget_locks_abandoned = 0;
+  // Monitoring pushes (report_monitoring): completed reports and failed
+  // ones (service unreachable / call timed out).  Failures are counted,
+  // warn-logged with backoff, and trigger re-discovery — never silent.
+  std::uint64_t monitoring_reports = 0;
+  std::uint64_t monitoring_failures = 0;
 };
 
 class DiscoverServer final : public net::MessageHandler {
@@ -330,6 +354,15 @@ class DiscoverServer final : public net::MessageHandler {
   [[nodiscard]] const http::ServletContainer& container() const {
     return *container_;
   }
+  /// Metric catalogue behind /discover/metrics (counters reference the
+  /// ServerStats fields; stage histograms are registry-owned).
+  [[nodiscard]] const util::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] util::MetricsRegistry& metrics() { return metrics_; }
+  /// Span ring behind /discover/trace.
+  [[nodiscard]] const util::Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] util::Tracer& tracer() { return tracer_; }
   [[nodiscard]] db::RecordStore& record_store() { return db_; }
   [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
   /// True while `node` is a known peer currently marked suspect.
@@ -489,6 +522,10 @@ class DiscoverServer final : public net::MessageHandler {
     proto::EventKind kind = proto::EventKind::system;
     proto::SharedClientEvent event;
     std::shared_ptr<const util::Bytes> encoded;
+    /// Ambient trace context at enqueue time (invalid when unsampled).  A
+    /// flush runs under the first traced item's context so the batched
+    /// forward_events call joins the trace that queued it.
+    util::TraceContext trace;
   };
 
   /// Why a flush fired (for the flushes_by_* stats).  `drain` flushes —
@@ -515,6 +552,8 @@ class DiscoverServer final : public net::MessageHandler {
   class ArchiveServlet;
   class RedirectServlet;
   class VisualizationServlet;
+  class MetricsServlet;
+  class TraceServlet;
   class DiscoverCorbaServerServant;
   class CorbaProxyServant;
   friend class MasterServlet;
@@ -523,6 +562,8 @@ class DiscoverServer final : public net::MessageHandler {
   friend class ArchiveServlet;
   friend class RedirectServlet;
   friend class VisualizationServlet;
+  friend class MetricsServlet;
+  friend class TraceServlet;
   friend class DiscoverCorbaServerServant;
   friend class CorbaProxyServant;
 
@@ -541,7 +582,10 @@ class DiscoverServer final : public net::MessageHandler {
   /// subscribers (push mode).
   void publish_event(AppEntry& entry, proto::ClientEvent event);
   /// Delivers one event to local client FIFOs per the collaboration rules.
+  /// Wraps deliver_local_impl with the stage histogram and a trace span.
   void deliver_local(const proto::AppId& app, const proto::ClientEvent& ev);
+  void deliver_local_impl(const proto::AppId& app,
+                          const proto::ClientEvent& ev);
   bool should_deliver(const ClientSession& session, const ClientSub& sub,
                       const proto::ClientEvent& ev) const;
   void push_to_subscribers(AppEntry& entry, const proto::ClientEvent& ev);
@@ -661,6 +705,19 @@ class DiscoverServer final : public net::MessageHandler {
   /// Pool-of-services integration (§3): find a MONITORING service through
   /// the trader and push a statistics report; re-discovers on failure.
   void report_monitoring();
+
+  // -- observability ----------------------------------------------------------
+  /// One-time catalogue setup (attach): every ServerStats field by
+  /// reference, gauges for live state, and the registry-owned per-stage
+  /// histograms cached in the stage_* pointers below.
+  void register_metrics();
+  /// Stride sampler for the stage histograms: true on the first of every
+  /// `stage_sample_every` calls (always false when 0).  Decide at stage
+  /// entry and carry the verdict into deferred completions.
+  [[nodiscard]] bool stage_sample() {
+    if (config_.stage_sample_every == 0) return false;
+    return (stage_seq_++ % config_.stage_sample_every) == 0;
+  }
   /// Pulls the global identity directory into the local cache (§6.3).
   void refresh_identities();
 
@@ -751,6 +808,19 @@ class DiscoverServer final : public net::MessageHandler {
   db::RecordStore db_;
   SessionArchive archive_;
   ServerStats stats_;
+  util::MetricsRegistry metrics_;
+  util::Tracer tracer_;
+  std::uint64_t stage_seq_ = 0;
+  /// Registry-owned stage histograms, cached once in register_metrics();
+  /// map nodes are stable so the pointers stay valid.
+  util::LatencyHistogram* stage_login_ = nullptr;
+  util::LatencyHistogram* stage_select_ = nullptr;
+  util::LatencyHistogram* stage_poll_ = nullptr;
+  util::LatencyHistogram* stage_deliver_ = nullptr;
+  util::LatencyHistogram* stage_flush_rtt_ = nullptr;
+  util::LatencyHistogram* stage_lock_grant_ = nullptr;
+  /// Monitoring-push failure streak (warn-log backoff: 1, 2, 4, 8, ...).
+  std::uint64_t monitoring_fail_streak_ = 0;
   std::atomic<std::uint64_t> live_updates_{0};
   std::atomic<std::uint64_t> live_requests_{0};
   std::atomic<std::uint64_t> live_registrations_{0};

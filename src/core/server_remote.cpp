@@ -393,65 +393,34 @@ void DiscoverServer::report_monitoring() {
   }
   wire::Encoder args;
   args.str(config_.name);
-  std::map<std::string, std::int64_t> metrics;
-  metrics["apps"] = static_cast<std::int64_t>(local_app_count());
-  metrics["sessions"] = static_cast<std::int64_t>(sessions_.size());
+  // The report is the registry's flat snapshot — every counter, gauge and
+  // histogram summary registered in register_metrics() — plus legacy key
+  // aliases older MONITORING consumers pin.
+  std::map<std::string, std::int64_t> metrics = metrics_.monitoring_map();
   metrics["updates"] = static_cast<std::int64_t>(stats_.updates_processed);
   metrics["commands"] = static_cast<std::int64_t>(stats_.commands_accepted);
-  metrics["events_delivered"] =
-      static_cast<std::int64_t>(stats_.events_delivered);
-  // Backpressure: live backlog plus the shed/admission counters.
-  metrics["fifo_backlog"] = static_cast<std::int64_t>(fifo_entries_);
-  metrics["fifo_backlog_bytes"] = static_cast<std::int64_t>(fifo_bytes_);
-  metrics["peak_fifo_backlog"] =
-      static_cast<std::int64_t>(stats_.peak_fifo_backlog);
-  metrics["peak_fifo_backlog_bytes"] =
-      static_cast<std::int64_t>(stats_.peak_fifo_backlog_bytes);
   metrics["events_shed"] = static_cast<std::int64_t>(stats_.events_dropped);
-  metrics["resync_markers"] =
-      static_cast<std::int64_t>(stats_.resync_markers);
-  metrics["overflow_disconnects"] =
-      static_cast<std::int64_t>(stats_.overflow_disconnects);
-  metrics["admission_rejected_logins"] =
-      static_cast<std::int64_t>(stats_.admission_rejected_logins);
-  metrics["admission_rejected_selects"] =
-      static_cast<std::int64_t>(stats_.admission_rejected_selects);
-  metrics["peer_events_out"] =
-      static_cast<std::int64_t>(stats_.peer_events_out);
-  metrics["peer_batches_out"] =
-      static_cast<std::int64_t>(stats_.peer_batches_out);
-  metrics["peer_batch_events_max"] =
-      static_cast<std::int64_t>(stats_.peer_batch_events_max);
-  metrics["flushes_by_count"] =
-      static_cast<std::int64_t>(stats_.flushes_by_count);
-  metrics["flushes_by_bytes"] =
-      static_cast<std::int64_t>(stats_.flushes_by_bytes);
-  metrics["flushes_by_timer"] =
-      static_cast<std::int64_t>(stats_.flushes_by_timer);
-  metrics["outbox_dropped"] =
-      static_cast<std::int64_t>(stats_.outbox_dropped);
-  metrics["dir_deltas_in"] = static_cast<std::int64_t>(stats_.dir_deltas_in);
-  metrics["dir_fulls_in"] = static_cast<std::int64_t>(stats_.dir_fulls_in);
-  metrics["dir_refresh_bytes"] =
-      static_cast<std::int64_t>(stats_.dir_refresh_bytes);
-  metrics["lock_grants"] = static_cast<std::int64_t>(locks_.grants());
-  metrics["lock_releases"] = static_cast<std::int64_t>(locks_.releases());
-  metrics["lock_renewals"] = static_cast<std::int64_t>(locks_.renewals());
-  metrics["lock_leases_expired"] =
-      static_cast<std::int64_t>(stats_.lock_leases_expired);
-  metrics["lock_waiters_expired"] =
-      static_cast<std::int64_t>(stats_.lock_waiters_expired);
-  metrics["lock_holders_reaped"] =
-      static_cast<std::int64_t>(stats_.lock_holders_reaped);
-  metrics["lock_waiters_reaped"] =
-      static_cast<std::int64_t>(stats_.lock_waiters_reaped);
   args.map(metrics, [](wire::Encoder& e, const std::string& k) { e.str(k); },
            [](wire::Encoder& e, std::int64_t v) { e.i64(v); });
   orb_->invoke(monitoring_ref_, "report", std::move(args),
                [this, reschedule](util::Result<util::Bytes> r) {
                  if (!r.ok()) {
-                   // The service went away; forget it and re-discover.
+                   // Count the failure and warn with backoff (streaks log
+                   // at 1, 2, 4, 8, ... to keep a dead service from
+                   // flooding the log), then forget and re-discover.
+                   ++stats_.monitoring_failures;
+                   ++monitoring_fail_streak_;
+                   if ((monitoring_fail_streak_ &
+                        (monitoring_fail_streak_ - 1)) == 0) {
+                     DISCOVER_LOG(warn, "server")
+                         << describe() << ": monitoring report failed ("
+                         << r.error().message << "); streak "
+                         << monitoring_fail_streak_ << ", re-discovering";
+                   }
                    monitoring_ref_ = orb::ObjectRef{};
+                 } else {
+                   ++stats_.monitoring_reports;
+                   monitoring_fail_streak_ = 0;
                  }
                  reschedule();
                },
@@ -875,6 +844,9 @@ void DiscoverServer::relay_collab_to_host(AppEntry& entry,
 void DiscoverServer::outbox_append(std::uint32_t node,
                                    const orb::ObjectRef& ref,
                                    OutboxItem item) {
+  // Queueing decouples the event from its ingress context (the flush fires
+  // from a timer); remember the ambient trace so the batch can rejoin it.
+  item.trace = tracer_.current();
   PeerOutbox& ob = outboxes_[node];
   ob.ref = ref;
   if (ob.legacy_peer) {
@@ -981,9 +953,26 @@ void DiscoverServer::flush_outbox(std::uint32_t node, FlushTrigger trigger) {
   }
 
   ob.inflight = true;
+  // Flush RTT (send -> peer ack) and trace continuity: the batched call
+  // runs under the first traced item's context, so the forward_events span
+  // lands in the trace that queued the event at this server.
+  util::TraceContext batch_trace;
+  for (const auto& item : sent) {
+    if (item.trace.valid()) {
+      batch_trace = item.trace;
+      break;
+    }
+  }
+  const bool rtt_sampled = stage_sample() && stage_flush_rtt_ != nullptr;
+  const util::TimePoint flushed_at = network_.now();
+  util::Tracer::Scope trace_scope(tracer_, batch_trace);
   invoke_peer(
       node, ob.ref, "forward_events", std::move(args),
-      [this, node, sent = std::move(sent)](util::Result<util::Bytes> r) {
+      [this, node, rtt_sampled, flushed_at,
+       sent = std::move(sent)](util::Result<util::Bytes> r) {
+        if (rtt_sampled) {
+          stage_flush_rtt_->record(network_.now() - flushed_at);
+        }
         const auto oit = outboxes_.find(node);
         if (oit == outboxes_.end()) return;
         PeerOutbox& o = oit->second;

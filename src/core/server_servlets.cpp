@@ -74,6 +74,10 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
              http::ServletContext& ctx) {
     DiscoverServer& s = server_;
     const proto::LoginRequest req = proto::decode_login_request(request.body);
+    // Stage latency, decided at entry so the peer fan-out path measures
+    // request arrival -> deferred completion.
+    const bool timed = s.stage_sample() && s.stage_login_ != nullptr;
+    const util::TimePoint t0 = ctx.now;
 
     proto::LoginReply reply;
     // Admission control (flash crowds): refuse NEW sessions at the cap.  A
@@ -124,6 +128,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     }
     if (live_peers.empty()) {
       set_body(response, proto::encode_body(reply));
+      if (timed) s.stage_login_->record(s.network_.now() - t0);
       return;
     }
 
@@ -143,7 +148,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
       args.u64(req.password_digest);
       s.invoke_peer(
           peer->node, peer->server_ref, "authenticate", std::move(args),
-          [state](util::Result<util::Bytes> r) {
+          [state, &s, timed, t0](util::Result<util::Bytes> r) {
             if (r.ok()) {
               wire::Decoder d(r.value());
               if (d.boolean()) {
@@ -155,6 +160,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
               }
             }
             if (--state->remaining == 0) {
+              if (timed) s.stage_login_->record(s.network_.now() - t0);
               state->out->complete(
                   body_response(200, proto::encode_body(state->reply)));
             }
@@ -190,15 +196,23 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     const std::uint64_t session_key = session->key;
     const proto::AppId app_id = req.app_id;
     auto deferred = ctx.defer();
+    // Stage latency: request arrival -> deferred completion, so the remote
+    // get_interface round-trip is part of the measured select cost.
+    const bool timed = s.stage_sample() && s.stage_select_ != nullptr;
+    const util::TimePoint t0 = ctx.now;
+    const auto finish = [&s, deferred, timed, t0](http::HttpResponse r) {
+      if (timed) s.stage_select_->record(s.network_.now() - t0);
+      deferred->complete(std::move(r));
+    };
 
-    s.with_remote_app(app_id, [&s, deferred, user, session_key,
+    s.with_remote_app(app_id, [&s, finish, user, session_key,
                                app_id](AppEntry* entry) {
       proto::SelectAppReply out;
       ClientSession* sess = s.session_of(session_key);
       if (entry == nullptr || sess == nullptr) {
         out.message = "application not found: " + app_id.to_string();
         ++s.stats_.selects_failed;
-        deferred->complete(body_response(404, proto::encode_body(out)));
+        finish(body_response(404, proto::encode_body(out)));
         return;
       }
       // Per-app admission: refuse NEW subscribers beyond the cap (sessions
@@ -211,8 +225,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
         out.message = "application " + app_id.to_string() + " is full";
         ++s.stats_.admission_rejected_selects;
         ++s.stats_.selects_failed;
-        deferred->complete(
-            admission_response(proto::encode_body(out), out.retry_after));
+        finish(admission_response(proto::encode_body(out), out.retry_after));
         return;
       }
       if (entry->local) {
@@ -221,7 +234,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
         if (p == security::Privilege::none) {
           out.message = user + " has no access to " + entry->name;
           ++s.stats_.selects_failed;
-          deferred->complete(body_response(403, proto::encode_body(out)));
+          finish(body_response(403, proto::encode_body(out)));
           return;
         }
         ClientSub& sub = s.subscribe_session(*sess, app_id);
@@ -231,7 +244,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
         out.interface_spec = entry->params;
         out.history_seq = entry->event_seq;
         ++s.stats_.selects_ok;
-        deferred->complete(body_response(200, proto::encode_body(out)));
+        finish(body_response(200, proto::encode_body(out)));
         return;
       }
       // Remote application: level-2 authentication at the host through its
@@ -241,7 +254,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
       s.invoke_peer(
           entry->corba_proxy.node, entry->corba_proxy, "get_interface",
           std::move(args),
-          [&s, deferred, user, session_key, app_id](
+          [&s, finish, user, session_key, app_id](
               util::Result<util::Bytes> r) {
             proto::SelectAppReply out2;
             ClientSession* sess2 = s.session_of(session_key);
@@ -249,8 +262,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
             if (!r.ok() || sess2 == nullptr || entry2 == nullptr) {
               out2.message = !r.ok() ? r.error().message : "session gone";
               ++s.stats_.selects_failed;
-              deferred->complete(body_response(403,
-                                               proto::encode_body(out2)));
+              finish(body_response(403, proto::encode_body(out2)));
               return;
             }
             wire::Decoder d(r.value());
@@ -273,8 +285,8 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
               out2.message = "application " + app_id.to_string() + " is full";
               ++s.stats_.admission_rejected_selects;
               ++s.stats_.selects_failed;
-              deferred->complete(admission_response(proto::encode_body(out2),
-                                                    out2.retry_after));
+              finish(admission_response(proto::encode_body(out2),
+                                        out2.retry_after));
               return;
             }
             entry2->params = params;
@@ -293,7 +305,7 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
             out2.interface_spec = std::move(params);
             out2.history_seq = history_seq;
             ++s.stats_.selects_ok;
-            deferred->complete(body_response(200, proto::encode_body(out2)));
+            finish(body_response(200, proto::encode_body(out2)));
           },
           s.config_.orb_call_timeout);
     });
@@ -455,6 +467,8 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
   void poll(const http::HttpRequest& request, http::HttpResponse& response,
             http::ServletContext& ctx) {
     DiscoverServer& s = server_;
+    const bool timed = s.stage_sample() && s.stage_poll_ != nullptr;
+    const util::TimePoint t0 = ctx.now;
     const proto::PollRequest req = proto::decode_poll_request(request.body);
     proto::PollReply reply;
     if (const auto v = s.verify_token(req.token); !v.ok()) {
@@ -509,6 +523,7 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
     ++s.stats_.polls_served;
     set_body(response, proto::encode_poll_reply_shared(true, std::string(),
                                                        events, backlog));
+    if (timed) s.stage_poll_->record(s.network_.now() - t0);
   }
 
   void post(const http::HttpRequest& request, http::HttpResponse& response,
@@ -844,6 +859,66 @@ class DiscoverServer::VisualizationServlet final : public http::Servlet {
   DiscoverServer& server_;
 };
 
+// ---------------------------------------------------------------------------
+// Metrics servlet: exposes the server's MetricsRegistry.
+//   GET /discover/metrics             -> Prometheus-style text exposition
+//   GET /discover/metrics?format=json -> JSON variant
+// Scrapes are observability traffic, not collaboratory work: the servlet is
+// untraced so a scraper does not pollute the span ring it is inspecting.
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::MetricsServlet final : public http::Servlet {
+ public:
+  explicit MetricsServlet(DiscoverServer& server) : server_(server) {}
+
+  [[nodiscard]] bool traced() const override { return false; }
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext&) override {
+    const auto format = request.query_param("format");
+    if (format && *format == "json") {
+      response.headers.set("Content-Type", "application/json");
+      response.body = util::to_bytes(server_.metrics_.json());
+    } else {
+      response.headers.set("Content-Type", "text/plain");
+      response.body = util::to_bytes(server_.metrics_.prometheus_text());
+    }
+    response.status = 200;
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace servlet: dumps the bounded span ring.
+//   GET /discover/trace             -> one line per span, oldest first
+//   GET /discover/trace?format=json -> JSON variant
+// ---------------------------------------------------------------------------
+
+class DiscoverServer::TraceServlet final : public http::Servlet {
+ public:
+  explicit TraceServlet(DiscoverServer& server) : server_(server) {}
+
+  [[nodiscard]] bool traced() const override { return false; }
+
+  void service(const http::HttpRequest& request, http::HttpResponse& response,
+               http::ServletContext&) override {
+    const auto format = request.query_param("format");
+    if (format && *format == "json") {
+      response.headers.set("Content-Type", "application/json");
+      response.body = util::to_bytes(server_.tracer_.dump_json());
+    } else {
+      response.headers.set("Content-Type", "text/plain");
+      response.body = util::to_bytes(server_.tracer_.dump_text());
+    }
+    response.status = 200;
+  }
+
+ private:
+  DiscoverServer& server_;
+};
+
 void DiscoverServer::mount_servlets() {
   container_->mount("/discover/master", std::make_shared<MasterServlet>(*this));
   container_->mount(kPathCommand, std::make_shared<CommandServlet>(*this));
@@ -853,6 +928,8 @@ void DiscoverServer::mount_servlets() {
                     std::make_shared<RedirectServlet>(*this));
   container_->mount(kPathViz,
                     std::make_shared<VisualizationServlet>(*this));
+  container_->mount(kPathMetrics, std::make_shared<MetricsServlet>(*this));
+  container_->mount(kPathTrace, std::make_shared<TraceServlet>(*this));
 }
 
 }  // namespace discover::core

@@ -62,6 +62,10 @@ class Servlet {
   virtual ~Servlet() = default;
   virtual void service(const HttpRequest& request, HttpResponse& response,
                        ServletContext& ctx) = 0;
+  /// Whether the container mints/propagates a trace context for requests to
+  /// this servlet.  Introspection endpoints (/metrics, /trace) opt out so
+  /// scraping does not pollute the span ring it reports.
+  [[nodiscard]] virtual bool traced() const { return true; }
 };
 
 }  // namespace discover::http

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "util/log.h"
 
@@ -128,6 +129,26 @@ void ServletContainer::handle(const net::Message& msg) {
       resp.reason = reason_for(404);
       resp.body = util::to_bytes("no servlet mounted at " + req.path);
     } else {
+      // Trace ingress: continue a context carried by the client, otherwise
+      // mint one here (subject to sampling).  The servlet — and everything
+      // it triggers, including ORB calls — runs under this context.
+      util::TraceContext trace;
+      std::optional<util::Tracer::Scope> trace_scope;
+      if (tracer_ != nullptr && tracer_->enabled() && servlet->traced()) {
+        if (const auto th = req.headers.get("X-Trace-Context")) {
+          if (const auto carried = util::parse_trace_header(*th)) {
+            trace = tracer_->child_of(*carried);
+          }
+        }
+        if (!trace.valid()) trace = tracer_->mint_root();
+        if (trace.valid()) {
+          // Set on the pre-service response so deferred replies carry it
+          // too (the seed headers survive DeferredHttpReply::complete).
+          resp.headers.set("X-Trace-Context",
+                           util::encode_trace_header(trace));
+        }
+        trace_scope.emplace(*tracer_, trace);
+      }
       ServletContext ctx;
       ctx.client = msg.src;
       ctx.session = &session;
@@ -147,6 +168,10 @@ void ServletContainer::handle(const net::Message& msg) {
       };
       servlet->service(req, resp, ctx);
       resp.reason = reason_for(resp.status);
+      if (trace.valid()) {
+        tracer_->record(trace, "http:" + req.path_without_query(), start,
+                        network_.now() - start);
+      }
     }
   }
   ++requests_served_;

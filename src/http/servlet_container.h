@@ -17,6 +17,7 @@
 #include "http/servlet.h"
 #include "net/network.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace discover::http {
 
@@ -72,6 +73,12 @@ class ServletContainer {
   /// Drops sessions idle longer than `max_idle`.
   void expire_sessions(util::Duration max_idle);
 
+  /// Attaches the owning node's tracer.  Requests to traced() servlets run
+  /// under a context parsed from the `X-Trace-Context` header (or minted
+  /// here — servlets are the trace ingress), the response echoes the
+  /// header, and a span is recorded per serviced request.
+  void set_tracer(util::Tracer* tracer) { tracer_ = tracer; }
+
   /// Duplicate requests (client retries / network duplicates) answered from
   /// the response cache rather than re-executed.
   [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
@@ -98,6 +105,7 @@ class ServletContainer {
   std::uint64_t next_session_ = 1;
   std::uint64_t requests_served_ = 0;
   util::LatencyHistogram service_latency_;
+  util::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace discover::http

@@ -1,8 +1,10 @@
 #include "orb/orb.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "util/log.h"
+#include "wire/trace_ctx.h"
 
 namespace discover::orb {
 
@@ -88,6 +90,11 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
   frame.u64(ref.key);
   frame.str(method);
   frame.bytes(std::move(args).take());
+  util::TraceContext call_trace;
+  if (tracer_ != nullptr && tracer_->current().valid()) {
+    call_trace = tracer_->child_of(tracer_->current());
+    wire::encode_trace_context(frame, call_trace);
+  }
   util::Bytes payload = std::move(frame).take();
   bytes_marshalled_ += payload.size();
 
@@ -97,6 +104,10 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
   pending.frame = payload;
   pending.dest = ref.host();
   pending.timeout = timeout;
+  if (call_trace.valid()) {
+    pending.trace = call_trace;
+    pending.method = method;
+  }
   if (timeout > 0) {
     pending.timeout_timer = network_.schedule(
         self_, timeout, [this, request_id] { on_timeout(request_id); });
@@ -170,6 +181,7 @@ void Orb::dispatch_request(const net::Message& msg, wire::Decoder& d) {
   const std::uint64_t key = d.u64();
   const std::string method = d.str();
   const util::Bytes args = d.bytes();
+  const util::TraceContext wire_trace = wire::decode_trace_context_tail(d);
 
   // Deduplicate retransmitted / network-duplicated requests: replay the
   // cached reply instead of re-executing the servant, and swallow copies
@@ -204,6 +216,15 @@ void Orb::dispatch_request(const net::Message& msg, wire::Decoder& d) {
     return std::make_shared<DeferredReply>(this, msg.src, request_id);
   };
 
+  // Serve under the wire-carried context: nested invokes and stage
+  // histograms executed by the servant inherit the caller's trace.
+  util::TraceContext serve_trace;
+  std::optional<util::Tracer::Scope> scope;
+  if (tracer_ != nullptr) {
+    if (wire_trace.valid()) serve_trace = tracer_->child_of(wire_trace);
+    scope.emplace(*tracer_, serve_trace);
+  }
+
   try {
     wire::Decoder arg_decoder(args);
     servant->dispatch(method, arg_decoder, out, ctx);
@@ -214,6 +235,10 @@ void Orb::dispatch_request(const net::Message& msg, wire::Decoder& d) {
     send_reply(msg.src, request_id, false, {}, util::Errc::protocol_error,
                err.what());
     return;
+  }
+  if (serve_trace.valid()) {
+    tracer_->record(serve_trace, "orb.serve:" + method, ctx.now,
+                    network_.now() - ctx.now);
   }
   if (!deferred) {
     send_reply(msg.src, request_id, true, std::move(out).take(),
@@ -268,6 +293,11 @@ void Orb::complete(std::uint64_t request_id,
   const auto it = pending_.find(request_id);
   if (it == pending_.end()) return;  // timed out earlier
   call_latency_.record(network_.now() - it->second.sent_at);
+  if (tracer_ != nullptr && it->second.trace.valid()) {
+    tracer_->record(it->second.trace, "orb:" + it->second.method,
+                    it->second.sent_at,
+                    network_.now() - it->second.sent_at);
+  }
   if (it->second.timeout_timer.value() != 0) {
     network_.cancel(it->second.timeout_timer);
   }

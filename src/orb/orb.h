@@ -29,6 +29,7 @@
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/trace.h"
 #include "wire/cdr.h"
 
 namespace discover::orb {
@@ -108,6 +109,13 @@ class Orb {
   /// whose callee died.
   void set_max_pending(std::size_t n) { max_pending_ = n; }
 
+  /// Attaches the owning node's tracer.  When set, invoke() made under an
+  /// ambient trace context appends (trace_id, span_id) metadata to the
+  /// request frame, dispatch runs the servant under the wire-carried
+  /// context, and both sides record spans.  Untraced calls keep the legacy
+  /// frame bytes exactly.
+  void set_tracer(util::Tracer* tracer) { tracer_ = tracer; }
+
   // Accounting for bench A1 / E5.
   [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
   [[nodiscard]] std::uint64_t bytes_marshalled() const {
@@ -137,6 +145,9 @@ class Orb {
     net::NodeId dest{0};
     util::Duration timeout = 0;
     std::uint32_t attempts = 1;
+    // Tracing: set only for sampled calls (method kept for the span name).
+    util::TraceContext trace;
+    std::string method;
   };
 
   // Replies are cached by (requester, request id) so a retransmitted or
@@ -174,6 +185,7 @@ class Orb {
   std::uint64_t invocations_ = 0;
   std::uint64_t bytes_marshalled_ = 0;
   util::LatencyHistogram call_latency_;
+  util::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace discover::orb

@@ -1,0 +1,157 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+namespace discover::util {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name].owned;
+}
+
+void MetricsRegistry::register_counter(const std::string& name,
+                                       const std::uint64_t* value) {
+  counters_[name].external = value;
+}
+
+void MetricsRegistry::register_gauge(const std::string& name,
+                                     std::function<std::int64_t()> sample) {
+  gauges_[name] = std::move(sample);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name].owned;
+}
+
+void MetricsRegistry::register_histogram(const std::string& name,
+                                         const LatencyHistogram* hist) {
+  histograms_[name].external = hist;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, slot] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    append_u64(out, slot.value());
+    out += "\n";
+  }
+  for (const auto& [name, sample] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    append_i64(out, sample());
+    out += "\n";
+  }
+  for (const auto& [name, slot] : histograms_) {
+    const LatencyHistogram& h = slot.get();
+    out += "# TYPE " + name + " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          std::pair<const char*, double>{"0.95", 0.95},
+          std::pair<const char*, double>{"0.99", 0.99}}) {
+      out += name + "{quantile=\"" + label + "\"} ";
+      append_u64(out, static_cast<std::uint64_t>(h.percentile(q)));
+      out += "\n";
+    }
+    out += name + "_sum ";
+    append_u64(out, static_cast<std::uint64_t>(
+                        h.mean_ns() * static_cast<double>(h.count())));
+    out += "\n";
+    out += name + "_count ";
+    append_u64(out, h.count());
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, slot] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    append_u64(out, slot.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, sample] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    append_i64(out, sample());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, slot] : histograms_) {
+    const LatencyHistogram& h = slot.get();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": ";
+    append_u64(out, h.count());
+    out += ", \"p50_ns\": ";
+    append_u64(out, static_cast<std::uint64_t>(h.percentile(0.50)));
+    out += ", \"p95_ns\": ";
+    append_u64(out, static_cast<std::uint64_t>(h.percentile(0.95)));
+    out += ", \"p99_ns\": ";
+    append_u64(out, static_cast<std::uint64_t>(h.percentile(0.99)));
+    out += ", \"max_ns\": ";
+    append_u64(out, static_cast<std::uint64_t>(h.max()));
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::monitoring_map() const {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, slot] : counters_) {
+    out[name] = static_cast<std::int64_t>(slot.value());
+  }
+  for (const auto& [name, sample] : gauges_) out[name] = sample();
+  for (const auto& [name, slot] : histograms_) {
+    const LatencyHistogram& h = slot.get();
+    out[name + "_count"] = static_cast<std::int64_t>(h.count());
+    out[name + "_p95_ns"] = static_cast<std::int64_t>(h.percentile(0.95));
+  }
+  return out;
+}
+
+MetricsRegistry::IntervalSnapshot MetricsRegistry::take_interval() {
+  IntervalSnapshot snap;
+  for (auto& [name, slot] : counters_) {
+    const std::uint64_t now = slot.value();
+    snap.counter_deltas[name] = now - slot.last_interval;
+    slot.last_interval = now;
+  }
+  for (auto& [name, slot] : histograms_) {
+    if (slot.external) continue;  // cumulative; owner controls reset
+    snap.histograms[name] = slot.owned.snapshot_and_reset();
+  }
+  return snap;
+}
+
+}  // namespace discover::util

@@ -1,0 +1,87 @@
+// MetricsRegistry: a named catalogue of counters, gauges and latency
+// histograms with deterministic text expositions.  It absorbs the flat
+// per-server counter structs (core::ServerStats and friends) by holding
+// *references* to externally-owned values — registration is a one-time
+// setup cost and the hot paths keep bumping plain struct fields — while
+// also owning counters/histograms for subsystems that have no struct of
+// their own.
+//
+// Scrapes are off the hot path: exposition walks a std::map so output is
+// sorted by metric name and byte-stable for golden tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+
+namespace discover::util {
+
+class MetricsRegistry {
+ public:
+  /// Owned counter, created on first use.  The returned reference stays
+  /// valid for the registry's lifetime; cache it and bump it directly.
+  std::uint64_t& counter(const std::string& name);
+
+  /// Registers an externally-owned counter (e.g. a ServerStats field).
+  /// The pointee must outlive the registry.
+  void register_counter(const std::string& name, const std::uint64_t* value);
+
+  /// Registers a gauge sampled at scrape time.
+  void register_gauge(const std::string& name,
+                      std::function<std::int64_t()> sample);
+
+  /// Owned histogram, created on first use (unit: nanoseconds).
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Registers an externally-owned histogram (must outlive the registry).
+  void register_histogram(const std::string& name,
+                          const LatencyHistogram* hist);
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Prometheus-style text exposition: `# TYPE` lines, counters/gauges as
+  /// bare samples, histograms as summaries (quantile series + _sum/_count).
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// JSON variant of the same snapshot.
+  [[nodiscard]] std::string json() const;
+
+  /// Flat name->value map for the MONITORING push (histograms contribute
+  /// `<name>_p95_ns` / `<name>_count` entries).
+  [[nodiscard]] std::map<std::string, std::int64_t> monitoring_map() const;
+
+  /// Interval delta since the previous call: counters as value-minus-last,
+  /// owned histograms drained via snapshot_and_reset (referenced histograms
+  /// are cumulative and excluded — their owner controls reset).
+  struct IntervalSnapshot {
+    std::map<std::string, std::uint64_t> counter_deltas;
+    std::map<std::string, LatencyHistogram> histograms;
+  };
+  IntervalSnapshot take_interval();
+
+ private:
+  struct CounterSlot {
+    std::uint64_t owned = 0;
+    const std::uint64_t* external = nullptr;  // wins when set
+    std::uint64_t last_interval = 0;
+    [[nodiscard]] std::uint64_t value() const {
+      return external ? *external : owned;
+    }
+  };
+  struct HistogramSlot {
+    LatencyHistogram owned;
+    const LatencyHistogram* external = nullptr;  // wins when set
+    [[nodiscard]] const LatencyHistogram& get() const {
+      return external ? *external : owned;
+    }
+  };
+
+  std::map<std::string, CounterSlot> counters_;
+  std::map<std::string, std::function<std::int64_t()>> gauges_;
+  std::map<std::string, HistogramSlot> histograms_;
+};
+
+}  // namespace discover::util

@@ -39,6 +39,14 @@ void OnlineStats::merge(const OnlineStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void OnlineStats::clear() { *this = OnlineStats{}; }
+
+OnlineStats OnlineStats::snapshot_and_reset() {
+  OnlineStats out = *this;
+  clear();
+  return out;
+}
+
 LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
 
 std::size_t LatencyHistogram::bucket_of(Duration nanos) {
@@ -127,6 +135,12 @@ void LatencyHistogram::clear() {
   sum_ = 0.0;
   min_ = std::numeric_limits<Duration>::max();
   max_ = 0;
+}
+
+LatencyHistogram LatencyHistogram::snapshot_and_reset() {
+  LatencyHistogram out = *this;
+  clear();
+  return out;
 }
 
 std::string format_duration(Duration d) {

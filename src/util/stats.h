@@ -27,6 +27,11 @@ class OnlineStats {
 
   void merge(const OnlineStats& other);
 
+  void clear();
+  /// Returns the accumulated stats and resets this instance, so callers can
+  /// take interval deltas (the metrics registry uses this between scrapes).
+  OnlineStats snapshot_and_reset();
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -58,6 +63,10 @@ class LatencyHistogram {
   [[nodiscard]] std::string summary() const;
 
   void clear();
+  /// Returns the accumulated histogram and resets this instance, so callers
+  /// can take interval deltas (the metrics registry uses this between
+  /// scrapes).  The snapshot preserves min/max/percentiles as-of the call.
+  LatencyHistogram snapshot_and_reset();
 
  private:
   static std::size_t bucket_of(Duration nanos);

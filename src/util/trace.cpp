@@ -1,0 +1,178 @@
+#include "util/trace.h"
+
+#include <cstdio>
+
+namespace discover::util {
+
+namespace {
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+std::optional<std::uint64_t> parse_hex16(std::string_view s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;  // uppercase rejected: we only emit lowercase
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_trace_header(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(36);
+  append_hex16(out, ctx.trace_id);
+  out += '-';
+  append_hex16(out, ctx.span_id);
+  out += "-01";
+  return out;
+}
+
+std::optional<TraceContext> parse_trace_header(std::string_view value) {
+  // <16 hex>-<16 hex>-<2 flags>
+  if (value.size() != 36 || value[16] != '-' || value[33] != '-') {
+    return std::nullopt;
+  }
+  const auto trace = parse_hex16(value.substr(0, 16));
+  const auto span = parse_hex16(value.substr(17, 16));
+  if (!trace || !span || *trace == 0) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = *trace;
+  ctx.span_id = *span;
+  return ctx;
+}
+
+void Tracer::configure(std::uint32_t node, std::uint64_t sample_every,
+                       std::size_t ring_capacity) {
+  node_ = node;
+  sample_every_ = sample_every;
+  ring_capacity_ = ring_capacity;
+  ring_.reserve(ring_capacity_ < 4096 ? ring_capacity_ : 4096);
+}
+
+TraceContext Tracer::mint_root() {
+  if (sample_every_ == 0 || ring_capacity_ == 0) return {};
+  const bool sampled = (root_seq_++ % sample_every_) == 0;
+  if (!sampled) return {};
+  TraceContext ctx;
+  ctx.trace_id = (static_cast<std::uint64_t>(node_) << 32) | ++trace_seq_;
+  ctx.span_id = (static_cast<std::uint64_t>(node_) << 32) | ++span_seq_;
+  return ctx;
+}
+
+TraceContext Tracer::child_of(const TraceContext& parent) {
+  if (!parent.valid() || sample_every_ == 0) return {};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = (static_cast<std::uint64_t>(node_) << 32) | ++span_seq_;
+  ctx.parent_span = parent.span_id;
+  return ctx;
+}
+
+void Tracer::record(const TraceContext& ctx, std::string name,
+                    TimePoint start, Duration elapsed, std::string detail) {
+  if (!ctx.valid() || ring_capacity_ == 0) return;
+  SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_id = ctx.parent_span;
+  rec.name = std::move(name);
+  rec.node = node_;
+  rec.start = start;
+  rec.elapsed = elapsed;
+  rec.detail = std::move(detail);
+  ++spans_recorded_;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(std::move(rec));
+    ring_head_ = ring_.size() % ring_capacity_;
+  } else {
+    ring_[ring_head_] = std::move(rec);
+    ring_head_ = (ring_head_ + 1) % ring_capacity_;
+    ++spans_evicted_;
+  }
+}
+
+std::vector<const SpanRecord*> Tracer::spans() const {
+  std::vector<const SpanRecord*> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_capacity_) {
+    for (const SpanRecord& r : ring_) out.push_back(&r);
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(&ring_[(ring_head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::dump_text() const {
+  std::string out;
+  char buf[96];
+  for (const SpanRecord* r : spans()) {
+    out += "trace=";
+    append_hex16(out, r->trace_id);
+    out += " span=";
+    append_hex16(out, r->span_id);
+    out += " parent=";
+    append_hex16(out, r->parent_id);
+    std::snprintf(buf, sizeof(buf), " node=%u start=%lld elapsed=%lld ",
+                  r->node, static_cast<long long>(r->start),
+                  static_cast<long long>(r->elapsed));
+    out += buf;
+    out += r->name;
+    if (!r->detail.empty()) {
+      out += " ";
+      out += r->detail;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Tracer::dump_json() const {
+  std::string out = "{\n  \"spans\": [";
+  char buf[96];
+  bool first = true;
+  for (const SpanRecord* r : spans()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"trace\": \"";
+    append_hex16(out, r->trace_id);
+    out += "\", \"span\": \"";
+    append_hex16(out, r->span_id);
+    out += "\", \"parent\": \"";
+    append_hex16(out, r->parent_id);
+    out += "\", \"name\": \"" + r->name + "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"node\": %u, \"start_ns\": %lld, \"elapsed_ns\": %lld",
+                  r->node, static_cast<long long>(r->start),
+                  static_cast<long long>(r->elapsed));
+    out += buf;
+    if (!r->detail.empty()) out += ", \"detail\": \"" + r->detail + "\"";
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  ring_head_ = 0;
+  spans_recorded_ = 0;
+  spans_evicted_ = 0;
+}
+
+}  // namespace discover::util

@@ -1,0 +1,115 @@
+// Request-scoped tracing.  A TraceContext (trace id + span id) is minted at
+// an ingress servlet, carried across HTTP in an `X-Trace-Context` header and
+// across ORB calls in request-frame metadata, and every hop records the
+// spans it completes into a bounded per-server ring buffer.
+//
+// Determinism: ids are counter-based per node (`node << 32 | seq`), never
+// random, and timestamps come from the owning network's clock — under the
+// Sim network two runs with the same seed produce byte-identical trace
+// dumps, which the chaos/determinism suites pin.
+//
+// Threading: a Tracer belongs to one node.  Under the actor model a node's
+// handlers run single-threaded, so the ambient `current()` context needs no
+// locking; it is saved/restored with Tracer::Scope around each handler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace discover::util {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = not traced (unsampled or disabled)
+  std::uint64_t span_id = 0;   // span the holder runs under / parent for kids
+  std::uint64_t parent_span = 0;  // span_id's parent; 0 at the trace root
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::string name;       // e.g. "http:/discover/master", "orb:forward_events"
+  std::uint32_t node = 0;  // node that recorded the span
+  TimePoint start = 0;
+  Duration elapsed = 0;
+  std::string detail;  // free-form annotation ("app=42 events=3")
+};
+
+/// `<trace_id hex16>-<span_id hex16>-01`, the traceparent-style HTTP form.
+std::string encode_trace_header(const TraceContext& ctx);
+std::optional<TraceContext> parse_trace_header(std::string_view value);
+
+class Tracer {
+ public:
+  /// sample_every: 0 disables tracing, 1 traces every root, N traces one
+  /// root in N (the first of each stride, so short runs still trace).
+  void configure(std::uint32_t node, std::uint64_t sample_every,
+                 std::size_t ring_capacity);
+
+  [[nodiscard]] bool enabled() const { return sample_every_ != 0; }
+
+  /// Mints a context at an ingress point.  Returns an invalid context for
+  /// unsampled requests, which short-circuits all downstream trace work.
+  TraceContext mint_root();
+
+  /// New span under `parent` (same trace, fresh span id).  Invalid parent
+  /// propagates as invalid.
+  TraceContext child_of(const TraceContext& parent);
+
+  /// Records a completed span; no-op when ctx is invalid.
+  void record(const TraceContext& ctx, std::string name, TimePoint start,
+              Duration elapsed, std::string detail = {});
+
+  [[nodiscard]] const TraceContext& current() const { return current_; }
+
+  /// Saves/restores the ambient context around a handler.
+  class Scope {
+   public:
+    Scope(Tracer& tracer, const TraceContext& ctx)
+        : tracer_(tracer), saved_(tracer.current_) {
+      tracer_.current_ = ctx;
+    }
+    ~Scope() { tracer_.current_ = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer& tracer_;
+    TraceContext saved_;
+  };
+
+  /// Spans in recording order, oldest first (ring contents only).
+  [[nodiscard]] std::vector<const SpanRecord*> spans() const;
+  [[nodiscard]] std::uint64_t spans_recorded() const {
+    return spans_recorded_;
+  }
+  [[nodiscard]] std::uint64_t spans_evicted() const { return spans_evicted_; }
+
+  /// One line per span, oldest first:
+  /// `trace=<hex> span=<hex> parent=<hex> node=N name start=.. elapsed=.. detail`
+  [[nodiscard]] std::string dump_text() const;
+  [[nodiscard]] std::string dump_json() const;
+
+  void clear();
+
+ private:
+  std::uint32_t node_ = 0;
+  std::uint64_t sample_every_ = 0;
+  std::size_t ring_capacity_ = 0;
+  std::uint64_t root_seq_ = 0;
+  std::uint64_t trace_seq_ = 0;
+  std::uint64_t span_seq_ = 0;
+  std::uint64_t spans_recorded_ = 0;
+  std::uint64_t spans_evicted_ = 0;
+  TraceContext current_;
+  std::vector<SpanRecord> ring_;  // circular once full
+  std::size_t ring_head_ = 0;     // next write slot
+};
+
+}  // namespace discover::util

@@ -1,0 +1,30 @@
+// Wire form of the trace context carried as trailing metadata on ORB
+// request frames: an 8-aligned (trace_id, span_id) u64 pair appended after
+// the args payload.  Frames from peers that predate tracing (or that carry
+// an unsampled request) simply omit the pair — decode of an empty tail
+// yields an invalid context, so the formats interoperate both ways.
+#pragma once
+
+#include "util/trace.h"
+#include "wire/cdr.h"
+
+namespace discover::wire {
+
+inline void encode_trace_context(Encoder& e,
+                                 const util::TraceContext& ctx) {
+  e.u64(ctx.trace_id);
+  e.u64(ctx.span_id);
+}
+
+/// Decodes the optional trailing pair; returns an invalid context when the
+/// frame ends at the current position (untraced sender).
+inline util::TraceContext decode_trace_context_tail(Decoder& d) {
+  util::TraceContext ctx;
+  if (d.remaining() > 0) {
+    ctx.trace_id = d.u64();
+    ctx.span_id = d.u64();
+  }
+  return ctx;
+}
+
+}  // namespace discover::wire

@@ -36,6 +36,8 @@ void ScenarioEngine::setup() {
   cfg.server_template.max_sessions = spec_.max_sessions;
   cfg.server_template.max_sessions_per_app = spec_.max_sessions_per_app;
   cfg.server_template.admission_retry_after = spec_.retry_after;
+  cfg.server_template.trace_sample_every = spec_.trace_sample_every;
+  cfg.server_template.stage_sample_every = spec_.stage_sample_every;
   scenario_ = std::make_unique<Scenario>(cfg);
 
   const std::uint32_t n_servers = std::max<std::uint32_t>(1, spec_.servers);
@@ -291,6 +293,9 @@ ScenarioMetrics ScenarioEngine::collect() {
     m.peak_fifo_backlog_bytes =
         std::max(m.peak_fifo_backlog_bytes, st.peak_fifo_backlog_bytes);
     m.final_fifo_backlog += s->total_fifo_backlog();
+    for (const auto& [key, value] : s->metrics().monitoring_map()) {
+      m.server_metrics[key] += value;
+    }
   }
   return m;
 }
@@ -432,7 +437,16 @@ std::string scenario_metrics_json(const std::vector<ScenarioMetrics>& all) {
           false);
     field("peak_fifo_backlog", m.peak_fifo_backlog, false);
     field("peak_fifo_backlog_bytes", m.peak_fifo_backlog_bytes, false);
-    field("final_fifo_backlog", m.final_fifo_backlog, true);
+    field("final_fifo_backlog", m.final_fifo_backlog, false);
+    out += "      \"server_metrics\": {\n";
+    std::size_t k = 0;
+    for (const auto& [key, value] : m.server_metrics) {
+      std::snprintf(buf, sizeof(buf), "        \"%s\": %lld%s\n", key.c_str(),
+                    static_cast<long long>(value),
+                    ++k < m.server_metrics.size() ? "," : "");
+      out += buf;
+    }
+    out += "      }\n";
     out += i + 1 < all.size() ? "    },\n" : "    }\n";
   }
   out += "  ]\n}\n";

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,6 +69,13 @@ struct ScenarioSpec {
   std::size_t max_sessions = 0;          // per server; 0 = unlimited
   std::size_t max_sessions_per_app = 0;  // 0 = unlimited
   util::Duration retry_after = util::seconds(1);
+
+  /// Observability knobs (bench_observe sweeps these to price tracing):
+  /// trace_sample_every 0 disables request tracing, 1 traces every root,
+  /// N traces the first root of each stride; stage_sample_every gates the
+  /// per-stage latency histograms the same way.
+  std::uint64_t trace_sample_every = 16;
+  std::uint64_t stage_sample_every = 1;
 };
 
 /// Everything a scenario run reports.  Defaulted equality backs the
@@ -96,6 +104,10 @@ struct ScenarioMetrics {
   std::uint64_t peak_fifo_backlog = 0;        // max over servers
   std::uint64_t peak_fifo_backlog_bytes = 0;  // max over servers
   std::uint64_t final_fifo_backlog = 0;       // sum at run end
+  // Full MetricsRegistry snapshot, summed across servers (same flat map the
+  // monitoring push reports).  Being part of the defaulted equality, the
+  // determinism test covers every registered counter/gauge/histogram too.
+  std::map<std::string, std::int64_t> server_metrics;
 
   friend bool operator==(const ScenarioMetrics&,
                          const ScenarioMetrics&) = default;

@@ -1,0 +1,359 @@
+// MetricsRegistry and the /metrics endpoint (DESIGN.md "Observability"):
+//  * registry — owned vs externally-registered counters, gauges sampled at
+//    scrape time, histogram summaries;
+//  * goldens — prometheus_text() / json() walk sorted maps, so small
+//    registries expose byte-stable text the tests pin verbatim;
+//  * hygiene — merge with an empty operand preserves min/max, percentile
+//    clamps q, snapshot_and_reset drains without losing the snapshot;
+//  * endpoint — GET /discover/metrics serves the text exposition and the
+//    ?format=json variant; /discover/trace serves the span ring; neither is
+//    traced, so scraping does not pollute the ring it reports;
+//  * monitoring — a dead MONITORING service bumps monitoring_failures and
+//    reports resume after heal (satellite of the observability PR).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "app/synthetic.h"
+#include "core/server.h"
+#include "core/service_host.h"
+#include "http/http_message.h"
+#include "util/metrics.h"
+#include "util/stats.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using util::LatencyHistogram;
+using util::MetricsRegistry;
+using util::OnlineStats;
+using workload::make_acl;
+
+// ---------------------------------------------------------------------------
+// Registry basics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, OwnedCounterIsStableAndBumpable) {
+  MetricsRegistry reg;
+  std::uint64_t& c = reg.counter("requests");
+  c += 3;
+  ++reg.counter("requests");
+  EXPECT_EQ(reg.counter_value("requests"), 4u);
+  EXPECT_EQ(reg.counter_value("absent"), 0u);
+}
+
+TEST(MetricsRegistry, ExternalCounterWinsOverOwned) {
+  MetricsRegistry reg;
+  reg.counter("hits") = 7;  // owned value, shadowed once external registers
+  std::uint64_t field = 42;
+  reg.register_counter("hits", &field);
+  EXPECT_EQ(reg.counter_value("hits"), 42u);
+  field = 43;
+  EXPECT_EQ(reg.counter_value("hits"), 43u);
+}
+
+TEST(MetricsRegistry, GaugeIsSampledAtScrapeTime) {
+  MetricsRegistry reg;
+  std::int64_t depth = -2;
+  reg.register_gauge("depth", [&depth] { return depth; });
+  EXPECT_NE(reg.prometheus_text().find("depth -2"), std::string::npos);
+  depth = 5;
+  EXPECT_NE(reg.prometheus_text().find("depth 5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Golden expositions (std::map ordering makes these byte-stable)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, PrometheusTextGolden) {
+  MetricsRegistry reg;
+  reg.counter("requests") = 3;
+  std::int64_t depth = -2;
+  reg.register_gauge("depth", [&depth] { return depth; });
+  (void)reg.histogram("lat_ns");  // empty histogram: all-zero summary
+  EXPECT_EQ(reg.prometheus_text(),
+            "# TYPE requests counter\n"
+            "requests 3\n"
+            "# TYPE depth gauge\n"
+            "depth -2\n"
+            "# TYPE lat_ns summary\n"
+            "lat_ns{quantile=\"0.5\"} 0\n"
+            "lat_ns{quantile=\"0.95\"} 0\n"
+            "lat_ns{quantile=\"0.99\"} 0\n"
+            "lat_ns_sum 0\n"
+            "lat_ns_count 0\n");
+}
+
+TEST(MetricsRegistry, JsonGoldenEmpty) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.json(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST(MetricsRegistry, JsonCarriesHistogramSummary) {
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("lat_ns");
+  h.record(1000);
+  h.record(2000);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"lat_ns\": {\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\":"), std::string::npos);
+}
+
+TEST(MetricsRegistry, MonitoringMapFlattensHistograms) {
+  MetricsRegistry reg;
+  reg.counter("requests") = 9;
+  LatencyHistogram& h = reg.histogram("lat_ns");
+  h.record(5000);
+  const auto map = reg.monitoring_map();
+  EXPECT_EQ(map.at("requests"), 9);
+  EXPECT_EQ(map.at("lat_ns_count"), 1);
+  EXPECT_GT(map.at("lat_ns_p95_ns"), 0);
+}
+
+TEST(MetricsRegistry, TakeIntervalDeltasAndDrains) {
+  MetricsRegistry reg;
+  reg.counter("requests") = 5;
+  LatencyHistogram ext;
+  ext.record(100);
+  reg.register_histogram("ext_ns", &ext);
+  reg.histogram("own_ns").record(200);
+
+  auto first = reg.take_interval();
+  EXPECT_EQ(first.counter_deltas.at("requests"), 5u);
+  EXPECT_EQ(first.histograms.count("ext_ns"), 0u);  // cumulative, excluded
+  EXPECT_EQ(first.histograms.at("own_ns").count(), 1u);
+  EXPECT_EQ(reg.histogram("own_ns").count(), 0u);  // drained
+
+  reg.counter("requests") += 3;
+  auto second = reg.take_interval();
+  EXPECT_EQ(second.counter_deltas.at("requests"), 3u);
+  EXPECT_EQ(second.histograms.at("own_ns").count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats hygiene
+// ---------------------------------------------------------------------------
+
+TEST(StatsHygiene, HistogramMergeEmptyOperandPreservesMinMax) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(9000);
+  const LatencyHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 9000);
+
+  LatencyHistogram into;
+  into.merge(h);  // merge INTO empty keeps the operand's extremes too
+  EXPECT_EQ(into.min(), 1000);
+  EXPECT_EQ(into.max(), 9000);
+}
+
+TEST(StatsHygiene, OnlineStatsMergeEmptyOperandPreservesMinMax) {
+  OnlineStats s;
+  s.add(2.0);
+  s.add(8.0);
+  const OnlineStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(StatsHygiene, PercentileClampsQ) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(2000);
+  h.record(4000);
+  EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+  EXPECT_EQ(LatencyHistogram{}.percentile(0.5), 0);
+}
+
+TEST(StatsHygiene, HistogramSnapshotAndReset) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(3000);
+  const LatencyHistogram snap = h.snapshot_and_reset();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_EQ(snap.min(), 1000);
+  EXPECT_EQ(snap.max(), 3000);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  h.record(500);  // reset instance keeps working
+  EXPECT_EQ(h.min(), 500);
+}
+
+TEST(StatsHygiene, OnlineStatsSnapshotAndReset) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(2.0);
+  const OnlineStats snap = s.snapshot_and_reset();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.total(), 3.0);
+  EXPECT_EQ(s.count(), 0u);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// /metrics and /trace endpoints
+// ---------------------------------------------------------------------------
+
+// Bare node that fires one HTTP request and keeps the parsed response.
+class RawClient : public net::MessageHandler {
+ public:
+  void on_message(const net::Message& msg) override {
+    auto parsed = http::parse_response(msg.payload);
+    if (!parsed.ok()) return;
+    last_status = parsed.value().status;
+    body = std::string(parsed.value().body.begin(),
+                       parsed.value().body.end());
+    if (const auto ct = parsed.value().headers.get("Content-Type")) {
+      content_type = *ct;
+    }
+  }
+  int last_status = 0;
+  std::string body;
+  std::string content_type;
+};
+
+class MetricsEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = &scenario_.add_server("s", 1);
+    app::AppConfig cfg;
+    cfg.name = "obs";
+    cfg.acl = make_acl({{"alice", Privilege::steer}});
+    cfg.step_time = util::milliseconds(1);
+    cfg.update_every = 5;
+    cfg.interact_every = 0;
+    app_ = &scenario_.add_app<app::SyntheticApp>(*server_, cfg,
+                                                 app::SyntheticSpec{});
+    ASSERT_TRUE(scenario_.run_until([&] { return app_->registered(); }));
+  }
+
+  std::string get(const std::string& path, RawClient& raw) {
+    const net::NodeId raw_node =
+        scenario_.net().add_node("raw" + std::to_string(raw_seq_++), &raw);
+    http::HttpRequest req;
+    req.method = http::Method::get;
+    req.path = path;
+    raw.last_status = 0;
+    scenario_.net().send(raw_node, server_->node(), net::Channel::http,
+                         http::serialize(req));
+    EXPECT_TRUE(
+        scenario_.net().run_until([&] { return raw.last_status != 0; }));
+    return raw.body;
+  }
+
+  workload::Scenario scenario_;
+  core::DiscoverServer* server_ = nullptr;
+  app::SyntheticApp* app_ = nullptr;
+  int raw_seq_ = 0;
+};
+
+TEST_F(MetricsEndpointTest, ServesPrometheusTextAndJson) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+  ASSERT_TRUE(
+      workload::sync_select(scenario_.net(), alice, app_->app_id()).value().ok);
+
+  RawClient text;
+  const std::string prom = get(core::kPathMetrics, text);
+  EXPECT_EQ(text.last_status, 200);
+  EXPECT_EQ(text.content_type, "text/plain");
+  // ServerStats fields registered by reference surface under their names.
+  EXPECT_NE(prom.find("# TYPE logins_ok counter\nlogins_ok 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE selects_ok counter\nselects_ok 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE apps gauge\napps 1\n"), std::string::npos);
+  // The container's own service histogram rides along as a summary.
+  EXPECT_NE(prom.find("# TYPE http_service_ns summary\n"), std::string::npos);
+
+  RawClient json;
+  const std::string body =
+      get(std::string(core::kPathMetrics) + "?format=json", json);
+  EXPECT_EQ(json.last_status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(body.find("\"logins_ok\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"histograms\""), std::string::npos);
+}
+
+TEST_F(MetricsEndpointTest, TraceEndpointServesRingWithoutSelfPollution) {
+  auto& alice = scenario_.add_client("alice", *server_);
+  ASSERT_TRUE(workload::sync_login(scenario_.net(), alice).value().ok);
+
+  RawClient first;
+  (void)get(core::kPathTrace, first);
+  EXPECT_EQ(first.last_status, 200);
+  // The login above was traced (default sample_every traces the first root).
+  EXPECT_NE(first.body.find("http:/discover/master"), std::string::npos);
+  EXPECT_EQ(first.body.find("http:/discover/trace"), std::string::npos);
+
+  // Scraping is untraced: a second scrape sees no span for the first.
+  RawClient second;
+  (void)get(core::kPathTrace, second);
+  EXPECT_EQ(second.body.find("http:/discover/trace"), std::string::npos);
+  EXPECT_EQ(second.body.find("http:/discover/metrics"), std::string::npos);
+
+  RawClient json;
+  (void)get(std::string(core::kPathTrace) + "?format=json", json);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"spans\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring push: failures counted, reports resume after heal
+// ---------------------------------------------------------------------------
+
+TEST(MonitoringFailure, DeadServiceCountsFailuresAndRecovers) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.report_to_monitoring = true;
+  cfg.server_template.monitoring_period = util::milliseconds(50);
+  cfg.server_template.orb_call_timeout = util::milliseconds(200);
+  workload::Scenario scenario(cfg);
+
+  core::ServiceHost host(scenario.net());
+  const net::NodeId mon_node =
+      scenario.net().add_node("monitoring", &host, net::DomainId{0});
+  host.attach(mon_node);
+  host.set_registry(scenario.registry().trader_ref());
+  auto monitoring =
+      std::make_shared<core::MonitoringService>(scenario.net().clock());
+  host.publish(core::kMonitoringServiceType, monitoring,
+               {{"name", "monitor-1"}});
+
+  auto& s1 = scenario.add_server("alpha", 1);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return s1.stats().monitoring_reports >= 1; }, util::seconds(10)));
+  EXPECT_EQ(s1.stats().monitoring_failures, 0u);
+
+  // Cut the service off: pushes time out, the failure counter climbs, and
+  // the server forgets the ref to re-discover (§3 runtime availability).
+  scenario.net().partition(s1.node(), mon_node);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return s1.stats().monitoring_failures >= 2; }, util::seconds(30)));
+
+  const std::uint64_t reports = s1.stats().monitoring_reports;
+  scenario.net().heal(s1.node(), mon_node);
+  ASSERT_TRUE(scenario.run_until(
+      [&] { return s1.stats().monitoring_reports > reports; },
+      util::seconds(30)));
+}
+
+}  // namespace
+}  // namespace discover

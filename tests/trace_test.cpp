@@ -1,0 +1,250 @@
+// Request-scoped tracing (DESIGN.md "Observability"):
+//  * header — the X-Trace-Context traceparent form round-trips and rejects
+//    malformed input;
+//  * sampling — sample_every=0 disables, =1 traces every root, =N traces
+//    the first root of each stride so short runs still trace;
+//  * ring — bounded span storage evicts oldest-first and counts evictions;
+//  * cross-server — one trace id spans client HTTP -> collab servlet at the
+//    near server -> peer-batch forward (GIOP frame tail) -> delivery at the
+//    host, and two same-seed runs dump byte-identical traces;
+//  * off switch — trace_sample_every=0 records nothing anywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "app/synthetic.h"
+#include "core/server.h"
+#include "util/trace.h"
+#include "workload/scenario.h"
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using util::TraceContext;
+using util::Tracer;
+using workload::make_acl;
+
+// ---------------------------------------------------------------------------
+// Header form
+// ---------------------------------------------------------------------------
+
+TEST(TraceHeader, RoundTrips) {
+  TraceContext ctx;
+  ctx.trace_id = 0x100000002ULL;
+  ctx.span_id = 0x10000000aULL;
+  const std::string h = util::encode_trace_header(ctx);
+  EXPECT_EQ(h, "0000000100000002-000000010000000a-01");
+  const auto back = util::parse_trace_header(h);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, ctx.trace_id);
+  EXPECT_EQ(back->span_id, ctx.span_id);
+}
+
+TEST(TraceHeader, RejectsMalformed) {
+  EXPECT_FALSE(util::parse_trace_header("").has_value());
+  EXPECT_FALSE(util::parse_trace_header("not-a-header").has_value());
+  // Uppercase hex and zero trace ids are rejected.
+  EXPECT_FALSE(util::parse_trace_header(
+                   "00000001000000AB-000000010000000a-01").has_value());
+  EXPECT_FALSE(util::parse_trace_header(
+                   "0000000000000000-000000010000000a-01").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Sampling & ring
+// ---------------------------------------------------------------------------
+
+TEST(TracerSampling, ZeroDisablesOneTracesAll) {
+  Tracer off;
+  off.configure(1, 0, 64);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.mint_root().valid());
+
+  Tracer all;
+  all.configure(1, 1, 64);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(all.mint_root().valid());
+}
+
+TEST(TracerSampling, StrideTracesFirstOfEach) {
+  Tracer t;
+  t.configure(1, 4, 64);
+  std::vector<bool> sampled;
+  for (int i = 0; i < 8; ++i) sampled.push_back(t.mint_root().valid());
+  EXPECT_EQ(sampled, (std::vector<bool>{true, false, false, false, true,
+                                        false, false, false}));
+}
+
+TEST(TracerRing, EvictsOldestFirst) {
+  Tracer t;
+  t.configure(1, 1, 2);
+  for (int i = 0; i < 3; ++i) {
+    t.record(t.mint_root(), "span" + std::to_string(i), i, 1);
+  }
+  EXPECT_EQ(t.spans_recorded(), 3u);
+  EXPECT_EQ(t.spans_evicted(), 1u);
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->name, "span1");
+  EXPECT_EQ(spans[1]->name, "span2");
+}
+
+TEST(TracerRing, ChildSpansKeepTraceIdAndParent) {
+  Tracer t;
+  t.configure(3, 1, 8);
+  const TraceContext root = t.mint_root();
+  const TraceContext child = t.child_of(root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_EQ(child.parent_span, root.span_id);
+  EXPECT_FALSE(t.child_of(TraceContext{}).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-server: one trace id from client HTTP to remote delivery
+// ---------------------------------------------------------------------------
+
+app::AppConfig shared_app(const std::string& name = "shared") {
+  app::AppConfig cfg;
+  cfg.name = name;
+  cfg.acl = make_acl({{"u0", Privilege::steer}});
+  cfg.step_time = util::milliseconds(5);
+  cfg.update_every = 0;  // quiet app: the chat relay is the traffic
+  cfg.interact_every = 0;
+  return cfg;
+}
+
+struct TraceRun {
+  std::string near_dump;
+  std::string host_dump;
+  std::uint64_t near_recorded = 0;
+  std::uint64_t host_recorded = 0;
+};
+
+TraceRun run_cross_server(std::uint64_t sample_every) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  cfg.server_template.peer_flush_delay = util::milliseconds(5);
+  cfg.server_template.trace_sample_every = sample_every;
+  workload::Scenario scenario(cfg);
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, shared_app(),
+                                                  app::SyntheticSpec{});
+  // Level-1 auth at the near server checks local ACLs: host an identity
+  // app there so u0 can log in where the shared app is remote.
+  scenario.add_app<app::SyntheticApp>(near, shared_app("identity"),
+                                      app::SyntheticSpec{});
+  EXPECT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("u0", near);
+  EXPECT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  EXPECT_TRUE(workload::sync_select(scenario.net(), alice, id).value().ok);
+  EXPECT_TRUE(workload::sync_collab_post(scenario.net(), alice, id,
+                                         proto::EventKind::chat, "traced hi")
+                  .value()
+                  .ok);
+  scenario.run_for(util::seconds(1));  // outbox flush + host publish
+  (void)workload::sync_poll(scenario.net(), alice, id);
+
+  TraceRun out;
+  out.near_dump = near.tracer().dump_text();
+  out.host_dump = host.tracer().dump_text();
+  out.near_recorded = near.tracer().spans_recorded();
+  out.host_recorded = host.tracer().spans_recorded();
+  return out;
+}
+
+TEST(CrossServerTrace, CollabPostSpansBothServersUnderOneTraceId) {
+  workload::ScenarioConfig cfg;
+  cfg.server_template.peer_refresh_period = util::milliseconds(100);
+  cfg.server_template.peer_flush_delay = util::milliseconds(5);
+  cfg.server_template.trace_sample_every = 1;  // trace every request
+  workload::Scenario scenario(cfg);
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+  auto& app = scenario.add_app<app::SyntheticApp>(host, shared_app(),
+                                                  app::SyntheticSpec{});
+  scenario.add_app<app::SyntheticApp>(near, shared_app("identity"),
+                                      app::SyntheticSpec{});
+  ASSERT_TRUE(scenario.run_until([&] {
+    return app.registered() && near.peer_count() == 1 &&
+           host.peer_count() == 1;
+  }));
+  const proto::AppId id = app.app_id();
+
+  auto& alice = scenario.add_client("u0", near);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), alice).value().ok);
+  ASSERT_TRUE(workload::sync_select(scenario.net(), alice, id).value().ok);
+  ASSERT_TRUE(workload::sync_collab_post(scenario.net(), alice, id,
+                                         proto::EventKind::chat, "traced hi")
+                  .value()
+                  .ok);
+  ASSERT_TRUE(scenario.run_until([&] {
+    const auto spans = host.tracer().spans();
+    return std::any_of(spans.begin(), spans.end(), [](const auto* s) {
+      return s->name == "orb.serve:forward_events";
+    });
+  }));
+  scenario.run_for(util::milliseconds(200));
+
+  // The collab POST span at the near server anchors the trace.
+  std::uint64_t collab_trace = 0;
+  for (const util::SpanRecord* s : near.tracer().spans()) {
+    if (s->name == std::string("http:") + core::kPathCollabPost) {
+      collab_trace = s->trace_id;
+    }
+  }
+  ASSERT_NE(collab_trace, 0u);
+  // Node 1 minted it (trace ids are node-scoped counters).
+  EXPECT_EQ(collab_trace >> 32, near.node().value());
+
+  // The same trace id reaches the host through the peer forward: the ORB
+  // tail carries it into dispatch, which records the serve span remotely.
+  bool host_has_trace = false;
+  bool host_serve_span = false;
+  for (const util::SpanRecord* s : host.tracer().spans()) {
+    if (s->trace_id != collab_trace) continue;
+    host_has_trace = true;
+    if (s->name.rfind("orb.serve:", 0) == 0) host_serve_span = true;
+    EXPECT_EQ(s->node, host.node().value());
+  }
+  EXPECT_TRUE(host_has_trace);
+  EXPECT_TRUE(host_serve_span);
+
+  // The near server recorded the caller side of the same forward.
+  bool near_client_span = false;
+  for (const util::SpanRecord* s : near.tracer().spans()) {
+    if (s->trace_id == collab_trace && s->name.rfind("orb:", 0) == 0) {
+      near_client_span = true;
+    }
+  }
+  EXPECT_TRUE(near_client_span);
+}
+
+TEST(CrossServerTrace, SameSeedRunsAreByteIdentical) {
+  const TraceRun a = run_cross_server(1);
+  const TraceRun b = run_cross_server(1);
+  EXPECT_FALSE(a.near_dump.empty());
+  EXPECT_FALSE(a.host_dump.empty());
+  EXPECT_EQ(a.near_dump, b.near_dump);
+  EXPECT_EQ(a.host_dump, b.host_dump);
+}
+
+TEST(CrossServerTrace, SampleEveryZeroRecordsNothing) {
+  const TraceRun off = run_cross_server(0);
+  EXPECT_EQ(off.near_recorded, 0u);
+  EXPECT_EQ(off.host_recorded, 0u);
+  EXPECT_TRUE(off.near_dump.empty());
+  EXPECT_TRUE(off.host_dump.empty());
+}
+
+}  // namespace
+}  // namespace discover
