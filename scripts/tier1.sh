@@ -29,4 +29,12 @@ echo "== tier 1e: observability suite =="
 # propagation; the overhead sweep is scripts/bench_observe.sh.
 (cd build && ctest -L observability --output-on-failure)
 
+echo "== tier 1f: shard suite under TSan =="
+# Sharded server core: dispatcher -> shard-worker handoffs, cross-shard
+# hops, sharded counters and the multi-core end-to-end flow all run with
+# real threads; TSan proves the queue handoffs publish state correctly.
+# The capacity sweep is scripts/bench_shards.sh.
+cmake --build build-tsan -j "$(nproc)" --target shard_test
+(cd build-tsan && ctest -L shards --output-on-failure)
+
 echo "tier1: all green"

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 
 #include "util/log.h"
 
@@ -19,10 +20,36 @@ DiscoverServer::DiscoverServer(net::Network& network, ServerConfig config)
       archive_(config_.archive_cap_per_app,
                config_.mirror_archive_to_db ? &db_ : nullptr) {}
 
-DiscoverServer::~DiscoverServer() = default;
+DiscoverServer::~DiscoverServer() {
+  // Shard workers capture `this` and the inner cores; join them before
+  // members start destructing.
+  if (pool_) pool_->stop();
+}
 
 void DiscoverServer::attach(net::NodeId self) {
   self_ = self;
+  // Shard resolution (DESIGN.md §5i): a shard_count > 1 turns this
+  // instance into core 0 plus a dispatcher, with shard_count - 1 inner
+  // cores sharing the node id.  Inner cores (group_ already set) skip
+  // this; backends that cannot shard clamp to the unsharded path.
+  if (group_ == nullptr && config_.shard_count > 1) {
+    if (!network_.supports_sharding()) {
+      DISCOVER_LOG(warn, "server")
+          << config_.name << ": shard_count=" << config_.shard_count
+          << " ignored: network backend is single-threaded per node";
+    } else {
+      group_ = this;
+      group_shards_ = config_.shard_count;
+      shard_index_ = 0;
+      while ((1u << shard_bits_) < group_shards_) ++shard_bits_;
+      pool_ = std::make_unique<net::ShardPool>(group_shards_);
+      for (std::uint32_t i = 1; i < group_shards_; ++i) {
+        auto core = std::make_unique<DiscoverServer>(network_, config_);
+        core->configure_shard(i, shard_bits_, this);
+        cores_.push_back(std::move(core));
+      }
+    }
+  }
   // Directory epoch: distinct per node and bumpable within a lifetime, so
   // peers can tell "same server, newer state" from "don't trust your cache".
   dir_epoch_ = (static_cast<std::uint64_t>(self.value()) << 32) | 1;
@@ -32,12 +59,17 @@ void DiscoverServer::attach(net::NodeId self) {
   orb_->set_retry_policy(config_.orb_retry);
   orb_->set_retry_seed(0x9e37 + self.value());
   tracer_.configure(self.value(), config_.trace_sample_every,
-                    config_.trace_ring_cap);
+                    config_.trace_ring_cap, shard_index_, shard_bits_);
   container_->set_tracer(&tracer_);
   orb_->set_tracer(&tracer_);
   register_metrics();
   mount_servlets();
   activate_servants();
+  if (pool_) {
+    routed_ = &metrics_.sharded_counter("shard_routed_total", group_shards_);
+    for (auto& core : cores_) core->attach(self);
+    pool_->start();
+  }
 }
 
 void DiscoverServer::register_metrics() {
@@ -164,13 +196,28 @@ std::string DiscoverServer::describe() const {
 }
 
 void DiscoverServer::on_message(const net::Message& msg) {
+  if (pool_) {
+    // Sharded: the node's network worker is a pure dispatcher; all state
+    // (including core 0's) is touched only from shard workers.
+    route_message(msg);
+    return;
+  }
+  dispatch_message(msg);
+}
+
+void DiscoverServer::dispatch_message(const net::Message& msg) {
   switch (msg.channel) {
     case net::Channel::http:
       if (config_.servlet_cpu_cost > 0) {
         // Calibrated servlet-processing burn (see ServerConfig).
-        const auto until = std::chrono::steady_clock::now() +
-                           std::chrono::nanoseconds(config_.servlet_cpu_cost);
-        while (std::chrono::steady_clock::now() < until) {
+        if (config_.servlet_cost_sleeps) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(config_.servlet_cpu_cost));
+        } else {
+          const auto until = std::chrono::steady_clock::now() +
+                             std::chrono::nanoseconds(config_.servlet_cpu_cost);
+          while (std::chrono::steady_clock::now() < until) {
+          }
         }
       }
       container_->handle(msg);
@@ -241,9 +288,12 @@ void DiscoverServer::handle_app_register(net::NodeId src,
   }
 
   // Globally unique id: host server "address" + local counter (§5.2.1).
+  // On a sharded node each core mints ids with its shard index in the low
+  // shard_bits_ — cores never collide and shard_of_app() recovers the
+  // owner.  shard_bits_ == 0 reduces to the original plain counter.
   proto::AppId id;
   id.host = self_.value();
-  id.local = ++app_counter_;
+  id.local = (++app_counter_ << shard_bits_) | shard_index_;
 
   AppEntry entry;
   entry.id = id;
@@ -429,6 +479,11 @@ void DiscoverServer::publish_event(AppEntry& entry, proto::ClientEvent event) {
   deliver_local(entry.id, event);
   if (config_.remote_update_mode == RemoteUpdateMode::push) {
     push_to_subscribers(entry, event);
+  }
+  // Sharded: sessions on other cores that selected this app get the event
+  // through one queue hop per watching shard (DESIGN.md §5i).
+  if (!entry.watcher_shards.empty()) {
+    fan_out_to_watcher_shards(entry, event);
   }
 }
 
@@ -706,12 +761,11 @@ void DiscoverServer::handle_lock_command(AppEntry& entry,
     // publishes the "denied" notice.
     if (!req.granted && config_.lock_wait_deadline > 0) {
       const std::uint64_t ticket = req.ticket;
-      network_.schedule(self_, config_.lock_wait_deadline,
-                        [this, app, ticket] {
-                          if (locks_.expire_ticket(app, ticket)) {
-                            ++stats_.lock_waiters_expired;
-                          }
-                        });
+      schedule_self(config_.lock_wait_deadline, [this, app, ticket] {
+        if (locks_.expire_ticket(app, ticket)) {
+          ++stats_.lock_waiters_expired;
+        }
+      });
     }
   } else {
     const util::Status s = locks_.release(app, who);
@@ -760,7 +814,7 @@ void DiscoverServer::arm_lock_lease(const proto::AppId& app,
                                     const LockIdentity& who) {
   if (config_.lock_lease <= 0) return;
   const std::uint64_t generation = locks_.generation(app);
-  network_.schedule(self_, config_.lock_lease, [this, app, who, generation] {
+  schedule_self(config_.lock_lease, [this, app, who, generation] {
     const auto holder = locks_.holder(app);
     if (!holder || !(*holder == who) ||
         locks_.generation(app) != generation) {
@@ -794,8 +848,8 @@ void DiscoverServer::sweep_app_liveness() {
       handle_app_deregister(msg);
     }
   }
-  liveness_timer_ = network_.schedule(self_, config_.app_liveness_sweep,
-                                      [this] { sweep_app_liveness(); });
+  liveness_timer_ = schedule_self(config_.app_liveness_sweep,
+                                  [this] { sweep_app_liveness(); });
 }
 
 void DiscoverServer::sweep_idle_sessions() {
@@ -808,9 +862,9 @@ void DiscoverServer::sweep_idle_sessions() {
     }
     for (const std::uint64_t key : gone) drop_session(key);
   }
-  session_timer_ = network_.schedule(
-      self_, std::max<util::Duration>(config_.session_max_idle / 4,
-                                      util::seconds(1)),
+  session_timer_ = schedule_self(
+      std::max<util::Duration>(config_.session_max_idle / 4,
+                               util::seconds(1)),
       [this] { sweep_idle_sessions(); });
 }
 
@@ -886,6 +940,17 @@ void DiscoverServer::drop_session(std::uint64_t key) {
       } else {
         send_forget_locks(app_id, session.user, 1);
       }
+    } else if (sharded() && shard_owner_of(app_id) != shard_index_) {
+      // The app lives on a sibling core: one hop drops this session's lock
+      // interest and its watcher refcount there.
+      const std::uint32_t owner = shard_owner_of(app_id);
+      const std::uint32_t me = shard_index_;
+      const std::string user = session.user;
+      group_->post_shard(owner, [grp = group_, owner, app_id, user, me] {
+        DiscoverServer& host = grp->core_at(owner);
+        host.locks_.forget(app_id, LockIdentity{user, host.self_.value()});
+        host.release_shard_watcher(app_id, me);
+      });
     }
     // Drop the session's index rows.  The row count is the local watcher
     // refcount: when it reaches zero for a remote app, nobody here needs
@@ -927,7 +992,7 @@ void DiscoverServer::send_forget_locks(const proto::AppId& app,
         const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 16);
         const util::Duration delay =
             config_.forget_locks_backoff * (util::Duration{1} << shift);
-        network_.schedule(self_, delay, [this, app, user, attempt] {
+        schedule_self(delay, [this, app, user, attempt] {
           send_forget_locks(app, user, attempt + 1);
         });
       },

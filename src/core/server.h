@@ -34,6 +34,7 @@
 #include "http/servlet_container.h"
 #include "net/network.h"
 #include "net/retry.h"
+#include "net/shard_pool.h"
 #include "orb/naming.h"
 #include "orb/orb.h"
 #include "orb/trader.h"
@@ -250,6 +251,26 @@ struct ServerConfig {
   /// right.  Zero disables the burn (default).  Has no effect on virtual
   /// time under SimNetwork.
   util::Duration servlet_cpu_cost = 0;
+
+  /// How the calibrated burn is spent.  `false` (default) busy-spins,
+  /// pinning a hardware thread — right for measuring a CPU-bound knee.
+  /// `true` sleeps instead, modelling the cost as blocking service time
+  /// (the 2001 servlet stack spent most of its budget in blocking I/O);
+  /// shard workers then overlap service even on hosts with fewer physical
+  /// cores than shards, which is what the shard sweep measures.
+  bool servlet_cost_sleeps = false;
+
+  /// Worker shards per server node (DESIGN.md §5i).  With shard_count > 1
+  /// the node splits into N independent cores: a dispatcher on the node's
+  /// network worker hashes each message's source node to its owning core
+  /// and every core runs its own event loop over its own queue, so the hot
+  /// paths (deliver_local, FIFO drains, lock operations) execute with no
+  /// shared locks; cross-core interactions are explicit queue hops.  Only
+  /// honoured on backends whose supports_sharding() is true (ThreadNetwork)
+  /// — the Sim backend clamps to 1 so deterministic suites are unaffected —
+  /// and shard_count = 1 is exactly the unsharded code path.  A sharded
+  /// server runs standalone: registry/peer federation is disabled.
+  std::uint32_t shard_count = 1;
 };
 
 struct ServerStats {
@@ -305,6 +326,9 @@ struct ServerStats {
   // warn-logged with backoff, and trigger re-discovery — never silent.
   std::uint64_t monitoring_reports = 0;
   std::uint64_t monitoring_failures = 0;
+
+  /// Field-wise accumulate (shard cores sum their stats at scrape time).
+  void add(const ServerStats& other);
 };
 
 class DiscoverServer final : public net::MessageHandler {
@@ -337,17 +361,67 @@ class DiscoverServer final : public net::MessageHandler {
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   /// Snapshot of internal counters.  Only safe once the server's execution
   /// context is quiescent (SimNetwork, or after ThreadNetwork::stop()).
+  /// On a sharded server this is core 0's share only; use stats_sum().
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  /// Field-wise sum of every shard core's stats (== stats() when
+  /// unsharded).  Same quiescence requirement as stats().
+  [[nodiscard]] ServerStats stats_sum() const;
   /// Live counters safe to poll from other threads while the server runs.
+  /// Summed across shard cores.
   [[nodiscard]] std::uint64_t live_updates_processed() const {
-    return live_updates_.load(std::memory_order_relaxed);
+    std::uint64_t v = live_updates_.load(std::memory_order_relaxed);
+    for (const auto& core : cores_) {
+      v += core->live_updates_.load(std::memory_order_relaxed);
+    }
+    return v;
   }
   [[nodiscard]] std::uint64_t live_requests_served() const {
-    return live_requests_.load(std::memory_order_relaxed);
+    std::uint64_t v = live_requests_.load(std::memory_order_relaxed);
+    for (const auto& core : cores_) {
+      v += core->live_requests_.load(std::memory_order_relaxed);
+    }
+    return v;
   }
   [[nodiscard]] std::uint64_t live_apps_registered() const {
-    return live_registrations_.load(std::memory_order_relaxed);
+    std::uint64_t v = live_registrations_.load(std::memory_order_relaxed);
+    for (const auto& core : cores_) {
+      v += core->live_registrations_.load(std::memory_order_relaxed);
+    }
+    return v;
   }
+  // -- sharding (DESIGN.md §5i) ----------------------------------------------
+  /// Effective shard count (1 when the config asked for more but the
+  /// network cannot shard).  Meaningful after attach().
+  [[nodiscard]] std::uint32_t shard_count() const { return group_shards_; }
+  [[nodiscard]] std::uint32_t shard_index() const { return shard_index_; }
+  [[nodiscard]] bool sharded() const { return group_shards_ > 1; }
+  /// Shard core `idx` (0 = this instance).  Only safe to introspect once
+  /// quiescent, like stats().
+  [[nodiscard]] const DiscoverServer& shard_core(std::uint32_t idx) const {
+    return idx == 0 ? *this : *cores_[idx - 1];
+  }
+  /// Affinity hash: the shard owning a session-less request from `node`
+  /// (clients and applications alike).  Pure; pinned by the routing
+  /// property test.
+  [[nodiscard]] static std::uint32_t shard_of_node(std::uint32_t node,
+                                                   std::uint32_t shards) {
+    return shards <= 1 ? 0
+                       : static_cast<std::uint32_t>(
+                             (node * 2654435761ULL) % shards);
+  }
+  /// The shard encoded in a minted app id's low `bits` (app ids are minted
+  /// on the core that owns the app's node, so both hashes agree).
+  [[nodiscard]] static std::uint32_t shard_of_app(const proto::AppId& id,
+                                                  std::uint32_t bits,
+                                                  std::uint32_t shards) {
+    return bits == 0 ? 0
+                     : static_cast<std::uint32_t>(id.local &
+                                                  ((1u << bits) - 1u)) %
+                           (shards == 0 ? 1 : shards);
+  }
+  /// Blocks until every shard queue drained, then joins the shard workers.
+  /// Call after the network stopped and before reading stats_sum().
+  void drain_shards();
   [[nodiscard]] const SessionArchive& archive() const { return archive_; }
   [[nodiscard]] const LockManager& locks() const { return locks_; }
   [[nodiscard]] const orb::Orb& orb() const { return *orb_; }
@@ -481,6 +555,11 @@ class DiscoverServer final : public net::MessageHandler {
     /// still come out in per-app order.
     std::uint64_t backfill_upto = 0;
     std::vector<proto::ClientEvent> backfill_buffer;
+    /// Sharded host core only: watcher refcounts per *other* shard core
+    /// (clients whose sessions live on this core are counted by the
+    /// subscriber index instead).  Each published event is posted once to
+    /// every shard listed here.
+    std::map<std::uint32_t, std::uint64_t> watcher_shards;
   };
 
   struct PendingCmd {
@@ -566,6 +645,68 @@ class DiscoverServer final : public net::MessageHandler {
   friend class TraceServlet;
   friend class DiscoverCorbaServerServant;
   friend class CorbaProxyServant;
+
+  // -- sharding (DESIGN.md §5i) ----------------------------------------------
+  /// Marks this instance as inner shard core `index` of `group` (the
+  /// user-facing server, which is core 0).  Must precede attach().
+  void configure_shard(std::uint32_t index, std::uint32_t bits,
+                       DiscoverServer* group);
+  /// Sharded dispatcher: runs on the node's network worker and only
+  /// routes — client/app channels to hash(src)'s core, everything else
+  /// (GIOP, control) to core 0 so ORB state stays single-threaded.
+  void route_message(const net::Message& msg);
+  /// The pre-shard on_message body; on a sharded server it runs on the
+  /// owning core's shard worker.
+  void dispatch_message(const net::Message& msg);
+  /// Runs `fn` in shard `idx`'s execution context (inline when unsharded
+  /// or already on that shard's worker).
+  void post_shard(std::uint32_t idx, std::function<void()> fn);
+  [[nodiscard]] DiscoverServer& core_at(std::uint32_t idx) {
+    return idx == 0 ? *this : *cores_[idx - 1];
+  }
+  /// The shard core owning app `id` (self when unsharded).
+  [[nodiscard]] std::uint32_t shard_owner_of(const proto::AppId& id) const {
+    return sharded() ? shard_of_app(id, shard_bits_, group_shards_)
+                     : shard_index_;
+  }
+  /// network_.schedule(self_, ...) whose callback hops back onto this
+  /// core's shard worker (plain schedule when unsharded).  Every timer
+  /// touching core state must go through this.
+  net::TimerId schedule_self(util::Duration delay, std::function<void()> fn);
+  /// Visits every core on its own shard worker in index order, then runs
+  /// `done` back on the calling core (used by login and the metrics/trace
+  /// scrapes).  Sharded servers only.
+  struct GatherJob {
+    std::function<void(DiscoverServer&)> visit;
+    std::function<void()> done;
+    std::uint32_t origin = 0;
+  };
+  void gather_across_cores(std::function<void(DiscoverServer&)> visit,
+                           std::function<void()> done);
+  void gather_step(const std::shared_ptr<GatherJob>& job, std::uint32_t idx);
+  /// Owner-core half of a cross-shard select: ACL/phase/admission check
+  /// plus watcher-refcount bump for the client's shard.
+  struct ShardSelectGrant {
+    bool found = false;
+    bool admission_rejected = false;
+    security::Privilege privilege = security::Privilege::none;
+    std::string name;
+    std::vector<proto::ParamSpec> params;
+    std::uint64_t history_seq = 0;
+  };
+  ShardSelectGrant grant_select_on_owner(const proto::AppId& app,
+                                         const std::string& user,
+                                         std::uint32_t client_shard,
+                                         bool already_selected);
+  /// Owner-core watcher-refcount drop (client core released a sub).
+  void release_shard_watcher(const proto::AppId& app,
+                             std::uint32_t client_shard);
+  /// Watchers for per-app admission: local subscriber index rows plus
+  /// cross-shard watcher refcounts.
+  [[nodiscard]] std::size_t admission_watchers(const proto::AppId& app) const;
+  /// Posts a published event to every shard core with watchers.
+  void fan_out_to_watcher_shards(AppEntry& entry,
+                                 const proto::ClientEvent& ev);
 
   // -- daemon-servlet side (application channels) ----------------------------
   void handle_app_channel(const net::Message& msg);
@@ -699,6 +840,10 @@ class DiscoverServer final : public net::MessageHandler {
   void remove_remote_app(const proto::AppId& app, const std::string& reason);
 
   // -- housekeeping -----------------------------------------------------------
+  /// Per-core halves of start()/shutdown(); on a sharded server they run
+  /// on each core's own shard worker.
+  void start_core();
+  void shutdown_core();
   void sweep_app_liveness();
   void sweep_idle_sessions();
   void arm_lock_lease(const proto::AppId& app, const LockIdentity& who);
@@ -756,6 +901,17 @@ class DiscoverServer final : public net::MessageHandler {
   ServerConfig config_;
   net::NodeId self_{0};
   bool started_ = false;
+
+  // Sharding (DESIGN.md §5i).  group_ points at core 0 (the user-facing
+  // instance) and is null until attach() resolves an effective shard count
+  // > 1; the unsharded server never touches any of this.
+  DiscoverServer* group_ = nullptr;
+  std::uint32_t shard_index_ = 0;
+  std::uint32_t shard_bits_ = 0;
+  std::uint32_t group_shards_ = 1;
+  std::unique_ptr<net::ShardPool> pool_;                  // core 0 only
+  std::vector<std::unique_ptr<DiscoverServer>> cores_;    // core 0 only
+  util::ShardedCounter* routed_ = nullptr;                // core 0 only
 
   std::unique_ptr<http::ServletContainer> container_;
   std::unique_ptr<orb::Orb> orb_;

@@ -243,6 +243,15 @@ orb::ObjectRef DiscoverServer::activate_corba_proxy(AppEntry& entry) {
 
 void DiscoverServer::set_registry(orb::ObjectRef naming,
                                   orb::ObjectRef trader) {
+  if (sharded()) {
+    // A sharded node runs standalone (DESIGN.md §5i): peer federation
+    // would route ORB work onto arbitrary cores.  Scale-out across nodes
+    // composes with per-node sharding only through unsharded servers.
+    DISCOVER_LOG(warn, "server")
+        << describe() << ": sharded server ignores the registry; "
+        << "peer federation is disabled at shard_count > 1";
+    return;
+  }
   naming_ = orb::NamingClient(*orb_, std::move(naming));
   trader_ = orb::TraderClient(*orb_, std::move(trader));
   // Registry calls must not wait forever: a lost reply on a faulty link
@@ -256,6 +265,23 @@ void DiscoverServer::set_registry(orb::ObjectRef naming,
 void DiscoverServer::start() {
   if (started_) return;
   started_ = true;
+  if (pool_) {
+    // Each core starts its own sweeps on its own shard worker; registry
+    // integration is off in sharded mode, so start_core's trader/identity
+    // branches no-op on every core.
+    for (std::uint32_t i = 0; i < group_shards_; ++i) {
+      DiscoverServer* core = &core_at(i);
+      pool_->post(i, [core] {
+        core->started_ = true;
+        core->start_core();
+      });
+    }
+    return;
+  }
+  start_core();
+}
+
+void DiscoverServer::start_core() {
   sweep_app_liveness();
   sweep_idle_sessions();
   if (identity_directory_.valid()) refresh_identities();
@@ -282,6 +308,21 @@ void DiscoverServer::export_trader_offer() {
 void DiscoverServer::shutdown() {
   if (!started_) return;
   started_ = false;
+  if (pool_) {
+    for (std::uint32_t i = 0; i < group_shards_; ++i) {
+      DiscoverServer* core = &core_at(i);
+      pool_->post(i, [core] {
+        core->started_ = false;
+        core->shutdown_core();
+      });
+    }
+    drain_shards();
+    return;
+  }
+  shutdown_core();
+}
+
+void DiscoverServer::shutdown_core() {
   if (refresh_timer_.value() != 0) network_.cancel(refresh_timer_);
   if (liveness_timer_.value() != 0) network_.cancel(liveness_timer_);
   if (session_timer_.value() != 0) network_.cancel(session_timer_);
@@ -346,6 +387,13 @@ void DiscoverServer::refresh_peers() {
 }
 
 void DiscoverServer::set_identity_directory(orb::ObjectRef directory) {
+  if (sharded()) {
+    DISCOVER_LOG(warn, "server")
+        << describe()
+        << ": sharded server ignores the identity directory; federation "
+           "services are disabled at shard_count > 1";
+    return;
+  }
   identity_directory_ = std::move(directory);
   if (started_) refresh_identities();
 }

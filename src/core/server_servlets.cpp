@@ -1,6 +1,7 @@
 // HTTP-facing side of DiscoverServer: the master, command, collaboration
 // and archive servlets (paper §4.1's core service handlers).
 #include <algorithm>
+#include <iterator>
 #include <memory>
 
 #include "core/server.h"
@@ -78,6 +79,11 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     // request arrival -> deferred completion.
     const bool timed = s.stage_sample() && s.stage_login_ != nullptr;
     const util::TimePoint t0 = ctx.now;
+
+    if (s.sharded()) {
+      login_sharded(req, ctx, timed, t0);
+      return;
+    }
 
     proto::LoginReply reply;
     // Admission control (flash crowds): refuse NEW sessions at the cap.  A
@@ -169,6 +175,82 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
     }
   }
 
+  // Sharded login (DESIGN.md §5i): applications — and with them the user
+  // ACLs — are striped across cores, so authentication and the visible-app
+  // directory need one hop through every core.  The gather also sums the
+  // per-core session counts for the server-wide admission cap.
+  void login_sharded(const proto::LoginRequest& req, http::ServletContext& ctx,
+                     bool timed, util::TimePoint t0) {
+    DiscoverServer& s = server_;
+    struct Gather {
+      bool found = false;
+      std::vector<proto::AppInfo> applications;
+      std::size_t total_sessions = 0;
+    };
+    auto acc = std::make_shared<Gather>();
+    auto deferred = ctx.defer();
+    const std::uint64_t session_key = ctx.session->id();
+    const net::NodeId client_node = ctx.client;
+    const proto::LoginRequest r = req;
+    s.gather_across_cores(
+        [acc, r](DiscoverServer& core) {
+          acc->found |=
+              core.authenticate_local(r.user, r.password_digest);
+          auto apps = core.visible_apps(r.user);
+          acc->applications.insert(acc->applications.end(),
+                                   std::make_move_iterator(apps.begin()),
+                                   std::make_move_iterator(apps.end()));
+          acc->total_sessions += core.sessions_.size();
+        },
+        [acc, deferred, r, session_key, client_node, timed, t0, &s] {
+          proto::LoginReply reply;
+          if (s.config_.max_sessions != 0 &&
+              acc->total_sessions >= s.config_.max_sessions &&
+              s.sessions_.count(session_key) == 0) {
+            reply.ok = false;
+            reply.admission = proto::AdmissionError::server_sessions;
+            reply.retry_after = s.config_.admission_retry_after;
+            reply.message = s.config_.name + " is full (" +
+                            std::to_string(acc->total_sessions) +
+                            " sessions)";
+            ++s.stats_.admission_rejected_logins;
+            ++s.stats_.logins_failed;
+            deferred->complete(admission_response(proto::encode_body(reply),
+                                                  reply.retry_after));
+            return;
+          }
+          if (!acc->found) {
+            reply.ok = false;
+            reply.message =
+                "unknown user or bad password at " + s.config_.name;
+            ++s.stats_.logins_failed;
+            deferred->complete(
+                body_response(401, proto::encode_body(reply)));
+            return;
+          }
+          reply.ok = true;
+          reply.message = "welcome to " + s.config_.name;
+          // Tokens verify on every core: same node id, same secret.
+          reply.token = s.tokens_.issue(r.user, s.network_.now(),
+                                        s.config_.token_ttl);
+          // Core visit order is deterministic but an implementation detail;
+          // present the directory in app-id order like a single core would.
+          std::sort(acc->applications.begin(), acc->applications.end(),
+                    [](const proto::AppInfo& a, const proto::AppInfo& b) {
+                      return a.id < b.id;
+                    });
+          reply.applications = std::move(acc->applications);
+          ++s.stats_.logins_ok;
+          ClientSession& session = s.sessions_[session_key];
+          session.key = session_key;
+          session.user = r.user;
+          session.client_node = client_node;
+          if (timed) s.stage_login_->record(s.network_.now() - t0);
+          deferred->complete(
+              body_response(200, proto::encode_body(reply)));
+        });
+  }
+
   void select(const http::HttpRequest& request, http::HttpResponse& response,
               http::ServletContext& ctx) {
     DiscoverServer& s = server_;
@@ -204,6 +286,69 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
       if (timed) s.stage_select_->record(s.network_.now() - t0);
       deferred->complete(std::move(r));
     };
+
+    // Cross-shard select (DESIGN.md §5i): the app lives on another core of
+    // this server.  Hop to the owner for the ACL/admission grant (which
+    // also bumps our shard's watcher refcount), then hop back to finish the
+    // subscription against our session state.
+    if (const std::uint32_t owner = s.shard_owner_of(app_id);
+        s.sharded() && owner != s.shard_index_) {
+      const bool already = session->apps.count(app_id) > 0;
+      const std::uint32_t me = s.shard_index_;
+      DiscoverServer* grp = s.group_;
+      grp->post_shard(owner, [grp, owner, me, app_id, user, session_key,
+                              already, finish] {
+        DiscoverServer& host = grp->core_at(owner);
+        const ShardSelectGrant grant =
+            host.grant_select_on_owner(app_id, user, me, already);
+        grp->post_shard(me, [grp, owner, me, app_id, user, session_key,
+                             already, finish, grant] {
+          DiscoverServer& client = grp->core_at(me);
+          proto::SelectAppReply out;
+          ClientSession* sess = client.session_of(session_key);
+          const bool granted = grant.found && !grant.admission_rejected &&
+                               grant.privilege != security::Privilege::none;
+          if (!grant.found || sess == nullptr) {
+            if (granted && !already && sess == nullptr) {
+              // The session vanished while the grant was in flight; return
+              // the watcher refcount we just took on the owner.
+              grp->post_shard(owner, [grp, owner, me, app_id] {
+                grp->core_at(owner).release_shard_watcher(app_id, me);
+              });
+            }
+            out.message = "application not found: " + app_id.to_string();
+            ++client.stats_.selects_failed;
+            finish(body_response(404, proto::encode_body(out)));
+            return;
+          }
+          if (grant.admission_rejected) {
+            out.admission = proto::AdmissionError::app_sessions;
+            out.retry_after = client.config_.admission_retry_after;
+            out.message = "application " + app_id.to_string() + " is full";
+            ++client.stats_.admission_rejected_selects;
+            ++client.stats_.selects_failed;
+            finish(
+                admission_response(proto::encode_body(out), out.retry_after));
+            return;
+          }
+          if (grant.privilege == security::Privilege::none) {
+            out.message = user + " has no access to " + grant.name;
+            ++client.stats_.selects_failed;
+            finish(body_response(403, proto::encode_body(out)));
+            return;
+          }
+          ClientSub& sub = client.subscribe_session(*sess, app_id);
+          sub.privilege = grant.privilege;
+          out.ok = true;
+          out.privilege = grant.privilege;
+          out.interface_spec = grant.params;
+          out.history_seq = grant.history_seq;
+          ++client.stats_.selects_ok;
+          finish(body_response(200, proto::encode_body(out)));
+        });
+      });
+      return;
+    }
 
     s.with_remote_app(app_id, [&s, finish, user, session_key,
                                app_id](AppEntry* entry) {
@@ -381,6 +526,41 @@ class DiscoverServer::CommandServlet final : public http::Servlet {
       ++s.stats_.commands_rejected;
       set_body(response, proto::encode_body(ack));
       response.status = 403;
+      return;
+    }
+
+    // Cross-shard command (DESIGN.md §5i): the cached-privilege fast-fail
+    // ran against our session sub; the owner core re-checks authoritatively
+    // in admit_command, exactly like the unsharded local path.
+    if (const std::uint32_t owner = s.shard_owner_of(req.app_id);
+        s.sharded() && owner != s.shard_index_) {
+      auto deferred = ctx.defer();
+      const std::uint32_t me = s.shard_index_;
+      DiscoverServer* grp = s.group_;
+      const std::string user = session->user;
+      const std::uint32_t origin = s.self_.value();
+      const proto::CommandRequest creq = req;
+      const bool collab = sub.collab_enabled;
+      const std::string subgroup = sub.subgroup;
+      grp->post_shard(owner, [grp, owner, me, user, origin, creq, collab,
+                              subgroup, deferred] {
+        DiscoverServer& host = grp->core_at(owner);
+        proto::CommandAck out;
+        out.request_id = creq.request_id;
+        int status = 200;
+        AppEntry* entry = host.find_app(creq.app_id);
+        if (entry == nullptr) {
+          out.message = "application not found";
+          status = 404;
+        } else {
+          out = host.admit_command(*entry, user, origin, creq.request_id,
+                                   creq.kind, creq.param, creq.value, collab,
+                                   subgroup);
+        }
+        grp->post_shard(me, [deferred, out, status] {
+          deferred->complete(body_response(status, proto::encode_body(out)));
+        });
+      });
       return;
     }
 
@@ -570,6 +750,35 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
     ev.shared = sub.collab_enabled;
     ++s.stats_.collab_posts;
 
+    // Cross-shard collaboration post (DESIGN.md §5i): the event is built
+    // here from our session state, but stamping/archiving/redistribution is
+    // the owner core's job — same split as the unsharded host relay.
+    if (const std::uint32_t owner = s.shard_owner_of(req.app_id);
+        s.sharded() && owner != s.shard_index_) {
+      auto deferred = ctx.defer();
+      const std::uint32_t me = s.shard_index_;
+      DiscoverServer* grp = s.group_;
+      grp->post_shard(owner, [grp, owner, me, ev = std::move(ev),
+                              app_id = req.app_id, deferred]() mutable {
+        DiscoverServer& host = grp->core_at(owner);
+        proto::CollabAck out;
+        int status = 200;
+        AppEntry* entry = host.find_app(app_id);
+        if (entry == nullptr) {
+          out.message = "application not found";
+          status = 404;
+        } else {
+          host.publish_event(*entry, std::move(ev));
+          out.ok = true;
+          out.message = "posted";
+        }
+        grp->post_shard(me, [deferred, out, status] {
+          deferred->complete(body_response(status, proto::encode_body(out)));
+        });
+      });
+      return;
+    }
+
     AppEntry* entry = s.find_app(req.app_id);
     if (entry == nullptr) {
       ack.message = "application not found";
@@ -675,6 +884,33 @@ class DiscoverServer::ArchiveServlet final : public http::Servlet {
       response.status = 400;
       return;
     }
+    // Cross-shard history (DESIGN.md §5i): the application log lives on the
+    // owner core's archive; fetch there and encode back here.
+    if (const std::uint32_t owner = s.shard_owner_of(req.app_id);
+        s.sharded() && owner != s.shard_index_) {
+      auto deferred = ctx.defer();
+      const std::uint32_t me = s.shard_index_;
+      DiscoverServer* grp = s.group_;
+      grp->post_shard(owner, [grp, owner, me, app_id = req.app_id,
+                              from_seq = req.from_seq,
+                              max_events = req.max_events, deferred] {
+        DiscoverServer& host = grp->core_at(owner);
+        proto::HistoryReply out;
+        int status = 200;
+        if (host.find_app(app_id) == nullptr) {
+          out.message = "application not found";
+          status = 404;
+        } else {
+          out.ok = true;
+          out.events = host.archive_.app_history(app_id, from_seq, max_events);
+        }
+        grp->post_shard(me, [deferred, out = std::move(out), status] {
+          deferred->complete(body_response(status, proto::encode_body(out)));
+        });
+      });
+      return;
+    }
+
     AppEntry* entry = s.find_app(req.app_id);
     if (entry == nullptr) {
       reply.message = "application not found";
@@ -791,6 +1027,41 @@ class DiscoverServer::VisualizationServlet final : public http::Servlet {
       response.body = util::to_bytes("select the application first");
       return;
     }
+    std::size_t width = 60;
+    if (const auto n = request.query_param("n")) {
+      width = std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::strtoul(n->c_str(), nullptr, 10)), 5,
+          400);
+    }
+
+    // Cross-shard visualization (DESIGN.md §5i): the application log lives
+    // on the owner core; the whole report renders there, off our worker.
+    if (const std::uint32_t owner = s.shard_owner_of(app);
+        s.sharded() && owner != s.shard_index_) {
+      auto deferred = ctx.defer();
+      const std::uint32_t me = s.shard_index_;
+      DiscoverServer* grp = s.group_;
+      const std::string metric_name = *metric;
+      grp->post_shard(owner, [grp, owner, me, app, metric_name, width,
+                              deferred] {
+        auto resp = std::make_shared<http::HttpResponse>();
+        render(grp->core_at(owner), app, metric_name, width, *resp);
+        grp->post_shard(me, [deferred, resp] {
+          deferred->complete(std::move(*resp));
+        });
+      });
+      return;
+    }
+
+    render(s, app, *metric, width, response);
+  }
+
+ private:
+  /// Renders the report against `s`'s app table and archive; must run on
+  /// `s`'s execution context.
+  static void render(DiscoverServer& s, const proto::AppId& app,
+                     const std::string& metric, std::size_t width,
+                     http::HttpResponse& response) {
     const AppEntry* entry = s.find_app(app);
     if (entry == nullptr) {
       response.status = 404;
@@ -807,18 +1078,12 @@ class DiscoverServer::VisualizationServlet final : public http::Servlet {
       return;
     }
 
-    std::size_t width = 60;
-    if (const auto n = request.query_param("n")) {
-      width = std::clamp<std::size_t>(
-          static_cast<std::size_t>(std::strtoul(n->c_str(), nullptr, 10)), 5,
-          400);
-    }
     // Newest `width` samples of the metric from the application log.
     std::vector<double> series;
     for (const auto& ev :
          s.archive_.app_history(app, 0, 0)) {
       if (ev.kind != proto::EventKind::update) continue;
-      const auto it = ev.metrics.find(*metric);
+      const auto it = ev.metrics.find(metric);
       if (it != ev.metrics.end()) series.push_back(it->second);
     }
     if (series.size() > width) {
@@ -827,7 +1092,7 @@ class DiscoverServer::VisualizationServlet final : public http::Servlet {
     }
     if (series.empty()) {
       response.status = 404;
-      response.body = util::to_bytes("no samples for metric " + *metric);
+      response.body = util::to_bytes("no samples for metric " + metric);
       return;
     }
 
@@ -849,13 +1114,12 @@ class DiscoverServer::VisualizationServlet final : public http::Servlet {
     char head[256];
     std::snprintf(head, sizeof(head),
                   "%s @ %s\nsamples=%zu min=%g max=%g avg=%g\n",
-                  metric->c_str(), entry->name.c_str(), series.size(), lo,
+                  metric.c_str(), entry->name.c_str(), series.size(), lo,
                   hi, sum / static_cast<double>(series.size()));
     response.headers.set("Content-Type", "text/plain");
     response.body = util::to_bytes(std::string(head) + spark + "\n");
   }
 
- private:
   DiscoverServer& server_;
 };
 
@@ -874,9 +1138,39 @@ class DiscoverServer::MetricsServlet final : public http::Servlet {
   [[nodiscard]] bool traced() const override { return false; }
 
   void service(const http::HttpRequest& request, http::HttpResponse& response,
-               http::ServletContext&) override {
+               http::ServletContext& ctx) override {
     const auto format = request.query_param("format");
-    if (format && *format == "json") {
+    const bool json = format && *format == "json";
+
+    // Sharded scrape (DESIGN.md §5i): every core keeps its own registry so
+    // the hot paths never share counters; one scrape visits each core on
+    // its own worker and merges the snapshots into a single exposition.
+    if (server_.sharded()) {
+      auto deferred = ctx.defer();
+      auto snaps = std::make_shared<std::vector<util::MetricsRegistry::Snapshot>>();
+      server_.gather_across_cores(
+          [snaps](DiscoverServer& core) {
+            snaps->push_back(core.metrics_.snapshot());
+          },
+          [snaps, deferred, json] {
+            const auto merged = util::MetricsRegistry::merge(*snaps);
+            http::HttpResponse resp;
+            resp.status = 200;
+            if (json) {
+              resp.headers.set("Content-Type", "application/json");
+              resp.body =
+                  util::to_bytes(util::MetricsRegistry::render_json(merged));
+            } else {
+              resp.headers.set("Content-Type", "text/plain");
+              resp.body = util::to_bytes(
+                  util::MetricsRegistry::render_prometheus(merged));
+            }
+            deferred->complete(std::move(resp));
+          });
+      return;
+    }
+
+    if (json) {
       response.headers.set("Content-Type", "application/json");
       response.body = util::to_bytes(server_.metrics_.json());
     } else {
@@ -903,9 +1197,44 @@ class DiscoverServer::TraceServlet final : public http::Servlet {
   [[nodiscard]] bool traced() const override { return false; }
 
   void service(const http::HttpRequest& request, http::HttpResponse& response,
-               http::ServletContext&) override {
+               http::ServletContext& ctx) override {
     const auto format = request.query_param("format");
-    if (format && *format == "json") {
+    const bool json = format && *format == "json";
+
+    // Sharded scrape: each core keeps its own span ring; dump them in shard
+    // order.  Trace ids carry the shard index (util::Tracer shard minting),
+    // so the concatenation stays unambiguous.
+    if (server_.sharded()) {
+      auto deferred = ctx.defer();
+      auto parts = std::make_shared<std::vector<std::string>>();
+      server_.gather_across_cores(
+          [parts, json](DiscoverServer& core) {
+            parts->push_back(json ? core.tracer_.dump_json()
+                                  : core.tracer_.dump_text());
+          },
+          [parts, deferred, json] {
+            http::HttpResponse resp;
+            resp.status = 200;
+            std::string body;
+            if (json) {
+              body = "{\"shards\":[";
+              for (std::size_t i = 0; i < parts->size(); ++i) {
+                if (i != 0) body += ',';
+                body += (*parts)[i];
+              }
+              body += "]}";
+              resp.headers.set("Content-Type", "application/json");
+            } else {
+              for (const auto& part : *parts) body += part;
+              resp.headers.set("Content-Type", "text/plain");
+            }
+            resp.body = util::to_bytes(body);
+            deferred->complete(std::move(resp));
+          });
+      return;
+    }
+
+    if (json) {
       response.headers.set("Content-Type", "application/json");
       response.body = util::to_bytes(server_.tracer_.dump_json());
     } else {

@@ -1,0 +1,213 @@
+// Sharded multi-core server internals (DESIGN.md §5i).
+//
+// A DiscoverServer with shard_count > 1 on a sharding-capable network is a
+// group of N full server cores sharing one node id.  The user-facing
+// instance is core 0 and owns the dispatcher, the shard pool and the inner
+// cores; every core runs its own event loop over its own pool queue, so
+// all per-core state stays lock-free.  Cross-core interactions — select
+// grants, lock forgets, event fan-out, login/scrape gathers — are the
+// explicit queue hops implemented here.
+#include "core/server.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace discover::core {
+
+void ServerStats::add(const ServerStats& other) {
+  logins_ok += other.logins_ok;
+  logins_failed += other.logins_failed;
+  selects_ok += other.selects_ok;
+  selects_failed += other.selects_failed;
+  commands_accepted += other.commands_accepted;
+  commands_rejected += other.commands_rejected;
+  commands_buffered += other.commands_buffered;
+  updates_processed += other.updates_processed;
+  responses_processed += other.responses_processed;
+  events_delivered += other.events_delivered;
+  events_dropped += other.events_dropped;
+  resync_markers += other.resync_markers;
+  overflow_disconnects += other.overflow_disconnects;
+  admission_rejected_logins += other.admission_rejected_logins;
+  admission_rejected_selects += other.admission_rejected_selects;
+  // Peaks and maxima are per-core high-water marks; the sum keeps the max.
+  peak_fifo_backlog = std::max(peak_fifo_backlog, other.peak_fifo_backlog);
+  peak_fifo_backlog_bytes =
+      std::max(peak_fifo_backlog_bytes, other.peak_fifo_backlog_bytes);
+  polls_served += other.polls_served;
+  collab_posts += other.collab_posts;
+  remote_commands_in += other.remote_commands_in;
+  remote_commands_out += other.remote_commands_out;
+  peer_events_in += other.peer_events_in;
+  peer_events_out += other.peer_events_out;
+  peer_rate_limited += other.peer_rate_limited;
+  peer_batches_out += other.peer_batches_out;
+  peer_batch_events_max =
+      std::max(peer_batch_events_max, other.peer_batch_events_max);
+  flushes_by_count += other.flushes_by_count;
+  flushes_by_bytes += other.flushes_by_bytes;
+  flushes_by_timer += other.flushes_by_timer;
+  outbox_dropped += other.outbox_dropped;
+  dir_deltas_in += other.dir_deltas_in;
+  dir_fulls_in += other.dir_fulls_in;
+  dir_refresh_bytes += other.dir_refresh_bytes;
+  system_events += other.system_events;
+  apps_registered += other.apps_registered;
+  apps_departed += other.apps_departed;
+  lock_notices += other.lock_notices;
+  lock_leases_expired += other.lock_leases_expired;
+  lock_waiters_expired += other.lock_waiters_expired;
+  lock_holders_reaped += other.lock_holders_reaped;
+  lock_waiters_reaped += other.lock_waiters_reaped;
+  forget_locks_retries += other.forget_locks_retries;
+  forget_locks_abandoned += other.forget_locks_abandoned;
+  monitoring_reports += other.monitoring_reports;
+  monitoring_failures += other.monitoring_failures;
+}
+
+ServerStats DiscoverServer::stats_sum() const {
+  ServerStats out = stats_;
+  for (const auto& core : cores_) out.add(core->stats_);
+  return out;
+}
+
+void DiscoverServer::configure_shard(std::uint32_t index, std::uint32_t bits,
+                                     DiscoverServer* group) {
+  group_ = group;
+  shard_index_ = index;
+  shard_bits_ = bits;
+  group_shards_ = group->config_.shard_count;
+}
+
+void DiscoverServer::route_message(const net::Message& msg) {
+  std::uint32_t shard = 0;
+  switch (msg.channel) {
+    case net::Channel::http:
+    case net::Channel::main_channel:
+    case net::Channel::response:
+    case net::Channel::command:
+      // Client and application traffic follows the source node's affinity
+      // hash; the core that accepted an app's registration owns all of its
+      // channel traffic (and minted its app id accordingly).
+      shard = shard_of_node(msg.src.value(), group_shards_);
+      break;
+    case net::Channel::giop:
+    case net::Channel::control:
+      // ORB and control traffic stays on core 0: only core 0's orb_ is
+      // reachable from the outside, and it is only ever touched from shard
+      // worker 0.
+      shard = 0;
+      break;
+  }
+  if (routed_ != nullptr) routed_->inc(shard);
+  DiscoverServer* core = &core_at(shard);
+  pool_->post(shard, [core, msg] { core->dispatch_message(msg); });
+}
+
+void DiscoverServer::post_shard(std::uint32_t idx, std::function<void()> fn) {
+  if (!sharded() ||
+      (net::ShardPool::current_shard() == idx &&
+       net::ShardPool::current_shard() != net::ShardPool::kNotAShard)) {
+    fn();
+    return;
+  }
+  group_->pool_->post(idx, std::move(fn));
+}
+
+net::TimerId DiscoverServer::schedule_self(util::Duration delay,
+                                           std::function<void()> fn) {
+  if (!sharded()) return network_.schedule(self_, delay, std::move(fn));
+  // The network timer fires on the node's home worker; hop onto this
+  // core's shard queue so the callback touches core state safely.
+  DiscoverServer* group = group_;
+  const std::uint32_t idx = shard_index_;
+  return network_.schedule(
+      self_, delay, [group, idx, fn = std::move(fn)]() mutable {
+        group->pool_->post(idx, std::move(fn));
+      });
+}
+
+void DiscoverServer::gather_across_cores(
+    std::function<void(DiscoverServer&)> visit, std::function<void()> done) {
+  auto job = std::make_shared<GatherJob>();
+  job->visit = std::move(visit);
+  job->done = std::move(done);
+  job->origin = shard_index_;
+  group_->gather_step(job, 0);
+}
+
+void DiscoverServer::gather_step(const std::shared_ptr<GatherJob>& job,
+                                 std::uint32_t idx) {
+  pool_->post(idx, [this, job, idx] {
+    job->visit(core_at(idx));
+    if (idx + 1 < group_shards_) {
+      gather_step(job, idx + 1);
+    } else {
+      pool_->post(job->origin, [job] { job->done(); });
+    }
+  });
+}
+
+DiscoverServer::ShardSelectGrant DiscoverServer::grant_select_on_owner(
+    const proto::AppId& app, const std::string& user,
+    std::uint32_t client_shard, bool already_selected) {
+  ShardSelectGrant grant;
+  AppEntry* entry = find_app(app);
+  if (entry == nullptr || !entry->local) return grant;
+  grant.found = true;
+  grant.name = entry->name;
+  // Same check order as the unsharded select path: admission first (new
+  // subscribers only), then the application ACL.
+  if (config_.max_sessions_per_app != 0 && !already_selected &&
+      admission_watchers(app) >= config_.max_sessions_per_app) {
+    grant.admission_rejected = true;
+    return grant;
+  }
+  grant.privilege = entry->acl.privilege_of(user);
+  if (grant.privilege == security::Privilege::none) return grant;
+  if (!already_selected) ++entry->watcher_shards[client_shard];
+  grant.params = entry->params;
+  grant.history_seq = entry->event_seq;
+  return grant;
+}
+
+void DiscoverServer::release_shard_watcher(const proto::AppId& app,
+                                           std::uint32_t client_shard) {
+  AppEntry* entry = find_app(app);
+  if (entry == nullptr) return;
+  const auto it = entry->watcher_shards.find(client_shard);
+  if (it == entry->watcher_shards.end()) return;
+  if (--it->second == 0) entry->watcher_shards.erase(it);
+}
+
+std::size_t DiscoverServer::admission_watchers(const proto::AppId& app) const {
+  std::size_t n = subscriber_count(app);
+  if (const AppEntry* entry = find_app(app)) {
+    for (const auto& [_, count] : entry->watcher_shards) n += count;
+  }
+  return n;
+}
+
+void DiscoverServer::fan_out_to_watcher_shards(AppEntry& entry,
+                                               const proto::ClientEvent& ev) {
+  const auto shared = std::make_shared<const proto::ClientEvent>(ev);
+  const proto::AppId app = entry.id;
+  for (const auto& [shard, count] : entry.watcher_shards) {
+    if (count == 0 || shard == shard_index_) continue;
+    DiscoverServer* core = &group_->core_at(shard);
+    group_->pool_->post(shard,
+                        [core, app, shared] { core->deliver_local(app, *shared); });
+  }
+}
+
+void DiscoverServer::drain_shards() {
+  if (!pool_) return;
+  if (!pool_->wait_idle(util::seconds(5))) {
+    DISCOVER_LOG(warn, "server")
+        << describe() << ": shard queues still busy after drain timeout";
+  }
+  pool_->stop();
+}
+
+}  // namespace discover::core

@@ -67,6 +67,12 @@ class Network {
     return schedule(node, 0, std::move(fn));
   }
 
+  /// True when nodes on this backend may run multi-threaded internals
+  /// (worker-shard pools).  The simulated backend must stay false: its
+  /// determinism contract assumes one logical thread for everything, so a
+  /// sharded node would break byte-identical replays.
+  [[nodiscard]] virtual bool supports_sharding() const { return false; }
+
   [[nodiscard]] virtual util::TimePoint now() const = 0;
   [[nodiscard]] virtual const util::Clock& clock() const = 0;
 

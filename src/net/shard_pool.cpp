@@ -1,0 +1,109 @@
+#include "net/shard_pool.h"
+
+#include <chrono>
+
+namespace discover::net {
+
+namespace {
+thread_local std::size_t tl_current_shard = ShardPool::kNotAShard;
+}  // namespace
+
+ShardPool::ShardPool(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  workers_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+ShardPool::~ShardPool() { stop(); }
+
+void ShardPool::start() {
+  std::lock_guard<std::mutex> guard(lifecycle_mutex_);
+  if (started_ || stopped_.load(std::memory_order_acquire)) return;
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardPool::stop() {
+  std::lock_guard<std::mutex> guard(lifecycle_mutex_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  running_.store(false, std::memory_order_release);
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      while (!worker->queue.empty()) {
+        worker->queue.pop_front();
+        finish_task();
+      }
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ShardPool::post(std::size_t shard, std::function<void()> fn) {
+  if (shard >= workers_.size() || !fn) return;
+  Worker& worker = *workers_[shard];
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    // After stop() we drop the task, like a stopped ThreadNetwork drops
+    // queued deliveries.  Before start() we accept and hold until the
+    // workers spin up.
+    if (!stopped_.load(std::memory_order_acquire)) {
+      worker.queue.push_back(std::move(fn));
+      accepted = true;
+    }
+  }
+  if (accepted) {
+    worker.cv.notify_one();
+  } else {
+    finish_task();
+  }
+}
+
+bool ShardPool::wait_idle(util::Duration timeout) {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  return idle_cv_.wait_for(lock, std::chrono::nanoseconds(timeout), [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::size_t ShardPool::current_shard() { return tl_current_shard; }
+
+void ShardPool::worker_loop(std::size_t index) {
+  tl_current_shard = index;
+  Worker& worker = *workers_[index];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.cv.wait(lock, [&] {
+        return !worker.queue.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (!running_.load(std::memory_order_acquire)) break;
+      task = std::move(worker.queue.front());
+      worker.queue.pop_front();
+    }
+    task();
+    finish_task();
+  }
+  tl_current_shard = kNotAShard;
+}
+
+void ShardPool::finish_task() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace discover::net

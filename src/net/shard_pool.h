@@ -1,0 +1,84 @@
+// Worker-shard pool for multi-core nodes (DESIGN.md §5i).
+//
+// A node that wants to use more than one core splits its state into N
+// shards and runs one event loop per shard, RethinkDB-style: each shard
+// owns a mutex+condvar task queue drained by a dedicated worker thread,
+// and cross-shard interactions are explicit posts onto the target shard's
+// queue (the do_on_thread idiom) — shard state itself needs no locking
+// because only its own worker ever touches it.
+//
+// The pool is deliberately dumb: it knows nothing about messages or
+// routing.  The owning node's dispatcher decides which shard a task
+// belongs to; the pool only guarantees per-shard FIFO execution and a
+// queue-handoff happens-before edge between a post and its execution.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace discover::net {
+
+class ShardPool {
+ public:
+  /// Sentinel returned by current_shard() on threads that are not pool
+  /// workers (the network worker, timer thread, test main thread).
+  static constexpr std::size_t kNotAShard = ~std::size_t{0};
+
+  explicit ShardPool(std::size_t shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Spawns one worker per shard.  Tasks posted before start() queue up
+  /// and run once the workers exist.  Idempotent.
+  void start();
+  /// Stops dispatching, drops queued tasks, joins workers.  Idempotent.
+  void stop();
+
+  /// Enqueues `fn` on `shard`'s queue (FIFO per shard).  Safe from any
+  /// thread, including other shards' workers.  Posting to a stopped pool
+  /// drops the task, mirroring ThreadNetwork::stop() semantics.
+  void post(std::size_t shard, std::function<void()> fn);
+
+  /// Blocks until no task is queued or executing on any shard, or until
+  /// `timeout` elapses.  Returns true when idle was reached.
+  bool wait_idle(util::Duration timeout);
+
+  /// Index of the shard whose worker is the calling thread, or kNotAShard.
+  [[nodiscard]] static std::size_t current_shard();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t index);
+  void finish_task();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+  bool started_ = false;
+  std::mutex lifecycle_mutex_;
+
+  std::atomic<std::uint64_t> inflight_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace discover::net

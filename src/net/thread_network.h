@@ -55,6 +55,8 @@ class ThreadNetwork final : public Network {
   void reset_traffic() override;
   [[nodiscard]] const std::string& node_name(NodeId id) const override;
   [[nodiscard]] DomainId node_domain(NodeId id) const override;
+  /// Real threads already back every node; a node may shard internally.
+  [[nodiscard]] bool supports_sharding() const override { return true; }
 
   /// Blocks until no task is queued or executing anywhere (future-dated
   /// timers do not count), or until `timeout` elapses.  Returns true when

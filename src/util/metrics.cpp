@@ -20,6 +20,18 @@ void append_i64(std::string& out, std::int64_t v) {
 
 }  // namespace
 
+ShardedCounter::ShardedCounter(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards),
+      slots_(std::make_unique<Slot[]>(shards_)) {}
+
+std::uint64_t ShardedCounter::value() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shards_; ++i) {
+    total += slots_[i].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 std::uint64_t& MetricsRegistry::counter(const std::string& name) {
   return counters_[name].owned;
 }
@@ -27,6 +39,13 @@ std::uint64_t& MetricsRegistry::counter(const std::string& name) {
 void MetricsRegistry::register_counter(const std::string& name,
                                        const std::uint64_t* value) {
   counters_[name].external = value;
+}
+
+ShardedCounter& MetricsRegistry::sharded_counter(const std::string& name,
+                                                 std::size_t shards) {
+  CounterSlot& slot = counters_[name];
+  if (!slot.sharded) slot.sharded = std::make_unique<ShardedCounter>(shards);
+  return *slot.sharded;
 }
 
 void MetricsRegistry::register_gauge(const std::string& name,
@@ -48,23 +67,47 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second.value();
 }
 
-std::string MetricsRegistry::prometheus_text() const {
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, slot] : counters_) {
+    snap.counters[name] = slot.value();
+  }
+  for (const auto& [name, sample] : gauges_) snap.gauges[name] = sample();
+  for (const auto& [name, slot] : histograms_) {
+    snap.histograms[name] = slot.get();
+  }
+  return snap;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::merge(
+    const std::vector<Snapshot>& parts) {
+  Snapshot out;
+  for (const Snapshot& part : parts) {
+    for (const auto& [name, v] : part.counters) out.counters[name] += v;
+    for (const auto& [name, v] : part.gauges) out.gauges[name] += v;
+    for (const auto& [name, h] : part.histograms) {
+      out.histograms[name].merge(h);
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_prometheus(const Snapshot& snap) {
   std::string out;
   out.reserve(4096);
-  for (const auto& [name, slot] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     out += "# TYPE " + name + " counter\n";
     out += name + " ";
-    append_u64(out, slot.value());
+    append_u64(out, value);
     out += "\n";
   }
-  for (const auto& [name, sample] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     out += "# TYPE " + name + " gauge\n";
     out += name + " ";
-    append_i64(out, sample());
+    append_i64(out, value);
     out += "\n";
   }
-  for (const auto& [name, slot] : histograms_) {
-    const LatencyHistogram& h = slot.get();
+  for (const auto& [name, h] : snap.histograms) {
     out += "# TYPE " + name + " summary\n";
     for (const auto& [label, q] :
          {std::pair<const char*, double>{"0.5", 0.50},
@@ -85,29 +128,28 @@ std::string MetricsRegistry::prometheus_text() const {
   return out;
 }
 
-std::string MetricsRegistry::json() const {
+std::string MetricsRegistry::render_json(const Snapshot& snap) {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, slot] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + name + "\": ";
-    append_u64(out, slot.value());
+    append_u64(out, value);
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"gauges\": {";
   first = true;
-  for (const auto& [name, sample] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + name + "\": ";
-    append_i64(out, sample());
+    append_i64(out, value);
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   first = true;
-  for (const auto& [name, slot] : histograms_) {
-    const LatencyHistogram& h = slot.get();
+  for (const auto& [name, h] : snap.histograms) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + name + "\": {\"count\": ";
@@ -125,6 +167,12 @@ std::string MetricsRegistry::json() const {
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
 }
+
+std::string MetricsRegistry::prometheus_text() const {
+  return render_prometheus(snapshot());
+}
+
+std::string MetricsRegistry::json() const { return render_json(snapshot()); }
 
 std::map<std::string, std::int64_t> MetricsRegistry::monitoring_map() const {
   std::map<std::string, std::int64_t> out;

@@ -8,16 +8,61 @@
 //
 // Scrapes are off the hot path: exposition walks a std::map so output is
 // sorted by metric name and byte-stable for golden tests.
+//
+// Sharded nodes (DESIGN.md §5i) need two extra pieces:
+//  * ShardedCounter — one cache-line-padded slot per shard so concurrent
+//    writers never contend (relaxed atomics, no read-modify-write races);
+//    the slots are summed only at scrape time.
+//  * Snapshot — a plain-data copy of every metric, taken on the owning
+//    shard's thread, mergeable across shards and rendered by the same
+//    byte-stable formatters the single-shard expositions use.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "util/stats.h"
 
 namespace discover::util {
+
+/// Striped counter: each writer owns one slot and bumps it with a relaxed
+/// store on its own cache line, so N shards incrementing concurrently never
+/// touch shared state.  value() sums the slots; callers wanting an exact
+/// total must quiesce the writers first (a scrape gathered through the
+/// shard queues gets the happens-before edge for free).
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(std::size_t shards);
+
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  void inc(std::size_t shard, std::uint64_t delta = 1) {
+    // Relaxed fetch_add: exact under any writer pattern, and with one
+    // writer per slot the cache line never bounces between cores.
+    slots_[shard % shards_].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const;
+  [[nodiscard]] std::uint64_t slot_value(std::size_t shard) const {
+    return slots_[shard % shards_].value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::size_t shards_;
+  std::unique_ptr<Slot[]> slots_;
+};
 
 class MetricsRegistry {
  public:
@@ -28,6 +73,10 @@ class MetricsRegistry {
   /// Registers an externally-owned counter (e.g. a ServerStats field).
   /// The pointee must outlive the registry.
   void register_counter(const std::string& name, const std::uint64_t* value);
+
+  /// Owned striped counter (see ShardedCounter), created on first use with
+  /// `shards` slots.  Scrapes read it like any other counter (slots summed).
+  ShardedCounter& sharded_counter(const std::string& name, std::size_t shards);
 
   /// Registers a gauge sampled at scrape time.
   void register_gauge(const std::string& name,
@@ -41,6 +90,24 @@ class MetricsRegistry {
                           const LatencyHistogram* hist);
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Plain-data copy of every metric (gauges sampled now).  Take it on the
+  /// thread that owns the underlying values; the copy can then cross
+  /// threads freely and be merged with other shards' snapshots.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, LatencyHistogram> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Element-wise union: counters and gauges sum, histograms merge.
+  static Snapshot merge(const std::vector<Snapshot>& parts);
+
+  /// Byte-stable formatters over a snapshot.  prometheus_text()/json()
+  /// below are exactly render_*(snapshot()).
+  static std::string render_prometheus(const Snapshot& snap);
+  static std::string render_json(const Snapshot& snap);
 
   /// Prometheus-style text exposition: `# TYPE` lines, counters/gauges as
   /// bare samples, histograms as summaries (quantile series + _sum/_count).
@@ -65,9 +132,11 @@ class MetricsRegistry {
  private:
   struct CounterSlot {
     std::uint64_t owned = 0;
-    const std::uint64_t* external = nullptr;  // wins when set
+    const std::uint64_t* external = nullptr;   // wins when set
+    std::unique_ptr<ShardedCounter> sharded;   // wins over both
     std::uint64_t last_interval = 0;
     [[nodiscard]] std::uint64_t value() const {
+      if (sharded) return sharded->value();
       return external ? *external : owned;
     }
   };

@@ -56,8 +56,11 @@ std::optional<TraceContext> parse_trace_header(std::string_view value) {
 }
 
 void Tracer::configure(std::uint32_t node, std::uint64_t sample_every,
-                       std::size_t ring_capacity) {
+                       std::size_t ring_capacity, std::uint32_t shard_index,
+                       std::uint32_t shard_bits) {
   node_ = node;
+  shard_index_ = shard_index;
+  shard_bits_ = shard_bits;
   sample_every_ = sample_every;
   ring_capacity_ = ring_capacity;
   ring_.reserve(ring_capacity_ < 4096 ? ring_capacity_ : 4096);
@@ -68,8 +71,8 @@ TraceContext Tracer::mint_root() {
   const bool sampled = (root_seq_++ % sample_every_) == 0;
   if (!sampled) return {};
   TraceContext ctx;
-  ctx.trace_id = (static_cast<std::uint64_t>(node_) << 32) | ++trace_seq_;
-  ctx.span_id = (static_cast<std::uint64_t>(node_) << 32) | ++span_seq_;
+  ctx.trace_id = mint_id(++trace_seq_);
+  ctx.span_id = mint_id(++span_seq_);
   return ctx;
 }
 
@@ -77,7 +80,7 @@ TraceContext Tracer::child_of(const TraceContext& parent) {
   if (!parent.valid() || sample_every_ == 0) return {};
   TraceContext ctx;
   ctx.trace_id = parent.trace_id;
-  ctx.span_id = (static_cast<std::uint64_t>(node_) << 32) | ++span_seq_;
+  ctx.span_id = mint_id(++span_seq_);
   ctx.parent_span = parent.span_id;
   return ctx;
 }

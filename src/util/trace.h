@@ -49,8 +49,16 @@ class Tracer {
  public:
   /// sample_every: 0 disables tracing, 1 traces every root, N traces one
   /// root in N (the first of each stride, so short runs still trace).
+  ///
+  /// Sharded nodes (DESIGN.md §5i) run one Tracer per shard core under the
+  /// same node id, so the counter alone no longer makes ids unique.  Each
+  /// core's tracer stamps its shard index into the low `shard_bits` of the
+  /// sequence field: `node << 32 | seq << shard_bits | shard_index`.  With
+  /// shard_bits = 0 (every unsharded node) the layout is bit-identical to
+  /// the original `node << 32 | seq`.
   void configure(std::uint32_t node, std::uint64_t sample_every,
-                 std::size_t ring_capacity);
+                 std::size_t ring_capacity, std::uint32_t shard_index = 0,
+                 std::uint32_t shard_bits = 0);
 
   [[nodiscard]] bool enabled() const { return sample_every_ != 0; }
 
@@ -99,7 +107,14 @@ class Tracer {
   void clear();
 
  private:
+  [[nodiscard]] std::uint64_t mint_id(std::uint64_t seq) const {
+    return (static_cast<std::uint64_t>(node_) << 32) | (seq << shard_bits_) |
+           shard_index_;
+  }
+
   std::uint32_t node_ = 0;
+  std::uint32_t shard_index_ = 0;
+  std::uint32_t shard_bits_ = 0;
   std::uint64_t sample_every_ = 0;
   std::size_t ring_capacity_ = 0;
   std::uint64_t root_seq_ = 0;

@@ -44,7 +44,14 @@ void ThreadScenario::start() {
   if (started_) return;
   started_ = true;
   net_.start();
-  for (auto& server : servers_) server->start();
+  for (auto& server : servers_) {
+    // Start on the server's own worker (actor model): the worker may
+    // already be dispatching, and start() touches ORB/timer state that
+    // must only ever be owned by that thread.  Inbox FIFO order puts the
+    // start ahead of any client traffic sent afterwards.
+    core::DiscoverServer* s = server.get();
+    net_.post(s->node(), [s] { s->start(); });
+  }
   for (auto& [app, server_node] : pending_connects_) {
     // Connect from the app's own context to respect the actor model.
     app::SteerableApp* a = app;
@@ -57,7 +64,11 @@ void ThreadScenario::start() {
 void ThreadScenario::stop() {
   if (!started_) return;
   started_ = false;
+  // Join the network workers first so no new messages route into the shard
+  // queues, then drain and join each server's shard pool — after this,
+  // stats()/stats_sum() reads are ordered by the thread joins.
   net_.stop();
+  for (auto& server : servers_) server->drain_shards();
 }
 
 }  // namespace discover::workload

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,46 @@ TEST(TracerRing, ChildSpansKeepTraceIdAndParent) {
   EXPECT_NE(child.span_id, root.span_id);
   EXPECT_EQ(child.parent_span, root.span_id);
   EXPECT_FALSE(t.child_of(TraceContext{}).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Shard-encoded ids (DESIGN.md §5i): id = node<<32 | seq<<shard_bits |
+// shard_index, so per-core tracers of one sharded server never collide.
+// ---------------------------------------------------------------------------
+
+TEST(TracerShardMinting, PinnedIdLayout) {
+  // Defaults (shard_index 0, shard_bits 0) are exactly the legacy
+  // node<<32|seq layout — shard_count = 1 stays wire-identical.
+  Tracer legacy;
+  legacy.configure(7, 1, 8);
+  EXPECT_EQ(legacy.mint_root().trace_id, (7ULL << 32) | 1u);
+  EXPECT_EQ(legacy.mint_root().trace_id, (7ULL << 32) | 2u);
+
+  // A core minting as shard 3 of 4 (2 bits) interleaves its index into the
+  // low bits of every id.
+  Tracer shard;
+  shard.configure(7, 1, 8, /*shard_index=*/3, /*shard_bits=*/2);
+  const TraceContext first = shard.mint_root();
+  EXPECT_EQ(first.trace_id, (7ULL << 32) | (1u << 2) | 3u);
+  EXPECT_EQ(first.span_id, (7ULL << 32) | (1u << 2) | 3u);
+  EXPECT_EQ(shard.mint_root().trace_id, (7ULL << 32) | (2u << 2) | 3u);
+}
+
+TEST(TracerShardMinting, ConcurrentCoreMintsNeverCollide) {
+  // Four tracers minting as the four cores of one node: every trace id is
+  // distinct, and the owning core is recoverable from the low bits.
+  std::set<std::uint64_t> ids;
+  for (std::uint32_t core = 0; core < 4; ++core) {
+    Tracer t;
+    t.configure(9, 1, 16, core, 2);
+    for (int i = 0; i < 100; ++i) {
+      const TraceContext ctx = t.mint_root();
+      ASSERT_TRUE(ids.insert(ctx.trace_id).second)
+          << "collision at core " << core << " mint " << i;
+      ASSERT_EQ(ctx.trace_id & 3u, core);
+    }
+  }
+  EXPECT_EQ(ids.size(), 400u);
 }
 
 // ---------------------------------------------------------------------------
