@@ -37,4 +37,12 @@ echo "== tier 1f: shard suite under TSan =="
 cmake --build build-tsan -j "$(nproc)" --target shard_test
 (cd build-tsan && ctest -L shards --output-on-failure)
 
+echo "== tier 1g: federation suite under TSan =="
+# Sharded federation: owning-core peer relays, per-core outboxes, the
+# cross-core peer-state broadcasts and the receiver-side frame scatter all
+# run with real threads; TSan proves the cross-core handoffs.  The
+# capacity sweep is scripts/bench_federation.sh.
+cmake --build build-tsan -j "$(nproc)" --target federation_test
+(cd build-tsan && ctest -L federation --output-on-failure)
+
 echo "tier1: all green"

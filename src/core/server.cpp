@@ -58,6 +58,19 @@ void DiscoverServer::attach(net::NodeId self) {
   orb_ = std::make_unique<orb::Orb>(network_, self_);
   orb_->set_retry_policy(config_.orb_retry);
   orb_->set_retry_seed(0x9e37 + self.value());
+  if (group_ != nullptr) {
+    // Sharded federation (DESIGN.md §5j): tag every id this core's ORB
+    // mints with its shard index (the dispatcher routes inbound GIOP by
+    // those low bits), run ORB timers on this core's own shard queue, and
+    // bounce collocated calls through the dispatcher so the core owning
+    // the target servant serves them.  Must precede activate_servants().
+    orb_->set_id_partition(shard_index_, shard_bits_);
+    orb_->set_scheduler([this](util::Duration d, std::function<void()> fn) {
+      return schedule_self(d, std::move(fn));
+    });
+    orb_->set_loopback(
+        [grp = group_](net::Message msg) { grp->route_message(msg); });
+  }
   tracer_.configure(self.value(), config_.trace_sample_every,
                     config_.trace_ring_cap, shard_index_, shard_bits_);
   container_->set_tracer(&tracer_);
@@ -227,6 +240,23 @@ void DiscoverServer::dispatch_message(const net::Message& msg) {
       orb_->handle(msg);
       return;
     case net::Channel::main_channel:
+      if (config_.app_event_cpu_cost > 0) {
+        // Calibrated app-event processing burn (see ServerConfig): models
+        // the per-update ingest + fan-out work that sharding parallelizes,
+        // paid on the owning core.
+        if (config_.servlet_cost_sleeps) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(config_.app_event_cpu_cost));
+        } else {
+          const auto until =
+              std::chrono::steady_clock::now() +
+              std::chrono::nanoseconds(config_.app_event_cpu_cost);
+          while (std::chrono::steady_clock::now() < until) {
+          }
+        }
+      }
+      handle_app_channel(msg);
+      return;
     case net::Channel::response:
       handle_app_channel(msg);
       return;
@@ -948,7 +978,14 @@ void DiscoverServer::drop_session(std::uint64_t key) {
       const std::string user = session.user;
       group_->post_shard(owner, [grp = group_, owner, app_id, user, me] {
         DiscoverServer& host = grp->core_at(owner);
-        host.locks_.forget(app_id, LockIdentity{user, host.self_.value()});
+        if (AppEntry* owned = host.find_app(app_id);
+            owned != nullptr && !owned->local) {
+          // Remote app on the owning core: the lock interest lives at the
+          // app's host server, not in this node's lock manager.
+          host.send_forget_locks(app_id, user, 1);
+        } else {
+          host.locks_.forget(app_id, LockIdentity{user, host.self_.value()});
+        }
         host.release_shard_watcher(app_id, me);
       });
     }
@@ -963,7 +1000,11 @@ void DiscoverServer::drop_session(std::uint64_t key) {
                   [key](const SubscriberRef& r) { return r.session_key == key; });
     if (refs.empty()) {
       subscribers_.erase(idx);
-      if (entry != nullptr && !entry->local) unsubscribe_remote(*entry);
+      // Keep the host-side subscription while sibling cores still hold
+      // watchers on this entry (they drop through release_shard_watcher).
+      if (entry != nullptr && !entry->local && entry->watcher_shards.empty()) {
+        unsubscribe_remote(*entry);
+      }
     }
   }
   sessions_.erase(it);

@@ -268,9 +268,23 @@ struct ServerConfig {
   /// shared locks; cross-core interactions are explicit queue hops.  Only
   /// honoured on backends whose supports_sharding() is true (ThreadNetwork)
   /// — the Sim backend clamps to 1 so deterministic suites are unaffected —
-  /// and shard_count = 1 is exactly the unsharded code path.  A sharded
-  /// server runs standalone: registry/peer federation is disabled.
+  /// and shard_count = 1 is exactly the unsharded code path.  Federation
+  /// composes with sharding (DESIGN.md §5j): every core runs its own ORB
+  /// with shard-tagged servant keys / request ids and its own per-peer
+  /// outboxes, the dispatcher routes inbound GIOP frames to the owning
+  /// core from the header alone, and registry discovery / peer health /
+  /// the versioned directory are centralised on core 0.
   std::uint32_t shard_count = 1;
+
+  /// CALIBRATION (ThreadNetwork experiments only): CPU burned per
+  /// main-channel application update and per ingested peer event before
+  /// processing it, emulating the 2001-era per-event server cost (decode +
+  /// archive + fan-out on period hardware).  The burn runs on the owning
+  /// shard core, so the federation bench measures how event processing
+  /// parallelises across shards.
+  /// Spends via servlet_cost_sleeps like servlet_cpu_cost.  Zero (default)
+  /// disables it.
+  util::Duration app_event_cpu_cost = 0;
 };
 
 struct ServerStats {
@@ -343,7 +357,12 @@ class DiscoverServer final : public net::MessageHandler {
   void attach(net::NodeId self);
   /// Initial references to the shared naming/trader services (the CORBA
   /// "resolve_initial_references" analogue).  Optional: a server without a
-  /// registry runs standalone.
+  /// registry runs standalone.  On a sharded server (call after attach())
+  /// every core gets the naming service — each resolves remote apps through
+  /// its own ORB — while trader discovery, export and peer health stay on
+  /// core 0.  Throws std::invalid_argument for config combinations that
+  /// cannot federate (shard_count > 1 with emulate_legacy_peer: the
+  /// emulated pre-outbox build predates sharding).
   void set_registry(orb::ObjectRef naming, orb::ObjectRef trader);
   /// Optional global identity directory (a GIS-style servant answering
   /// "list_identities"); §6.3: lets users log in at servers where no local
@@ -386,6 +405,15 @@ class DiscoverServer final : public net::MessageHandler {
     std::uint64_t v = live_registrations_.load(std::memory_order_relaxed);
     for (const auto& core : cores_) {
       v += core->live_registrations_.load(std::memory_order_relaxed);
+    }
+    return v;
+  }
+  /// Events ingested from peer servers (push batches, polls, backfills),
+  /// summed across shard cores; safe to poll while running.
+  [[nodiscard]] std::uint64_t live_peer_events_in() const {
+    std::uint64_t v = live_peer_events_.load(std::memory_order_relaxed);
+    for (const auto& core : cores_) {
+      v += core->live_peer_events_.load(std::memory_order_relaxed);
     }
     return v;
   }
@@ -438,7 +466,9 @@ class DiscoverServer final : public net::MessageHandler {
   [[nodiscard]] const util::Tracer& tracer() const { return tracer_; }
   [[nodiscard]] util::Tracer& tracer() { return tracer_; }
   [[nodiscard]] db::RecordStore& record_store() { return db_; }
-  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  [[nodiscard]] std::size_t peer_count() const {
+    return peer_count_cache_.load(std::memory_order_relaxed);
+  }
   /// True while `node` is a known peer currently marked suspect.
   [[nodiscard]] bool peer_suspect(net::NodeId node) const;
   [[nodiscard]] std::size_t local_app_count() const;
@@ -652,8 +682,10 @@ class DiscoverServer final : public net::MessageHandler {
   void configure_shard(std::uint32_t index, std::uint32_t bits,
                        DiscoverServer* group);
   /// Sharded dispatcher: runs on the node's network worker and only
-  /// routes — client/app channels to hash(src)'s core, everything else
-  /// (GIOP, control) to core 0 so ORB state stays single-threaded.
+  /// routes — client/app channels to hash(src)'s core; GIOP frames to the
+  /// core whose ORB owns them (requests by servant key, replies by request
+  /// id — both carry the minting core in their low shard bits); control
+  /// framing and unparseable GIOP to core 0.
   void route_message(const net::Message& msg);
   /// The pre-shard on_message body; on a sharded server it runs on the
   /// owning core's shard worker.
@@ -698,7 +730,17 @@ class DiscoverServer final : public net::MessageHandler {
                                          const std::string& user,
                                          std::uint32_t client_shard,
                                          bool already_selected);
-  /// Owner-core watcher-refcount drop (client core released a sub).
+  /// Async owner-core half of a cross-shard select that also covers REMOTE
+  /// applications: resolves the entry via with_remote_app, fetches the
+  /// interface from the host and subscribes, then hands the grant to
+  /// `done` (still on the owner core — the caller posts it back).  Local
+  /// entries complete inline through grant_select_on_owner.
+  void select_on_owner_async(const proto::AppId& app, const std::string& user,
+                             std::uint32_t client_shard, bool already_selected,
+                             std::function<void(ShardSelectGrant)> done);
+  /// Owner-core watcher-refcount drop (client core released a sub).  For a
+  /// remote entry whose last watcher left, this also drops the host-side
+  /// subscription.
   void release_shard_watcher(const proto::AppId& app,
                              std::uint32_t client_shard);
   /// Watchers for per-app admission: local subscriber index rows plus
@@ -733,6 +775,10 @@ class DiscoverServer final : public net::MessageHandler {
   /// Remote-side ingestion of host-published events (push or poll).
   void ingest_remote_events(AppEntry& entry,
                             const std::vector<proto::ClientEvent>& events);
+  /// Delivers one remote-app event locally and fans it out to every other
+  /// shard core with watchers (the remote-entry analogue of the
+  /// publish_event fan-out).
+  void deliver_remote(AppEntry& entry, const proto::ClientEvent& ev);
 
   // -- peer outbox pipeline ----------------------------------------------------
   /// Queues one event for `node` and fires any flush trigger that tripped.
@@ -754,13 +800,23 @@ class DiscoverServer final : public net::MessageHandler {
   /// the outbox when batching is on and the host's level-1 ref is known,
   /// else a direct forward_collab (the legacy wire behaviour).
   void relay_collab_to_host(AppEntry& entry, proto::ClientEvent ev);
-  /// forward_events servant body: applies push frames to remote entries
-  /// and publishes collab_relay frames for local apps.
+  /// forward_events servant body.  A sharded receiver scatters the frames
+  /// to their owning cores by shard_of_app (a peer batch mixes apps owned
+  /// by different cores); each core then applies its own frames.
   void ingest_event_frames(const std::vector<proto::EventFrame>& frames);
+  /// Applies push frames to remote entries and publishes collab_relay
+  /// frames for local apps — every frame must be owned by this core.
+  void apply_event_frames(const std::vector<proto::EventFrame>& frames);
 
   // -- versioned directory -----------------------------------------------------
-  /// Records one local membership/phase change in the change log.
+  /// Records one local membership/phase change in the change log.  On a
+  /// sharded server the owning core posts the change to core 0, which
+  /// keeps the single node-wide (epoch, version) sequence and an AppInfo
+  /// mirror of every core's local apps for snapshot replies.
   void bump_directory(const proto::AppId& app, bool removed);
+  /// Core-0 half of a sharded bump_directory.
+  void record_directory_change(const proto::AppId& app, bool removed,
+                               const proto::AppInfo& info, bool have_info);
   /// Builds the list_apps_since reply for a caller at (epoch, since).
   [[nodiscard]] proto::DirectoryUpdate directory_update_since(
       std::uint64_t epoch, std::uint64_t since) const;
@@ -829,6 +885,33 @@ class DiscoverServer final : public net::MessageHandler {
   /// error event, and stops routing to it until a re-probe succeeds.
   void mark_peer_suspect(Peer& peer);
   void probe_suspect_peer(Peer& peer);
+  /// Shared tail of a server_down notice: forgets the peer and withdraws
+  /// every remote app hosted there (each sharded core runs its own copy).
+  void handle_peer_down(std::uint32_t origin);
+  /// Encodes and pushes one MONITORING report, then reschedules.  The
+  /// metrics map is this core's flat snapshot — or, sharded, the merge of
+  /// every core's.
+  void send_monitoring_report(std::map<std::string, std::int64_t> metrics,
+                              std::function<void()> reschedule);
+  // Sharded federation (DESIGN.md §5j): peer discovery and health live on
+  // core 0; the entries (ref + per-core limiter + suspect flag) are
+  // replicated so every core can reach every peer through its own ORB.
+  /// Core 0: copies a newly discovered peer to every other core.
+  void replicate_peer_to_cores(const Peer& peer);
+  /// Core 0: pushes a suspect/heal transition to every other core.
+  void broadcast_peer_state_to_cores(std::uint32_t node, bool suspect);
+  /// Any core: local half of a suspect transition — flags the peer,
+  /// withdraws its remote apps, reaps its lock interest.  No control
+  /// broadcast (core 0 already did that once for the node).
+  void apply_peer_suspect(std::uint32_t node);
+  /// Any core: local half of a heal — clears the flag, drains the outbox.
+  void apply_peer_heal(std::uint32_t node);
+  /// Per-core halves of the sharded registry/identity wiring.
+  void set_registry_core(const orb::ObjectRef& naming,
+                         const orb::ObjectRef& trader, bool with_trader);
+  /// Core 0: copies the refreshed identity cache to every other core (each
+  /// core authenticates login gathers against its own copy).
+  void replicate_identities_to_cores();
   /// Ensures a remote AppEntry exists with a resolved CorbaProxy ref; then
   /// runs `ready` (with nullptr on failure).
   void with_remote_app(const proto::AppId& app,
@@ -938,6 +1021,9 @@ class DiscoverServer final : public net::MessageHandler {
   std::uint64_t next_host_rid_ = 1;
 
   std::map<std::uint32_t, Peer> peers_;
+  /// Mirror of peers_.size(), maintained at every insert/erase so tests
+  /// and monitors on other threads can poll peer_count() race-free.
+  std::atomic<std::size_t> peer_count_cache_{0};
   /// Keyed by peer node, NOT tied to peers_ lifetime: push targets come
   /// from AppEntry::subscribers and may precede trader discovery.
   std::map<std::uint32_t, PeerOutbox> outboxes_;
@@ -951,6 +1037,10 @@ class DiscoverServer final : public net::MessageHandler {
   std::deque<DirLogEntry> dir_log_;
   std::uint64_t dir_epoch_ = 0;
   std::uint64_t dir_version_ = 0;
+  /// Sharded core 0 only: AppInfo of every core's local apps, maintained by
+  /// record_directory_change; directory_update_since snapshots read this
+  /// instead of apps_ (which holds only core 0's own apps).
+  std::map<proto::AppId, proto::AppInfo> dir_mirror_;
   net::TimerId refresh_timer_{0};
   net::TimerId liveness_timer_{0};
   net::TimerId session_timer_{0};
@@ -980,6 +1070,7 @@ class DiscoverServer final : public net::MessageHandler {
   std::atomic<std::uint64_t> live_updates_{0};
   std::atomic<std::uint64_t> live_requests_{0};
   std::atomic<std::uint64_t> live_registrations_{0};
+  std::atomic<std::uint64_t> live_peer_events_{0};
 };
 
 }  // namespace discover::core

@@ -4,7 +4,10 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
+#include <stdexcept>
+#include <thread>
 
 #include "util/log.h"
 
@@ -73,14 +76,59 @@ class DiscoverServer::DiscoverCorbaServerServant final : public orb::Servant {
     if (method == "authenticate") {
       // Cross-server level-1 authentication: checks the user against local
       // application ACLs and returns the applications they may access
-      // (paper §5.2.2).
+      // (paper §5.2.2).  A sharded node answers for every core: apps and
+      // sessions are striped, so the reply is a cross-core gather (the
+      // deferred handle completes on this core, which owns the ORB reply).
       const std::string user = args.str();
       const std::uint64_t pw = args.u64();
+      if (s.sharded()) {
+        auto ok_any = std::make_shared<bool>(false);
+        auto apps = std::make_shared<std::vector<proto::AppInfo>>();
+        const auto deferred = ctx.defer();
+        s.gather_across_cores(
+            [user, pw, ok_any, apps](DiscoverServer& core) {
+              if (core.authenticate_local(user, pw)) *ok_any = true;
+              for (auto& info : core.visible_apps(user)) {
+                apps->push_back(std::move(info));
+              }
+            },
+            [ok_any, apps, deferred] {
+              std::sort(apps->begin(), apps->end(),
+                        [](const proto::AppInfo& a, const proto::AppInfo& b) {
+                          return a.id < b.id;
+                        });
+              wire::Encoder reply;
+              reply.boolean(*ok_any);
+              encode_app_info_seq(reply, *ok_any
+                                             ? *apps
+                                             : std::vector<proto::AppInfo>{});
+              deferred->reply(std::move(reply));
+            });
+        return;
+      }
       const bool ok = s.authenticate_local(user, pw);
       out.boolean(ok);
       encode_app_info_seq(out, ok ? s.visible_apps(user)
                                   : std::vector<proto::AppInfo>{});
     } else if (method == "list_users") {
+      if (s.sharded()) {
+        auto users = std::make_shared<std::vector<std::string>>();
+        const auto deferred = ctx.defer();
+        s.gather_across_cores(
+            [users](DiscoverServer& core) {
+              for (const auto& [_, session] : core.sessions_) {
+                users->push_back(session.user);
+              }
+            },
+            [users, deferred] {
+              std::sort(users->begin(), users->end());
+              wire::Encoder reply;
+              reply.u32(static_cast<std::uint32_t>(users->size()));
+              for (const auto& u : *users) reply.str(u);
+              deferred->reply(std::move(reply));
+            });
+        return;
+      }
       std::vector<std::string> users;
       for (const auto& [_, session] : s.sessions_) {
         users.push_back(session.user);
@@ -88,6 +136,26 @@ class DiscoverServer::DiscoverCorbaServerServant final : public orb::Servant {
       out.u32(static_cast<std::uint32_t>(users.size()));
       for (const auto& u : users) out.str(u);
     } else if (method == "list_services") {
+      if (s.sharded()) {
+        auto apps = std::make_shared<std::vector<proto::AppInfo>>();
+        const auto deferred = ctx.defer();
+        s.gather_across_cores(
+            [apps](DiscoverServer& core) {
+              for (const auto& [id, entry] : core.apps_) {
+                if (entry.local) apps->push_back(core.app_info_of(entry));
+              }
+            },
+            [apps, deferred] {
+              std::sort(apps->begin(), apps->end(),
+                        [](const proto::AppInfo& a, const proto::AppInfo& b) {
+                          return a.id < b.id;
+                        });
+              wire::Encoder reply;
+              encode_app_info_seq(reply, *apps);
+              deferred->reply(std::move(reply));
+            });
+        return;
+      }
       std::vector<proto::AppInfo> apps;
       for (const auto& [id, entry] : s.apps_) {
         if (!entry.local) continue;
@@ -98,12 +166,24 @@ class DiscoverServer::DiscoverCorbaServerServant final : public orb::Servant {
       // Push-mode delivery from an application's host server.  Kept as a
       // compat alias beside forward_events so a new host can push to this
       // server during a rolling upgrade, and as the peer_flush_delay==0
-      // legacy wire format.
+      // legacy wire format.  On a sharded receiver the remote entry lives
+      // on shard_of_app's core; hop there.
       const proto::AppId app = proto::decode_app_id(args);
       const auto events = decode_event_seq(args);
-      AppEntry* entry = s.find_app(app);
-      if (entry != nullptr && !entry->local) {
-        s.ingest_remote_events(*entry, events);
+      const std::uint32_t owner = s.shard_owner_of(app);
+      if (s.sharded() && owner != s.shard_index_) {
+        DiscoverServer* core = &s.group_->core_at(owner);
+        s.group_->pool_->post(owner, [core, app, events] {
+          AppEntry* entry = core->find_app(app);
+          if (entry != nullptr && !entry->local) {
+            core->ingest_remote_events(*entry, events);
+          }
+        });
+      } else {
+        AppEntry* entry = s.find_app(app);
+        if (entry != nullptr && !entry->local) {
+          s.ingest_remote_events(*entry, events);
+        }
       }
     } else if (method == "forward_events" && !s.config_.emulate_legacy_peer) {
       // Batched peer outbox flush: push frames for apps hosted at the
@@ -243,32 +323,55 @@ orb::ObjectRef DiscoverServer::activate_corba_proxy(AppEntry& entry) {
 
 void DiscoverServer::set_registry(orb::ObjectRef naming,
                                   orb::ObjectRef trader) {
-  if (sharded()) {
-    // A sharded node runs standalone (DESIGN.md §5i): peer federation
-    // would route ORB work onto arbitrary cores.  Scale-out across nodes
-    // composes with per-node sharding only through unsharded servers.
-    DISCOVER_LOG(warn, "server")
-        << describe() << ": sharded server ignores the registry; "
-        << "peer federation is disabled at shard_count > 1";
+  if (sharded() && config_.emulate_legacy_peer) {
+    // The emulated pre-outbox peer build predates sharding; refusing at
+    // startup beats a half-configured federation that drops batches.
+    throw std::invalid_argument(
+        "shard_count > 1 cannot federate with emulate_legacy_peer: the "
+        "emulated legacy peer build predates sharding");
+  }
+  if (pool_) {
+    // Sharded federation (DESIGN.md §5j): called from outside the shard
+    // workers (attach() already started them), so distribute the refs
+    // through the shard queues and let each core configure its own ORB
+    // clients in its own context.  Every core gets the naming service —
+    // app rebinds and remote resolves happen on the owning core — while
+    // trader discovery, export and monitoring stay on core 0, the
+    // federation coordinator.
+    for (std::uint32_t i = 0; i < group_shards_; ++i) {
+      DiscoverServer* core = &core_at(i);
+      pool_->post(i, [core, naming, trader] {
+        core->set_registry_core(naming, trader, core->shard_index_ == 0);
+      });
+    }
     return;
   }
-  naming_ = orb::NamingClient(*orb_, std::move(naming));
-  trader_ = orb::TraderClient(*orb_, std::move(trader));
+  set_registry_core(naming, trader, true);
+}
+
+void DiscoverServer::set_registry_core(const orb::ObjectRef& naming,
+                                       const orb::ObjectRef& trader,
+                                       bool with_trader) {
+  naming_ = orb::NamingClient(*orb_, naming);
   // Registry calls must not wait forever: a lost reply on a faulty link
   // would otherwise wedge the refresh loop (its reschedule lives in the
   // query callback).  With a deadline the loop self-heals, and the ORB
   // retry policy (if enabled) rides each call through transient loss.
   naming_.set_call_timeout(config_.orb_call_timeout);
-  trader_.set_call_timeout(config_.orb_call_timeout);
+  if (with_trader) {
+    trader_ = orb::TraderClient(*orb_, trader);
+    trader_.set_call_timeout(config_.orb_call_timeout);
+  }
 }
 
 void DiscoverServer::start() {
   if (started_) return;
   started_ = true;
   if (pool_) {
-    // Each core starts its own sweeps on its own shard worker; registry
-    // integration is off in sharded mode, so start_core's trader/identity
-    // branches no-op on every core.
+    // Each core starts its own sweeps — and its own half of federation —
+    // on its own shard worker.  Core 0 owns trader export/refresh, the
+    // identity pull and monitoring; the other cores' trader_ /
+    // identity_directory_ are unset, so those branches no-op there.
     for (std::uint32_t i = 0; i < group_shards_; ++i) {
       DiscoverServer* core = &core_at(i);
       pool_->post(i, [core] {
@@ -286,8 +389,8 @@ void DiscoverServer::start_core() {
   sweep_idle_sessions();
   if (identity_directory_.valid()) refresh_identities();
   if (config_.report_to_monitoring && trader_.configured()) {
-    monitor_timer_ = network_.schedule(self_, config_.monitoring_period,
-                                       [this] { report_monitoring(); });
+    monitor_timer_ = schedule_self(config_.monitoring_period,
+                                   [this] { report_monitoring(); });
   }
   if (trader_.configured()) {
     export_trader_offer();
@@ -329,8 +432,12 @@ void DiscoverServer::shutdown_core() {
   if (monitor_timer_.value() != 0) network_.cancel(monitor_timer_);
   if (identity_timer_.value() != 0) network_.cancel(identity_timer_);
   flush_all_outboxes();
-  broadcast_system_event(proto::SystemEventKind::server_down, proto::AppId{},
-                         config_.name + " shutting down");
+  // Peers are replicated to every core, so gate the farewell on core 0 or
+  // each peer would hear it shard_count times.
+  if (shard_index_ == 0) {
+    broadcast_system_event(proto::SystemEventKind::server_down,
+                           proto::AppId{}, config_.name + " shutting down");
+  }
   if (trader_.configured() && trader_offer_id_ != 0) {
     trader_.withdraw(trader_offer_id_, [](util::Status) {});
   }
@@ -338,8 +445,8 @@ void DiscoverServer::shutdown_core() {
 
 void DiscoverServer::schedule_refresh() {
   if (!started_) return;
-  refresh_timer_ = network_.schedule(self_, config_.peer_refresh_period,
-                                     [this] { refresh_peers(); });
+  refresh_timer_ = schedule_self(config_.peer_refresh_period,
+                                 [this] { refresh_peers(); });
 }
 
 void DiscoverServer::refresh_peers() {
@@ -369,7 +476,10 @@ void DiscoverServer::refresh_peers() {
             DISCOVER_LOG(info, "server")
                 << describe() << ": discovered peer " << peer.name << "@"
                 << peer.node;
-            peers_.emplace(offer.ref.node, std::move(peer));
+            const auto [it, inserted] =
+                peers_.emplace(offer.ref.node, std::move(peer));
+            peer_count_cache_.store(peers_.size(), std::memory_order_relaxed);
+            if (inserted) replicate_peer_to_cores(it->second);
           }
         }
         // Re-probe suspect peers each refresh round; a successful ping
@@ -387,11 +497,19 @@ void DiscoverServer::refresh_peers() {
 }
 
 void DiscoverServer::set_identity_directory(orb::ObjectRef directory) {
-  if (sharded()) {
-    DISCOVER_LOG(warn, "server")
-        << describe()
-        << ": sharded server ignores the identity directory; federation "
-           "services are disabled at shard_count > 1";
+  if (sharded() && config_.emulate_legacy_peer) {
+    throw std::invalid_argument(
+        "shard_count > 1 cannot federate with emulate_legacy_peer: the "
+        "emulated legacy peer build predates sharding");
+  }
+  if (pool_) {
+    // Core 0 owns the refresh loop; it replicates the cache to the other
+    // cores after each pull (replicate_identities_to_cores).
+    DiscoverServer* core0 = this;
+    pool_->post(0, [core0, directory] {
+      core0->identity_directory_ = directory;
+      if (core0->started_) core0->refresh_identities();
+    });
     return;
   }
   identity_directory_ = std::move(directory);
@@ -409,13 +527,13 @@ void DiscoverServer::refresh_identities() {
             identity_cache_ = d.map<std::string, std::uint64_t>(
                 [](wire::Decoder& dd) { return dd.str(); },
                 [](wire::Decoder& dd) { return dd.u64(); });
+            replicate_identities_to_cores();
           } catch (const wire::DecodeError&) {
             // Keep the stale cache on malformed replies.
           }
         }
-        identity_timer_ = network_.schedule(
-            self_, config_.identity_refresh_period,
-            [this] { refresh_identities(); });
+        identity_timer_ = schedule_self(config_.identity_refresh_period,
+                                        [this] { refresh_identities(); });
       },
       config_.orb_call_timeout);
 }
@@ -423,8 +541,8 @@ void DiscoverServer::refresh_identities() {
 void DiscoverServer::report_monitoring() {
   if (!started_) return;
   const auto reschedule = [this] {
-    monitor_timer_ = network_.schedule(self_, config_.monitoring_period,
-                                       [this] { report_monitoring(); });
+    monitor_timer_ = schedule_self(config_.monitoring_period,
+                                   [this] { report_monitoring(); });
   };
   if (!monitoring_ref_.valid()) {
     // Availability "must be determined at runtime" (§3): discover (or
@@ -439,15 +557,40 @@ void DiscoverServer::report_monitoring() {
         });
     return;
   }
+  if (sharded()) {
+    // One report for the whole node: gather each core's snapshot on its
+    // own thread, merge, and push from core 0 — the same union the
+    // /discover/metrics scrape serves.
+    auto snaps =
+        std::make_shared<std::vector<util::MetricsRegistry::Snapshot>>();
+    gather_across_cores(
+        [snaps](DiscoverServer& core) {
+          snaps->push_back(core.metrics_.snapshot());
+        },
+        [this, snaps, reschedule] {
+          send_monitoring_report(
+              util::MetricsRegistry::monitoring_map(
+                  util::MetricsRegistry::merge(*snaps)),
+              reschedule);
+        });
+    return;
+  }
+  send_monitoring_report(metrics_.monitoring_map(), reschedule);
+}
+
+void DiscoverServer::send_monitoring_report(
+    std::map<std::string, std::int64_t> metrics,
+    std::function<void()> reschedule) {
   wire::Encoder args;
   args.str(config_.name);
   // The report is the registry's flat snapshot — every counter, gauge and
   // histogram summary registered in register_metrics() — plus legacy key
-  // aliases older MONITORING consumers pin.
-  std::map<std::string, std::int64_t> metrics = metrics_.monitoring_map();
-  metrics["updates"] = static_cast<std::int64_t>(stats_.updates_processed);
-  metrics["commands"] = static_cast<std::int64_t>(stats_.commands_accepted);
-  metrics["events_shed"] = static_cast<std::int64_t>(stats_.events_dropped);
+  // aliases older MONITORING consumers pin.  The aliases read from the
+  // (possibly merged) map rather than this core's stats_ so a sharded
+  // node reports node-wide totals.
+  metrics["updates"] = metrics["updates_processed"];
+  metrics["commands"] = metrics["commands_accepted"];
+  metrics["events_shed"] = metrics["events_dropped"];
   args.map(metrics, [](wire::Encoder& e, const std::string& k) { e.str(k); },
            [](wire::Encoder& e, std::int64_t v) { e.i64(v); });
   orb_->invoke(monitoring_ref_, "report", std::move(args),
@@ -514,6 +657,16 @@ void DiscoverServer::invoke_peer(std::uint32_t node,
 }
 
 void DiscoverServer::note_peer_call(std::uint32_t node, bool timed_out) {
+  if (sharded() && shard_index_ != 0) {
+    // Health is adjudicated on core 0 — one failure counter per peer, not
+    // shard_count divergent ones.  Transitions come back through
+    // broadcast_peer_state_to_cores.
+    DiscoverServer* group = group_;
+    group_->post_shard(0, [group, node, timed_out] {
+      group->note_peer_call(node, timed_out);
+    });
+    return;
+  }
   Peer* peer = peer_by_node(node);
   if (peer == nullptr) return;
   if (!timed_out) {
@@ -525,6 +678,7 @@ void DiscoverServer::note_peer_call(std::uint32_t node, bool timed_out) {
           << describe() << ": peer " << peer->name << "@" << peer->node
           << " healed";
       drain_outbox_if_any(node);
+      broadcast_peer_state_to_cores(node, false);
     }
     return;
   }
@@ -562,6 +716,7 @@ void DiscoverServer::mark_peer_suspect(Peer& peer) {
   // strand until the lease fires (or forever without one): reap them now
   // so a surviving waiter is promoted.
   reap_server_locks(peer.node, "origin server " + peer.name + " unreachable");
+  broadcast_peer_state_to_cores(peer.node, true);
 }
 
 void DiscoverServer::probe_suspect_peer(Peer& peer) {
@@ -578,9 +733,85 @@ void DiscoverServer::probe_suspect_peer(Peer& peer) {
               << describe() << ": peer " << p->name << "@" << p->node
               << " healed (probe)";
           drain_outbox_if_any(node);
+          broadcast_peer_state_to_cores(node, false);
         }
       },
       config_.orb_call_timeout);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded federation (DESIGN.md §5j): peer replication and health fan-out
+// ---------------------------------------------------------------------------
+
+void DiscoverServer::replicate_peer_to_cores(const Peer& peer) {
+  if (!sharded() || shard_index_ != 0) return;
+  const std::uint32_t node = peer.node;
+  const std::string name = peer.name;
+  const orb::ObjectRef ref = peer.server_ref;
+  for (std::uint32_t i = 1; i < group_shards_; ++i) {
+    DiscoverServer* core = &group_->core_at(i);
+    group_->pool_->post(i, [core, node, name, ref] {
+      if (core->peers_.count(node) != 0) return;
+      Peer copy;
+      copy.node = node;
+      copy.name = name;
+      copy.server_ref = ref;
+      copy.limiter =
+          std::make_unique<security::RateLimiter>(core->config_.peer_policy);
+      core->peers_.emplace(node, std::move(copy));
+      core->peer_count_cache_.store(core->peers_.size(),
+                                    std::memory_order_relaxed);
+    });
+  }
+}
+
+void DiscoverServer::replicate_identities_to_cores() {
+  if (!sharded() || shard_index_ != 0) return;
+  const auto cache = identity_cache_;
+  for (std::uint32_t i = 1; i < group_shards_; ++i) {
+    DiscoverServer* core = &group_->core_at(i);
+    group_->pool_->post(i, [core, cache] { core->identity_cache_ = cache; });
+  }
+}
+
+void DiscoverServer::broadcast_peer_state_to_cores(std::uint32_t node,
+                                                   bool suspect) {
+  if (!sharded() || shard_index_ != 0) return;
+  for (std::uint32_t i = 1; i < group_shards_; ++i) {
+    DiscoverServer* core = &group_->core_at(i);
+    group_->pool_->post(i, [core, node, suspect] {
+      if (suspect) {
+        core->apply_peer_suspect(node);
+      } else {
+        core->apply_peer_heal(node);
+      }
+    });
+  }
+}
+
+void DiscoverServer::apply_peer_suspect(std::uint32_t node) {
+  Peer* peer = peer_by_node(node);
+  if (peer != nullptr) peer->suspect = true;
+  // Withdraw this core's remote apps hosted there; their watchers get the
+  // departed event.  No control broadcast here — core 0 already told the
+  // other servers once for the whole node.
+  std::vector<proto::AppId> gone;
+  for (const auto& [id, entry] : apps_) {
+    if (!entry.local && id.host == node) gone.push_back(id);
+  }
+  for (const auto& id : gone) {
+    remove_remote_app(id, "host server unreachable");
+  }
+  reap_server_locks(node, "origin server unreachable");
+}
+
+void DiscoverServer::apply_peer_heal(std::uint32_t node) {
+  Peer* peer = peer_by_node(node);
+  if (peer != nullptr) {
+    peer->consecutive_failures = 0;
+    peer->suspect = false;
+  }
+  drain_outbox_if_any(node);
 }
 
 bool DiscoverServer::admit_peer(std::uint32_t node, std::size_t bytes) {
@@ -619,20 +850,33 @@ void DiscoverServer::handle_control_channel(const net::Message& msg) {
   if (ev == nullptr) return;
   ++stats_.system_events;
   switch (ev->kind) {
-    case proto::SystemEventKind::app_departed:
-      remove_remote_app(ev->app, ev->text);
+    case proto::SystemEventKind::app_departed: {
+      // Control framing lands on core 0 (route_message); the remote entry
+      // for this app lives on shard_of_app's core — hop there.
+      const std::uint32_t owner = shard_owner_of(ev->app);
+      if (sharded() && owner != shard_index_) {
+        DiscoverServer* core = &group_->core_at(owner);
+        const proto::AppId app = ev->app;
+        const std::string text = ev->text;
+        group_->pool_->post(
+            owner, [core, app, text] { core->remove_remote_app(app, text); });
+      } else {
+        remove_remote_app(ev->app, ev->text);
+      }
       break;
+    }
     case proto::SystemEventKind::server_down: {
-      peers_.erase(ev->origin_server);
-      // Every remote application hosted there is now unreachable.
-      std::vector<proto::AppId> gone;
-      for (const auto& [id, entry] : apps_) {
-        if (!entry.local && id.host == ev->origin_server) gone.push_back(id);
+      // Peers are replicated to every core; each core forgets its copy and
+      // withdraws its own share of the dead server's apps.
+      const std::uint32_t origin = ev->origin_server;
+      if (sharded()) {
+        for (std::uint32_t i = 1; i < group_shards_; ++i) {
+          DiscoverServer* core = &group_->core_at(i);
+          group_->pool_->post(i,
+                              [core, origin] { core->handle_peer_down(origin); });
+        }
       }
-      for (const auto& id : gone) {
-        remove_remote_app(id, "host server down");
-      }
-      reap_server_locks(ev->origin_server, "origin server down");
+      handle_peer_down(origin);
       break;
     }
     case proto::SystemEventKind::server_up:
@@ -642,6 +886,20 @@ void DiscoverServer::handle_control_channel(const net::Message& msg) {
     case proto::SystemEventKind::error:
       break;  // informational
   }
+}
+
+void DiscoverServer::handle_peer_down(std::uint32_t origin) {
+  peers_.erase(origin);
+  peer_count_cache_.store(peers_.size(), std::memory_order_relaxed);
+  // Every remote application hosted there is now unreachable.
+  std::vector<proto::AppId> gone;
+  for (const auto& [id, entry] : apps_) {
+    if (!entry.local && id.host == origin) gone.push_back(id);
+  }
+  for (const auto& id : gone) {
+    remove_remote_app(id, "host server down");
+  }
+  reap_server_locks(origin, "origin server down");
 }
 
 // ---------------------------------------------------------------------------
@@ -702,8 +960,8 @@ void DiscoverServer::subscribe_remote(AppEntry& entry) {
                   // which ends this loop).  Failed attempts still feed the
                   // peer failure detector through invoke_peer.
                   e->remote_subscribed = false;
-                  network_.schedule(
-                      self_, config_.remote_poll_period, [this, id] {
+                  schedule_self(
+                      config_.remote_poll_period, [this, id] {
                         AppEntry* e2 = find_app(id);
                         if (e2 != nullptr && !e2->local &&
                             !e2->remote_subscribed) {
@@ -750,8 +1008,7 @@ void DiscoverServer::backfill_remote_gap(AppEntry& entry,
             // push stream's job.
             if (ev.seq <= since || ev.seq > upto) continue;
             e->remote_known_seq = std::max(e->remote_known_seq, ev.seq);
-            ++stats_.peer_events_in;
-            deliver_local(e->id, ev);
+            deliver_remote(*e, ev);
           }
         }
         // Whatever the archive couldn't give us is gone; don't stall the
@@ -782,7 +1039,7 @@ void DiscoverServer::unsubscribe_remote(AppEntry& entry) {
 void DiscoverServer::start_remote_poll(AppEntry& entry) {
   const proto::AppId id = entry.id;
   entry.poll_timer =
-      network_.schedule(self_, config_.remote_poll_period, [this, id] {
+      schedule_self(config_.remote_poll_period, [this, id] {
         AppEntry* e = find_app(id);
         if (e == nullptr || !e->remote_subscribed) return;
         wire::Encoder args;
@@ -821,9 +1078,30 @@ void DiscoverServer::ingest_remote_events(
   for (const auto& ev : events) {
     if (ev.seq <= entry.remote_known_seq) continue;  // de-dup push+poll
     entry.remote_known_seq = ev.seq;
-    ++stats_.peer_events_in;
-    deliver_local(entry.id, ev);
+    deliver_remote(entry, ev);
   }
+}
+
+void DiscoverServer::deliver_remote(AppEntry& entry,
+                                    const proto::ClientEvent& ev) {
+  ++stats_.peer_events_in;
+  live_peer_events_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.app_event_cpu_cost > 0) {
+    // Calibrated per-event ingest burn (see ServerConfig), paid on the
+    // owning core: the federation bench prices how inbound peer traffic
+    // parallelises across shards.
+    if (config_.servlet_cost_sleeps) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(config_.app_event_cpu_cost));
+    } else {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::nanoseconds(config_.app_event_cpu_cost);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
+  }
+  deliver_local(entry.id, ev);
+  if (!entry.watcher_shards.empty()) fan_out_to_watcher_shards(entry, ev);
 }
 
 void DiscoverServer::push_to_subscribers(AppEntry& entry,
@@ -925,7 +1203,7 @@ void DiscoverServer::outbox_append(std::uint32_t node,
     flush_outbox(node, FlushTrigger::bytes);
   } else if (ob.flush_timer.value() == 0 && !ob.inflight) {
     ob.flush_timer =
-        network_.schedule(self_, config_.peer_flush_delay, [this, node] {
+        schedule_self(config_.peer_flush_delay, [this, node] {
           const auto it = outboxes_.find(node);
           if (it == outboxes_.end()) return;
           it->second.flush_timer = net::TimerId{0};
@@ -1075,7 +1353,7 @@ void DiscoverServer::ob_arm_retry(std::uint32_t node) {
   const auto it = outboxes_.find(node);
   if (it == outboxes_.end()) return;
   it->second.flush_timer =
-      network_.schedule(self_, config_.peer_flush_delay, [this, node] {
+      schedule_self(config_.peer_flush_delay, [this, node] {
         const auto oit = outboxes_.find(node);
         if (oit == outboxes_.end()) return;
         oit->second.flush_timer = net::TimerId{0};
@@ -1128,6 +1406,36 @@ void DiscoverServer::flush_all_outboxes() {
 
 void DiscoverServer::ingest_event_frames(
     const std::vector<proto::EventFrame>& frames) {
+  if (!sharded()) {
+    apply_event_frames(frames);
+    return;
+  }
+  // A peer batches per destination NODE, so one forward_events call mixes
+  // apps owned by different cores.  Scatter each frame to shard_of_app's
+  // core (per-frame order within an app is preserved: frames for one app
+  // always land on one core, through one FIFO queue) and apply this core's
+  // own share inline.
+  std::vector<proto::EventFrame> mine;
+  std::map<std::uint32_t, std::vector<proto::EventFrame>> other;
+  for (const auto& f : frames) {
+    const std::uint32_t owner = shard_owner_of(f.app);
+    if (owner == shard_index_) {
+      mine.push_back(f);
+    } else {
+      other[owner].push_back(f);
+    }
+  }
+  for (auto& [owner, batch] : other) {
+    DiscoverServer* core = &group_->core_at(owner);
+    group_->pool_->post(owner, [core, batch = std::move(batch)] {
+      core->apply_event_frames(batch);
+    });
+  }
+  if (!mine.empty()) apply_event_frames(mine);
+}
+
+void DiscoverServer::apply_event_frames(
+    const std::vector<proto::EventFrame>& frames) {
   for (const auto& f : frames) {
     AppEntry* entry = find_app(f.app);
     if (entry == nullptr) continue;
@@ -1177,12 +1485,52 @@ proto::AppInfo DiscoverServer::app_info_of(const AppEntry& entry) const {
 }
 
 void DiscoverServer::bump_directory(const proto::AppId& app, bool removed) {
+  if (sharded()) {
+    // One node-wide version sequence: the owning core reports the change —
+    // with a fresh AppInfo for upserts — to core 0, which keeps the log
+    // and the mirror that directory_update_since serves peers from.
+    proto::AppInfo info;
+    bool have_info = false;
+    if (!removed) {
+      if (const AppEntry* entry = find_app(app);
+          entry != nullptr && entry->local) {
+        info = app_info_of(*entry);
+        have_info = true;
+      }
+    }
+    DiscoverServer* group = group_;
+    group_->post_shard(0, [group, app, removed, info, have_info] {
+      group->record_directory_change(app, removed, info, have_info);
+    });
+    return;
+  }
   ++dir_version_;
   dir_log_.push_back({dir_version_, app, removed});
   while (dir_log_.size() > config_.dir_log_cap) dir_log_.pop_front();
 }
 
+void DiscoverServer::record_directory_change(const proto::AppId& app,
+                                             bool removed,
+                                             const proto::AppInfo& info,
+                                             bool have_info) {
+  ++dir_version_;
+  dir_log_.push_back({dir_version_, app, removed});
+  while (dir_log_.size() > config_.dir_log_cap) dir_log_.pop_front();
+  if (removed || !have_info) {
+    dir_mirror_.erase(app);
+  } else {
+    dir_mirror_[app] = info;
+  }
+}
+
 void DiscoverServer::bump_directory_epoch() {
+  if (sharded()) {
+    post_shard(0, [this] {
+      ++dir_epoch_;
+      dir_log_.clear();
+    });
+    return;
+  }
   ++dir_epoch_;
   dir_log_.clear();
 }
@@ -1200,8 +1548,14 @@ proto::DirectoryUpdate DiscoverServer::directory_update_since(
                         since >= log_floor;
   if (!delta_ok) {
     upd.full = true;
-    for (const auto& [id, entry] : apps_) {
-      if (entry.local) upd.apps.push_back(app_info_of(entry));
+    if (sharded()) {
+      // apps_ holds only this core's apps; the mirror has every core's
+      // (AppInfo as of the last membership/phase bump — see DESIGN.md §5j).
+      for (const auto& [id, info] : dir_mirror_) upd.apps.push_back(info);
+    } else {
+      for (const auto& [id, entry] : apps_) {
+        if (entry.local) upd.apps.push_back(app_info_of(entry));
+      }
     }
     return upd;
   }
@@ -1211,6 +1565,15 @@ proto::DirectoryUpdate DiscoverServer::directory_update_since(
   for (auto it = dir_log_.rbegin(); it != dir_log_.rend(); ++it) {
     if (it->version <= since) break;
     if (!touched.insert(it->app).second) continue;
+    if (sharded()) {
+      const auto mit = dir_mirror_.find(it->app);
+      if (mit != dir_mirror_.end()) {
+        upd.apps.push_back(mit->second);
+      } else {
+        upd.removed.push_back(it->app);
+      }
+      continue;
+    }
     const AppEntry* entry = find_app(it->app);
     if (entry != nullptr && entry->local) {
       upd.apps.push_back(app_info_of(*entry));
@@ -1320,6 +1683,9 @@ void DiscoverServer::remove_remote_app(const proto::AppId& app,
   ev.at = network_.now();
   ev.text = "application departed: " + reason;
   deliver_local(app, ev);
+  // Watchers on other shard cores hear the departure too (not counted as a
+  // peer event — it is synthesized here, not received).
+  if (!entry->watcher_shards.empty()) fan_out_to_watcher_shards(*entry, ev);
   apps_.erase(app);
 }
 

@@ -245,9 +245,57 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
           session.key = session_key;
           session.user = r.user;
           session.client_node = client_node;
-          if (timed) s.stage_login_->record(s.network_.now() - t0);
-          deferred->complete(
-              body_response(200, proto::encode_body(reply)));
+
+          // Cross-server authentication fan-out, same as the unsharded
+          // path: peers are mirrored to every core (§5j), so this core
+          // can ask each live peer's DiscoverCorbaServer directly.
+          std::vector<Peer*> live_peers;
+          for (auto& [node, peer] : s.peers_) {
+            if (!peer.suspect) live_peers.push_back(&peer);
+          }
+          if (live_peers.empty()) {
+            if (timed) s.stage_login_->record(s.network_.now() - t0);
+            deferred->complete(
+                body_response(200, proto::encode_body(reply)));
+            return;
+          }
+          struct FanOut {
+            proto::LoginReply reply;
+            std::size_t remaining;
+            std::shared_ptr<http::DeferredHttpReply> out;
+          };
+          auto state = std::make_shared<FanOut>();
+          state->reply = std::move(reply);
+          state->remaining = live_peers.size();
+          state->out = deferred;
+          for (Peer* peer : live_peers) {
+            wire::Encoder args;
+            args.str(r.user);
+            args.u64(r.password_digest);
+            s.invoke_peer(
+                peer->node, peer->server_ref, "authenticate",
+                std::move(args),
+                [state, &s, timed, t0](util::Result<util::Bytes> rr) {
+                  if (rr.ok()) {
+                    wire::Decoder d(rr.value());
+                    if (d.boolean()) {
+                      const std::uint32_t n = d.u32();
+                      for (std::uint32_t i = 0; i < n; ++i) {
+                        state->reply.applications.push_back(
+                            proto::decode_app_info(d));
+                      }
+                    }
+                  }
+                  if (--state->remaining == 0) {
+                    if (timed) {
+                      s.stage_login_->record(s.network_.now() - t0);
+                    }
+                    state->out->complete(body_response(
+                        200, proto::encode_body(state->reply)));
+                  }
+                },
+                s.config_.login_fanout_timeout);
+          }
         });
   }
 
@@ -287,10 +335,12 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
       deferred->complete(std::move(r));
     };
 
-    // Cross-shard select (DESIGN.md §5i): the app lives on another core of
-    // this server.  Hop to the owner for the ACL/admission grant (which
-    // also bumps our shard's watcher refcount), then hop back to finish the
-    // subscription against our session state.
+    // Cross-shard select (DESIGN.md §5i/§5j): the app — local to a sibling
+    // core, or a remote app that core owns — lives on another core of this
+    // server.  Hop to the owner for the ACL/admission grant (which also
+    // bumps our shard's watcher refcount and, for remote apps, runs the
+    // host-side get_interface/subscribe handshake), then finish the
+    // subscription against our session state back here.
     if (const std::uint32_t owner = s.shard_owner_of(app_id);
         s.sharded() && owner != s.shard_index_) {
       const bool already = session->apps.count(app_id) > 0;
@@ -298,11 +348,10 @@ class DiscoverServer::MasterServlet final : public http::Servlet {
       DiscoverServer* grp = s.group_;
       grp->post_shard(owner, [grp, owner, me, app_id, user, session_key,
                               already, finish] {
-        DiscoverServer& host = grp->core_at(owner);
-        const ShardSelectGrant grant =
-            host.grant_select_on_owner(app_id, user, me, already);
-        grp->post_shard(me, [grp, owner, me, app_id, user, session_key,
-                             already, finish, grant] {
+        grp->core_at(owner).select_on_owner_async(
+            app_id, user, me, already,
+            [grp, owner, me, app_id, user, session_key, already,
+             finish](ShardSelectGrant grant) {
           DiscoverServer& client = grp->core_at(me);
           proto::SelectAppReply out;
           ClientSession* sess = client.session_of(session_key);
@@ -549,6 +598,43 @@ class DiscoverServer::CommandServlet final : public http::Servlet {
         out.request_id = creq.request_id;
         int status = 200;
         AppEntry* entry = host.find_app(creq.app_id);
+        if (entry != nullptr && !entry->local) {
+          // Remote app owned by this core (§5j): relay through the host's
+          // CorbaProxy like the unsharded remote path, ack after the
+          // host's admission verdict.
+          ++host.stats_.remote_commands_out;
+          wire::Encoder args;
+          args.str(user);
+          args.u64(creq.request_id);
+          args.u8(static_cast<std::uint8_t>(creq.kind));
+          args.str(creq.param);
+          proto::encode(args, creq.value);
+          args.boolean(collab);
+          args.str(subgroup);
+          const std::uint64_t rid = creq.request_id;
+          host.invoke_peer(
+              entry->corba_proxy.node, entry->corba_proxy, "send_command",
+              std::move(args),
+              [grp, me, deferred, rid](util::Result<util::Bytes> r) {
+                proto::CommandAck relayed;
+                relayed.request_id = rid;
+                int rstatus = 200;
+                if (!r.ok()) {
+                  relayed.message = r.error().message;
+                  rstatus = 503;
+                } else {
+                  wire::Decoder d(r.value());
+                  relayed.accepted = d.boolean();
+                  relayed.message = d.str();
+                }
+                grp->post_shard(me, [deferred, relayed, rstatus] {
+                  deferred->complete(
+                      body_response(rstatus, proto::encode_body(relayed)));
+                });
+              },
+              host.config_.orb_call_timeout);
+          return;
+        }
         if (entry == nullptr) {
           out.message = "application not found";
           status = 404;
@@ -767,6 +853,13 @@ class DiscoverServer::CollabServlet final : public http::Servlet {
         if (entry == nullptr) {
           out.message = "application not found";
           status = 404;
+        } else if (!entry->local) {
+          // Remote app owned by this core (§5j): relay to its host server —
+          // through this core's outbox when batching is on — and ack
+          // optimistically like the unsharded relay does.
+          host.relay_collab_to_host(*entry, std::move(ev));
+          out.ok = true;
+          out.message = "posted";
         } else {
           host.publish_event(*entry, std::move(ev));
           out.ok = true;
@@ -897,7 +990,41 @@ class DiscoverServer::ArchiveServlet final : public http::Servlet {
         DiscoverServer& host = grp->core_at(owner);
         proto::HistoryReply out;
         int status = 200;
-        if (host.find_app(app_id) == nullptr) {
+        AppEntry* entry = host.find_app(app_id);
+        if (entry != nullptr && !entry->local) {
+          // Remote app owned by this core (§5j): the authoritative log is
+          // at the host server — fetch it from there.
+          wire::Encoder args;
+          args.u64(from_seq);
+          args.u32(max_events);
+          host.invoke_peer(
+              entry->corba_proxy.node, entry->corba_proxy, "poll_events",
+              std::move(args),
+              [grp, me, deferred](util::Result<util::Bytes> r) {
+                proto::HistoryReply fetched;
+                int rstatus = 200;
+                if (!r.ok()) {
+                  fetched.message = r.error().message;
+                  rstatus = 503;
+                } else {
+                  wire::Decoder d(r.value());
+                  const std::uint32_t n = d.u32();
+                  fetched.events.reserve(n);
+                  for (std::uint32_t i = 0; i < n; ++i) {
+                    fetched.events.push_back(proto::decode_client_event(d));
+                  }
+                  fetched.ok = true;
+                }
+                grp->post_shard(me, [deferred, fetched = std::move(fetched),
+                                     rstatus] {
+                  deferred->complete(
+                      body_response(rstatus, proto::encode_body(fetched)));
+                });
+              },
+              host.config_.orb_call_timeout);
+          return;
+        }
+        if (entry == nullptr) {
           out.message = "application not found";
           status = 404;
         } else {

@@ -92,11 +92,26 @@ void DiscoverServer::route_message(const net::Message& msg) {
       // channel traffic (and minted its app id accordingly).
       shard = shard_of_node(msg.src.value(), group_shards_);
       break;
-    case net::Channel::giop:
+    case net::Channel::giop: {
+      // Every core runs its own ORB, and every id an ORB mints (servant
+      // keys and request ids) carries its core index in the low shard
+      // bits.  Peeking the frame header is therefore enough to route:
+      // requests go to the core that activated the target servant, replies
+      // to the core that issued the call.  Ids minted by OTHER nodes never
+      // appear in these positions — an inbound request's servant key is
+      // ours, an inbound reply's request id is ours.  Unparseable frames
+      // fall back to core 0, whose ORB logs and drops them.
+      const orb::GiopHeader h = orb::peek_giop_header(msg.payload);
+      if (h.valid) {
+        const std::uint64_t id = h.is_request ? h.servant_key : h.request_id;
+        shard = static_cast<std::uint32_t>(id & ((1u << shard_bits_) - 1u)) %
+                group_shards_;
+      }
+      break;
+    }
     case net::Channel::control:
-      // ORB and control traffic stays on core 0: only core 0's orb_ is
-      // reachable from the outside, and it is only ever touched from shard
-      // worker 0.
+      // Control framing stays on core 0 (the federation coordinator); it
+      // fans membership transitions out to the owning cores explicitly.
       shard = 0;
       break;
   }
@@ -172,6 +187,98 @@ DiscoverServer::ShardSelectGrant DiscoverServer::grant_select_on_owner(
   return grant;
 }
 
+void DiscoverServer::select_on_owner_async(
+    const proto::AppId& app, const std::string& user,
+    std::uint32_t client_shard, bool already_selected,
+    std::function<void(ShardSelectGrant)> done) {
+  // Runs on the owning core; the grant is posted back to the client core.
+  auto reply = [this, client_shard,
+                done = std::move(done)](ShardSelectGrant g) {
+    post_shard(client_shard, [done, g] { done(g); });
+  };
+  {
+    ShardSelectGrant grant =
+        grant_select_on_owner(app, user, client_shard, already_selected);
+    if (grant.found) {
+      reply(std::move(grant));
+      return;
+    }
+  }
+  // Not one of this core's local apps — maybe a remote app it owns (§5j):
+  // resolve, authenticate at the host, then subscribe the host's push
+  // stream to this core exactly as the unsharded remote select does.
+  with_remote_app(app, [this, app, user, client_shard, already_selected,
+                        reply](AppEntry* entry) {
+    if (entry == nullptr) {
+      reply(ShardSelectGrant{});
+      return;
+    }
+    if (entry->local) {
+      // Raced with a local registration: grant as usual.
+      reply(grant_select_on_owner(app, user, client_shard, already_selected));
+      return;
+    }
+    ShardSelectGrant grant;
+    grant.found = true;
+    grant.name = entry->name;
+    if (config_.max_sessions_per_app != 0 && !already_selected &&
+        admission_watchers(app) >= config_.max_sessions_per_app) {
+      grant.admission_rejected = true;
+      reply(std::move(grant));
+      return;
+    }
+    wire::Encoder args;
+    args.str(user);
+    invoke_peer(
+        entry->corba_proxy.node, entry->corba_proxy, "get_interface",
+        std::move(args),
+        [this, app, user, client_shard, already_selected,
+         reply](util::Result<util::Bytes> r) {
+          ShardSelectGrant g;
+          AppEntry* entry2 = find_app(app);
+          if (entry2 == nullptr) {
+            reply(std::move(g));
+            return;
+          }
+          g.found = true;
+          g.name = entry2->name;
+          if (!r.ok()) {
+            // Privilege stays none: the client core answers 403 like the
+            // unsharded remote path does on a failed get_interface.
+            reply(std::move(g));
+            return;
+          }
+          wire::Decoder d(r.value());
+          g.privilege = static_cast<security::Privilege>(d.u8());
+          const std::uint32_t n = d.u32();
+          g.params.reserve(n);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            g.params.push_back(proto::decode_param_spec(d));
+          }
+          g.history_seq = d.u64();
+          if (g.privilege == security::Privilege::none) {
+            reply(std::move(g));
+            return;
+          }
+          // Authoritative admission re-check after the host round-trip.
+          if (config_.max_sessions_per_app != 0 && !already_selected &&
+              admission_watchers(app) >= config_.max_sessions_per_app) {
+            g.admission_rejected = true;
+            reply(std::move(g));
+            return;
+          }
+          entry2->params = g.params;
+          if (!entry2->remote_subscribed && entry2->remote_known_seq == 0) {
+            entry2->remote_known_seq = g.history_seq;
+          }
+          if (!already_selected) ++entry2->watcher_shards[client_shard];
+          subscribe_remote(*entry2);
+          reply(std::move(g));
+        },
+        config_.orb_call_timeout);
+  });
+}
+
 void DiscoverServer::release_shard_watcher(const proto::AppId& app,
                                            std::uint32_t client_shard) {
   AppEntry* entry = find_app(app);
@@ -179,6 +286,12 @@ void DiscoverServer::release_shard_watcher(const proto::AppId& app,
   const auto it = entry->watcher_shards.find(client_shard);
   if (it == entry->watcher_shards.end()) return;
   if (--it->second == 0) entry->watcher_shards.erase(it);
+  // A remote entry whose last watcher (any core) left no longer needs the
+  // host-side subscription.
+  if (!entry->local && entry->watcher_shards.empty() &&
+      subscriber_count(app) == 0) {
+    unsubscribe_remote(*entry);
+  }
 }
 
 std::size_t DiscoverServer::admission_watchers(const proto::AppId& app) const {

@@ -35,6 +35,23 @@ ObjectRef decode_object_ref(wire::Decoder& d) {
   return ref;
 }
 
+GiopHeader peek_giop_header(const util::Bytes& payload) {
+  GiopHeader h;
+  try {
+    wire::Decoder d(payload);
+    if (d.u32() != kGiopMagic) return h;
+    const std::uint8_t kind = d.u8();
+    if (kind != kRequest && kind != kReply) return h;
+    h.is_request = kind == kRequest;
+    h.request_id = d.u64();
+    if (h.is_request) h.servant_key = d.u64();
+    h.valid = true;
+  } catch (const wire::DecodeError&) {
+    h.valid = false;
+  }
+  return h;
+}
+
 void DeferredReply::reply(wire::Encoder result) {
   if (done_) return;
   done_ = true;
@@ -51,8 +68,13 @@ void DeferredReply::raise(const OrbException& ex) {
 Orb::Orb(net::Network& network, net::NodeId self)
     : network_(network), self_(self) {}
 
+net::TimerId Orb::schedule(util::Duration delay, std::function<void()> fn) {
+  if (scheduler_) return scheduler_(delay, std::move(fn));
+  return network_.schedule(self_, delay, std::move(fn));
+}
+
 ObjectRef Orb::activate(std::shared_ptr<Servant> servant) {
-  const std::uint64_t key = next_key_++;
+  const std::uint64_t key = mint_id(next_key_);
   ObjectRef ref;
   ref.node = self_.value();
   ref.key = key;
@@ -80,7 +102,7 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
                          "pending-call table full"});
   }
 
-  const std::uint64_t request_id = next_request_++;
+  const std::uint64_t request_id = mint_id(next_request_);
   ++invocations_;
 
   wire::Encoder frame;
@@ -109,8 +131,8 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
     pending.method = method;
   }
   if (timeout > 0) {
-    pending.timeout_timer = network_.schedule(
-        self_, timeout, [this, request_id] { on_timeout(request_id); });
+    pending.timeout_timer =
+        schedule(timeout, [this, request_id] { on_timeout(request_id); });
   }
   pending_.emplace(request_id, std::move(pending));
 
@@ -120,7 +142,18 @@ void Orb::invoke(const ObjectRef& ref, const std::string& method,
 void Orb::transmit(net::NodeId dest, util::Bytes payload) {
   if (dest == self_) {
     // Collocated call: skip the network (and its traffic counters) but keep
-    // marshalling and asynchrony so semantics match the remote path.
+    // marshalling and asynchrony so semantics match the remote path.  With
+    // a loopback installed (sharded core) the frame goes through the node's
+    // dispatcher instead, so the owning core serves it.
+    if (loopback_) {
+      net::Message msg;
+      msg.src = self_;
+      msg.dst = self_;
+      msg.channel = net::Channel::giop;
+      msg.payload = std::move(payload);
+      loopback_(std::move(msg));
+      return;
+    }
     network_.post(self_, [this, payload = std::move(payload)] {
       net::Message msg;
       msg.src = self_;
@@ -147,13 +180,13 @@ void Orb::on_timeout(std::uint64_t request_id) {
     // reply cache recognizes it and a reply to any attempt completes the
     // call.  A late reply landing during the backoff cancels this timer
     // via complete().
-    p.timeout_timer = network_.schedule(self_, delay, [this, request_id] {
+    p.timeout_timer = schedule(delay, [this, request_id] {
       const auto rit = pending_.find(request_id);
       if (rit == pending_.end()) return;
       PendingCall& rp = rit->second;
       transmit(rp.dest, rp.frame);
-      rp.timeout_timer = network_.schedule(
-          self_, rp.timeout, [this, request_id] { on_timeout(request_id); });
+      rp.timeout_timer = schedule(
+          rp.timeout, [this, request_id] { on_timeout(request_id); });
     });
     return;
   }

@@ -77,10 +77,26 @@ class Servant {
                         wire::Encoder& out, DispatchContext& ctx) = 0;
 };
 
+/// Result of a non-destructive look at a GIOP frame header: enough to route
+/// the frame to the core that owns the servant (requests) or the pending
+/// call (replies) without decoding the body.  `valid` is false for frames
+/// that are not well-formed GIOP — those fall back to the caller's default.
+struct GiopHeader {
+  bool valid = false;
+  bool is_request = false;
+  std::uint64_t request_id = 0;
+  std::uint64_t servant_key = 0;  // requests only
+};
+
+[[nodiscard]] GiopHeader peek_giop_header(const util::Bytes& payload);
+
 class Orb {
  public:
   using ResultCallback =
       std::function<void(util::Result<util::Bytes>)>;  // reply body bytes
+  using Scheduler =
+      std::function<net::TimerId(util::Duration, std::function<void()>)>;
+  using Loopback = std::function<void(net::Message)>;
 
   Orb(net::Network& network, net::NodeId self);
 
@@ -108,6 +124,29 @@ class Orb {
   /// with Errc::resource_exhausted.  Bounds the leak from timeout==0 calls
   /// whose callee died.
   void set_max_pending(std::size_t n) { max_pending_ = n; }
+
+  /// Tags every servant key and request id this ORB mints with a shard
+  /// index in the low `bits` bits: `(counter << bits) | index`.  A sharded
+  /// node runs one ORB per core; the tag lets the core-0 dispatcher route
+  /// inbound GIOP frames to the owning core from the header alone (requests
+  /// by servant key, replies by request id).  bits = 0 keeps the legacy
+  /// id sequence byte-for-byte.  Must be called before any activate/invoke.
+  void set_id_partition(std::uint32_t index, std::uint32_t bits) {
+    id_shift_ = bits;
+    id_tag_ = index;
+  }
+
+  /// Routes the ORB's internal timers (call timeouts, retry backoff)
+  /// through the owning core's scheduler instead of the node's home
+  /// worker.  Sharded cores install their shard-affine schedule_self here;
+  /// the returned TimerId must stay cancellable via Network::cancel.
+  void set_scheduler(Scheduler s) { scheduler_ = std::move(s); }
+
+  /// Replaces the collocated-call delivery path (transmit to self).  A
+  /// sharded core installs the node's dispatcher here so a self-call is
+  /// routed to the core that owns the target servant rather than handled
+  /// by whichever core placed it.
+  void set_loopback(Loopback lb) { loopback_ = std::move(lb); }
 
   /// Attaches the owning node's tracer.  When set, invoke() made under an
   /// ambient trace context appends (trace_id, span_id) metadata to the
@@ -164,6 +203,11 @@ class Orb {
   void transmit(net::NodeId dest, util::Bytes payload);
   void on_timeout(std::uint64_t request_id);
   void cache_reply(const DedupKey& key, const util::Bytes& payload);
+  [[nodiscard]] net::TimerId schedule(util::Duration delay,
+                                      std::function<void()> fn);
+  [[nodiscard]] std::uint64_t mint_id(std::uint64_t& counter) {
+    return (counter++ << id_shift_) | id_tag_;
+  }
 
   net::Network& network_;
   net::NodeId self_;
@@ -182,6 +226,10 @@ class Orb {
   static constexpr std::size_t kReplyCacheCap = 1024;
   std::uint64_t next_key_ = 1;
   std::uint64_t next_request_ = 1;
+  std::uint32_t id_shift_ = 0;
+  std::uint64_t id_tag_ = 0;
+  Scheduler scheduler_;
+  Loopback loopback_;
   std::uint64_t invocations_ = 0;
   std::uint64_t bytes_marshalled_ = 0;
   util::LatencyHistogram call_latency_;

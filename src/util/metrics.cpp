@@ -188,6 +188,20 @@ std::map<std::string, std::int64_t> MetricsRegistry::monitoring_map() const {
   return out;
 }
 
+std::map<std::string, std::int64_t> MetricsRegistry::monitoring_map(
+    const Snapshot& snap) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, value] : snap.counters) {
+    out[name] = static_cast<std::int64_t>(value);
+  }
+  for (const auto& [name, value] : snap.gauges) out[name] = value;
+  for (const auto& [name, h] : snap.histograms) {
+    out[name + "_count"] = static_cast<std::int64_t>(h.count());
+    out[name + "_p95_ns"] = static_cast<std::int64_t>(h.percentile(0.95));
+  }
+  return out;
+}
+
 MetricsRegistry::IntervalSnapshot MetricsRegistry::take_interval() {
   IntervalSnapshot snap;
   for (auto& [name, slot] : counters_) {

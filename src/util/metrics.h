@@ -120,6 +120,11 @@ class MetricsRegistry {
   /// `<name>_p95_ns` / `<name>_count` entries).
   [[nodiscard]] std::map<std::string, std::int64_t> monitoring_map() const;
 
+  /// Same flattening over a snapshot — lets a sharded node push one report
+  /// built from merge() of its per-core snapshots.
+  static std::map<std::string, std::int64_t> monitoring_map(
+      const Snapshot& snap);
+
   /// Interval delta since the previous call: counters as value-minus-last,
   /// owned histograms drained via snapshot_and_reset (referenced histograms
   /// are cumulative and excluded — their owner controls reset).

@@ -11,11 +11,15 @@
 #include <string>
 #include <thread>
 
+#include <future>
+#include <vector>
+
 #include "app/synthetic.h"
 #include "net/thread_network.h"
 #include "orb/orb.h"
 #include "workload/scenario.h"
 #include "workload/sync_ops.h"
+#include "workload/thread_scenario.h"
 
 namespace discover {
 namespace {
@@ -600,6 +604,120 @@ TEST(ThreadChaosTest, OrbRetriesThroughRealTimeDrops) {
   // the vast majority so scheduling noise can't flake the assertion.
   EXPECT_GE(ok.load(), kCalls - 2);
   EXPECT_GT(net.fault_stats().dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-origin batched push through a mid-batch partition (DESIGN.md §5j):
+// the pushing server runs shard_count = 4, so each owning core keeps its own
+// per-peer outbox.  A blackout opens while a batch is in flight; after the
+// heal the requeued tail must drain with the exactly-once in-order guarantee
+// the unsharded ChaosTest.BatchedPush* tests pin.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadChaosTest, ShardedOriginBatchedPushSurvivesPartition) {
+  core::ServerConfig tmpl;
+  tmpl.shard_count = 4;
+  tmpl.peer_refresh_period = util::milliseconds(100);
+  tmpl.orb_call_timeout = util::milliseconds(500);
+  tmpl.peer_suspect_threshold = 0;  // ride the blackout out with retries
+  tmpl.orb_retry.max_attempts = 8;
+  tmpl.orb_retry.initial_backoff = util::milliseconds(100);
+  tmpl.orb_retry.max_backoff = util::seconds(1);
+  workload::ThreadScenario scenario(tmpl);
+  auto& near = scenario.add_server("near", 1);
+  auto& host = scenario.add_server("host", 2);
+
+  app::AppConfig watched = chaos_app("far");
+  watched.update_every = 0;  // chats only: the assertion is on their order
+  auto& app = scenario.add_app<app::SyntheticApp>(host, watched,
+                                                  app::SyntheticSpec{});
+  app::AppConfig anchor = chaos_app("near-id");
+  anchor.update_every = 0;
+  scenario.add_app<app::SyntheticApp>(near, anchor, app::SyntheticSpec{});
+  auto& alice = scenario.add_client("alice", near);
+  auto& bob = scenario.add_client("bob", host);
+  scenario.start();
+  ASSERT_TRUE(host.sharded());
+  ASSERT_TRUE(workload::wait_for(
+      scenario.net(),
+      [&] {
+        return app.registered() && near.peer_count() == 1 &&
+               host.peer_count() == 1;
+      },
+      util::seconds(30)));
+
+  ASSERT_TRUE(workload::wait_for(
+      scenario.net(),
+      [&] {
+        auto l = workload::sync_login(scenario.net(), alice);
+        if (!l.ok() || !l.value().ok) return false;
+        auto sel = workload::sync_select(scenario.net(), alice, app.app_id());
+        return sel.ok() && sel.value().ok;
+      },
+      util::seconds(30)));
+  ASSERT_TRUE(workload::sync_group_op(scenario.net(), alice, app.app_id(),
+                                      proto::GroupOp::enable_push, "")
+                  .value()
+                  .ok);
+  ASSERT_TRUE(workload::sync_login(scenario.net(), bob).value().ok);
+  ASSERT_TRUE(
+      workload::sync_select(scenario.net(), bob, app.app_id()).value().ok);
+
+  for (int i = 0; i < 10; ++i) {
+    if (i == 4) {
+      // Blackout between the two server nodes while pushed chats are in
+      // flight: the owning core's outbox requeues and retries.
+      scenario.net().partition(near.node(), host.node());
+    }
+    ASSERT_TRUE(workload::sync_collab_post(scenario.net(), bob, app.app_id(),
+                                           proto::EventKind::chat,
+                                           "c" + std::to_string(i),
+                                           util::seconds(60))
+                    .value()
+                    .ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (i == 7) scenario.net().heal(near.node(), host.node());
+  }
+
+  // Read alice's recording on her own worker (actor model): the vector
+  // is only safe to touch from that thread while the network runs.
+  const auto chat_count = [&] {
+    std::promise<std::size_t> p;
+    scenario.net().post(alice.node(), [&] {
+      std::size_t chats = 0;
+      for (const auto& ev : alice.received_events()) {
+        if (ev.kind == proto::EventKind::chat) ++chats;
+      }
+      p.set_value(chats);
+    });
+    return p.get_future().get();
+  };
+  ASSERT_TRUE(workload::wait_for(scenario.net(),
+                                 [&] { return chat_count() >= 10; },
+                                 util::seconds(60)));
+  scenario.stop();
+
+  EXPECT_GT(scenario.net().fault_stats().partition_drops, 0u);
+  EXPECT_GT(host.stats_sum().peer_batches_out, 0u);
+
+  // Exactly-once, in order: host-assigned sequences strictly increase in
+  // arrival order, and every chat arrived once in posting order.
+  std::vector<proto::ClientEvent> watched_events;
+  for (const auto& ev : alice.received_events()) {
+    if (ev.app == app.app_id()) watched_events.push_back(ev);
+  }
+  ASSERT_FALSE(watched_events.empty());
+  for (std::size_t i = 1; i < watched_events.size(); ++i) {
+    EXPECT_LT(watched_events[i - 1].seq, watched_events[i].seq)
+        << "duplicate or reordered event at index " << i;
+  }
+  std::vector<std::string> chats;
+  for (const auto& ev : watched_events) {
+    if (ev.kind == proto::EventKind::chat) chats.push_back(ev.text);
+  }
+  const std::vector<std::string> want = {"c0", "c1", "c2", "c3", "c4",
+                                         "c5", "c6", "c7", "c8", "c9"};
+  EXPECT_EQ(chats, want);
 }
 
 }  // namespace
