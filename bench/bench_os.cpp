@@ -1,0 +1,178 @@
+// Transport A/B: loopback-TCP (OsNetwork) vs in-process (ThreadNetwork).
+//
+// The same point-to-point workload — one source node streaming payloads to
+// one sink node — runs over both real-time backends, so the recorded
+// events/sec prices exactly what the OS socket path adds: frame
+// encode/decode, syscalls, the event loop and kernel loopback copies.
+// Payloads are built once and sent as refcounted net::Payload, so the
+// encode-once zero-copy path is what is measured on both sides.
+// scripts/bench_os.sh runs the sweep and writes BENCH_os.json with the
+// os-over-thread throughput ratios per payload size.
+#include "bench_common.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "net/os_network.h"
+#include "net/thread_network.h"
+
+namespace {
+
+using namespace discover;
+
+bench::Summary& summary() {
+  static bench::Summary s(
+      "Transport A/B: one-way stream throughput, ThreadNetwork vs "
+      "OsNetwork over 127.0.0.1 (E13)",
+      {"backend", "payload_bytes", "messages", "events_per_s", "MB_per_s"});
+  return s;
+}
+
+/// Counts deliveries and wakes the bench thread at the target.
+class CountingSink final : public net::MessageHandler {
+ public:
+  void on_message(const net::Message& msg) override {
+    std::uint64_t n;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      n = ++count_;
+      bytes_ += msg.payload.size();
+    }
+    if (n >= target_) cv_.notify_all();
+  }
+
+  void arm(std::uint64_t target) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    count_ = 0;
+    bytes_ = 0;
+    target_ = target;
+  }
+
+  bool wait(std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return count_ >= target_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t count_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t target_ = ~0ULL;
+};
+
+class NullSource final : public net::MessageHandler {
+ public:
+  void on_message(const net::Message&) override {}
+};
+
+struct RunResult {
+  double events_per_s = 0;
+  double mb_per_s = 0;
+  std::uint64_t messages = 0;
+};
+
+RunResult run_stream(net::Network& net, net::NodeId src, net::NodeId dst,
+                     CountingSink& sink, std::size_t payload_bytes,
+                     std::uint64_t messages) {
+  // Encode once; every send shares the same refcounted buffer.
+  util::Bytes body(payload_bytes);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  const net::Payload payload{std::move(body)};
+
+  sink.arm(messages);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < messages; ++i) {
+    net.send(src, dst, net::Channel::main_channel, payload);
+  }
+  const bool done = sink.wait(std::chrono::seconds(60));
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  RunResult r;
+  r.messages = messages;
+  if (done && secs > 0) {
+    r.events_per_s = static_cast<double>(messages) / secs;
+    r.mb_per_s = static_cast<double>(messages) *
+                 static_cast<double>(payload_bytes) / secs / (1024 * 1024);
+  }
+  return r;
+}
+
+std::uint64_t messages_for(std::size_t payload_bytes) {
+  if (payload_bytes <= 256) return 200000;
+  if (payload_bytes <= 8192) return 50000;
+  return 4000;
+}
+
+void BM_Transport(benchmark::State& state) {
+  const bool os = state.range(0) == 1;
+  const auto payload_bytes = static_cast<std::size_t>(state.range(1));
+  const std::uint64_t messages = messages_for(payload_bytes);
+  RunResult result;
+
+  for (auto _ : state) {
+    NullSource source;
+    CountingSink sink;
+    if (os) {
+      net::OsNetwork sink_net;
+      sink_net.add_remote("src", "127.0.0.1", 0);
+      const net::NodeId dst = sink_net.add_node("sink", &sink);
+      if (!sink_net.start().ok()) {
+        state.SkipWithError("sink_net start failed");
+        break;
+      }
+      net::OsNetworkConfig src_cfg;
+      src_cfg.listen = false;
+      net::OsNetwork src_net(src_cfg);
+      const net::NodeId src = src_net.add_node("src", &source);
+      src_net.add_remote("sink", "127.0.0.1", sink_net.listen_port());
+      if (!src_net.start().ok()) {
+        state.SkipWithError("src_net start failed");
+        break;
+      }
+      result = run_stream(src_net, src, dst, sink, payload_bytes, messages);
+      src_net.stop();
+      sink_net.stop();
+    } else {
+      net::ThreadNetwork tnet;
+      const net::NodeId src = tnet.add_node("src", &source);
+      const net::NodeId dst = tnet.add_node("sink", &sink);
+      tnet.start();
+      result = run_stream(tnet, src, dst, sink, payload_bytes, messages);
+      tnet.stop();
+    }
+  }
+
+  state.counters["events_per_sec"] = result.events_per_s;
+  state.counters["mb_per_sec"] = result.mb_per_s;
+  state.SetItemsProcessed(static_cast<std::int64_t>(result.messages) *
+                          static_cast<std::int64_t>(state.iterations()));
+  summary().row({os ? "os" : "thread", std::to_string(payload_bytes),
+                 std::to_string(result.messages),
+                 std::to_string(static_cast<std::uint64_t>(
+                     result.events_per_s)),
+                 std::to_string(result.mb_per_s)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_Transport)
+    ->ArgNames({"os", "bytes"})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({0, 65536})
+    ->Args({1, 65536})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+DISCOVER_BENCH_MAIN(summary().print())

@@ -1,0 +1,211 @@
+// Two-process steering demo over real TCP (127.0.0.1).
+//
+// The same middleware that runs in-process elsewhere here crosses an actual
+// socket: one OS process hosts the registry, a DISCOVER server and a
+// steerable heat-diffusion app; the other hosts a portal client that logs
+// in, takes the steering lock, changes a parameter and watches updates
+// arrive.  Both processes construct the SAME global node-id space in the
+// same order — the server process adds ids 0-2 locally and the client as a
+// remote, the client process mirrors that — which is the role the server's
+// well-known address plays in the paper.
+//
+// Run it in two terminals:
+//
+//   ./build/examples/osnet_demo server 45123
+//   ./build/examples/osnet_demo client 45123
+//
+// or let one invocation fork both halves (scripts/osnet_demo.sh does this):
+//
+//   ./build/examples/osnet_demo both
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "app/heat2d.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/os_network.h"
+#include "workload/scenario.h"  // RegistryNode
+#include "workload/sync_ops.h"
+
+using namespace discover;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+// Node ids, identical in both processes (construction order is the
+// contract): 0 registry, 1 server, 2 app, 3 client.
+constexpr std::uint32_t kServer = 1;
+
+int run_server(std::uint16_t port, int run_for_s) {
+  net::OsNetworkConfig cfg;
+  cfg.listen_port = port;
+  net::OsNetwork net(cfg);
+
+  workload::RegistryNode registry(net);
+  registry.attach(net.add_node("registry", &registry, net::DomainId{0}));
+
+  core::ServerConfig scfg;
+  scfg.name = "osnet-demo";
+  core::DiscoverServer server(net, scfg);
+  const net::NodeId server_node =
+      net.add_node("server:osnet-demo", &server, net::DomainId{1});
+  server.attach(server_node);
+  server.set_registry(registry.naming_ref(), registry.trader_ref());
+
+  app::AppConfig acfg;
+  acfg.name = "heat2d";
+  acfg.acl = workload::make_acl({{"alice", security::Privilege::steer}});
+  acfg.step_time = util::milliseconds(2);
+  acfg.update_every = 10;
+  acfg.interact_every = 20;
+  acfg.interaction_window = util::milliseconds(2);
+  app::Heat2DApp heat(net, acfg, 32);
+  const net::NodeId app_node =
+      net.add_node("app:heat2d", &heat, net::DomainId{1});
+  heat.attach(app_node);
+
+  // The client never listens; replies flow back over its own connection.
+  net.add_remote("client:alice", "127.0.0.1", 0, net::DomainId{2});
+
+  const util::Status st = net.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.error().message.c_str());
+    return 1;
+  }
+  net.post(server_node, [&] { server.start(); });
+  net.post(app_node, [&] { heat.connect(server_node); });
+  std::printf("server: listening on %s (run for %ds, Ctrl-C to stop)\n",
+              net.listen_addr().c_str(), run_for_s);
+  std::fflush(stdout);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(run_for_s);
+  while (!g_stop.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const net::OsNetworkStats stats = net.os_stats();
+  std::printf(
+      "server: done — alpha=%.3f, %llu frames in / %llu out, "
+      "%llu bytes in / %llu out, %llu conns accepted\n",
+      heat.alpha(), static_cast<unsigned long long>(stats.frames_in),
+      static_cast<unsigned long long>(stats.frames_out),
+      static_cast<unsigned long long>(stats.bytes_in),
+      static_cast<unsigned long long>(stats.bytes_out),
+      static_cast<unsigned long long>(stats.accepted));
+  std::fflush(stdout);  // the `both` mode exits via _exit, which skips stdio
+  net.stop();
+  server.drain_shards();
+  return 0;
+}
+
+int run_client(std::uint16_t port) {
+  net::OsNetworkConfig cfg;
+  cfg.listen = false;  // pure client: one outbound connection carries all
+  net::OsNetwork net(cfg);
+
+  net.add_remote("registry", "127.0.0.1", port, net::DomainId{0});
+  net.add_remote("server:osnet-demo", "127.0.0.1", port, net::DomainId{1});
+  net.add_remote("app:heat2d", "127.0.0.1", port, net::DomainId{1});
+
+  core::ClientConfig ccfg;
+  ccfg.user = "alice";
+  ccfg.poll_period = util::milliseconds(20);
+  core::DiscoverClient alice(net, ccfg);
+  alice.attach(net.add_node("client:alice", &alice, net::DomainId{2}));
+  alice.set_server(net::NodeId{kServer});
+
+  const util::Status st = net.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "client: %s\n", st.error().message.c_str());
+    return 1;
+  }
+
+  auto login = workload::sync_login(net, alice, util::seconds(15));
+  if (!login.ok() || !login.value().ok || login.value().applications.empty()) {
+    std::fprintf(stderr, "client: login failed (is the server running?)\n");
+    return 1;
+  }
+  const proto::AppId app_id = login.value().applications[0].id;
+  std::printf("client: logged in over TCP, %zu app(s) listed\n",
+              login.value().applications.size());
+
+  if (!workload::sync_select(net, alice, app_id).value_or({}).ok ||
+      !workload::sync_onboard_steerer(net, alice, app_id)) {
+    std::fprintf(stderr, "client: could not take the steering lock\n");
+    return 1;
+  }
+  std::printf("client: selected %s and acquired the steering lock\n",
+              app_id.to_string().c_str());
+
+  auto ack = workload::sync_command(net, alice, app_id,
+                                    proto::CommandKind::set_param, "alpha",
+                                    proto::ParamValue{0.21});
+  std::printf("client: set_param alpha=0.21 -> %s\n",
+              ack.ok() && ack.value().accepted ? "accepted" : "rejected");
+
+  // Watch a few updates stream back over the same connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (alice.events_of_kind(proto::EventKind::update) < 5 &&
+         std::chrono::steady_clock::now() < deadline && !g_stop.load()) {
+    (void)workload::sync_poll(net, alice, app_id, util::seconds(2));
+  }
+  std::printf("client: received %llu update events\n",
+              static_cast<unsigned long long>(
+                  alice.events_of_kind(proto::EventKind::update)));
+
+  const net::OsNetworkStats stats = net.os_stats();
+  std::printf("client: %llu frames in / %llu out over one socket\n",
+              static_cast<unsigned long long>(stats.frames_in),
+              static_cast<unsigned long long>(stats.frames_out));
+  net.stop();
+  return alice.events_of_kind(proto::EventKind::update) > 0 ? 0 : 1;
+}
+
+int run_both(std::uint16_t port) {
+  const pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    _exit(run_server(port, /*run_for_s=*/20));
+  }
+  // Give the acceptor a moment; the transport would also just retry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const int rc = run_client(port);
+  kill(child, SIGTERM);
+  int wstatus = 0;
+  waitpid(child, &wstatus, 0);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const std::string role = argc > 1 ? argv[1] : "both";
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      argc > 2 ? std::atoi(argv[2]) : 45123);
+  if (role == "server") {
+    return run_server(port, argc > 3 ? std::atoi(argv[3]) : 600);
+  }
+  if (role == "client") return run_client(port);
+  if (role == "both") return run_both(port);
+  std::fprintf(stderr, "usage: %s [server|client|both] [port]\n", argv[0]);
+  return 2;
+}

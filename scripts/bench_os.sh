@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Transport A/B sweep: runs bench_os (one-way stream throughput, payload
+# sizes 64B / 4KiB / 64KiB, ThreadNetwork vs OsNetwork over 127.0.0.1)
+# with google-benchmark's JSON reporter and writes BENCH_os.json at the
+# repo root.  The checked-in JSON records loopback-TCP events/sec alongside
+# the in-process ThreadNetwork baseline, plus the os-over-thread ratio per
+# payload size (EXPERIMENTS.md E13 describes the methodology and schema).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_os.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_os
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+"$BUILD_DIR"/bench/bench_os \
+  --benchmark_filter=BM_Transport \
+  --benchmark_format=json --benchmark_out="$tmp" \
+  --benchmark_out_format=json
+
+python3 - "$tmp" "$OUT" <<'PY'
+import json, sys
+
+src, out = sys.argv[1:3]
+with open(src) as f:
+    data = json.load(f)
+
+def arg(name, key):
+    for part in name.split("/"):
+        if part.startswith(key + ":"):
+            return int(part.split(":")[1])
+    return None
+
+rows = []
+by_key = {}
+for b in data.get("benchmarks", []):
+    os_flag = arg(b["name"], "os")
+    size = arg(b["name"], "bytes")
+    if os_flag is None or size is None:
+        continue
+    row = {
+        "name": b["name"],
+        "backend": "os" if os_flag else "thread",
+        "payload_bytes": size,
+    }
+    for k in ("events_per_sec", "mb_per_sec"):
+        if k in b:
+            row[k] = b[k]
+    rows.append(row)
+    by_key[(os_flag, size)] = row
+
+# Headline ratios: loopback-TCP throughput relative to in-process, per
+# payload size (< 1.0 is expected — the socket path pays for realism).
+ratio = {}
+for size in sorted({s for (_, s) in by_key}):
+    base = by_key.get((0, size), {}).get("events_per_sec", 0)
+    osr = by_key.get((1, size), {}).get("events_per_sec", 0)
+    if base:
+        ratio[f"os_over_thread_events_per_sec_{size}B"] = round(osr / base, 3)
+
+ctx = data.get("context", {})
+result = {
+    "experiment": "transport_ab_os_vs_thread",
+    "context": {k: ctx.get(k) for k in
+                ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                 "library_build_type") if k in ctx},
+    "transports": rows,
+    "ratio": ratio,
+}
+with open(out, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out}")
+for k, v in ratio.items():
+    print(f"  {k}: {v}x")
+PY

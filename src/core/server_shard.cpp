@@ -99,10 +99,14 @@ void DiscoverServer::route_message(const net::Message& msg) {
       // requests go to the core that activated the target servant, replies
       // to the core that issued the call.  Ids minted by OTHER nodes never
       // appear in these positions — an inbound request's servant key is
-      // ours, an inbound reply's request id is ours.  Unparseable frames
-      // fall back to core 0, whose ORB logs and drops them.
-      const orb::GiopHeader h = orb::peek_giop_header(msg.payload);
-      if (h.valid) {
+      // ours, an inbound reply's request id is ours.  The transports hand
+      // dispatch complete frames, so a need_more verdict here means a
+      // truncated (hence malformed) frame; both it and invalid fall back
+      // to core 0, whose ORB logs and drops them.
+      orb::GiopHeader h;
+      const orb::GiopPeek verdict = orb::peek_giop_header(
+          msg.payload.bytes().data(), msg.payload.size(), h);
+      if (verdict == orb::GiopPeek::ok) {
         const std::uint64_t id = h.is_request ? h.servant_key : h.request_id;
         shard = static_cast<std::uint32_t>(id & ((1u << shard_bits_) - 1u)) %
                 group_shards_;

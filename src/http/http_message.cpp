@@ -244,6 +244,94 @@ util::Result<HttpResponse> parse_response(const util::Bytes& data) {
   return resp;
 }
 
+StreamDecoder::StreamDecoder(std::size_t max_head_bytes,
+                             std::size_t max_body_bytes)
+    : max_head_bytes_(max_head_bytes), max_body_bytes_(max_body_bytes) {}
+
+util::Status StreamDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed_) {
+    return {util::Errc::protocol_error, "stream already failed"};
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+  util::Status st = scan();
+  if (!st.ok()) failed_ = true;
+  return st;
+}
+
+std::optional<util::Bytes> StreamDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  util::Bytes msg = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return msg;
+}
+
+util::Status StreamDecoder::scan() {
+  while (true) {
+    if (!in_body_) {
+      // Look for the blank line.  Resume one byte shy of the previous scan
+      // end so a CRLFCRLF split across feeds is still found exactly once.
+      const std::string_view text(
+          reinterpret_cast<const char*>(buffer_.data()), buffer_.size());
+      const std::size_t start = scan_from_ > 3 ? scan_from_ - 3 : 0;
+      const std::size_t pos = text.find("\r\n\r\n", start);
+      if (pos == std::string_view::npos) {
+        if (buffer_.size() > max_head_bytes_) {
+          return {util::Errc::protocol_error,
+                  "HTTP head exceeds " + std::to_string(max_head_bytes_) +
+                      " bytes without terminating"};
+        }
+        scan_from_ = buffer_.size();
+        return {};
+      }
+      head_len_ = pos + 4;
+      if (head_len_ > max_head_bytes_) {
+        return {util::Errc::protocol_error, "HTTP head too large"};
+      }
+      // The declared body length is judged NOW, before a single body byte
+      // is waited for: reject-on-declare, not reject-on-arrival.
+      std::optional<std::uint64_t> declared;
+      std::size_t line_start = 0;
+      const std::string_view head = text.substr(0, pos + 2);
+      while (line_start < head.size()) {
+        const std::size_t eol = head.find("\r\n", line_start);
+        if (eol == std::string_view::npos) break;
+        const std::string_view line = head.substr(line_start, eol - line_start);
+        line_start = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        if (!iequals(line.substr(0, colon), "Content-Length")) continue;
+        const auto parsed = parse_content_length(line.substr(colon + 1));
+        if (!parsed) {
+          return {util::Errc::protocol_error,
+                  "bad Content-Length: " + std::string(line)};
+        }
+        if (declared && *declared != *parsed) {
+          return {util::Errc::protocol_error,
+                  "conflicting Content-Length headers"};
+        }
+        declared = parsed;
+      }
+      body_len_ = static_cast<std::size_t>(declared.value_or(0));
+      if (body_len_ > max_body_bytes_) {
+        return {util::Errc::protocol_error,
+                "declared Content-Length " + std::to_string(body_len_) +
+                    " exceeds cap " + std::to_string(max_body_bytes_)};
+      }
+      in_body_ = true;
+    }
+    const std::size_t total = head_len_ + body_len_;
+    if (buffer_.size() < total) return {};
+    ready_.emplace_back(buffer_.begin(),
+                        buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    in_body_ = false;
+    head_len_ = 0;
+    body_len_ = 0;
+    scan_from_ = 0;
+  }
+}
+
 const char* reason_for(int status) {
   switch (status) {
     case 200: return "OK";

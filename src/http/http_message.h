@@ -63,6 +63,51 @@ util::Bytes serialize(const HttpResponse& resp);
 util::Result<HttpRequest> parse_request(const util::Bytes& data);
 util::Result<HttpResponse> parse_response(const util::Bytes& data);
 
+/// Incremental HTTP/1.0 message framing for a real TCP byte stream.
+///
+/// parse_request/parse_response assume one complete message per buffer —
+/// true on the in-process transports, violated by TCP segmentation, where a
+/// message arrives in arbitrary fragments (or several messages arrive
+/// glued together).  Feed bytes as they come off the socket; next() yields
+/// each complete message's wire bytes, ready for the one-shot parsers.
+///
+/// Caps are enforced BEFORE buffering: a head that exceeds max_head_bytes
+/// without terminating fails as soon as the excess arrives, and the
+/// declared Content-Length is checked the moment the blank line completes —
+/// a hostile length can never grow the buffer on promise alone.  After any
+/// error the decoder stays failed (framing sync is lost; callers drop the
+/// connection).
+class StreamDecoder {
+ public:
+  explicit StreamDecoder(std::size_t max_head_bytes = 16 * 1024,
+                         std::size_t max_body_bytes = 4u << 20);
+
+  util::Status feed(const std::uint8_t* data, std::size_t size);
+  util::Status feed(const util::Bytes& data) {
+    return feed(data.data(), data.size());
+  }
+
+  /// Pops the next complete message (head + body), if any.
+  std::optional<util::Bytes> next();
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Bytes buffered toward an incomplete message.
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  util::Status scan();
+
+  std::size_t max_head_bytes_;
+  std::size_t max_body_bytes_;
+  util::Bytes buffer_;
+  std::vector<util::Bytes> ready_;
+  std::size_t scan_from_ = 0;  // resume point for the head-terminator search
+  std::size_t head_len_ = 0;   // bytes through the blank line, once found
+  std::size_t body_len_ = 0;   // declared Content-Length, once validated
+  bool in_body_ = false;
+  bool failed_ = false;
+};
+
 const char* reason_for(int status);
 
 }  // namespace discover::http

@@ -1,0 +1,126 @@
+#include "net/frame_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "wire/cdr.h"
+
+namespace discover::net {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof(v));  // little-endian host, as wire/cdr.h assumes
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    NodeId src, NodeId dst, std::uint32_t channel_raw,
+    std::size_t payload_size) {
+  std::array<std::uint8_t, kFrameHeaderBytes> h;
+  put_u32(h.data(), kFrameMagic);
+  put_u32(h.data() + 4,
+          static_cast<std::uint32_t>(kFrameHeadTail + payload_size));
+  put_u32(h.data() + 8, src.value());
+  put_u32(h.data() + 12, dst.value());
+  put_u32(h.data() + 16, channel_raw);
+  return h;
+}
+
+util::Bytes encode_frame(NodeId src, NodeId dst, std::uint32_t channel_raw,
+                         const util::Bytes& payload) {
+  const auto header =
+      encode_frame_header(src, dst, channel_raw, payload.size());
+  util::Bytes out;
+  out.reserve(header.size() + payload.size());
+  out.insert(out.end(), header.begin(), header.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+util::Bytes encode_hello(const HelloFrame& hello) {
+  wire::Encoder e;
+  e.u32(hello.version);
+  e.sequence(hello.local_nodes,
+             [](wire::Encoder& enc, std::uint32_t id) { enc.u32(id); });
+  e.str(hello.listen_addr);
+  return std::move(e).take();
+}
+
+util::Result<HelloFrame> decode_hello(const util::Bytes& body) {
+  try {
+    wire::Decoder d(body);
+    HelloFrame hello;
+    hello.version = d.u32();
+    hello.local_nodes =
+        d.sequence<std::uint32_t>([](wire::Decoder& dec) { return dec.u32(); });
+    hello.listen_addr = d.str();
+    d.finish();
+    return hello;
+  } catch (const wire::DecodeError& e) {
+    return util::Error{util::Errc::protocol_error,
+                       std::string("bad hello frame: ") + e.what()};
+  }
+}
+
+util::Status FrameDecoder::feed(const std::uint8_t* data, std::size_t size,
+                                std::vector<Frame>& out) {
+  std::size_t i = 0;
+  while (i < size) {
+    if (header_have_ < kFrameHeaderBytes) {
+      // Accumulate the fixed header.  The cap verdict falls as soon as the
+      // length field (first 8 bytes) is complete — before a single payload
+      // byte is buffered, so a hostile length can never size an allocation.
+      const std::size_t want = kFrameHeaderBytes - header_have_;
+      const std::size_t take = std::min(want, size - i);
+      std::memcpy(header_.data() + header_have_, data + i, take);
+      header_have_ += take;
+      i += take;
+      if (header_have_ >= 8 && !length_checked_) {
+        if (get_u32(header_.data()) != kFrameMagic) {
+          return {util::Errc::protocol_error, "bad frame magic"};
+        }
+        const std::uint32_t length = get_u32(header_.data() + 4);
+        if (length < kFrameHeadTail) {
+          return {util::Errc::protocol_error,
+                  "frame length below header size"};
+        }
+        payload_need_ = length - kFrameHeadTail;
+        if (payload_need_ > max_payload_) {
+          return {util::Errc::protocol_error,
+                  "frame payload " + std::to_string(payload_need_) +
+                      " exceeds cap " + std::to_string(max_payload_)};
+        }
+        length_checked_ = true;
+      }
+      if (header_have_ < kFrameHeaderBytes) continue;
+      payload_.clear();
+      payload_.reserve(payload_need_);
+    }
+    const std::size_t want = payload_need_ - payload_.size();
+    const std::size_t take = std::min(want, size - i);
+    payload_.insert(payload_.end(), data + i, data + i + take);
+    i += take;
+    if (payload_.size() < payload_need_) break;
+    Frame f;
+    f.src = NodeId{get_u32(header_.data() + 8)};
+    f.dst = NodeId{get_u32(header_.data() + 12)};
+    f.channel_raw = get_u32(header_.data() + 16);
+    f.payload = std::move(payload_);
+    out.push_back(std::move(f));
+    payload_ = {};
+    header_have_ = 0;
+    payload_need_ = 0;
+    length_checked_ = false;
+  }
+  return {};
+}
+
+}  // namespace discover::net

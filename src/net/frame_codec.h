@@ -1,0 +1,114 @@
+// Length-framed channel multiplexing for the OS-socket transport.
+//
+// One TCP connection between two processes carries every logical channel of
+// every (src, dst) node pair, FIFO.  Each transport message becomes one
+// frame:
+//
+//   u32  magic   'D' 'S' 'C' '1'  (0x44534331, little-endian on the wire)
+//   u32  length  bytes that follow this field (header remainder + payload)
+//   u32  src     sender NodeId (global id space, coordinated by config)
+//   u32  dst     receiver NodeId
+//   u32  channel net::Channel value, or kHelloChannel for the handshake
+//   u8[] payload
+//
+// The decoder is incremental: real TCP delivers frames in arbitrary
+// segments, so feed() accepts any byte fragmentation and yields frames only
+// once complete.  A declared length above the configured cap is rejected
+// *before* any payload is buffered — the length field is attacker-
+// controlled and must never size an allocation unchecked.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/message.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace discover::net {
+
+/// Channel value reserved for the connection handshake; never collides with
+/// net::Channel (a u8 enum).
+inline constexpr std::uint32_t kHelloChannel = 0xFFFFFFFFu;
+
+inline constexpr std::uint32_t kFrameMagic = 0x31435344u;  // "DSC1" LE
+/// Bytes covered by the length field besides the payload: src + dst +
+/// channel.
+inline constexpr std::size_t kFrameHeadTail = 12;
+/// Bytes before the payload: magic + length + src + dst + channel.
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Default per-frame payload cap (64 MiB).  Generous — the biggest real
+/// frames are batched peer pushes — but small enough that a corrupt or
+/// hostile length field cannot balloon memory.
+inline constexpr std::size_t kDefaultMaxFramePayload = 64u << 20;
+
+/// One decoded frame.  `channel_raw` is kept so the handshake frame can be
+/// told apart from data; `channel` is only meaningful when
+/// `channel_raw != kHelloChannel`.
+struct Frame {
+  NodeId src{0};
+  NodeId dst{0};
+  std::uint32_t channel_raw = 0;
+  util::Bytes payload;
+
+  [[nodiscard]] bool is_hello() const { return channel_raw == kHelloChannel; }
+  [[nodiscard]] Channel channel() const {
+    return static_cast<Channel>(channel_raw);
+  }
+};
+
+/// Serializes the 20-byte frame header; the payload follows verbatim, so a
+/// refcounted Payload can be scatter-gathered after the header without ever
+/// being copied into the frame.
+[[nodiscard]] std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    NodeId src, NodeId dst, std::uint32_t channel_raw,
+    std::size_t payload_size);
+
+/// Convenience for tests and the handshake: one contiguous buffer.
+[[nodiscard]] util::Bytes encode_frame(NodeId src, NodeId dst,
+                                       std::uint32_t channel_raw,
+                                       const util::Bytes& payload);
+
+/// Handshake body: protocol version, the node ids local to the sending
+/// process (so the receiver can route replies back over this connection),
+/// and the sender's listen address ("host:port", empty when not listening).
+struct HelloFrame {
+  std::uint32_t version = 1;
+  std::vector<std::uint32_t> local_nodes;
+  std::string listen_addr;
+};
+
+[[nodiscard]] util::Bytes encode_hello(const HelloFrame& hello);
+[[nodiscard]] util::Result<HelloFrame> decode_hello(const util::Bytes& body);
+
+/// Incremental frame reassembler.  Feed arbitrary byte fragments; complete
+/// frames append to `out`.  Returns a protocol error on bad magic or a
+/// declared payload larger than the cap — the connection must then be torn
+/// down, since framing sync is lost.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  util::Status feed(const std::uint8_t* data, std::size_t size,
+                    std::vector<Frame>& out);
+
+  /// Bytes buffered toward an incomplete frame (diagnostics; a closed
+  /// connection simply discards them).
+  [[nodiscard]] std::size_t pending_bytes() const {
+    return header_have_ + payload_.size();
+  }
+
+ private:
+  std::size_t max_payload_;
+  std::array<std::uint8_t, kFrameHeaderBytes> header_{};
+  std::size_t header_have_ = 0;
+  std::size_t payload_need_ = 0;
+  bool length_checked_ = false;
+  util::Bytes payload_;
+};
+
+}  // namespace discover::net

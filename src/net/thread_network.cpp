@@ -52,6 +52,11 @@ void ThreadNetwork::stop() {
   for (auto& node : nodes_) {
     if (node->worker.joinable()) node->worker.join();
   }
+  // Timers discarded at stop prune their cancellation marks with them.
+  const std::lock_guard<std::mutex> lock(timer_mutex_);
+  while (!timers_.empty()) timers_.pop();
+  pending_timer_ids_.clear();
+  cancelled_timers_.clear();
 }
 
 void ThreadNetwork::enqueue(std::uint32_t node_index, Task task) {
@@ -148,6 +153,7 @@ TimerId ThreadNetwork::schedule(NodeId node, util::Duration delay,
     const std::lock_guard<std::mutex> lock(timer_mutex_);
     t.id = next_timer_++;
     id = TimerId{t.id};
+    pending_timer_ids_.insert(t.id);
     timers_.push(std::move(t));
   }
   timer_cv_.notify_one();
@@ -157,7 +163,21 @@ TimerId ThreadNetwork::schedule(NodeId node, util::Duration delay,
 void ThreadNetwork::cancel(TimerId id) {
   if (id.value() == 0) return;
   const std::lock_guard<std::mutex> lock(timer_mutex_);
-  cancelled_timers_.insert(id.value());
+  // A tombstone is only worth keeping while the timer can still fire;
+  // recording ids of already-fired timers grew this set without bound.
+  if (pending_timer_ids_.count(id.value()) != 0) {
+    cancelled_timers_.insert(id.value());
+  }
+}
+
+std::size_t ThreadNetwork::cancelled_timer_backlog() const {
+  const std::lock_guard<std::mutex> lock(timer_mutex_);
+  return cancelled_timers_.size();
+}
+
+std::size_t ThreadNetwork::pending_timer_count() const {
+  const std::lock_guard<std::mutex> lock(timer_mutex_);
+  return pending_timer_ids_.size();
 }
 
 TrafficStats ThreadNetwork::traffic() const {
@@ -220,6 +240,7 @@ void ThreadNetwork::timer_loop() {
     }
     PendingTimer t = std::move(const_cast<PendingTimer&>(timers_.top()));
     timers_.pop();
+    pending_timer_ids_.erase(t.id);
     const auto it = cancelled_timers_.find(t.id);
     if (it != cancelled_timers_.end()) {
       cancelled_timers_.erase(it);

@@ -73,6 +73,14 @@ class ThreadNetwork final : public Network {
   void heal(NodeId a, NodeId b);
   [[nodiscard]] FaultStats fault_stats() const;
 
+  /// Cancelled-but-unfired timer ids still tombstoned.  Bounded by the
+  /// number of outstanding timers (`cancelled ⊆ pending`): cancelling a
+  /// timer that already fired — the common best-effort case — records
+  /// nothing, and a fired or stop()-discarded timer prunes its mark.  The
+  /// osnet soak test pins this invariant.
+  [[nodiscard]] std::size_t cancelled_timer_backlog() const;
+  [[nodiscard]] std::size_t pending_timer_count() const;
+
  private:
   struct Task {
     Message msg;
@@ -109,10 +117,14 @@ class ThreadNetwork final : public Network {
   std::atomic<bool> running_{false};
   bool started_ = false;
 
-  std::mutex timer_mutex_;
+  mutable std::mutex timer_mutex_;
   std::condition_variable timer_cv_;
   std::priority_queue<PendingTimer, std::vector<PendingTimer>, std::greater<>>
       timers_;
+  // Ids of timers still queued; cancel() only tombstones members, so
+  // cancelled_timers_ can never outgrow the live timer population (it used
+  // to accumulate every cancelled id for the process lifetime).
+  std::unordered_set<std::uint64_t> pending_timer_ids_;
   std::unordered_set<std::uint64_t> cancelled_timers_;
   std::uint64_t next_timer_ = 1;
   std::thread timer_thread_;

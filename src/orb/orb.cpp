@@ -1,6 +1,7 @@
 #include "orb/orb.h"
 
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
 #include "util/log.h"
@@ -35,19 +36,35 @@ ObjectRef decode_object_ref(wire::Decoder& d) {
   return ref;
 }
 
+GiopPeek peek_giop_header(const std::uint8_t* data, std::size_t size,
+                          GiopHeader& out) {
+  // Decoded by hand against the fixed CDR layout (u32 magic @0, u8 kind
+  // @4, pad to 8, u64 request id @8, u64 servant key @16) instead of
+  // wire::Decoder: the decoder throws one DecodeError for both "truncated"
+  // and "garbage", exactly the distinction a byte-stream peek must make.
+  out = GiopHeader{};
+  if (size < 4) return GiopPeek::need_more;
+  std::uint32_t magic;
+  std::memcpy(&magic, data, sizeof(magic));
+  if (magic != kGiopMagic) return GiopPeek::invalid;
+  if (size < 5) return GiopPeek::need_more;
+  const std::uint8_t kind = data[4];
+  if (kind != kRequest && kind != kReply) return GiopPeek::invalid;
+  out.is_request = kind == kRequest;
+  if (size < 16) return GiopPeek::need_more;
+  std::memcpy(&out.request_id, data + 8, sizeof(out.request_id));
+  if (out.is_request) {
+    if (size < 24) return GiopPeek::need_more;
+    std::memcpy(&out.servant_key, data + 16, sizeof(out.servant_key));
+  }
+  out.valid = true;
+  return GiopPeek::ok;
+}
+
 GiopHeader peek_giop_header(const util::Bytes& payload) {
   GiopHeader h;
-  try {
-    wire::Decoder d(payload);
-    if (d.u32() != kGiopMagic) return h;
-    const std::uint8_t kind = d.u8();
-    if (kind != kRequest && kind != kReply) return h;
-    h.is_request = kind == kRequest;
-    h.request_id = d.u64();
-    if (h.is_request) h.servant_key = d.u64();
-    h.valid = true;
-  } catch (const wire::DecodeError&) {
-    h.valid = false;
+  if (peek_giop_header(payload.data(), payload.size(), h) != GiopPeek::ok) {
+    h = GiopHeader{};  // a short complete buffer is simply not a GIOP frame
   }
   return h;
 }

@@ -88,6 +88,21 @@ struct GiopHeader {
   std::uint64_t servant_key = 0;  // requests only
 };
 
+/// Verdict of peeking at a (possibly partial) GIOP stream prefix.  A real
+/// TCP segment can end anywhere, so "not enough bytes yet" must be
+/// distinguishable from "not GIOP": a router that treated a short prefix
+/// as malformed would misroute the frame once the rest arrived.
+enum class GiopPeek { ok, need_more, invalid };
+
+/// Resumable header peek: classifies whatever prefix has arrived so far.
+/// Returns ok with `out` filled once enough bytes are present (16 for a
+/// reply, 24 for a request), need_more on a clean truncation, invalid on
+/// bad magic / unknown message kind.
+[[nodiscard]] GiopPeek peek_giop_header(const std::uint8_t* data,
+                                        std::size_t size, GiopHeader& out);
+
+/// Complete-buffer convenience: a truncated buffer is invalid here, since
+/// the caller asserts the frame is whole.
 [[nodiscard]] GiopHeader peek_giop_header(const util::Bytes& payload);
 
 class Orb {

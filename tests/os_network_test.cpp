@@ -1,0 +1,695 @@
+// The OS-socket transport suite (`ctest -L osnet`): real TCP over loopback.
+//
+// Four properties are pinned here because in-process backends can never
+// exercise them:
+//   * arbitrary stream segmentation — every incremental decoder (frame,
+//     HTTP, GIOP header peek) must survive 1..N-byte delivery fragments;
+//   * short / interrupted writes — a tiny SO_SNDBUF forces EAGAIN and
+//     partial writev, and the delivered byte sequence must still be
+//     identical to a ThreadNetwork run of the same workload;
+//   * process lifecycle — reconnect after a peer restart, and a typed
+//     (not fatal) startup error when the listen port is taken;
+//   * timer-table hygiene — cancelled-timer bookkeeping stays bounded on
+//     both real-time backends (the leak regression test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "app/heat2d.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "http/http_message.h"
+#include "net/frame_codec.h"
+#include "net/os_network.h"
+#include "net/thread_network.h"
+#include "orb/orb.h"
+#include "util/rng.h"
+#include "workload/scenario.h"  // RegistryNode
+#include "workload/sync_ops.h"
+
+namespace discover {
+namespace {
+
+using security::Privilege;
+using workload::make_acl;
+
+util::Bytes bytes_of(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+// -- fragment fuzz: frame codec ----------------------------------------------
+
+std::vector<net::Frame> make_sample_frames() {
+  std::vector<net::Frame> frames;
+  util::Rng rng(0xF00DULL);
+  const std::size_t sizes[] = {0, 1, 3, 17, 255, 1024, 70000};
+  std::uint32_t n = 0;
+  for (const std::size_t size : sizes) {
+    net::Frame f;
+    f.src = net::NodeId{n % 5};
+    f.dst = net::NodeId{(n + 1) % 5};
+    f.channel_raw = n % 6;
+    f.payload.resize(size);
+    for (auto& b : f.payload) {
+      b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    }
+    frames.push_back(std::move(f));
+    ++n;
+  }
+  return frames;
+}
+
+util::Bytes concat_wire(const std::vector<net::Frame>& frames) {
+  util::Bytes wire;
+  for (const auto& f : frames) {
+    const util::Bytes one =
+        net::encode_frame(f.src, f.dst, f.channel_raw, f.payload);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  return wire;
+}
+
+TEST(FrameCodecTest, SurvivesArbitrarySegmentation) {
+  const std::vector<net::Frame> expect = make_sample_frames();
+  const util::Bytes wire = concat_wire(expect);
+
+  // 64 seeded runs, each delivering the stream in random 1..N-byte pieces,
+  // plus the worst case: one byte at a time.
+  for (std::uint64_t seed = 0; seed < 65; ++seed) {
+    util::Rng rng(seed * 7919 + 1);
+    net::FrameDecoder decoder;
+    std::vector<net::Frame> got;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      std::size_t take =
+          seed == 64 ? 1 : 1 + rng.next() % 4096;
+      take = std::min(take, wire.size() - pos);
+      ASSERT_TRUE(decoder.feed(wire.data() + pos, take, got).ok());
+      pos += take;
+    }
+    ASSERT_EQ(got.size(), expect.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].src.value(), expect[i].src.value());
+      EXPECT_EQ(got[i].dst.value(), expect[i].dst.value());
+      EXPECT_EQ(got[i].channel_raw, expect[i].channel_raw);
+      EXPECT_EQ(got[i].payload, expect[i].payload);
+    }
+    EXPECT_EQ(decoder.pending_bytes(), 0u);
+  }
+}
+
+TEST(FrameCodecTest, RejectsOversizedLengthBeforeBuffering) {
+  // A header declaring a payload over the cap must fail as soon as the
+  // length field arrives — no payload byte may ever be buffered.
+  net::FrameDecoder decoder(/*max_payload=*/1024);
+  const auto header = net::encode_frame_header(
+      net::NodeId{0}, net::NodeId{1}, 0, /*payload_size=*/4096);
+  std::vector<net::Frame> out;
+  const util::Status st = decoder.feed(header.data(), 8, out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameCodecTest, RejectsBadMagic) {
+  net::FrameDecoder decoder;
+  const util::Bytes junk = bytes_of("GET / HTTP/1.0\r\n\r\n");
+  std::vector<net::Frame> out;
+  EXPECT_FALSE(decoder.feed(junk.data(), junk.size(), out).ok());
+}
+
+TEST(FrameCodecTest, HelloRoundTrips) {
+  net::HelloFrame hello;
+  hello.local_nodes = {0, 2, 7};
+  hello.listen_addr = "127.0.0.1:4242";
+  const auto decoded = net::decode_hello(net::encode_hello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().version, hello.version);
+  EXPECT_EQ(decoded.value().local_nodes, hello.local_nodes);
+  EXPECT_EQ(decoded.value().listen_addr, hello.listen_addr);
+}
+
+// -- fragment fuzz: HTTP stream decoder --------------------------------------
+
+TEST(HttpStreamDecoderTest, SurvivesArbitrarySegmentation) {
+  std::vector<util::Bytes> expect;
+  http::HttpRequest req;
+  req.method = http::Method::post;
+  req.path = "/portal/command?app=1";
+  req.body = bytes_of(std::string(3000, 'x'));
+  expect.push_back(http::serialize(req));
+  http::HttpResponse resp;
+  resp.status = 200;
+  resp.body = bytes_of("ok");
+  expect.push_back(http::serialize(resp));
+  http::HttpRequest empty_body;
+  empty_body.path = "/portal/poll";
+  expect.push_back(http::serialize(empty_body));
+
+  util::Bytes wire;
+  for (const auto& m : expect) wire.insert(wire.end(), m.begin(), m.end());
+
+  for (std::uint64_t seed = 0; seed < 33; ++seed) {
+    util::Rng rng(seed * 31 + 5);
+    http::StreamDecoder decoder;
+    std::vector<util::Bytes> got;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      std::size_t take = seed == 32 ? 1 : 1 + rng.next() % 512;
+      take = std::min(take, wire.size() - pos);
+      ASSERT_TRUE(decoder.feed(wire.data() + pos, take).ok());
+      while (auto msg = decoder.next()) got.push_back(std::move(*msg));
+      pos += take;
+    }
+    ASSERT_EQ(got.size(), expect.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "seed " << seed << " msg " << i;
+    }
+    EXPECT_FALSE(decoder.failed());
+    EXPECT_EQ(decoder.pending_bytes(), 0u);
+  }
+}
+
+TEST(HttpStreamDecoderTest, RejectsOversizedBodyAtHeadCompletion) {
+  // The declared Content-Length is judged the moment the head is complete:
+  // no body byte is ever awaited, let alone buffered.
+  http::StreamDecoder decoder(/*max_head_bytes=*/1024, /*max_body_bytes=*/64);
+  const util::Bytes head =
+      bytes_of("POST /portal HTTP/1.0\r\nContent-Length: 100000\r\n\r\n");
+  EXPECT_FALSE(decoder.feed(head).ok());
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(HttpStreamDecoderTest, RejectsUnterminatedHeadOverCap) {
+  http::StreamDecoder decoder(/*max_head_bytes=*/64, /*max_body_bytes=*/64);
+  const util::Bytes junk =
+      bytes_of("GET /" + std::string(200, 'a') + " HTTP/1.0\r\n");
+  EXPECT_FALSE(decoder.feed(junk).ok());
+  EXPECT_TRUE(decoder.failed());
+}
+
+// -- fragment fuzz: GIOP header peek -----------------------------------------
+
+util::Bytes make_giop_prefix(bool request) {
+  // Mirrors the hand-decoded CDR layout the router peeks at: u32 magic @0,
+  // u8 kind @4 (pad to 8), u64 request id @8, u64 servant key @16.
+  util::Bytes b(24, 0);
+  const std::uint32_t magic = 0x47494F50;  // "GIOP"
+  std::memcpy(b.data(), &magic, 4);
+  b[4] = request ? 0 : 1;
+  const std::uint64_t request_id = 0x1122334455667788ULL;
+  std::memcpy(b.data() + 8, &request_id, 8);
+  const std::uint64_t servant_key = 0x99AABBCCDDEEFF00ULL;
+  std::memcpy(b.data() + 16, &servant_key, 8);
+  return b;
+}
+
+TEST(GiopPeekTest, EveryPrefixOfARequestClassifiesCleanly) {
+  const util::Bytes frame = make_giop_prefix(/*request=*/true);
+  for (std::size_t len = 0; len <= frame.size(); ++len) {
+    orb::GiopHeader h;
+    const orb::GiopPeek verdict =
+        orb::peek_giop_header(frame.data(), len, h);
+    if (len < 24) {
+      EXPECT_EQ(verdict, orb::GiopPeek::need_more) << "len " << len;
+    } else {
+      ASSERT_EQ(verdict, orb::GiopPeek::ok);
+      EXPECT_TRUE(h.valid);
+      EXPECT_TRUE(h.is_request);
+      EXPECT_EQ(h.request_id, 0x1122334455667788ULL);
+      EXPECT_EQ(h.servant_key, 0x99AABBCCDDEEFF00ULL);
+    }
+  }
+}
+
+TEST(GiopPeekTest, ReplyCompletesAtSixteenBytes) {
+  const util::Bytes frame = make_giop_prefix(/*request=*/false);
+  for (std::size_t len = 0; len <= frame.size(); ++len) {
+    orb::GiopHeader h;
+    const orb::GiopPeek verdict =
+        orb::peek_giop_header(frame.data(), len, h);
+    if (len < 16) {
+      EXPECT_EQ(verdict, orb::GiopPeek::need_more) << "len " << len;
+    } else {
+      ASSERT_EQ(verdict, orb::GiopPeek::ok) << "len " << len;
+      EXPECT_FALSE(h.is_request);
+      EXPECT_EQ(h.request_id, 0x1122334455667788ULL);
+    }
+  }
+}
+
+TEST(GiopPeekTest, GarbageIsInvalidNotNeedMore) {
+  orb::GiopHeader h;
+  const util::Bytes bad_magic = bytes_of("HTTP/1.0 200 OK\r\n");
+  EXPECT_EQ(orb::peek_giop_header(bad_magic.data(), bad_magic.size(), h),
+            orb::GiopPeek::invalid);
+
+  util::Bytes bad_kind = make_giop_prefix(true);
+  bad_kind[4] = 9;  // not a request or reply
+  EXPECT_EQ(orb::peek_giop_header(bad_kind.data(), bad_kind.size(), h),
+            orb::GiopPeek::invalid);
+}
+
+// -- OS transport: capture plumbing ------------------------------------------
+
+class CaptureHandler final : public net::MessageHandler {
+ public:
+  void on_message(const net::Message& msg) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    received_.emplace_back(static_cast<std::uint32_t>(msg.channel),
+                           msg.payload.bytes());
+    cv_.notify_all();
+  }
+
+  bool wait_count(std::size_t n, util::Duration timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                        [&] { return received_.size() >= n; });
+  }
+
+  std::vector<std::pair<std::uint32_t, util::Bytes>> snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return received_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::pair<std::uint32_t, util::Bytes>> received_;
+};
+
+class NullHandler final : public net::MessageHandler {
+ public:
+  void on_message(const net::Message&) override {}
+};
+
+// The deterministic A/B workload: mixed sizes (several crossing the tiny
+// SO_SNDBUF) on rotating channels, all from one src to one sink.
+std::vector<std::pair<net::Channel, util::Bytes>> ab_workload() {
+  std::vector<std::pair<net::Channel, util::Bytes>> msgs;
+  util::Rng rng(0xAB0ULL);
+  for (int i = 0; i < 120; ++i) {
+    const std::size_t size =
+        (i % 10 == 3) ? 150000 + i : 1 + (rng.next() % 2000);
+    util::Bytes body(size);
+    for (std::size_t j = 0; j < size; ++j) {
+      body[j] = static_cast<std::uint8_t>((i * 31 + j) & 0xFF);
+    }
+    msgs.emplace_back(static_cast<net::Channel>(i % 6), std::move(body));
+  }
+  return msgs;
+}
+
+TEST(OsNetworkTest, ShortWritesDeliverByteIdenticalToThreadNetwork) {
+  const auto workload = ab_workload();
+
+  // A: the reference run on ThreadNetwork.
+  std::vector<std::pair<std::uint32_t, util::Bytes>> ref;
+  {
+    net::ThreadNetwork tnet;
+    NullHandler src_handler;
+    CaptureHandler sink;
+    const net::NodeId src = tnet.add_node("src", &src_handler);
+    const net::NodeId dst = tnet.add_node("sink", &sink);
+    tnet.start();
+    for (const auto& [channel, body] : workload) {
+      tnet.send(src, dst, channel, util::Bytes(body));
+    }
+    ASSERT_TRUE(sink.wait_count(workload.size(), util::seconds(30)));
+    tnet.stop();
+    ref = sink.snapshot();
+  }
+
+  // B: the same workload over real TCP with a strangled send buffer, so the
+  // coalesced flush hits EAGAIN / partial writev constantly and must
+  // re-queue the unsent tail.
+  std::vector<std::pair<std::uint32_t, util::Bytes>> got;
+  net::OsNetworkStats sender_stats;
+  {
+    net::OsNetworkConfig sink_cfg;
+    net::OsNetwork sink_net(sink_cfg);
+    NullHandler remote_src;
+    CaptureHandler sink;
+    sink_net.add_remote("src", "127.0.0.1", 0);
+    const net::NodeId dst_b = sink_net.add_node("sink", &sink);
+    ASSERT_TRUE(sink_net.start().ok());
+
+    net::OsNetworkConfig src_cfg;
+    src_cfg.listen = false;
+    src_cfg.so_sndbuf = 4096;
+    net::OsNetwork src_net(src_cfg);
+    NullHandler src_handler;
+    const net::NodeId src = src_net.add_node("src", &src_handler);
+    src_net.add_remote("sink", "127.0.0.1", sink_net.listen_port());
+    ASSERT_TRUE(src_net.start().ok());
+
+    for (const auto& [channel, body] : workload) {
+      src_net.send(src, dst_b, channel, util::Bytes(body));
+    }
+    ASSERT_TRUE(sink.wait_count(workload.size(), util::seconds(60)));
+    sender_stats = src_net.os_stats();
+    src_net.stop();
+    sink_net.stop();
+    got = sink.snapshot();
+  }
+
+  // The strangled buffer must actually have forced the re-queue path.
+  EXPECT_GT(sender_stats.partial_writes + sender_stats.eagain_writes, 0u);
+
+  // Byte-identical: same count, same order, same channels, same bytes.
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].first, ref[i].first) << "message " << i;
+    ASSERT_EQ(got[i].second, ref[i].second) << "message " << i;
+  }
+}
+
+// -- OS transport: end-to-end middleware flow --------------------------------
+
+// Two OsNetwork instances stand in for two OS processes (the two-process
+// demo in examples/osnet_demo.cpp runs the same topology with real fork).
+// Both build the same global node-id space in the same order: ids 0-2 live
+// in the "server process", id 3 in the "client process".
+TEST(OsNetworkTest, LoopbackEndToEndSteeringFlow) {
+  // Server process: registry, server, app — all local; the client remote.
+  net::OsNetwork server_net;
+  workload::RegistryNode registry(server_net);
+  const net::NodeId registry_node =
+      server_net.add_node("registry", &registry, net::DomainId{0});
+  registry.attach(registry_node);
+
+  core::ServerConfig scfg;
+  scfg.name = "os-server";
+  core::DiscoverServer server(server_net, scfg);
+  const net::NodeId server_node =
+      server_net.add_node("server:os-server", &server, net::DomainId{1});
+  server.attach(server_node);
+  server.set_registry(registry.naming_ref(), registry.trader_ref());
+
+  app::AppConfig acfg;
+  acfg.name = "os-heat";
+  acfg.acl = make_acl({{"alice", Privilege::steer}});
+  acfg.step_time = util::milliseconds(1);
+  acfg.update_every = 5;
+  acfg.interact_every = 10;
+  acfg.interaction_window = util::milliseconds(1);
+  app::Heat2DApp heat(server_net, acfg, 16);
+  const net::NodeId app_node =
+      server_net.add_node("app:os-heat", &heat, net::DomainId{1});
+  heat.attach(app_node);
+
+  // The client never listens, so its address is irrelevant: replies flow
+  // back over the connection the client opens (route adoption).
+  server_net.add_remote("client:alice", "127.0.0.1", 0, net::DomainId{2});
+
+  ASSERT_TRUE(server_net.start().ok());
+  ASSERT_NE(server_net.listen_port(), 0);
+
+  // Client process: same id space, mirrored local/remote split.
+  net::OsNetworkConfig ccfg_net;
+  ccfg_net.listen = false;
+  net::OsNetwork client_net(ccfg_net);
+  const std::uint16_t port = server_net.listen_port();
+  client_net.add_remote("registry", "127.0.0.1", port, net::DomainId{0});
+  client_net.add_remote("server:os-server", "127.0.0.1", port,
+                        net::DomainId{1});
+  client_net.add_remote("app:os-heat", "127.0.0.1", port, net::DomainId{1});
+
+  core::ClientConfig ccfg;
+  ccfg.user = "alice";
+  ccfg.poll_period = util::milliseconds(10);
+  core::DiscoverClient alice(client_net, ccfg);
+  const net::NodeId client_node =
+      client_net.add_node("client:alice", &alice, net::DomainId{2});
+  alice.attach(client_node);
+  alice.set_server(server_node);
+  ASSERT_TRUE(client_net.start().ok());
+
+  // Server-side startup runs in each actor's own context, as everywhere.
+  server_net.post(server_node, [&] { server.start(); });
+  server_net.post(app_node, [&] { heat.connect(server_node); });
+  ASSERT_TRUE(workload::wait_for(
+      server_net, [&] { return heat.registered(); }, util::seconds(20)));
+
+  // The portal flow, now crossing a real TCP connection.
+  auto login = workload::sync_login(client_net, alice);
+  ASSERT_TRUE(login.ok()) << login.error().message;
+  ASSERT_TRUE(login.value().ok);
+  ASSERT_EQ(login.value().applications.size(), 1u);
+  const proto::AppId app_id = login.value().applications[0].id;
+
+  auto select = workload::sync_select(client_net, alice, app_id);
+  ASSERT_TRUE(select.ok()) << select.error().message;
+  ASSERT_TRUE(select.value().ok);
+  ASSERT_TRUE(workload::sync_onboard_steerer(client_net, alice, app_id));
+
+  auto ack = workload::sync_command(client_net, alice, app_id,
+                                    proto::CommandKind::set_param, "alpha",
+                                    proto::ParamValue{0.21});
+  ASSERT_TRUE(ack.ok()) << ack.error().message;
+  EXPECT_TRUE(ack.value().accepted);
+  // Read alpha from the app's own execution context (actor model): the
+  // test thread polling the raw field would race the compute loop.
+  std::atomic<double> seen_alpha{0.0};
+  ASSERT_TRUE(workload::wait_for(
+      server_net,
+      [&] {
+        server_net.post(app_node, [&] { seen_alpha.store(heat.alpha()); });
+        return std::abs(seen_alpha.load() - 0.21) < 1e-12;
+      },
+      util::seconds(20)));
+
+  // Updates flow back over the adopted (inbound) route.
+  ASSERT_TRUE(workload::wait_for(
+      client_net,
+      [&] {
+        (void)workload::sync_poll(client_net, alice, app_id,
+                                  util::seconds(5));
+        return alice.events_of_kind(proto::EventKind::update) > 0;
+      },
+      util::seconds(20)));
+
+  // Real traffic crossed the wire in both directions.
+  const net::OsNetworkStats sstats = server_net.os_stats();
+  EXPECT_GT(sstats.frames_in, 0u);
+  EXPECT_GT(sstats.frames_out, 0u);
+  EXPECT_GE(sstats.accepted, 1u);
+
+  client_net.stop();
+  server_net.stop();
+  server.drain_shards();
+}
+
+// -- OS transport: lifecycle -------------------------------------------------
+
+TEST(OsNetworkTest, ReconnectsAfterPeerRestart) {
+  // The sink listens; the source is a pure client (listen=false), so the
+  // restarted sink can re-bind the same port without colliding with the
+  // source's acceptor.
+  auto make_sink = [](std::uint16_t port, CaptureHandler* sink) {
+    net::OsNetworkConfig cfg;
+    cfg.listen_port = port;
+    auto n = std::make_unique<net::OsNetwork>(cfg);
+    n->add_remote("src", "127.0.0.1", 0);
+    n->add_node("sink", sink);
+    return n;
+  };
+
+  CaptureHandler sink1;
+  auto sink_net = make_sink(0, &sink1);
+  ASSERT_TRUE(sink_net->start().ok());
+  const std::uint16_t port = sink_net->listen_port();
+
+  net::OsNetworkConfig src_cfg;
+  src_cfg.listen = false;
+  net::OsNetwork src_net(src_cfg);
+  NullHandler src_handler;
+  const net::NodeId src = src_net.add_node("src", &src_handler);
+  const net::NodeId dst = src_net.add_remote("sink", "127.0.0.1", port);
+  ASSERT_TRUE(src_net.start().ok());
+
+  src_net.send(src, dst, net::Channel::main_channel, bytes_of("before"));
+  ASSERT_TRUE(sink1.wait_count(1, util::seconds(10)));
+
+  // Peer restart: the old process dies, a new one re-binds the same port.
+  sink_net->stop();
+  sink_net.reset();
+  CaptureHandler sink2;
+  sink_net = make_sink(port, &sink2);
+  ASSERT_TRUE(sink_net->start().ok());
+
+  // The source notices the dead connection on its next send and retries
+  // through the reconnect schedule until the new acceptor answers.
+  ASSERT_TRUE(workload::wait_for(
+      src_net,
+      [&] {
+        src_net.send(src, dst, net::Channel::main_channel,
+                     bytes_of("after"));
+        return sink2.wait_count(1, util::milliseconds(200));
+      },
+      util::seconds(20)));
+
+  const auto got = sink2.snapshot();
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_EQ(got[0].second, bytes_of("after"));
+
+  src_net.stop();
+  sink_net->stop();
+}
+
+TEST(OsNetworkTest, PortInUseIsTypedUnavailable) {
+  net::OsNetwork first;
+  NullHandler h;
+  first.add_node("a", &h);
+  ASSERT_TRUE(first.start().ok());
+
+  net::OsNetworkConfig cfg;
+  cfg.listen_port = first.listen_port();
+  net::OsNetwork second(cfg);
+  NullHandler h2;
+  second.add_node("a", &h2);
+  const util::Status st = second.start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::Errc::unavailable);
+  first.stop();
+}
+
+TEST(OsNetworkTest, PollFallbackCarriesTraffic) {
+  // Force the portable poll(2) event loop on both ends.
+  net::OsNetworkConfig cfg_b;
+  cfg_b.use_epoll = false;
+  net::OsNetwork b(cfg_b);
+  b.add_remote("src", "127.0.0.1", 0);
+  CaptureHandler sink;
+  const net::NodeId dst = b.add_node("sink", &sink);
+  ASSERT_TRUE(b.start().ok());
+
+  net::OsNetworkConfig cfg_a;
+  cfg_a.use_epoll = false;
+  cfg_a.listen = false;
+  net::OsNetwork a(cfg_a);
+  NullHandler src_handler;
+  const net::NodeId src = a.add_node("src", &src_handler);
+  a.add_remote("sink", "127.0.0.1", b.listen_port());
+  ASSERT_TRUE(a.start().ok());
+
+  for (int i = 0; i < 50; ++i) {
+    a.send(src, dst, net::Channel::command,
+           bytes_of("poll-fallback " + std::to_string(i)));
+  }
+  ASSERT_TRUE(sink.wait_count(50, util::seconds(20)));
+  const auto got = sink.snapshot();
+  EXPECT_EQ(got[49].second, bytes_of("poll-fallback 49"));
+  a.stop();
+  b.stop();
+}
+
+TEST(OsNetworkTest, RepeatedTimerChainTicks) {
+  // Self-rescheduling 1ms timers are how every app drives its compute loop;
+  // the chain must keep firing indefinitely.
+  net::OsNetworkConfig cfg;
+  cfg.listen = false;
+  net::OsNetwork onet(cfg);
+  NullHandler h;
+  const net::NodeId node = onet.add_node("t", &h);
+  ASSERT_TRUE(onet.start().ok());
+
+  std::atomic<int> ticks{0};
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) {
+      onet.schedule(node, util::milliseconds(1), tick);
+    }
+  };
+  onet.schedule(node, util::milliseconds(1), tick);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (ticks.load() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(ticks.load(), 100);
+  onet.stop();
+}
+
+// -- timer-table hygiene (the leak regression) -------------------------------
+
+TEST(TimerSoakTest, ThreadNetworkCancelledBacklogStaysBounded) {
+  net::ThreadNetwork tnet;
+  NullHandler h;
+  const net::NodeId node = tnet.add_node("t", &h);
+  tnet.start();
+
+  std::atomic<int> fired{0};
+  // Thousands of schedule/cancel cycles; before the fix every cancelled id
+  // was remembered forever.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<net::TimerId> ids;
+    ids.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(tnet.schedule(node, util::milliseconds(1 + i % 5),
+                                  [&] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) tnet.cancel(ids[i]);
+    // The backlog can never exceed the timers still outstanding.
+    EXPECT_LE(tnet.cancelled_timer_backlog(), tnet.pending_timer_count());
+  }
+
+  // Once everything has fired or been discarded, the bookkeeping is empty.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (tnet.pending_timer_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(tnet.pending_timer_count(), 0u);
+  EXPECT_EQ(tnet.cancelled_timer_backlog(), 0u);
+  EXPECT_GT(fired.load(), 0);
+
+  // Cancelling an already-fired id must not grow the backlog either.
+  const net::TimerId late = tnet.schedule(node, 0, [] {});
+  const auto fire_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (tnet.pending_timer_count() > 0 &&
+         std::chrono::steady_clock::now() < fire_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  tnet.cancel(late);
+  EXPECT_EQ(tnet.cancelled_timer_backlog(), 0u);
+  tnet.stop();
+}
+
+TEST(TimerSoakTest, OsNetworkCancelledBacklogStaysBounded) {
+  net::OsNetworkConfig cfg;
+  cfg.listen = false;
+  net::OsNetwork onet(cfg);
+  NullHandler h;
+  const net::NodeId node = onet.add_node("t", &h);
+  ASSERT_TRUE(onet.start().ok());
+
+  std::atomic<int> fired{0};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<net::TimerId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(onet.schedule(node, util::milliseconds(1 + i % 5),
+                                  [&] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) onet.cancel(ids[i]);
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (onet.cancelled_timer_backlog() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(onet.cancelled_timer_backlog(), 0u);
+  EXPECT_GT(fired.load(), 0);
+  onet.stop();
+}
+
+}  // namespace
+}  // namespace discover
